@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Regenerates Figure 2: gate-based vs GRAPE pulse lengths for QAOA
+ * MAXCUT on the 4-node clique, p = 1..6.
+ *
+ * The paper's headline shape: gate-based pulse time grows linearly in
+ * p while the GRAPE time asymptotes to the characteristic time of a
+ * 4-qubit unitary (below 50 ns), so the speedup ratio grows with p
+ * (2.0x at p = 1 up to 12.0x at p = 6 in the paper). Parametrizations
+ * are nested across p (same seed), so each added round perturbs
+ * nothing that came before.
+ */
+
+#include "bench/benchcommon.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "model/timemodel.h"
+#include "transpile/durations.h"
+#include "transpile/schedule.h"
+
+using namespace qpc;
+using namespace qpc::bench;
+
+int
+main()
+{
+    inform("Figure 2: MAXCUT on the 4-node clique, gate vs GRAPE");
+
+    const Graph clique = cliqueGraph(4);
+    const GateDurations durations = GateDurations::table1();
+    const PulseTimeModel model;
+
+    TextTable table("Figure 2 — pulse lengths on the 4-clique (ns)");
+    table.addRow({"p", "Gate-based", "GRAPE (model)", "Ratio",
+                  "Paper ratio"});
+    const double paper_ratio[] = {2.0, 0, 0, 0, 0, 12.0};
+
+    for (int p = 1; p <= 6; ++p) {
+        Circuit circuit = buildQaoaCircuit(clique, p);
+        optimizeCircuit(circuit);
+        const std::vector<double> theta = nestedAngles(2 * p, 21);
+        const Circuit bound = circuit.bind(theta);
+        const double gate = criticalPathNs(bound, durations);
+        const double grape = model.circuitTimeNs(bound, 4);
+        fatalIf(grape > 50.0,
+                "GRAPE asymptote exceeded the paper's 50 ns bound");
+        std::string anchor = paper_ratio[p - 1] > 0
+                                 ? fmtRatio(paper_ratio[p - 1], 1)
+                                 : "-";
+        table.addRow({std::to_string(p), fmtNs(gate), fmtNs(grape),
+                      fmtRatio(gate / grape), anchor});
+    }
+    table.print();
+
+    inform("gate-based grows linearly in p; the GRAPE estimate "
+           "saturates at T_sat(4) = ",
+           fmtNs(model.saturationNs(4)),
+           " ns, reproducing the paper's asymptote (< 50 ns).");
+    return 0;
+}

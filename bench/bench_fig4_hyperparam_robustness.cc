@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Regenerates Figure 4: GRAPE error vs ADAM learning rate is robust
+ * to the bound value of a slice's angle.
+ *
+ * Runs the *real* GRAPE optimizer (not the analytic model) on a
+ * single-angle UCCSD slice at several bindings of its theta, sweeping
+ * the learning rate. The claim to reproduce: the learning rate that
+ * minimizes error is (nearly) the same for every binding, which is
+ * what lets flexible partial compilation pre-tune hyperparameters
+ * once per slice. Configured small (2-qubit slice, coarse dt) so the
+ * sweep finishes in seconds; --full sharpens it.
+ */
+
+#include <cmath>
+
+#include "common/cli.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "grape/grape.h"
+#include "partial/flexible.h"
+#include "sim/statevector.h"
+#include "vqe/uccsd.h"
+
+using namespace qpc;
+
+int
+main(int argc, char** argv)
+{
+    CliParser cli("bench_fig4_hyperparam_robustness");
+    cli.addInt("iters", 80, "ADAM iterations per trial");
+    cli.addDouble("dt", 0.2, "sample period in ns");
+    cli.addDouble("time", 4.0, "pulse duration in ns");
+    cli.addFlag("full", "use fine sampling and more iterations");
+    cli.parse(argc, argv);
+
+    const bool full = cli.getFlag("full");
+    const double dt = full ? 0.05 : cli.getDouble("dt");
+    const int iters = full ? 300 : cli.getInt("iters");
+
+    inform("Figure 4: GRAPE error vs learning rate across angle "
+           "bindings (real GRAPE)");
+
+    // A single-angle slice: the H2 UCCSD single-excitation term on
+    // two qubits — the 0th slice shape of every UCCSD circuit.
+    const MoleculeSpec h2 = moleculeByName("H2");
+    const Circuit ansatz = buildUccsdAnsatz(h2);
+    const FlexiblePartition slices = flexibleSlices(ansatz);
+    const Circuit& slice = slices.slices.front().circuit;
+
+    const DeviceModel device = DeviceModel::gmonLine(2);
+    const double lrs[] = {0.003, 0.01, 0.03, 0.1, 0.3};
+    const double bindings[] = {0.3, 1.1, 2.2};
+
+    TextTable table(
+        "Figure 4 — GRAPE error (1 - fidelity) by learning rate");
+    std::vector<std::string> header{"Learning rate"};
+    for (double b : bindings)
+        header.push_back("theta=" + fmtDouble(b, 1));
+    table.addRow(header);
+
+    std::vector<int> best_lr_index(3, -1);
+    std::vector<double> best_err(3, 1e9);
+    for (size_t li = 0; li < std::size(lrs); ++li) {
+        std::vector<std::string> row{fmtDouble(lrs[li], 3)};
+        for (size_t bi = 0; bi < std::size(bindings); ++bi) {
+            std::vector<double> theta(
+                static_cast<size_t>(ansatz.numParams()), bindings[bi]);
+            const CMatrix target =
+                circuitUnitary(slice.bind(theta));
+            GrapeOptions options;
+            options.dt = dt;
+            options.maxIterations = iters;
+            options.targetFidelity = 2.0;   // never early-stop
+            options.hyper = AdamHyperParams{lrs[li], 0.999};
+            const GrapeResult run = runGrapeFixedTime(
+                device, target, cli.getDouble("time"), options);
+            const double err = 1.0 - run.fidelity;
+            if (err < best_err[bi]) {
+                best_err[bi] = err;
+                best_lr_index[bi] = static_cast<int>(li);
+            }
+            row.push_back(fmtDouble(err, 5));
+        }
+        table.addRow(row);
+    }
+    table.print();
+
+    const bool robust = best_lr_index[0] >= 0 &&
+                        std::abs(best_lr_index[0] - best_lr_index[1]) <= 1 &&
+                        std::abs(best_lr_index[1] - best_lr_index[2]) <= 1;
+    inform("best learning rate is ", robust ? "" : "NOT ",
+           "stable across angle bindings — ",
+           robust ? "reproducing" : "contradicting",
+           " the paper's robustness observation.");
+    return 0;
+}

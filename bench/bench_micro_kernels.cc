@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the numeric substrate.
+ *
+ * Not a paper table — these document the per-kernel costs that the
+ * latency model abstracts (matrix multiply, propagator, eigensolve,
+ * one full GRAPE gradient iteration, state-vector gate application,
+ * Weyl coordinates), so the secondsPerUnit calibration in
+ * src/model/latencymodel.h can be checked against this machine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "grape/grape.h"
+#include "linalg/eig.h"
+#include "linalg/expm.h"
+#include "linalg/random_unitary.h"
+#include "linalg/su2.h"
+#include "linalg/weyl.h"
+#include "pulse/evolve.h"
+#include "sim/statevector.h"
+
+using namespace qpc;
+
+namespace {
+
+void
+BM_MatrixMultiply16(benchmark::State& state)
+{
+    Rng rng(1);
+    const CMatrix a = haarUnitary(16, rng);
+    const CMatrix b = haarUnitary(16, rng);
+    for (auto _ : state) {
+        CMatrix c = a * b;
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+BENCHMARK(BM_MatrixMultiply16);
+
+void
+BM_SlicePropagator16(benchmark::State& state)
+{
+    const DeviceModel device = DeviceModel::gmonLine(4);
+    std::vector<double> amps(device.numControls(), 0.1);
+    const CMatrix h = sliceHamiltonian(device, amps);
+    for (auto _ : state) {
+        CMatrix u = slicePropagator(h, 0.05);
+        benchmark::DoNotOptimize(u.data());
+    }
+}
+BENCHMARK(BM_SlicePropagator16);
+
+void
+BM_EigHermitian16(benchmark::State& state)
+{
+    const DeviceModel device = DeviceModel::gmonLine(4);
+    std::vector<double> amps(device.numControls(), 0.1);
+    const CMatrix h = sliceHamiltonian(device, amps);
+    for (auto _ : state) {
+        EigResult eig = eigHermitian(h);
+        benchmark::DoNotOptimize(eig.values.data());
+    }
+}
+BENCHMARK(BM_EigHermitian16);
+
+void
+BM_WeylCoordinates(benchmark::State& state)
+{
+    Rng rng(2);
+    const CMatrix u = haarUnitary(4, rng);
+    for (auto _ : state) {
+        WeylCoords c = weylCoordinates(u);
+        benchmark::DoNotOptimize(c.c1);
+    }
+}
+BENCHMARK(BM_WeylCoordinates);
+
+void
+BM_StateVectorGate10q(benchmark::State& state)
+{
+    StateVector sv(10);
+    const CMatrix h = hMatrix();
+    int q = 0;
+    for (auto _ : state) {
+        sv.applyMatrix1(h, q);
+        q = (q + 1) % 10;
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+}
+BENCHMARK(BM_StateVectorGate10q);
+
+void
+BM_GrapeIteration2q(benchmark::State& state)
+{
+    const DeviceModel device = DeviceModel::gmonLine(2);
+    const CMatrix target = gateMatrix(GateKind::CX);
+    GrapeOptions options;
+    options.dt = 0.1;
+    for (auto _ : state) {
+        // One-iteration run = one full gradient evaluation + step.
+        GrapeOptions single = options;
+        single.maxIterations = 1;
+        GrapeResult r =
+            runGrapeFixedTime(device, target, 5.0, single);
+        benchmark::DoNotOptimize(r.fidelity);
+    }
+}
+BENCHMARK(BM_GrapeIteration2q);
+
+} // namespace
+
+BENCHMARK_MAIN();

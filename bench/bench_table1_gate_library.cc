@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Regenerates Table 1: the gate library and its pulse durations.
+ *
+ * Columns: the paper's reported duration, the analytic time model's
+ * Hamiltonian-derived optimal-control estimate, and the duration of
+ * the exact (but unoptimized, one-axis-at-a-time) pulse from the
+ * analytic gate library. The model column should track the paper; the
+ * library column shows the slack GRAPE-style overlap removes. Each
+ * library pulse is verified by time evolution before printing.
+ */
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/table.h"
+#include "ir/gate.h"
+#include "linalg/su2.h"
+#include "model/timemodel.h"
+#include "pulse/evolve.h"
+#include "pulse/library.h"
+
+using namespace qpc;
+
+namespace {
+
+const double kPi = 3.14159265358979323846;
+
+} // namespace
+
+int
+main()
+{
+    inform("Table 1: compiler gate set and pulse durations (ns)");
+
+    PulseTimeModel model;
+    DeviceModel dev1 = DeviceModel::gmonLine(1);
+    DeviceModel dev2 = DeviceModel::gmonLine(2);
+    GatePulseLibrary lib1(dev1, 0.01);
+    GatePulseLibrary lib2(dev2, 0.01);
+
+    struct Row
+    {
+        std::string name;
+        double paperNs;
+        double modelNs;
+        PulseSchedule libraryPulse;
+        CMatrix target;
+        const DeviceModel* device;
+    };
+
+    std::vector<Row> rows;
+    rows.push_back({"Rz(pi)", 0.4,
+                    model.singleQubitTimeNs(rzMatrix(kPi)),
+                    lib1.rz(0, kPi), rzMatrix(kPi), &dev1});
+    rows.push_back({"Rx(pi)", 2.5,
+                    model.singleQubitTimeNs(rxMatrix(kPi)),
+                    lib1.rx(0, kPi), rxMatrix(kPi), &dev1});
+    rows.push_back({"H", 1.4, model.singleQubitTimeNs(hMatrix()),
+                    lib1.h(0), hMatrix(), &dev1});
+    rows.push_back({"CX", 3.8,
+                    model.twoQubitTimeNs(gateMatrix(GateKind::CX)),
+                    lib2.cx(0, 1), gateMatrix(GateKind::CX), &dev2});
+    rows.push_back({"SWAP", 7.4,
+                    model.twoQubitTimeNs(gateMatrix(GateKind::SWAP)),
+                    lib2.swapGate(0, 1), gateMatrix(GateKind::SWAP),
+                    &dev2});
+
+    TextTable table("Table 1 — gate pulse durations (ns)");
+    table.addRow({"Gate", "Paper", "Model (optimal)",
+                  "Analytic library", "Library fidelity"});
+    for (const Row& row : rows) {
+        const CMatrix realized =
+            evolveUnitary(*row.device, row.libraryPulse);
+        const double fid = traceFidelity(row.target, realized);
+        fatalIf(fid < 0.999, "library pulse for ", row.name,
+                " failed verification (fidelity ", fid, ")");
+        table.addRow({row.name, fmtNs(row.paperNs),
+                      fmtNs(row.modelNs, 2),
+                      fmtNs(row.libraryPulse.durationNs(), 2),
+                      fmtDouble(fid, 5)});
+    }
+    table.print();
+
+    inform("model times are GRAPE-style (overlapped drives); the "
+           "analytic library realizes gates one axis at a time and "
+           "is verified by simulation before printing.");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared construction helpers for the benchmark binaries.
+ *
+ * Every bench regenerates one table or figure of the paper. The
+ * helpers here build the benchmark circuits the same way the paper
+ * does: construct, optimize (rotation merge + cancellation), map to
+ * nearest-neighbour hardware, and re-optimize. Fixed seeds everywhere
+ * for reproducibility.
+ */
+
+#ifndef QPC_BENCH_BENCHCOMMON_H
+#define QPC_BENCH_BENCHCOMMON_H
+
+#include <string>
+
+#include "common/rng.h"
+#include "ir/circuit.h"
+#include "qaoa/graph.h"
+#include "qaoa/qaoacircuit.h"
+#include "transpile/mapping.h"
+#include "transpile/passes.h"
+#include "vqe/molecule.h"
+#include "vqe/uccsd.h"
+
+namespace qpc::bench {
+
+/** Optimize, map to a topology, and re-optimize a circuit. */
+inline Circuit
+prepareCircuit(Circuit circuit, const Topology& topology)
+{
+    optimizeCircuit(circuit);
+    MappingResult mapped = mapToTopology(circuit, topology);
+    optimizeCircuit(mapped.circuit);
+    return mapped.circuit;
+}
+
+/** Nearest-neighbour topology used for an n-qubit benchmark: the
+ * paper's rectangular grid (2 x ceil(n/2)) for n >= 6, a line below. */
+inline Topology
+benchmarkTopology(int n)
+{
+    if (n >= 6 && n % 2 == 0)
+        return Topology::grid(2, n / 2);
+    return Topology::line(n);
+}
+
+/** Fully prepared VQE benchmark circuit for one molecule. */
+inline Circuit
+vqeBenchmarkCircuit(const MoleculeSpec& spec)
+{
+    return prepareCircuit(buildUccsdAnsatz(spec),
+                          benchmarkTopology(spec.numQubits));
+}
+
+/** The graph of one QAOA benchmark family ("3reg" or "erdos"). */
+inline Graph
+qaoaBenchmarkGraph(const std::string& family, int n, uint64_t seed)
+{
+    Rng rng(seed);
+    if (family == "3reg")
+        return random3Regular(n, rng);
+    return erdosRenyi(n, 0.5, rng);
+}
+
+/** Fully prepared QAOA benchmark circuit. */
+inline Circuit
+qaoaBenchmarkCircuit(const Graph& graph, int p)
+{
+    return prepareCircuit(buildQaoaCircuit(graph, p),
+                          benchmarkTopology(graph.numNodes));
+}
+
+/** Nested random parametrization: same seed yields a shared prefix
+ * across different parameter counts, so sweeps over p vary only the
+ * appended rounds. */
+inline std::vector<double>
+nestedAngles(int count, uint64_t seed)
+{
+    Rng rng(seed);
+    return rng.angles(count);
+}
+
+} // namespace qpc::bench
+
+#endif // QPC_BENCH_BENCHCOMMON_H

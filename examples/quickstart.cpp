@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quickstart: build a variational circuit, compile it under all four
+ * strategies, and read the trade-off the paper is about.
+ *
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "partial/compiler.h"
+#include "qaoa/graph.h"
+#include "qaoa/qaoacircuit.h"
+#include "transpile/passes.h"
+
+using namespace qpc;
+
+int
+main()
+{
+    // 1. A parametrized circuit: QAOA MAXCUT on the 4-node clique at
+    //    depth p = 2 (4 variational parameters), then the standard
+    //    optimization pipeline.
+    const Graph graph = cliqueGraph(4);
+    Circuit circuit = buildQaoaCircuit(graph, 2);
+    optimizeCircuit(circuit);
+    std::printf("circuit: %d qubits, %d ops, %d parameters\n",
+                circuit.numQubits(), circuit.size(),
+                circuit.numParams());
+
+    // 2. One compiler for the symbolic template. Construction runs
+    //    the structural analysis (strict partition, flexible slices).
+    PartialCompiler compiler(circuit);
+    std::printf("strict partition: %d fixed segments, %d param gates\n",
+                compiler.strictPartition().numFixedSegments(),
+                compiler.strictPartition().numParamGates());
+    std::printf("flexible slices: %zu single-parameter slices\n",
+                compiler.flexiblePartition().slices.size());
+
+    // 3. Bind a parameter vector (one variational iteration) and
+    //    compile under every strategy.
+    Rng rng(7);
+    const std::vector<double> theta = rng.angles(circuit.numParams());
+
+    TextTable table("compilation strategies");
+    table.addRow({"Strategy", "Pulse (ns)", "Runtime latency (s)",
+                  "One-off precompute (s)"});
+    for (const CompileReport& report : compiler.compileAll(theta)) {
+        table.addRow({strategyName(report.strategy),
+                      fmtNs(report.pulseNs),
+                      fmtDouble(report.runtimeSeconds, 6),
+                      fmtDouble(report.precomputeSeconds, 1)});
+    }
+    table.print();
+
+    std::printf(
+        "\nreading the table: gate-based compiles instantly but its\n"
+        "pulse is longest; full GRAPE has the shortest pulse but pays\n"
+        "its latency on *every* variational iteration. The paper's\n"
+        "partial strategies give GRAPE-like pulses at lookup-like\n"
+        "latency.\n");
+    return 0;
+}

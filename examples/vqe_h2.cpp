@@ -1,0 +1,65 @@
+/**
+ * @file
+ * End-to-end VQE on molecular hydrogen.
+ *
+ * Runs the full hybrid loop of Figure 1 on the published 2-qubit H2
+ * Hamiltonian: the UCCSD ansatz prepares trial states on the
+ * state-vector simulator, Nelder-Mead proposes the next amplitudes,
+ * and the run converges to the exact ground energy (-1.857275 Ha).
+ * Afterwards the converged circuit is compiled under all four
+ * strategies, quantifying what pulse-level compilation buys on the
+ * smallest paper benchmark.
+ *
+ *   ./build/examples/vqe_h2
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "partial/compiler.h"
+#include "vqe/hamiltonian.h"
+#include "vqe/uccsd.h"
+#include "vqe/vqedriver.h"
+
+using namespace qpc;
+
+int
+main()
+{
+    const MoleculeSpec& spec = moleculeByName("H2");
+    const Circuit ansatz = buildOptimizedUccsd(spec);
+    const PauliHamiltonian hamiltonian = h2Hamiltonian();
+
+    std::printf("H2 / STO-3G, %d qubits, %d UCCSD parameters, %d "
+                "gates after optimization\n",
+                spec.numQubits, spec.numParams, ansatz.size());
+
+    VqeRunOptions options;
+    options.optimizer.maxIterations = 800;
+    const VqeResult result = runVqe(ansatz, hamiltonian, options);
+
+    std::printf("VQE energy:     %.6f Ha\n", result.energy);
+    std::printf("exact ground:   %.6f Ha\n",
+                result.exactGroundEnergy);
+    std::printf("error:          %.2e Ha after %d circuit "
+                "evaluations\n",
+                result.energy - result.exactGroundEnergy,
+                result.iterations);
+
+    // Each of those evaluations re-binds the parameters: this is the
+    // compilation latency the paper's strategies attack.
+    PartialCompiler compiler(ansatz);
+    TextTable table("compiling the converged H2 circuit");
+    table.addRow({"Strategy", "Pulse (ns)",
+                  "Latency across the whole run (s)"});
+    for (const CompileReport& r :
+         compiler.compileAll(result.bestParams)) {
+        table.addRow({strategyName(r.strategy), fmtNs(r.pulseNs),
+                      fmtDouble(r.precomputeSeconds +
+                                    r.runtimeSeconds *
+                                        result.iterations,
+                                2)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,149 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+CliParser::CliParser(std::string program_name)
+    : program_(std::move(program_name))
+{
+}
+
+void
+CliParser::addInt(const std::string& name, int def, const std::string& help)
+{
+    options_[name] = {Kind::Int, std::to_string(def), std::to_string(def),
+                      help};
+    order_.push_back(name);
+}
+
+void
+CliParser::addDouble(const std::string& name, double def,
+                     const std::string& help)
+{
+    options_[name] = {Kind::Double, std::to_string(def), std::to_string(def),
+                      help};
+    order_.push_back(name);
+}
+
+void
+CliParser::addString(const std::string& name, const std::string& def,
+                     const std::string& help)
+{
+    options_[name] = {Kind::String, def, def, help};
+    order_.push_back(name);
+}
+
+void
+CliParser::addFlag(const std::string& name, const std::string& help)
+{
+    options_[name] = {Kind::Flag, "0", "0", help};
+    order_.push_back(name);
+}
+
+void
+CliParser::usage() const
+{
+    std::fprintf(stderr, "usage: %s [--option=value ...]\n", program_.c_str());
+    for (const auto& name : order_) {
+        const Option& opt = options_.at(name);
+        if (opt.kind == Kind::Flag) {
+            std::fprintf(stderr, "  --%-24s %s\n", name.c_str(),
+                         opt.help.c_str());
+        } else {
+            std::string label = name + " (default " + opt.def + ")";
+            std::fprintf(stderr, "  --%-24s %s\n", label.c_str(),
+                         opt.help.c_str());
+        }
+    }
+}
+
+void
+CliParser::parse(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0) {
+            std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+            usage();
+            std::exit(1);
+        }
+        std::string body = arg.substr(2);
+        std::string name = body;
+        std::string value;
+        bool have_value = false;
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            name = body.substr(0, eq);
+            value = body.substr(eq + 1);
+            have_value = true;
+        }
+        auto it = options_.find(name);
+        if (it == options_.end()) {
+            std::fprintf(stderr, "unknown option: --%s\n", name.c_str());
+            usage();
+            std::exit(1);
+        }
+        Option& opt = it->second;
+        if (opt.kind == Kind::Flag) {
+            if (have_value) {
+                std::fprintf(stderr, "flag --%s takes no value\n",
+                             name.c_str());
+                std::exit(1);
+            }
+            opt.value = "1";
+            continue;
+        }
+        if (!have_value) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "option --%s needs a value\n",
+                             name.c_str());
+                std::exit(1);
+            }
+            value = argv[++i];
+        }
+        opt.value = value;
+    }
+}
+
+const CliParser::Option&
+CliParser::find(const std::string& name, Kind kind) const
+{
+    auto it = options_.find(name);
+    panicIf(it == options_.end(), "undeclared cli option: ", name);
+    panicIf(it->second.kind != kind, "cli option type mismatch: ", name);
+    return it->second;
+}
+
+int
+CliParser::getInt(const std::string& name) const
+{
+    return std::atoi(find(name, Kind::Int).value.c_str());
+}
+
+double
+CliParser::getDouble(const std::string& name) const
+{
+    return std::atof(find(name, Kind::Double).value.c_str());
+}
+
+const std::string&
+CliParser::getString(const std::string& name) const
+{
+    return find(name, Kind::String).value;
+}
+
+bool
+CliParser::getFlag(const std::string& name) const
+{
+    return find(name, Kind::Flag).value == "1";
+}
+
+} // namespace qpc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal command line flag parser used by benches and examples.
+ *
+ * Supports flags of the form --name=value, --name value, and boolean
+ * --name. Unknown flags are fatal errors so typos do not silently run
+ * the wrong experiment configuration.
+ */
+
+#ifndef QPC_COMMON_CLI_H
+#define QPC_COMMON_CLI_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qpc {
+
+/**
+ * Declarative command line parser.
+ *
+ * Usage:
+ * @code
+ *   CliParser cli("bench_fig2");
+ *   cli.addInt("pmax", 6, "largest QAOA p to sweep");
+ *   cli.addFlag("full", "run the expensive full-fidelity configuration");
+ *   cli.parse(argc, argv);
+ *   int pmax = cli.getInt("pmax");
+ * @endcode
+ */
+class CliParser
+{
+  public:
+    explicit CliParser(std::string program_name);
+
+    /** Declare an integer option with a default value. */
+    void addInt(const std::string& name, int def, const std::string& help);
+    /** Declare a floating point option with a default value. */
+    void addDouble(const std::string& name, double def,
+                   const std::string& help);
+    /** Declare a string option with a default value. */
+    void addString(const std::string& name, const std::string& def,
+                   const std::string& help);
+    /** Declare a boolean option, default false. */
+    void addFlag(const std::string& name, const std::string& help);
+
+    /**
+     * Parse argv. On --help, prints usage and exits 0. On unknown or
+     * malformed flags, prints usage and exits 1.
+     */
+    void parse(int argc, char** argv);
+
+    int getInt(const std::string& name) const;
+    double getDouble(const std::string& name) const;
+    const std::string& getString(const std::string& name) const;
+    bool getFlag(const std::string& name) const;
+
+  private:
+    enum class Kind { Int, Double, String, Flag };
+
+    struct Option
+    {
+        Kind kind;
+        std::string value;      // current value, textual
+        std::string def;        // default, textual (for --help)
+        std::string help;
+    };
+
+    const Option& find(const std::string& name, Kind kind) const;
+    void usage() const;
+
+    std::string program_;
+    std::map<std::string, Option> options_;
+    std::vector<std::string> order_;
+};
+
+} // namespace qpc
+
+#endif // QPC_COMMON_CLI_H

@@ -1,0 +1,40 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qpc {
+namespace detail {
+
+void
+informStr(const std::string& msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    std::fflush(stdout);
+}
+
+void
+warnStr(const std::string& msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    std::fflush(stderr);
+}
+
+void
+fatalStr(const std::string& msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+panicStr(const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace qpc

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Status / error reporting helpers in the gem5 spirit.
+ *
+ * Four severity levels are provided:
+ *  - inform():  normal operating message, no connotation of a problem.
+ *  - warn():    something may be off, but execution continues.
+ *  - fatal():   the run cannot continue because of a *user* error
+ *               (bad configuration, invalid arguments); exits with code 1.
+ *  - panic():   an internal invariant was violated (a library bug);
+ *               aborts so a core dump / debugger can take over.
+ */
+
+#ifndef QPC_COMMON_LOGGING_H
+#define QPC_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace qpc {
+
+namespace detail {
+
+/** Concatenate a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+/** Print "info: <msg>" on stdout. */
+void informStr(const std::string& msg);
+/** Print "warn: <msg>" on stderr. */
+void warnStr(const std::string& msg);
+/** Print "fatal: <msg>" on stderr and exit(1). */
+[[noreturn]] void fatalStr(const std::string& msg);
+/** Print "panic: <msg>" on stderr and abort(). */
+[[noreturn]] void panicStr(const std::string& msg);
+
+} // namespace detail
+
+/** Report a normal status message to the user. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::informStr(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::warnStr(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Terminate because of a user error (bad input / configuration). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    detail::fatalStr(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Terminate because an internal invariant was violated. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    detail::panicStr(detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless a condition holds. Use for internal invariants. */
+template <typename... Args>
+void
+panicIf(bool condition, Args&&... args)
+{
+    if (condition)
+        detail::panicStr(detail::concat(std::forward<Args>(args)...));
+}
+
+/** fatal() if a condition holds. Use for validating user input. */
+template <typename... Args>
+void
+fatalIf(bool condition, Args&&... args)
+{
+    if (condition)
+        detail::fatalStr(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace qpc
+
+#endif // QPC_COMMON_LOGGING_H

@@ -1,0 +1,50 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace qpc {
+
+double
+Rng::uniform(double lo, double hi)
+{
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::normal()
+{
+    std::normal_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+}
+
+int
+Rng::randint(int lo, int hi)
+{
+    std::uniform_int_distribution<int> dist(lo, hi);
+    return dist(engine_);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+double
+Rng::angle()
+{
+    return uniform(-M_PI, M_PI);
+}
+
+std::vector<double>
+Rng::angles(int n)
+{
+    std::vector<double> out(n);
+    for (auto& a : out)
+        a = angle();
+    return out;
+}
+
+} // namespace qpc

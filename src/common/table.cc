@@ -1,0 +1,82 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace qpc {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::str() const
+{
+    std::ostringstream out;
+    if (!title_.empty())
+        out << title_ << "\n";
+    if (rows_.empty())
+        return out.str();
+
+    size_t ncols = 0;
+    for (const auto& row : rows_)
+        ncols = std::max(ncols, row.size());
+
+    std::vector<size_t> width(ncols, 0);
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < ncols; ++c) {
+            std::string cell = c < row.size() ? row[c] : "";
+            out << cell << std::string(width[c] - cell.size(), ' ');
+            if (c + 1 < ncols)
+                out << "  ";
+        }
+        out << "\n";
+    };
+
+    emit(rows_[0]);
+    size_t total = 0;
+    for (size_t c = 0; c < ncols; ++c)
+        total += width[c] + (c + 1 < ncols ? 2 : 0);
+    out << std::string(total, '-') << "\n";
+    for (size_t r = 1; r < rows_.size(); ++r)
+        emit(rows_[r]);
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(str().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+fmtDouble(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+fmtNs(double ns, int decimals)
+{
+    return fmtDouble(ns, decimals);
+}
+
+std::string
+fmtRatio(double ratio, int decimals)
+{
+    return fmtDouble(ratio, decimals) + "x";
+}
+
+} // namespace qpc

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Aligned plain-text table printer.
+ *
+ * Every benchmark binary regenerates one of the paper's tables or
+ * figures as text; this helper keeps their output uniform and legible.
+ */
+
+#ifndef QPC_COMMON_TABLE_H
+#define QPC_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace qpc {
+
+/**
+ * Collects rows of cells and prints them with aligned columns.
+ *
+ * The first row added is treated as the header and separated from the
+ * body by a rule when printed.
+ */
+class TextTable
+{
+  public:
+    /** Optional caption printed above the table. */
+    explicit TextTable(std::string title = "");
+
+    /** Append a row of preformatted cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to a string. */
+    std::string str() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimals. */
+std::string fmtDouble(double value, int decimals = 1);
+
+/** Format a duration in nanoseconds, e.g. "5308.3". */
+std::string fmtNs(double ns, int decimals = 1);
+
+/** Format a ratio, e.g. "2.15x". */
+std::string fmtRatio(double ratio, int decimals = 2);
+
+} // namespace qpc
+
+#endif // QPC_COMMON_TABLE_H

@@ -1,0 +1,59 @@
+#include "grape/hyper.h"
+
+#include "common/logging.h"
+
+namespace qpc {
+
+HyperTuneResult
+tuneHyperParams(const DeviceModel& device, const CMatrix& target,
+                double total_time_ns, const HyperTuneOptions& options)
+{
+    HyperTuneResult result;
+    fatalIf(options.learningRates.empty() || options.decays.empty(),
+            "hyperparameter grid is empty");
+
+    bool have_best = false;
+    HyperTrial best_trial;
+
+    for (double lr : options.learningRates) {
+        for (double decay : options.decays) {
+            GrapeOptions config = options.grape;
+            config.hyper = AdamHyperParams{lr, decay};
+            config.maxIterations = options.trialIterations;
+
+            const GrapeResult run = runGrapeFixedTime(
+                device, target, total_time_ns, config);
+
+            HyperTrial trial;
+            trial.hyper = config.hyper;
+            trial.finalError = 1.0 - run.fidelity;
+            trial.iterations = run.iterations;
+            trial.converged = run.converged;
+            trial.wallSeconds = run.wallSeconds;
+            result.totalWallSeconds += run.wallSeconds;
+            result.trials.push_back(trial);
+
+            // Converged trials beat unconverged; among converged, fewer
+            // iterations win; among unconverged, lower error wins.
+            bool better;
+            if (!have_best) {
+                better = true;
+            } else if (trial.converged != best_trial.converged) {
+                better = trial.converged;
+            } else if (trial.converged) {
+                better = trial.iterations < best_trial.iterations;
+            } else {
+                better = trial.finalError < best_trial.finalError;
+            }
+            if (better) {
+                best_trial = trial;
+                have_best = true;
+            }
+        }
+    }
+
+    result.best = best_trial.hyper;
+    return result;
+}
+
+} // namespace qpc

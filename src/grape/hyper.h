@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Hyperparameter pre-tuning for flexible partial compilation
+ * (Section 7.2).
+ *
+ * GRAPE's ADAM optimizer exposes a learning rate and a decay rate.
+ * Flexible partial compilation pre-computes, for every single-angle
+ * subcircuit, the (learning rate, decay) pair that converges fastest;
+ * the same pair stays near-optimal across different bound values of
+ * the subcircuit's angle (the paper's Figure 4 robustness
+ * observation), so the tuning cost is paid once while the latency
+ * saving recurs every variational iteration.
+ */
+
+#ifndef QPC_GRAPE_HYPER_H
+#define QPC_GRAPE_HYPER_H
+
+#include <vector>
+
+#include "grape/grape.h"
+
+namespace qpc {
+
+/** One evaluated hyperparameter configuration. */
+struct HyperTrial
+{
+    AdamHyperParams hyper;
+    double finalError = 1.0;   ///< 1 - fidelity after the budget.
+    int iterations = 0;        ///< Iterations used (to target or cap).
+    bool converged = false;
+    double wallSeconds = 0.0;
+};
+
+/** Search-space and budget for the tuner. */
+struct HyperTuneOptions
+{
+    GrapeOptions grape;         ///< Base configuration to perturb.
+    std::vector<double> learningRates{0.003, 0.01, 0.03, 0.1, 0.3};
+    std::vector<double> decays{0.999, 0.99};
+    /** Iteration budget per trial (smaller than production runs). */
+    int trialIterations = 120;
+};
+
+/** Output of a tuning sweep. */
+struct HyperTuneResult
+{
+    AdamHyperParams best;       ///< Fastest-converging configuration.
+    std::vector<HyperTrial> trials;   ///< Full sweep (for Figure 4).
+    double totalWallSeconds = 0.0;    ///< Pre-compute cost.
+};
+
+/**
+ * Grid-search ADAM hyperparameters for a target unitary at a fixed
+ * pulse duration. Trials that converge are ranked by iteration count;
+ * otherwise by final error.
+ */
+HyperTuneResult tuneHyperParams(const DeviceModel& device,
+                                const CMatrix& target,
+                                double total_time_ns,
+                                const HyperTuneOptions& options = {});
+
+} // namespace qpc
+
+#endif // QPC_GRAPE_HYPER_H

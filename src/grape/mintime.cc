@@ -1,0 +1,85 @@
+#include "grape/mintime.h"
+
+#include "common/logging.h"
+
+namespace qpc {
+
+MinTimeResult
+grapeMinimalTime(const DeviceModel& device, const CMatrix& target,
+                 const MinTimeOptions& options)
+{
+    MinTimeResult result;
+
+    auto probe = [&](double time_ns) {
+        GrapeResult run =
+            runGrapeFixedTime(device, target, time_ns, options.grape);
+        ++result.probes;
+        result.totalWallSeconds += run.wallSeconds;
+        return run;
+    };
+
+    // Establish a converging upper bound, doubling when needed.
+    double hi = options.upperBoundNs;
+    GrapeResult hi_run = probe(hi);
+    int expansions = 0;
+    while (!hi_run.converged && expansions < options.maxExpansions) {
+        hi *= 2.0;
+        ++expansions;
+        hi_run = probe(hi);
+    }
+    if (!hi_run.converged) {
+        warn("GRAPE did not converge even at ", hi,
+             " ns; reporting failure");
+        result.best = hi_run;
+        return result;
+    }
+
+    result.found = true;
+    result.minTimeNs = hi;
+    result.best = hi_run;
+
+    double lo = options.lowerBoundNs;
+    while (hi - lo > options.precisionNs) {
+        const double mid = 0.5 * (lo + hi);
+        GrapeResult mid_run = probe(mid);
+        if (mid_run.converged) {
+            hi = mid;
+            result.minTimeNs = mid;
+            result.best = mid_run;
+        } else {
+            lo = mid;
+        }
+    }
+    return result;
+}
+
+MinTimeResult
+grapeMinimalTimeScan(const DeviceModel& device, const CMatrix& target,
+                     const MinTimeOptions& options, double growth)
+{
+    fatalIf(growth <= 1.0, "scan growth factor must exceed 1");
+    MinTimeResult result;
+
+    double candidate = options.lowerBoundNs;
+    while (candidate <= options.upperBoundNs * (1.0 + 1e-9)) {
+        GrapeResult run = runGrapeFixedTime(device, target, candidate,
+                                            options.grape);
+        ++result.probes;
+        result.totalWallSeconds += run.wallSeconds;
+        if (run.converged) {
+            result.found = true;
+            result.minTimeNs = candidate;
+            result.best = std::move(run);
+            return result;
+        }
+        // Keep the closest miss for failure diagnostics.
+        if (run.fidelity > result.best.fidelity)
+            result.best = std::move(run);
+        candidate *= growth;
+    }
+    warn("GRAPE scan found no converging duration up to ",
+         options.upperBoundNs, " ns");
+    return result;
+}
+
+} // namespace qpc

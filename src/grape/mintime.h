@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Binary search for the minimal pulse time (Section 5.3).
+ *
+ * GRAPE optimizes at a fixed total_time; the paper finds the shortest
+ * achievable pulse by binary searching total_time down to a precision
+ * of 0.3 ns, re-running GRAPE at each candidate duration. Decoherence
+ * error is exponential in pulse time, so paying extra compilation
+ * iterations for a shorter pulse is always worthwhile.
+ */
+
+#ifndef QPC_GRAPE_MINTIME_H
+#define QPC_GRAPE_MINTIME_H
+
+#include "grape/grape.h"
+
+namespace qpc {
+
+/** Configuration of the minimal-time search. */
+struct MinTimeOptions
+{
+    GrapeOptions grape;        ///< Per-probe GRAPE configuration.
+    double precisionNs = 0.3;  ///< Paper's binary-search resolution.
+    double lowerBoundNs = 0.5; ///< Smallest candidate duration.
+    /** Upper bound; typically the gate-based duration of the block. */
+    double upperBoundNs = 50.0;
+    /** Doublings allowed when the upper bound fails to converge. */
+    int maxExpansions = 3;
+};
+
+/** Outcome of a minimal-time search. */
+struct MinTimeResult
+{
+    bool found = false;        ///< Some duration converged.
+    double minTimeNs = 0.0;    ///< Shortest converging duration.
+    GrapeResult best;          ///< GRAPE result at minTimeNs.
+    int probes = 0;            ///< GRAPE runs performed.
+    double totalWallSeconds = 0.0;  ///< Total compilation latency.
+};
+
+/**
+ * Find the shortest pulse duration at which GRAPE reaches the target
+ * fidelity for the given unitary.
+ */
+MinTimeResult grapeMinimalTime(const DeviceModel& device,
+                               const CMatrix& target,
+                               const MinTimeOptions& options = {});
+
+/**
+ * Ascending-scan variant: probe geometrically spaced durations from
+ * lowerBoundNs upward and return the first that converges. Binary
+ * search assumes convergence is monotone in duration, which fails on
+ * leaky (qutrit) devices where long pulses accumulate leakage; the
+ * scan only ever needs convergence at the answer itself.
+ *
+ * @param growth Geometric spacing of candidate durations (> 1).
+ */
+MinTimeResult grapeMinimalTimeScan(const DeviceModel& device,
+                                   const CMatrix& target,
+                                   const MinTimeOptions& options = {},
+                                   double growth = 1.3);
+
+} // namespace qpc
+
+#endif // QPC_GRAPE_MINTIME_H

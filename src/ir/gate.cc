@@ -1,0 +1,153 @@
+#include "ir/gate.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "linalg/su2.h"
+
+namespace qpc {
+
+int
+gateArity(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::CX:
+      case GateKind::CZ:
+      case GateKind::SWAP:
+      case GateKind::ISwap:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+bool
+gateIsRotation(GateKind kind)
+{
+    return kind == GateKind::Rx || kind == GateKind::Ry ||
+           kind == GateKind::Rz;
+}
+
+bool
+sameRotationAxis(GateKind a, GateKind b)
+{
+    return gateIsRotation(a) && a == b;
+}
+
+bool
+gateIsSelfInverse(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::H:
+      case GateKind::CX:
+      case GateKind::CZ:
+      case GateKind::SWAP:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+gateName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::I: return "id";
+      case GateKind::X: return "x";
+      case GateKind::Y: return "y";
+      case GateKind::Z: return "z";
+      case GateKind::H: return "h";
+      case GateKind::S: return "s";
+      case GateKind::Sdg: return "sdg";
+      case GateKind::T: return "t";
+      case GateKind::Tdg: return "tdg";
+      case GateKind::Rx: return "rx";
+      case GateKind::Ry: return "ry";
+      case GateKind::Rz: return "rz";
+      case GateKind::CX: return "cx";
+      case GateKind::CZ: return "cz";
+      case GateKind::SWAP: return "swap";
+      case GateKind::ISwap: return "iswap";
+    }
+    panic("unknown GateKind");
+}
+
+namespace {
+
+CMatrix
+phaseGate(double phi)
+{
+    CMatrix m(2, 2);
+    m(0, 0) = 1.0;
+    m(1, 1) = std::polar(1.0, phi);
+    return m;
+}
+
+} // namespace
+
+CMatrix
+gateMatrix(GateKind kind, double angle)
+{
+    const double pi = 3.14159265358979323846;
+    switch (kind) {
+      case GateKind::I:
+        return CMatrix::identity(2);
+      case GateKind::X:
+        return pauliX();
+      case GateKind::Y:
+        return pauliY();
+      case GateKind::Z:
+        return pauliZ();
+      case GateKind::H:
+        return hMatrix();
+      case GateKind::S:
+        return phaseGate(pi / 2);
+      case GateKind::Sdg:
+        return phaseGate(-pi / 2);
+      case GateKind::T:
+        return phaseGate(pi / 4);
+      case GateKind::Tdg:
+        return phaseGate(-pi / 4);
+      case GateKind::Rx:
+        return rxMatrix(angle);
+      case GateKind::Ry:
+        return ryMatrix(angle);
+      case GateKind::Rz:
+        return rzMatrix(angle);
+      case GateKind::CX: {
+        CMatrix m(4, 4);
+        m(0, 0) = 1;
+        m(1, 1) = 1;
+        m(2, 3) = 1;
+        m(3, 2) = 1;
+        return m;
+      }
+      case GateKind::CZ: {
+        CMatrix m = CMatrix::identity(4);
+        m(3, 3) = -1;
+        return m;
+      }
+      case GateKind::SWAP: {
+        CMatrix m(4, 4);
+        m(0, 0) = 1;
+        m(1, 2) = 1;
+        m(2, 1) = 1;
+        m(3, 3) = 1;
+        return m;
+      }
+      case GateKind::ISwap: {
+        CMatrix m(4, 4);
+        m(0, 0) = 1;
+        m(1, 2) = kImag;
+        m(2, 1) = kImag;
+        m(3, 3) = 1;
+        return m;
+      }
+    }
+    panic("unknown GateKind");
+}
+
+} // namespace qpc

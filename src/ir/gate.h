@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Gate vocabulary of the compiler.
+ *
+ * The compilation basis follows the paper: {Rz, Rx, H, CX, SWAP} with
+ * pulse durations from Table 1, plus the standard fixed gates needed to
+ * express UCCSD and QAOA constructions before optimization (Pauli
+ * gates, phase gates S/T, CZ, iSWAP for tests of ISA alignment).
+ */
+
+#ifndef QPC_IR_GATE_H
+#define QPC_IR_GATE_H
+
+#include <string>
+
+#include "linalg/matrix.h"
+
+namespace qpc {
+
+/** Every gate kind the IR can carry. */
+enum class GateKind {
+    I,      ///< 1q identity (scheduling placeholder).
+    X,      ///< Pauli X (= Rx(pi) up to phase).
+    Y,      ///< Pauli Y.
+    Z,      ///< Pauli Z (= Rz(pi) up to phase).
+    H,      ///< Hadamard.
+    S,      ///< sqrt(Z).
+    Sdg,    ///< S dagger.
+    T,      ///< fourth root of Z.
+    Tdg,    ///< T dagger.
+    Rx,     ///< exp(-i theta X / 2); angle-carrying.
+    Ry,     ///< exp(-i theta Y / 2); angle-carrying.
+    Rz,     ///< exp(-i theta Z / 2); angle-carrying.
+    CX,     ///< controlled-NOT.
+    CZ,     ///< controlled-Z.
+    SWAP,   ///< qubit exchange.
+    ISwap,  ///< exchange with i phase on swapped amplitudes.
+};
+
+/** Number of qubits the gate acts on (1 or 2). */
+int gateArity(GateKind kind);
+
+/** True for the angle-carrying rotations Rx / Ry / Rz. */
+bool gateIsRotation(GateKind kind);
+
+/** Rotation axis merge partner: the kind itself for Rx/Ry/Rz. */
+bool sameRotationAxis(GateKind a, GateKind b);
+
+/** True when the gate is its own inverse (X, Y, Z, H, CX, CZ, SWAP). */
+bool gateIsSelfInverse(GateKind kind);
+
+/** Lower-case mnemonic, e.g. "cx". */
+std::string gateName(GateKind kind);
+
+/**
+ * Unitary matrix of the gate (2x2 or 4x4). The angle argument is only
+ * consulted for Rx / Ry / Rz. Two-qubit matrices use the convention
+ * q0 = high-order bit (first tensor factor), q1 = low-order bit.
+ */
+CMatrix gateMatrix(GateKind kind, double angle = 0.0);
+
+} // namespace qpc
+
+#endif // QPC_IR_GATE_H

@@ -1,0 +1,257 @@
+#include "linalg/eig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+namespace {
+
+/** Sum of |a_pq|^2 over the strict upper triangle. */
+double
+offDiagonalMass(const CMatrix& a)
+{
+    double sum = 0.0;
+    for (int p = 0; p < a.rows(); ++p)
+        for (int q = p + 1; q < a.cols(); ++q)
+            sum += std::norm(a(p, q));
+    return sum;
+}
+
+/**
+ * One cyclic Jacobi sweep over the strict upper triangle of a Hermitian
+ * matrix. Each rotation G = diag(1, e^{-i phi}) * [[c, s], [-s, c]]
+ * (embedded at rows/cols p, q) zeroes a(p, q); a <- G^dagger a G and
+ * v <- v G.
+ */
+void
+jacobiSweep(CMatrix& a, CMatrix& v, double tiny)
+{
+    const int n = a.rows();
+    for (int p = 0; p < n; ++p) {
+        for (int q = p + 1; q < n; ++q) {
+            const Complex beta = a(p, q);
+            const double abeta = std::abs(beta);
+            if (abeta <= tiny)
+                continue;
+
+            const double alpha = a(p, p).real();
+            const double gamma = a(q, q).real();
+            const double phi = std::arg(beta);
+            const double tau = (gamma - alpha) / (2.0 * abeta);
+            double t;
+            if (tau >= 0.0)
+                t = 1.0 / (tau + std::sqrt(1.0 + tau * tau));
+            else
+                t = -1.0 / (-tau + std::sqrt(1.0 + tau * tau));
+            const double c = 1.0 / std::sqrt(1.0 + t * t);
+            const double s = t * c;
+            const Complex eip = std::polar(1.0, phi);
+            const Complex eim = std::conj(eip);
+
+            // Column update: a <- a G.
+            for (int i = 0; i < n; ++i) {
+                const Complex aip = a(i, p);
+                const Complex aiq = a(i, q);
+                a(i, p) = c * aip - s * eim * aiq;
+                a(i, q) = s * aip + c * eim * aiq;
+            }
+            // Row update: a <- G^dagger a.
+            for (int j = 0; j < n; ++j) {
+                const Complex apj = a(p, j);
+                const Complex aqj = a(q, j);
+                a(p, j) = c * apj - s * eip * aqj;
+                a(q, j) = s * apj + c * eip * aqj;
+            }
+            // Accumulate eigenvectors: v <- v G.
+            for (int i = 0; i < n; ++i) {
+                const Complex vip = v(i, p);
+                const Complex viq = v(i, q);
+                v(i, p) = c * vip - s * eim * viq;
+                v(i, q) = s * vip + c * eim * viq;
+            }
+        }
+    }
+}
+
+} // namespace
+
+EigResult
+eigHermitian(const CMatrix& input, double tol)
+{
+    panicIf(input.rows() != input.cols(), "eigHermitian needs square input");
+    panicIf(!input.isHermitian(1e-9),
+            "eigHermitian input is not Hermitian (max asym ",
+            input.maxAbsDiff(input.dagger()), ")");
+
+    const int n = input.rows();
+    CMatrix a = input;
+    // Symmetrize to kill representation-level asymmetry.
+    CMatrix ad = input.dagger();
+    a += ad;
+    a *= 0.5;
+
+    CMatrix v = CMatrix::identity(n);
+    const double scale = std::max(a.frobeniusNorm(), 1e-300);
+    const double target = tol * tol * scale * scale;
+    const double tiny = 1e-300;
+
+    const int max_sweeps = 100;
+    int sweep = 0;
+    while (offDiagonalMass(a) > target && sweep < max_sweeps) {
+        jacobiSweep(a, v, tiny);
+        ++sweep;
+    }
+    panicIf(sweep == max_sweeps, "Jacobi eigensolver failed to converge");
+
+    EigResult result;
+    result.values.resize(n);
+    for (int i = 0; i < n; ++i)
+        result.values[i] = a(i, i).real();
+
+    // Sort ascending, permuting eigenvector columns to match.
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int x, int y) {
+        return result.values[x] < result.values[y];
+    });
+
+    EigResult sorted;
+    sorted.values.resize(n);
+    sorted.vectors = CMatrix(n, n);
+    for (int col = 0; col < n; ++col) {
+        sorted.values[col] = result.values[order[col]];
+        for (int row = 0; row < n; ++row)
+            sorted.vectors(row, col) = v(row, order[col]);
+    }
+    return sorted;
+}
+
+namespace {
+
+/** Max |entry| of the strict off-diagonal of q^T m q. */
+double
+rotatedOffDiagonal(const CMatrix& q, const CMatrix& m)
+{
+    CMatrix r = q.transpose() * m * q;
+    double worst = 0.0;
+    for (int i = 0; i < r.rows(); ++i)
+        for (int j = 0; j < r.cols(); ++j)
+            if (i != j)
+                worst = std::max(worst, std::abs(r(i, j)));
+    return worst;
+}
+
+} // namespace
+
+void
+simultaneousDiagonalize(const CMatrix& p, const CMatrix& s, CMatrix& q,
+                        std::vector<double>& pd, std::vector<double>& sd)
+{
+    const int n = p.rows();
+    panicIf(p.cols() != n || s.rows() != n || s.cols() != n,
+            "simultaneousDiagonalize shape mismatch");
+
+    // Weights chosen irrational so structured spectra rarely collide;
+    // several fallbacks cover adversarial alignments.
+    const double weights[] = {0.7548776662466927, 1.3247179572447460,
+                              0.3819660112501051, 2.6180339887498949,
+                              0.0, 1.0};
+
+    double best_residual = 1e300;
+    CMatrix best_q;
+
+    for (double w : weights) {
+        CMatrix c = p + s * Complex{w, 0.0};
+        EigResult eig = eigHermitian(c);
+
+        // Strip any residual phases so q is a real matrix. Eigenvectors
+        // of a real symmetric matrix computed by our Jacobi stay real,
+        // but normalize defensively.
+        CMatrix qr(n, n);
+        for (int col = 0; col < n; ++col) {
+            // Find largest-magnitude entry to define the phase.
+            int arg_max = 0;
+            double mag = 0.0;
+            for (int row = 0; row < n; ++row) {
+                if (std::abs(eig.vectors(row, col)) > mag) {
+                    mag = std::abs(eig.vectors(row, col));
+                    arg_max = row;
+                }
+            }
+            Complex phase =
+                eig.vectors(arg_max, col) / std::abs(eig.vectors(arg_max, col));
+            for (int row = 0; row < n; ++row)
+                qr(row, col) = (eig.vectors(row, col) / phase).real();
+        }
+
+        // Within degenerate clusters of c's spectrum, the Jacobi basis is
+        // arbitrary; re-diagonalize p restricted to each cluster (s then
+        // follows automatically because s = (c - p)/w on that subspace).
+        const double cluster_tol =
+            1e-8 * std::max(1.0, c.frobeniusNorm());
+        int start = 0;
+        while (start < n) {
+            int end = start + 1;
+            while (end < n &&
+                   std::abs(eig.values[end] - eig.values[end - 1]) <
+                       cluster_tol) {
+                ++end;
+            }
+            const int k = end - start;
+            if (k > 1) {
+                // p restricted to the cluster columns.
+                CMatrix sub(k, k);
+                for (int i = 0; i < k; ++i)
+                    for (int j = 0; j < k; ++j) {
+                        Complex acc = 0.0;
+                        for (int r = 0; r < n; ++r)
+                            for (int t = 0; t < n; ++t)
+                                acc += qr(r, start + i) * p(r, t) *
+                                       qr(t, start + j);
+                        sub(i, j) = acc;
+                    }
+                EigResult sub_eig = eigHermitian(sub);
+                CMatrix rotated(n, k);
+                for (int r = 0; r < n; ++r)
+                    for (int j = 0; j < k; ++j) {
+                        Complex acc = 0.0;
+                        for (int i = 0; i < k; ++i)
+                            acc += qr(r, start + i) * sub_eig.vectors(i, j);
+                        rotated(r, j) = acc.real();
+                    }
+                for (int r = 0; r < n; ++r)
+                    for (int j = 0; j < k; ++j)
+                        qr(r, start + j) = rotated(r, j);
+            }
+            start = end;
+        }
+
+        double residual = std::max(rotatedOffDiagonal(qr, p),
+                                   rotatedOffDiagonal(qr, s));
+        if (residual < best_residual) {
+            best_residual = residual;
+            best_q = qr;
+        }
+        if (best_residual < 1e-9)
+            break;
+    }
+
+    panicIf(best_residual > 1e-6,
+            "simultaneousDiagonalize failed; residual ", best_residual);
+
+    q = best_q;
+    CMatrix pr = q.transpose() * p * q;
+    CMatrix sr = q.transpose() * s * q;
+    pd.resize(n);
+    sd.resize(n);
+    for (int i = 0; i < n; ++i) {
+        pd[i] = pr(i, i).real();
+        sd[i] = sr(i, i).real();
+    }
+}
+
+} // namespace qpc

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Complex Hermitian eigensolver (cyclic Jacobi).
+ *
+ * GRAPE exponentiates a Hermitian control Hamiltonian at every time
+ * step; at block sizes of at most 4 qubits (16x16, or 81x81 for qutrit
+ * models) Jacobi iteration is simple, numerically robust, and fast
+ * enough without pulling in an external LAPACK.
+ */
+
+#ifndef QPC_LINALG_EIG_H
+#define QPC_LINALG_EIG_H
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace qpc {
+
+/** Result of a Hermitian eigendecomposition A = V diag(values) V^dagger. */
+struct EigResult
+{
+    /** Real eigenvalues in ascending order. */
+    std::vector<double> values;
+    /** Unitary matrix whose columns are the matching eigenvectors. */
+    CMatrix vectors;
+};
+
+/**
+ * Diagonalize a complex Hermitian matrix with cyclic Jacobi rotations.
+ *
+ * @param a Hermitian input (validated within tolerance).
+ * @param tol Convergence threshold on the off-diagonal Frobenius mass.
+ * @return Eigenvalues (ascending) and orthonormal eigenvectors.
+ */
+EigResult eigHermitian(const CMatrix& a, double tol = 1e-13);
+
+/**
+ * Simultaneously diagonalize two commuting real-symmetric matrices that
+ * are stored in CMatrix form with zero imaginary parts.
+ *
+ * Used by the Weyl decomposition where K = P + iS is a symmetric
+ * unitary: P and S are real symmetric and commute, so they share a real
+ * orthogonal eigenbasis Q with Q^T P Q and Q^T S Q both diagonal.
+ *
+ * @param p First real symmetric matrix.
+ * @param s Second real symmetric matrix, commuting with p.
+ * @param[out] q Real orthogonal matrix of shared eigenvectors (columns).
+ * @param[out] pd Diagonal of Q^T P Q.
+ * @param[out] sd Diagonal of Q^T S Q.
+ */
+void simultaneousDiagonalize(const CMatrix& p, const CMatrix& s, CMatrix& q,
+                             std::vector<double>& pd,
+                             std::vector<double>& sd);
+
+} // namespace qpc
+
+#endif // QPC_LINALG_EIG_H

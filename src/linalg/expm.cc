@@ -1,0 +1,54 @@
+#include "linalg/expm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "linalg/eig.h"
+
+namespace qpc {
+
+CMatrix
+expmHermitian(const CMatrix& h, Complex factor)
+{
+    EigResult eig = eigHermitian(h);
+    const int n = h.rows();
+    // V diag(exp(factor * lambda)) V^dagger
+    CMatrix scaled = eig.vectors;
+    for (int col = 0; col < n; ++col) {
+        const Complex e = std::exp(factor * eig.values[col]);
+        for (int row = 0; row < n; ++row)
+            scaled(row, col) *= e;
+    }
+    return scaled * eig.vectors.dagger();
+}
+
+CMatrix
+expmGeneral(const CMatrix& a)
+{
+    panicIf(a.rows() != a.cols(), "expmGeneral needs a square matrix");
+    const int n = a.rows();
+
+    // Scale down so the Taylor series converges fast, then square back.
+    const double norm = a.maxAbs() * n;
+    int squarings = 0;
+    double scale = 1.0;
+    while (norm * scale > 0.5) {
+        scale *= 0.5;
+        ++squarings;
+    }
+
+    CMatrix x = a * Complex{scale, 0.0};
+    CMatrix term = CMatrix::identity(n);
+    CMatrix sum = CMatrix::identity(n);
+    const int taylor_order = 18;
+    for (int k = 1; k <= taylor_order; ++k) {
+        term = term * x;
+        term *= Complex{1.0 / k, 0.0};
+        sum += term;
+    }
+    for (int i = 0; i < squarings; ++i)
+        sum = sum * sum;
+    return sum;
+}
+
+} // namespace qpc

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Matrix exponentials.
+ *
+ * Two entry points: an eigendecomposition-based routine specialized for
+ * Hermitian generators (the hot path inside GRAPE time stepping) and a
+ * scaling-and-squaring Taylor routine for general matrices (used by
+ * tests and by the Weyl canonical-gate constructor).
+ */
+
+#ifndef QPC_LINALG_EXPM_H
+#define QPC_LINALG_EXPM_H
+
+#include "linalg/matrix.h"
+
+namespace qpc {
+
+/**
+ * exp(factor * H) for Hermitian H via eigendecomposition.
+ *
+ * With factor = -i dt this is the unitary propagator of one GRAPE time
+ * slice. Exact for Hermitian inputs up to eigensolver tolerance.
+ */
+CMatrix expmHermitian(const CMatrix& h, Complex factor);
+
+/**
+ * exp(A) for a general square matrix via scaling and squaring with a
+ * truncated Taylor series.
+ */
+CMatrix expmGeneral(const CMatrix& a);
+
+} // namespace qpc
+
+#endif // QPC_LINALG_EXPM_H

@@ -1,0 +1,57 @@
+#include "linalg/random_unitary.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+CMatrix
+haarUnitary(int dim, Rng& rng)
+{
+    panicIf(dim <= 0, "haarUnitary needs positive dimension");
+
+    // Ginibre sample.
+    CMatrix a(dim, dim);
+    for (int i = 0; i < dim; ++i)
+        for (int j = 0; j < dim; ++j)
+            a(i, j) = Complex{rng.normal(), rng.normal()};
+
+    // Modified Gram-Schmidt on columns, with the R diagonal phase fixed
+    // to be real positive (this makes the result exactly Haar).
+    for (int col = 0; col < dim; ++col) {
+        for (int prev = 0; prev < col; ++prev) {
+            Complex dot = 0.0;
+            for (int row = 0; row < dim; ++row)
+                dot += std::conj(a(row, prev)) * a(row, col);
+            for (int row = 0; row < dim; ++row)
+                a(row, col) -= dot * a(row, prev);
+        }
+        double norm = 0.0;
+        for (int row = 0; row < dim; ++row)
+            norm += std::norm(a(row, col));
+        norm = std::sqrt(norm);
+        panicIf(norm < 1e-12, "haarUnitary hit a degenerate sample");
+        for (int row = 0; row < dim; ++row)
+            a(row, col) *= 1.0 / norm;
+    }
+    return a;
+}
+
+std::vector<Complex>
+randomState(int dim, Rng& rng)
+{
+    panicIf(dim <= 0, "randomState needs positive dimension");
+    std::vector<Complex> v(dim);
+    double norm = 0.0;
+    for (int i = 0; i < dim; ++i) {
+        v[i] = Complex{rng.normal(), rng.normal()};
+        norm += std::norm(v[i]);
+    }
+    norm = std::sqrt(norm);
+    for (int i = 0; i < dim; ++i)
+        v[i] *= 1.0 / norm;
+    return v;
+}
+
+} // namespace qpc

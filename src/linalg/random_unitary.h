@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Haar-random unitaries and random state vectors.
+ *
+ * Property tests sweep the Weyl and Euler decompositions, the GRAPE
+ * gradient, and the transpiler passes over Haar-random inputs; all
+ * sampling routes through the seeded Rng for reproducibility.
+ */
+
+#ifndef QPC_LINALG_RANDOM_UNITARY_H
+#define QPC_LINALG_RANDOM_UNITARY_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace qpc {
+
+/**
+ * Sample a Haar-distributed unitary of the given dimension.
+ *
+ * Uses the Ginibre-ensemble + QR construction: fill a matrix with iid
+ * complex normals, orthonormalize its columns (modified Gram-Schmidt),
+ * and fix each column's phase so the distribution is exactly Haar.
+ */
+CMatrix haarUnitary(int dim, Rng& rng);
+
+/** Sample a Haar-random pure state of the given dimension. */
+std::vector<Complex> randomState(int dim, Rng& rng);
+
+} // namespace qpc
+
+#endif // QPC_LINALG_RANDOM_UNITARY_H

@@ -1,0 +1,139 @@
+#include "linalg/su2.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+CMatrix
+pauliI()
+{
+    return CMatrix(2, 2, {1.0, 0.0, 0.0, 1.0});
+}
+
+CMatrix
+pauliX()
+{
+    return CMatrix(2, 2, {0.0, 1.0, 1.0, 0.0});
+}
+
+CMatrix
+pauliY()
+{
+    return CMatrix(2, 2, {0.0, -kImag, kImag, 0.0});
+}
+
+CMatrix
+pauliZ()
+{
+    return CMatrix(2, 2, {1.0, 0.0, 0.0, -1.0});
+}
+
+CMatrix
+rxMatrix(double theta)
+{
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    return CMatrix(2, 2, {Complex{c, 0.0}, Complex{0.0, -s},
+                          Complex{0.0, -s}, Complex{c, 0.0}});
+}
+
+CMatrix
+ryMatrix(double theta)
+{
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    return CMatrix(2, 2, {Complex{c, 0.0}, Complex{-s, 0.0},
+                          Complex{s, 0.0}, Complex{c, 0.0}});
+}
+
+CMatrix
+rzMatrix(double theta)
+{
+    return CMatrix(2, 2, {std::polar(1.0, -theta / 2.0), 0.0, 0.0,
+                          std::polar(1.0, theta / 2.0)});
+}
+
+CMatrix
+hMatrix()
+{
+    const double r = 1.0 / std::sqrt(2.0);
+    return CMatrix(2, 2, {Complex{r, 0.0}, Complex{r, 0.0},
+                          Complex{r, 0.0}, Complex{-r, 0.0}});
+}
+
+double
+wrapAngle(double theta)
+{
+    const double two_pi = 2.0 * M_PI;
+    double wrapped = std::fmod(theta, two_pi);
+    if (wrapped <= -M_PI)
+        wrapped += two_pi;
+    else if (wrapped > M_PI)
+        wrapped -= two_pi;
+    return wrapped;
+}
+
+EulerZXZ
+eulerZXZ(const CMatrix& u)
+{
+    panicIf(u.rows() != 2 || u.cols() != 2, "eulerZXZ needs a 2x2 matrix");
+    panicIf(!u.isUnitary(1e-8), "eulerZXZ input is not unitary");
+
+    // Strip the global phase: det(Rz Rx Rz) = 1, so det(U) = e^{2i phase}.
+    const Complex det = u.determinant();
+    const double phase = std::arg(det) / 2.0;
+    CMatrix v = u * std::polar(1.0, -phase);
+
+    // v = [[ c e^{-i(a+g)/2},  -i s e^{-i(a-g)/2} ],
+    //      [ -i s e^{ i(a-g)/2},   c e^{ i(a+g)/2} ]]
+    // with c = cos(beta/2) >= 0 and s = sin(beta/2) >= 0.
+    const double c = std::abs(v(0, 0));
+    const double s = std::abs(v(0, 1));
+    const double beta = 2.0 * std::atan2(s, c);
+
+    EulerZXZ out;
+    out.phase = phase;
+    out.beta = beta;
+
+    const double eps = 1e-12;
+    if (s <= eps) {
+        // Diagonal: only the total Z angle matters.
+        out.alpha = wrapAngle(-2.0 * std::arg(v(0, 0)));
+        out.gamma = 0.0;
+        out.beta = 0.0;
+    } else if (c <= eps) {
+        // Anti-diagonal: beta = pi, only the Z angle difference matters.
+        out.beta = M_PI;
+        out.alpha = wrapAngle(-2.0 * (std::arg(v(0, 1)) + M_PI / 2.0));
+        out.gamma = 0.0;
+    } else {
+        const double sum = -2.0 * std::arg(v(0, 0));        // a + g
+        const double diff = -2.0 * (std::arg(v(0, 1)) + M_PI / 2.0); // a - g
+        out.alpha = wrapAngle((sum + diff) / 2.0);
+        out.gamma = wrapAngle((sum - diff) / 2.0);
+        // Wrapping each of alpha/gamma can shift (a+g)/2 by pi, flipping
+        // the reconstructed SU(2) sign; absorb into the phase via check.
+    }
+
+    // Verify and absorb a possible sign flip into the global phase.
+    CMatrix rebuilt = eulerZXZMatrix(out);
+    if (rebuilt.maxAbsDiff(u) > 1e-8) {
+        out.phase = wrapAngle(out.phase + M_PI);
+        rebuilt = eulerZXZMatrix(out);
+    }
+    panicIf(rebuilt.maxAbsDiff(u) > 1e-8, "eulerZXZ reconstruction failed");
+    return out;
+}
+
+CMatrix
+eulerZXZMatrix(const EulerZXZ& angles)
+{
+    CMatrix m = rzMatrix(angles.alpha) * rxMatrix(angles.beta) *
+                rzMatrix(angles.gamma);
+    m *= std::polar(1.0, angles.phase);
+    return m;
+}
+
+} // namespace qpc

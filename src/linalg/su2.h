@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Single-qubit algebra: Pauli matrices, rotations, and the ZXZ Euler
+ * decomposition.
+ *
+ * The gmon control Hamiltonian drives qubits along X (charge line) and
+ * Z (flux line), so expressing an arbitrary single-qubit unitary as
+ * Rz(alpha) Rx(beta) Rz(gamma) directly yields its control cost: the
+ * analytic pulse-time model charges |beta| against the slow X drive and
+ * |alpha| + |gamma| against the 15x faster Z drive.
+ */
+
+#ifndef QPC_LINALG_SU2_H
+#define QPC_LINALG_SU2_H
+
+#include "linalg/matrix.h"
+
+namespace qpc {
+
+/** 2x2 identity. */
+CMatrix pauliI();
+/** Pauli X. */
+CMatrix pauliX();
+/** Pauli Y. */
+CMatrix pauliY();
+/** Pauli Z. */
+CMatrix pauliZ();
+
+/** Rx(theta) = exp(-i theta X / 2). */
+CMatrix rxMatrix(double theta);
+/** Ry(theta) = exp(-i theta Y / 2). */
+CMatrix ryMatrix(double theta);
+/** Rz(theta) = exp(-i theta Z / 2). */
+CMatrix rzMatrix(double theta);
+/** Hadamard. */
+CMatrix hMatrix();
+
+/** ZXZ Euler angles of a 2x2 unitary. */
+struct EulerZXZ
+{
+    double alpha;   ///< First (leftmost) Z rotation angle.
+    double beta;    ///< Middle X rotation angle, in [0, pi].
+    double gamma;   ///< Last (rightmost) Z rotation angle.
+    double phase;   ///< Global phase: U = e^{i phase} Rz(a) Rx(b) Rz(g).
+};
+
+/**
+ * Decompose a single-qubit unitary as
+ * U = e^{i phase} Rz(alpha) Rx(beta) Rz(gamma).
+ *
+ * @param u A 2x2 unitary (validated).
+ * @return Euler angles with beta in [0, pi] and alpha, gamma in
+ *         (-pi, pi].
+ */
+EulerZXZ eulerZXZ(const CMatrix& u);
+
+/** Rebuild the unitary described by ZXZ Euler angles (for testing). */
+CMatrix eulerZXZMatrix(const EulerZXZ& angles);
+
+/** Wrap an angle into (-pi, pi]. */
+double wrapAngle(double theta);
+
+} // namespace qpc
+
+#endif // QPC_LINALG_SU2_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Two-qubit Weyl (KAK) canonical coordinates.
+ *
+ * Every two-qubit unitary U factors as
+ *   U = e^{i phase} (A1 (x) A0) exp(i (c1 XX + c2 YY + c3 ZZ)) (B1 (x) B0)
+ * where the canonical coordinates (c1, c2, c3) capture everything about
+ * U that single-qubit ("local") gates cannot change. For a machine whose
+ * two-qubit coupler generates XX interaction with bounded strength g_max
+ * (the gmon coupler of Appendix A), the minimal coupler-on time needed
+ * to realize U is (|c1| + |c2| + |c3|) / g_max. The analytic pulse-time
+ * model is built on this quantity: CX has coordinates (pi/4, 0, 0) and
+ * SWAP (pi/4, pi/4, pi/4), which reproduces the 2.5 ns / 7.5 ns
+ * interaction times behind Table 1 of the paper.
+ */
+
+#ifndef QPC_LINALG_WEYL_H
+#define QPC_LINALG_WEYL_H
+
+#include "linalg/matrix.h"
+
+namespace qpc {
+
+/**
+ * Canonical (Weyl chamber) coordinates of a two-qubit unitary.
+ *
+ * Normalized such that pi/4 >= c1 >= c2 >= |c3| and c1, c2 >= 0.
+ */
+struct WeylCoords
+{
+    double c1;
+    double c2;
+    double c3;
+
+    /**
+     * Total interaction content |c1| + |c2| + |c3|; proportional to the
+     * minimal two-qubit coupler-on time under an XX-type coupler.
+     */
+    double interaction() const;
+};
+
+/**
+ * The "magic" (Bell) basis change matrix M. Local gates become real
+ * orthogonal matrices in this basis and XX, YY, ZZ become diagonal.
+ */
+CMatrix magicBasis();
+
+/**
+ * Compute canonical coordinates of a 4x4 unitary, reduced into the
+ * Weyl chamber (pi/4 >= c1 >= c2 >= |c3|, c1, c2 >= 0).
+ *
+ * @param u A 4x4 unitary (validated).
+ */
+WeylCoords weylCoordinates(const CMatrix& u);
+
+/**
+ * Build the canonical gate exp(i (c1 XX + c2 YY + c3 ZZ)).
+ *
+ * Used by tests to verify weylCoordinates round-trips.
+ */
+CMatrix canonicalGate(double c1, double c2, double c3);
+
+/** True when two 2-qubit unitaries are locally equivalent within tol. */
+bool locallyEquivalent(const CMatrix& u, const CMatrix& v,
+                       double tol = 1e-6);
+
+} // namespace qpc
+
+#endif // QPC_LINALG_WEYL_H

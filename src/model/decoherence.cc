@@ -1,0 +1,49 @@
+#include "model/decoherence.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+double
+DecoherenceModel::successProbability(double pulse_ns) const
+{
+    panicIf(pulse_ns < 0.0, "negative pulse duration");
+    fatalIf(t2Ns <= 0.0, "coherence time must be positive");
+    fatalIf(numQubits <= 0, "qubit count must be positive");
+    return std::exp(-pulse_ns * numQubits / t2Ns);
+}
+
+double
+DecoherenceModel::advantage(double short_ns, double long_ns) const
+{
+    return successProbability(short_ns) / successProbability(long_ns);
+}
+
+double
+DecoherenceModel::horizonNs(double target_probability) const
+{
+    fatalIf(target_probability <= 0.0 || target_probability >= 1.0,
+            "target probability must be in (0, 1)");
+    return -t2Ns * std::log(target_probability) / numQubits;
+}
+
+std::vector<SurvivalReport>
+survivalByStrategy(const PartialCompiler& compiler,
+                   const std::vector<double>& theta,
+                   const DecoherenceModel& model)
+{
+    std::vector<SurvivalReport> out;
+    for (const CompileReport& report : compiler.compileAll(theta)) {
+        SurvivalReport row;
+        row.strategy = report.strategy;
+        row.pulseNs = report.pulseNs;
+        row.successProbability =
+            model.successProbability(report.pulseNs);
+        out.push_back(row);
+    }
+    return out;
+}
+
+} // namespace qpc

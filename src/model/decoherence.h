@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Decoherence / success-probability model.
+ *
+ * The paper's core motivation (Sections 1, 8.4, 9): error due to
+ * decoherence grows exponentially with pulse duration, so a pulse
+ * speedup is "not merely about wall time" — it enters the exponent of
+ * the circuit's survival probability. This module makes that argument
+ * quantitative: given a compiled pulse duration and a device
+ * coherence time, it reports the survival probability and the
+ * improvement one compilation strategy buys over another, which is
+ * how a user decides whether partial compilation makes an experiment
+ * feasible at all.
+ */
+
+#ifndef QPC_MODEL_DECOHERENCE_H
+#define QPC_MODEL_DECOHERENCE_H
+
+#include "partial/compiler.h"
+
+namespace qpc {
+
+/** Exponential-decay coherence model. */
+struct DecoherenceModel
+{
+    /**
+     * Effective coherence time in nanoseconds. Representative of
+     * gmon-style superconducting qubits (tens of microseconds in
+     * modern devices; short values stress-test the argument).
+     */
+    double t2Ns = 20000.0;
+    /** Number of qubits whose decay channels act in parallel. */
+    int numQubits = 1;
+
+    /** Survival probability of a pulse of the given duration. */
+    double successProbability(double pulse_ns) const;
+
+    /**
+     * Multiplicative fidelity advantage of running a shorter pulse:
+     * successProbability(short) / successProbability(long) — grows
+     * exponentially in the duration *difference*.
+     */
+    double advantage(double short_ns, double long_ns) const;
+
+    /**
+     * Largest circuit duration that still meets a target success
+     * probability — the feasibility horizon a compilation strategy
+     * must fit under.
+     */
+    double horizonNs(double target_probability) const;
+};
+
+/** One row of the strategy-vs-survival comparison. */
+struct SurvivalReport
+{
+    Strategy strategy;
+    double pulseNs;
+    double successProbability;
+};
+
+/**
+ * Evaluate all four strategies' compiled pulses under a coherence
+ * model (convenience for examples and benches).
+ */
+std::vector<SurvivalReport>
+survivalByStrategy(const PartialCompiler& compiler,
+                   const std::vector<double>& theta,
+                   const DecoherenceModel& model);
+
+} // namespace qpc
+
+#endif // QPC_MODEL_DECOHERENCE_H

@@ -1,0 +1,53 @@
+#include "model/latencymodel.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+GrapeLatencyModel::GrapeLatencyModel(LatencyModelParams params)
+    : params_(params)
+{
+    fatalIf(params_.secondsPerUnit <= 0.0, "bad latency calibration");
+}
+
+int
+GrapeLatencyModel::searchProbes() const
+{
+    return std::max(1, static_cast<int>(std::ceil(std::log2(
+                            params_.searchRangeNs /
+                            params_.searchPrecisionNs))));
+}
+
+double
+GrapeLatencyModel::iterationSeconds(int width, double pulse_ns) const
+{
+    const double d = std::pow(2.0, width);
+    const double steps = std::max(1.0, pulse_ns / params_.dtNs);
+    return params_.secondsPerUnit * steps * d * d * d;
+}
+
+double
+GrapeLatencyModel::fullGrapeSeconds(int width, double pulse_ns) const
+{
+    return iterationSeconds(width, pulse_ns) *
+           params_.untunedIterations * searchProbes();
+}
+
+double
+GrapeLatencyModel::tunedGrapeSeconds(int width, double pulse_ns) const
+{
+    return iterationSeconds(width, pulse_ns) * params_.tunedIterations;
+}
+
+double
+GrapeLatencyModel::tuningPrecomputeSeconds(int width,
+                                           double pulse_ns) const
+{
+    // Grid of short trials at roughly half the untuned budget each.
+    return iterationSeconds(width, pulse_ns) * params_.tuningGridSize *
+           (params_.untunedIterations / 2.0);
+}
+
+} // namespace qpc

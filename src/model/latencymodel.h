@@ -1,0 +1,84 @@
+/**
+ * @file
+ * GRAPE compilation-latency model.
+ *
+ * Predicts the wall-clock cost of running GRAPE, so the full-scale
+ * latency comparisons (Figure 7, Section 8.4) can be regenerated
+ * without the paper's 200k CPU-core-hours. One GRAPE iteration costs
+ * time proportional to nSteps * d^3 (d = 2^width matrix algebra per
+ * slice); a full compilation multiplies in the ADAM iteration count
+ * and the binary-search probes of Section 5.3. Flexible partial
+ * compilation's advantage enters through the tuned-vs-untuned
+ * iteration counts, which the test suite cross-checks against the
+ * real tuner on small blocks.
+ */
+
+#ifndef QPC_MODEL_LATENCYMODEL_H
+#define QPC_MODEL_LATENCYMODEL_H
+
+#include "transpile/blocking.h"
+
+namespace qpc {
+
+/** Calibration constants of the latency model. */
+struct LatencyModelParams
+{
+    /**
+     * Seconds per (time step x d^3) unit of one ADAM iteration.
+     * Calibrated so a 4-qubit, ~50 ns block at 20 GSa/s costs minutes
+     * per full compilation, matching Section 1's observations.
+     */
+    double secondsPerUnit = 1.0e-7;
+    /** GRAPE sample period (ns) assumed by the latency accounting. */
+    double dtNs = 0.05;
+    /** ADAM iterations to 0.999 fidelity with default hyperparams. */
+    int untunedIterations = 250;
+    /** Iterations with pre-tuned learning rate / decay (Section 7.2). */
+    int tunedIterations = 30;
+    /** Binary-search range upper bound M for log2(M / 0.3) probes. */
+    double searchRangeNs = 60.0;
+    /** Binary-search resolution (0.3 ns per the paper). */
+    double searchPrecisionNs = 0.3;
+    /** Hyperparameter grid size evaluated during pre-compute. */
+    int tuningGridSize = 10;
+};
+
+/** Wall-clock estimates for the compilation strategies. */
+class GrapeLatencyModel
+{
+  public:
+    explicit GrapeLatencyModel(LatencyModelParams params = {});
+
+    const LatencyModelParams& params() const { return params_; }
+
+    /** Binary-search probes needed at the configured precision. */
+    int searchProbes() const;
+
+    /** Seconds for one ADAM iteration on a width-qubit block. */
+    double iterationSeconds(int width, double pulse_ns) const;
+
+    /**
+     * Seconds for a full (untuned, binary-searched) GRAPE compilation
+     * of one block.
+     */
+    double fullGrapeSeconds(int width, double pulse_ns) const;
+
+    /**
+     * Seconds for one tuned GRAPE solve of one block (flexible
+     * partial compilation's per-iteration runtime cost).
+     */
+    double tunedGrapeSeconds(int width, double pulse_ns) const;
+
+    /**
+     * Seconds of one-off pre-compute needed to tune one block's
+     * hyperparameters (grid of short trial runs).
+     */
+    double tuningPrecomputeSeconds(int width, double pulse_ns) const;
+
+  private:
+    LatencyModelParams params_;
+};
+
+} // namespace qpc
+
+#endif // QPC_MODEL_LATENCYMODEL_H

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Analytic pulse-duration model derived from the gmon Hamiltonian.
+ *
+ * The paper spent 200,000 CPU-core hours running GRAPE across its 37
+ * benchmark circuits. This model reproduces the *structure* of those
+ * results from first principles so the full benchmark sweeps run in
+ * seconds, and it is cross-validated against the real GRAPE optimizer
+ * (src/grape) on small blocks in the test suite.
+ *
+ * Ingredients, each tied to a speedup source from Section 5.1:
+ *  - Control-field asymmetry: a fused single-qubit unitary is priced
+ *    through its ZXZ Euler angles — |beta| against the slow charge
+ *    (X) drive, |alpha| + |gamma| against the 15x faster flux (Z)
+ *    drive.
+ *  - Fractional gates / ISA alignment: runs of gates on the same
+ *    qubit pair collapse into one 4x4 unitary priced by its *Weyl
+ *    interaction content* (|c1|+|c2|+|c3|)/g_max — so CX Rz(g) CX
+ *    costs the fraction g/2 of coupler time rather than two full CX
+ *    windows, exactly the fractional-CX effect GRAPE discovers.
+ *  - Maximal circuit optimization: the group costs are assembled into
+ *    an ASAP critical path per block and a block-DAG critical path
+ *    across blocks, so parallel structure is never double-charged.
+ *  - Lloyd-Maity saturation: an N-qubit block's time is capped by a
+ *    soft asymptote T_sat(N), reproducing Figure 2's plateau, with
+ *    the constant calibrated to the paper's < 50 ns value at N = 4.
+ */
+
+#ifndef QPC_MODEL_TIMEMODEL_H
+#define QPC_MODEL_TIMEMODEL_H
+
+#include "ir/circuit.h"
+#include "pulse/device.h"
+#include "transpile/blocking.h"
+
+namespace qpc {
+
+/** Calibration constants of the analytic model. */
+struct TimeModelParams
+{
+    GmonLimits limits;          ///< Drive bounds (Appendix A).
+    /**
+     * Fraction of a group's local (single-qubit) dressing that cannot
+     * be absorbed into the coupler window. Calibrated so a lone CX
+     * prices below its 3.8 ns gate-based cost but above the 2.5 ns
+     * interaction bound.
+     */
+    double dressingFactor = 0.5;
+    /**
+     * Saturation T_sat(N) = satBase * 2^N ns: the characteristic time
+     * a generic N-qubit block approaches under optimal control
+     * (Lloyd-Maity give O(4^N) worst case; real GRAPE lands near this
+     * much smaller value). Anchored to the paper's whole-circuit
+     * GRAPE results: LiH (4 qubits) converged at 19.3 ns and the
+     * Figure 2 asymptote sits below 50 ns, so T_sat(4) = 22.4 ns.
+     */
+    double satBase = 1.4;
+    /** Block width above which saturation applies. */
+    int satMinWidth = 3;
+    /**
+     * Largest number of two-qubit gates one pair group may fuse.
+     * GRAPE reliably discovers the fractional-gate compression of a
+     * CX Rz(g) CX sandwich (cap 2) but not arbitrarily deep
+     * algebraic collapses of long ladders; the cap keeps the model
+     * honest against the 0.999-fidelity optimizer's real behaviour.
+     */
+    int pairGroupCap = 2;
+    /**
+     * Interaction surcharge per missing-coupler hop inside a block:
+     * the gmon couples a rectangular grid, so blocks are priced as a
+     * 2x2 tile and non-adjacent pairs pay routeHopNs per extra hop,
+     * modelling the routing GRAPE must synthesize (Figure 2's 4-node
+     * clique needs its two diagonal interactions routed).
+     */
+    double routeHopNs = 4.0;
+};
+
+/** Hamiltonian-derived pulse-time estimates. */
+class PulseTimeModel
+{
+  public:
+    explicit PulseTimeModel(TimeModelParams params = {});
+
+    const TimeModelParams& params() const { return params_; }
+
+    /** Minimal drive time of a single-qubit unitary (ZXZ pricing). */
+    double singleQubitTimeNs(const CMatrix& u) const;
+
+    /**
+     * Minimal time of a two-qubit unitary: Weyl interaction content
+     * over the coupler bound, plus partially-absorbed local dressing.
+     */
+    double twoQubitTimeNs(const CMatrix& u) const;
+
+    /** Soft saturation bound for an n-qubit block. */
+    double saturationNs(int num_qubits) const;
+
+    /**
+     * GRAPE-style pulse time of one bound block (<= 4 qubits): fuse
+     * single-qubit runs, collapse same-pair groups, price both
+     * exactly, take the ASAP critical path, and saturate.
+     */
+    double blockTimeNs(const Circuit& block) const;
+
+    /**
+     * Pulse time of an arbitrary bound circuit: aggregate into blocks
+     * of at most max_width qubits and take the block-DAG critical
+     * path of the per-block times.
+     */
+    double circuitTimeNs(const Circuit& circuit, int max_width = 4) const;
+
+  private:
+    TimeModelParams params_;
+};
+
+} // namespace qpc
+
+#endif // QPC_MODEL_TIMEMODEL_H

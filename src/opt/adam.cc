@@ -1,0 +1,48 @@
+#include "opt/adam.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+double
+AdamHyperParams::rateAt(int step) const
+{
+    return learningRate * std::pow(decay, step);
+}
+
+AdamOptimizer::AdamOptimizer(int dimension, AdamHyperParams hyper,
+                             double beta1, double beta2, double epsilon)
+    : hyper_(hyper), beta1_(beta1), beta2_(beta2), epsilon_(epsilon),
+      m_(dimension, 0.0), v_(dimension, 0.0)
+{
+    fatalIf(dimension <= 0, "AdamOptimizer needs a positive dimension");
+    fatalIf(hyper.learningRate <= 0.0, "learning rate must be positive");
+    fatalIf(hyper.decay <= 0.0 || hyper.decay > 1.0,
+            "decay must be in (0, 1]");
+}
+
+void
+AdamOptimizer::step(std::vector<double>& params,
+                    const std::vector<double>& gradient)
+{
+    panicIf(params.size() != m_.size() || gradient.size() != m_.size(),
+            "AdamOptimizer dimension mismatch");
+
+    const double rate = hyper_.rateAt(steps_);
+    ++steps_;
+    const double bias1 = 1.0 - std::pow(beta1_, steps_);
+    const double bias2 = 1.0 - std::pow(beta2_, steps_);
+
+    for (size_t i = 0; i < params.size(); ++i) {
+        m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * gradient[i];
+        v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * gradient[i] *
+                                     gradient[i];
+        const double m_hat = m_[i] / bias1;
+        const double v_hat = v_[i] / bias2;
+        params[i] -= rate * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+}
+
+} // namespace qpc

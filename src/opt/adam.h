@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ADAM first-order optimizer with learning-rate decay.
+ *
+ * GRAPE's gradient descent updates the control fields with ADAM; the
+ * learning rate and its exponential decay rate are the two
+ * hyperparameters that flexible partial compilation pre-tunes per
+ * subcircuit (Section 7.2 of the paper).
+ */
+
+#ifndef QPC_OPT_ADAM_H
+#define QPC_OPT_ADAM_H
+
+#include <vector>
+
+namespace qpc {
+
+/** The hyperparameters tuned by flexible partial compilation. */
+struct AdamHyperParams
+{
+    double learningRate = 0.01;
+    /** Per-step multiplicative decay of the learning rate. */
+    double decay = 1.0;
+
+    /** Effective learning rate at a given step. */
+    double rateAt(int step) const;
+};
+
+/** Stateful ADAM update rule over a flat parameter vector. */
+class AdamOptimizer
+{
+  public:
+    AdamOptimizer(int dimension, AdamHyperParams hyper,
+                  double beta1 = 0.9, double beta2 = 0.999,
+                  double epsilon = 1e-8);
+
+    /** Apply one update in place given the gradient. */
+    void step(std::vector<double>& params,
+              const std::vector<double>& gradient);
+
+    int stepsTaken() const { return steps_; }
+
+  private:
+    AdamHyperParams hyper_;
+    double beta1_;
+    double beta2_;
+    double epsilon_;
+    int steps_ = 0;
+    std::vector<double> m_;
+    std::vector<double> v_;
+};
+
+} // namespace qpc
+
+#endif // QPC_OPT_ADAM_H

@@ -1,0 +1,129 @@
+#include "opt/neldermead.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+NelderMeadResult
+nelderMead(const std::function<double(const std::vector<double>&)>&
+               objective,
+           const std::vector<double>& start,
+           const NelderMeadOptions& options)
+{
+    const int n = static_cast<int>(start.size());
+    fatalIf(n == 0, "nelderMead needs at least one dimension");
+
+    NelderMeadResult result;
+
+    // Simplex of n + 1 vertices: start plus one offset per axis.
+    std::vector<std::vector<double>> simplex(n + 1, start);
+    for (int i = 0; i < n; ++i)
+        simplex[i + 1][i] += options.initialStep;
+
+    std::vector<double> values(n + 1);
+    for (int i = 0; i <= n; ++i) {
+        values[i] = objective(simplex[i]);
+        ++result.evaluations;
+    }
+
+    std::vector<int> order(n + 1);
+    for (int iter = 0; iter < options.maxIterations; ++iter) {
+        ++result.iterations;
+
+        // Sort vertex indices by objective value.
+        for (int i = 0; i <= n; ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](int a, int b) { return values[a] < values[b]; });
+        const int best = order[0];
+        const int worst = order[n];
+        const int second_worst = order[n - 1];
+
+        if (std::abs(values[worst] - values[best]) <
+            options.fTolerance) {
+            result.converged = true;
+            break;
+        }
+
+        // Centroid of all vertices except the worst.
+        std::vector<double> centroid(n, 0.0);
+        for (int i = 0; i <= n; ++i) {
+            if (i == worst)
+                continue;
+            for (int d = 0; d < n; ++d)
+                centroid[d] += simplex[i][d];
+        }
+        for (int d = 0; d < n; ++d)
+            centroid[d] /= n;
+
+        auto blend = [&](double factor) {
+            std::vector<double> point(n);
+            for (int d = 0; d < n; ++d)
+                point[d] = centroid[d] +
+                           factor * (simplex[worst][d] - centroid[d]);
+            return point;
+        };
+
+        // Reflection.
+        std::vector<double> reflected = blend(-options.reflection);
+        const double f_reflected = objective(reflected);
+        ++result.evaluations;
+
+        if (f_reflected < values[best]) {
+            // Expansion.
+            std::vector<double> expanded =
+                blend(-options.reflection * options.expansion);
+            const double f_expanded = objective(expanded);
+            ++result.evaluations;
+            if (f_expanded < f_reflected) {
+                simplex[worst] = std::move(expanded);
+                values[worst] = f_expanded;
+            } else {
+                simplex[worst] = std::move(reflected);
+                values[worst] = f_reflected;
+            }
+            continue;
+        }
+        if (f_reflected < values[second_worst]) {
+            simplex[worst] = std::move(reflected);
+            values[worst] = f_reflected;
+            continue;
+        }
+
+        // Contraction (outside if the reflected point improved on the
+        // worst, inside otherwise).
+        const bool outside = f_reflected < values[worst];
+        std::vector<double> contracted =
+            blend(outside ? -options.contraction : options.contraction);
+        const double f_contracted = objective(contracted);
+        ++result.evaluations;
+        const double f_gate = outside ? f_reflected : values[worst];
+        if (f_contracted < f_gate) {
+            simplex[worst] = std::move(contracted);
+            values[worst] = f_contracted;
+            continue;
+        }
+
+        // Shrink toward the best vertex.
+        for (int i = 0; i <= n; ++i) {
+            if (i == best)
+                continue;
+            for (int d = 0; d < n; ++d)
+                simplex[i][d] =
+                    simplex[best][d] +
+                    options.shrink * (simplex[i][d] - simplex[best][d]);
+            values[i] = objective(simplex[i]);
+            ++result.evaluations;
+        }
+    }
+
+    const auto best_it = std::min_element(values.begin(), values.end());
+    result.bestValue = *best_it;
+    result.best = simplex[best_it - values.begin()];
+    return result;
+}
+
+} // namespace qpc

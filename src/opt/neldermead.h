@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Nelder-Mead derivative-free minimizer.
+ *
+ * The classical half of a variational algorithm: the paper (following
+ * standard practice) drives VQE / QAOA with an optimizer robust to
+ * small amounts of noise, typically Nelder-Mead. This implementation
+ * follows the standard reflect / expand / contract / shrink scheme
+ * with adaptive simplex initialization.
+ */
+
+#ifndef QPC_OPT_NELDERMEAD_H
+#define QPC_OPT_NELDERMEAD_H
+
+#include <functional>
+#include <vector>
+
+namespace qpc {
+
+/** Termination and shape knobs for Nelder-Mead. */
+struct NelderMeadOptions
+{
+    int maxIterations = 2000;     ///< Hard cap on simplex updates.
+    double fTolerance = 1e-9;     ///< Stop when simplex f-spread < tol.
+    double initialStep = 0.5;     ///< Per-coordinate simplex offset.
+    double reflection = 1.0;
+    double expansion = 2.0;
+    double contraction = 0.5;
+    double shrink = 0.5;
+};
+
+/** Outcome of a Nelder-Mead run. */
+struct NelderMeadResult
+{
+    std::vector<double> best;     ///< Minimizing point found.
+    double bestValue = 0.0;       ///< Objective at best.
+    int iterations = 0;           ///< Simplex updates performed.
+    int evaluations = 0;          ///< Objective calls performed.
+    bool converged = false;       ///< Stopped on fTolerance.
+};
+
+/**
+ * Minimize an objective from an initial point.
+ *
+ * @param objective Function of a parameter vector.
+ * @param start Initial point (defines the dimension).
+ */
+NelderMeadResult
+nelderMead(const std::function<double(const std::vector<double>&)>&
+               objective,
+           const std::vector<double>& start,
+           const NelderMeadOptions& options = {});
+
+} // namespace qpc
+
+#endif // QPC_OPT_NELDERMEAD_H

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The four-strategy variational pulse compiler.
+ *
+ * Facade over the whole stack: given one symbolic variational circuit
+ * (the template) it pre-computes whatever a strategy allows before
+ * parameters are known, then compiles any concrete parameter binding
+ * and reports both the resulting pulse duration and the compilation
+ * latency paid at runtime — the two axes of the paper's evaluation.
+ *
+ *   strategy          pulse duration     runtime latency
+ *   GateBased         longest            ~0 (lookup)
+ *   StrictPartial     shorter            ~0 (lookup)
+ *   FlexiblePartial   ~GRAPE             minutes -> seconds (tuned)
+ *   FullGrape         shortest           minutes -> hours
+ *
+ * Durations come from the analytic time model (src/model), latencies
+ * from the latency model, both cross-validated against the real GRAPE
+ * stack in the test suite.
+ */
+
+#ifndef QPC_PARTIAL_COMPILER_H
+#define QPC_PARTIAL_COMPILER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/circuit.h"
+#include "model/latencymodel.h"
+#include "model/timemodel.h"
+#include "partial/flexible.h"
+#include "partial/strict.h"
+#include "transpile/durations.h"
+
+namespace qpc {
+
+/** The compilation strategies compared throughout the paper. */
+enum class Strategy
+{
+    GateBased,
+    StrictPartial,
+    FlexiblePartial,
+    FullGrape,
+};
+
+/** Human-readable strategy name, e.g. "Strict Partial". */
+std::string strategyName(Strategy strategy);
+
+/** All four strategies, in the paper's presentation order. */
+const std::vector<Strategy>& allStrategies();
+
+/** What one compile call cost and produced. */
+struct CompileReport
+{
+    Strategy strategy = Strategy::GateBased;
+    /** Duration of the compiled pulse, ns (lower = less decoherence). */
+    double pulseNs = 0.0;
+    /** Compilation latency paid at this iteration, seconds. */
+    double runtimeSeconds = 0.0;
+    /** One-off pre-compute latency amortized across iterations. */
+    double precomputeSeconds = 0.0;
+    /** Number of GRAPE problems (blocks/slices) the strategy solved. */
+    int grapeProblems = 0;
+};
+
+/** Configuration of the compiler facade. */
+struct CompilerOptions
+{
+    int maxBlockWidth = 4;          ///< GRAPE width cap (Section 5.2).
+    GateDurations durations = GateDurations::table1();
+    TimeModelParams timeModel;
+    LatencyModelParams latencyModel;
+    /** Modeled per-op lookup cost of table-based compilation, s. */
+    double lookupSecondsPerOp = 1.0e-7;
+};
+
+/**
+ * Compiles one variational circuit template under any strategy.
+ *
+ * Construction performs the strategy-independent structural analysis
+ * (strict partition, flexible slices); per-strategy pre-compute costs
+ * are reported inside compile() so callers can amortize them.
+ */
+class PartialCompiler
+{
+  public:
+    PartialCompiler(Circuit template_circuit,
+                    CompilerOptions options = {});
+
+    const Circuit& templateCircuit() const { return template_; }
+    const StrictPartition& strictPartition() const { return strict_; }
+    const FlexiblePartition& flexiblePartition() const
+    {
+        return flexible_;
+    }
+
+    /** Compile one parameter binding under one strategy. */
+    CompileReport compile(Strategy strategy,
+                          const std::vector<double>& theta) const;
+
+    /** Compile under all four strategies (benchmark convenience). */
+    std::vector<CompileReport>
+    compileAll(const std::vector<double>& theta) const;
+
+  private:
+    struct TimedItem
+    {
+        std::vector<int> qubits;   ///< Global qubit ids.
+        double timeNs;
+    };
+
+    CompileReport compileGateBased(const Circuit& bound) const;
+    CompileReport compileFullGrape(const Circuit& bound) const;
+    CompileReport
+    compileStrict(const std::vector<double>& theta) const;
+    CompileReport
+    compileFlexible(const std::vector<double>& theta) const;
+
+    /**
+     * Decompose a bound subcircuit into width-capped blocks and
+     * append one timed item per block; returns the number of blocks
+     * and accumulates their modeled GRAPE latency.
+     */
+    int appendBlockItems(const Circuit& bound_subcircuit,
+                         std::vector<TimedItem>& items,
+                         double& grape_seconds, bool tuned) const;
+
+    /** ASAP makespan of timed items under per-qubit clocks. */
+    double itemsMakespan(const std::vector<TimedItem>& items) const;
+
+    Circuit template_;
+    CompilerOptions options_;
+    PulseTimeModel timeModel_;
+    GrapeLatencyModel latencyModel_;
+    StrictPartition strict_;
+    FlexiblePartition flexible_;
+};
+
+} // namespace qpc
+
+#endif // QPC_PARTIAL_COMPILER_H

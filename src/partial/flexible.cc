@@ -1,0 +1,74 @@
+#include "partial/flexible.h"
+
+#include "common/logging.h"
+
+namespace qpc {
+
+Circuit
+FlexiblePartition::reassemble(int num_qubits) const
+{
+    Circuit out(num_qubits);
+    for (const FlexibleSlice& s : slices)
+        out.append(s.circuit);
+    return out;
+}
+
+int
+FlexiblePartition::maxSliceDepth() const
+{
+    int depth = 0;
+    for (const FlexibleSlice& s : slices)
+        if (s.circuit.size() > depth)
+            depth = s.circuit.size();
+    return depth;
+}
+
+FlexiblePartition
+flexibleSlices(const Circuit& circuit)
+{
+    fatalIf(!isParamMonotone(circuit),
+            "flexible slicing requires parameter monotonicity; tag "
+            "parameters during circuit construction");
+
+    FlexiblePartition partition;
+    FlexibleSlice current;
+    current.paramIndex = -1;
+    current.circuit = Circuit(circuit.numQubits());
+
+    for (const GateOp& op : circuit.ops()) {
+        const int index = op.paramIndex();
+        if (index >= 0 && index != current.paramIndex) {
+            // First appearance of a new parameter: cut here, unless
+            // the current slice is still the untouched leading
+            // prefix, which merges into the first real slice.
+            if (current.paramIndex != -1 || !current.circuit.empty()) {
+                if (current.paramIndex == -1) {
+                    // Leading fixed prefix: absorb into this slice.
+                    current.paramIndex = index;
+                } else {
+                    partition.slices.push_back(std::move(current));
+                    current = FlexibleSlice();
+                    current.paramIndex = index;
+                    current.circuit = Circuit(circuit.numQubits());
+                }
+            } else {
+                current.paramIndex = index;
+            }
+        }
+        current.circuit.add(op);
+    }
+    if (!current.circuit.empty())
+        partition.slices.push_back(std::move(current));
+
+    // Every slice must reference at most one parameter.
+    for (const FlexibleSlice& s : partition.slices) {
+        const std::vector<int> used = s.circuit.paramsUsed();
+        panicIf(used.size() > 1, "slice depends on ", used.size(),
+                " parameters");
+        panicIf(!used.empty() && used.front() != s.paramIndex,
+                "slice parameter bookkeeping mismatch");
+    }
+    return partition;
+}
+
+} // namespace qpc

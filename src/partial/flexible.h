@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Flexible partial compilation slicing (Section 7).
+ *
+ * Strict partial compilation is bottlenecked by the depth of its Fixed
+ * subcircuits. Parameter monotonicity — in the UCCSD and QAOA
+ * constructions, theta_i-dependent gates appear in non-decreasing
+ * order of i — lets the circuit be cut into much deeper subcircuits
+ * that each depend on exactly one theta_i. Pre-tuned GRAPE
+ * hyperparameters then re-compile each slice quickly whenever the
+ * parameter values change.
+ */
+
+#ifndef QPC_PARTIAL_FLEXIBLE_H
+#define QPC_PARTIAL_FLEXIBLE_H
+
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace qpc {
+
+/** One single-parameter subcircuit. */
+struct FlexibleSlice
+{
+    /** The sole parameter this slice depends on; -1 if none. */
+    int paramIndex = -1;
+    /** The slice ops at full circuit width. */
+    Circuit circuit;
+};
+
+/** Result of the flexible slicer. */
+struct FlexiblePartition
+{
+    std::vector<FlexibleSlice> slices;
+
+    /** Concatenate all slices back (must equal the input). */
+    Circuit reassemble(int num_qubits) const;
+
+    /** Largest number of ops in any slice. */
+    int maxSliceDepth() const;
+};
+
+/**
+ * Cut a parameter-monotone circuit into single-parameter slices:
+ * slice k spans from the first theta_k-dependent gate (or the circuit
+ * start for k = 0) up to the gate before the first theta_{k+1}
+ * dependence. Fatal when the circuit is not parameter monotone.
+ */
+FlexiblePartition flexibleSlices(const Circuit& circuit);
+
+} // namespace qpc
+
+#endif // QPC_PARTIAL_FLEXIBLE_H

@@ -1,0 +1,78 @@
+#include "partial/strict.h"
+
+#include "common/logging.h"
+
+namespace qpc {
+
+int
+StrictPartition::numFixedSegments() const
+{
+    int count = 0;
+    for (const StrictSegment& s : segments)
+        if (s.fixed)
+            ++count;
+    return count;
+}
+
+int
+StrictPartition::numParamGates() const
+{
+    int count = 0;
+    for (const StrictSegment& s : segments)
+        if (!s.fixed)
+            ++count;
+    return count;
+}
+
+int
+StrictPartition::maxFixedDepth() const
+{
+    int depth = 0;
+    for (const StrictSegment& s : segments)
+        if (s.fixed && s.circuit.size() > depth)
+            depth = s.circuit.size();
+    return depth;
+}
+
+Circuit
+StrictPartition::reassemble(int num_qubits) const
+{
+    Circuit out(num_qubits);
+    for (const StrictSegment& s : segments)
+        out.append(s.circuit);
+    return out;
+}
+
+StrictPartition
+strictPartition(const Circuit& circuit)
+{
+    StrictPartition partition;
+    Circuit fixed_run(circuit.numQubits());
+
+    auto flush = [&]() {
+        if (fixed_run.empty())
+            return;
+        StrictSegment segment;
+        segment.fixed = true;
+        segment.circuit = fixed_run;
+        partition.segments.push_back(std::move(segment));
+        fixed_run = Circuit(circuit.numQubits());
+    };
+
+    for (const GateOp& op : circuit.ops()) {
+        if (op.paramIndex() >= 0) {
+            flush();
+            StrictSegment segment;
+            segment.fixed = false;
+            segment.circuit = Circuit(circuit.numQubits());
+            segment.circuit.add(op);
+            partition.segments.push_back(std::move(segment));
+        } else {
+            fixed_run.add(op);
+        }
+    }
+    flush();
+    return partition;
+}
+
+} // namespace qpc

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Strict partial compilation (Section 6).
+ *
+ * Splits a variational circuit into a strictly alternating sequence of
+ * parametrization-independent "Fixed" subcircuits and the
+ * parameter-dependent rotation gates between them. Each Fixed
+ * subcircuit is pre-compiled with GRAPE once; at runtime, compilation
+ * degenerates to the same instant lookup-and-concatenate procedure as
+ * gate-based compilation, so the pulse speedup on the Fixed blocks
+ * comes with zero added compilation latency.
+ */
+
+#ifndef QPC_PARTIAL_STRICT_H
+#define QPC_PARTIAL_STRICT_H
+
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace qpc {
+
+/** One element of the alternating Fixed / parametrized sequence. */
+struct StrictSegment
+{
+    /** True for a Fixed (parameter-free) subcircuit. */
+    bool fixed = true;
+    /**
+     * The segment's ops at full circuit width. A non-fixed segment
+     * holds exactly one parameter-dependent rotation.
+     */
+    Circuit circuit;
+};
+
+/** Result of the strict partitioner. */
+struct StrictPartition
+{
+    std::vector<StrictSegment> segments;
+
+    int numFixedSegments() const;
+    int numParamGates() const;
+
+    /** Largest number of ops in any Fixed segment. */
+    int maxFixedDepth() const;
+
+    /** Concatenate all segments back (must equal the input). */
+    Circuit reassemble(int num_qubits) const;
+};
+
+/**
+ * Partition a symbolic circuit into maximal Fixed runs separated by
+ * its parameter-dependent gates.
+ */
+StrictPartition strictPartition(const Circuit& circuit);
+
+} // namespace qpc
+
+#endif // QPC_PARTIAL_STRICT_H

@@ -1,0 +1,160 @@
+#include "pulse/device.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+namespace {
+
+/** Truncated annihilation operator on `levels` levels. */
+CMatrix
+lowering(int levels)
+{
+    CMatrix a(levels, levels);
+    for (int i = 1; i < levels; ++i)
+        a(i - 1, i) = std::sqrt(static_cast<double>(i));
+    return a;
+}
+
+/** Embed a single-site operator at site `qubit` of an n-site chain. */
+CMatrix
+embedSite(const CMatrix& op, int qubit, int num_qubits, int levels)
+{
+    CMatrix out = CMatrix::identity(1);
+    for (int site = 0; site < num_qubits; ++site) {
+        if (site == qubit)
+            out = kron(out, op);
+        else
+            out = kron(out, CMatrix::identity(levels));
+    }
+    return out;
+}
+
+} // namespace
+
+DeviceModel::DeviceModel(int num_qubits,
+                         std::vector<std::pair<int, int>> couplings,
+                         int levels, GmonLimits limits)
+    : numQubits_(num_qubits), levels_(levels), limits_(limits),
+      couplings_(std::move(couplings))
+{
+    fatalIf(num_qubits <= 0 || num_qubits > 6,
+            "device width out of supported range: ", num_qubits);
+    fatalIf(levels != 2 && levels != 3,
+            "device levels must be 2 or 3, got ", levels);
+    for (const auto& [a, b] : couplings_)
+        fatalIf(a < 0 || a >= num_qubits || b < 0 || b >= num_qubits ||
+                    a == b,
+                "bad coupling (", a, ", ", b, ")");
+    buildControls();
+}
+
+DeviceModel
+DeviceModel::gmonLine(int num_qubits, int levels)
+{
+    std::vector<std::pair<int, int>> couplings;
+    for (int i = 0; i + 1 < num_qubits; ++i)
+        couplings.emplace_back(i, i + 1);
+    return DeviceModel(num_qubits, std::move(couplings), levels);
+}
+
+DeviceModel
+DeviceModel::gmonClique(int num_qubits, int levels)
+{
+    std::vector<std::pair<int, int>> couplings;
+    for (int a = 0; a < num_qubits; ++a)
+        for (int b = a + 1; b < num_qubits; ++b)
+            couplings.emplace_back(a, b);
+    return DeviceModel(num_qubits, std::move(couplings), levels);
+}
+
+int
+DeviceModel::dim() const
+{
+    int d = 1;
+    for (int i = 0; i < numQubits_; ++i)
+        d *= levels_;
+    return d;
+}
+
+void
+DeviceModel::buildControls()
+{
+    const CMatrix a = lowering(levels_);
+    const CMatrix x_op = a + a.dagger();           // a^dag + a
+    const CMatrix n_op = a.dagger() * a;           // a^dag a
+
+    // Charge then flux per qubit, in qubit order.
+    for (int q = 0; q < numQubits_; ++q) {
+        controls_.push_back({"charge[" + std::to_string(q) + "]",
+                             embedSite(x_op, q, numQubits_, levels_),
+                             limits_.chargeMax});
+        controls_.push_back({"flux[" + std::to_string(q) + "]",
+                             embedSite(n_op, q, numQubits_, levels_),
+                             limits_.fluxMax});
+    }
+    // One coupler channel per coupled pair.
+    for (const auto& [j, k] : couplings_) {
+        const CMatrix op = embedSite(x_op, j, numQubits_, levels_) *
+                           embedSite(x_op, k, numQubits_, levels_);
+        controls_.push_back({"coupler[" + std::to_string(j) + "-" +
+                                 std::to_string(k) + "]",
+                             op, limits_.couplerMax});
+    }
+
+    // Drift: zero in the qubit approximation; anharmonicity on the
+    // |2> level when modelling qutrit leakage.
+    drift_ = CMatrix(dim(), dim());
+    if (levels_ == 3) {
+        CMatrix anh(3, 3);
+        anh(2, 2) = limits_.anharmonicity;
+        for (int q = 0; q < numQubits_; ++q)
+            drift_ += embedSite(anh, q, numQubits_, levels_);
+    }
+}
+
+std::vector<int>
+DeviceModel::computationalIndices() const
+{
+    std::vector<int> indices;
+    const int d = dim();
+    for (int i = 0; i < d; ++i) {
+        int rest = i;
+        bool computational = true;
+        for (int q = 0; q < numQubits_; ++q) {
+            if (rest % levels_ >= 2)
+                computational = false;
+            rest /= levels_;
+        }
+        if (computational)
+            indices.push_back(i);
+    }
+    panicIf(static_cast<int>(indices.size()) != (1 << numQubits_),
+            "computational subspace has wrong dimension");
+    return indices;
+}
+
+CMatrix
+DeviceModel::embedUnitary(const CMatrix& u) const
+{
+    const int qdim = 1 << numQubits_;
+    panicIf(u.rows() != qdim || u.cols() != qdim,
+            "embedUnitary expects a ", qdim, "-dimensional unitary");
+    if (levels_ == 2)
+        return u;
+
+    // The computational index order produced by computationalIndices()
+    // matches the binary order of the qubit-space unitary because both
+    // enumerate qubit 0 as the most significant digit. Leakage levels
+    // keep the identity action.
+    CMatrix out = CMatrix::identity(dim());
+    const std::vector<int> comp = computationalIndices();
+    for (int r = 0; r < qdim; ++r)
+        for (int c = 0; c < qdim; ++c)
+            out(comp[r], comp[c]) = u(r, c);
+    return out;
+}
+
+} // namespace qpc

@@ -1,0 +1,102 @@
+#include "pulse/evolve.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+CMatrix
+sliceHamiltonian(const DeviceModel& device,
+                 const std::vector<double>& amplitudes)
+{
+    panicIf(static_cast<int>(amplitudes.size()) != device.numControls(),
+            "expected ", device.numControls(), " amplitudes, got ",
+            amplitudes.size());
+    CMatrix h = device.drift();
+    for (int c = 0; c < device.numControls(); ++c) {
+        if (amplitudes[c] == 0.0)
+            continue;
+        h += device.controls()[c].op * Complex{amplitudes[c], 0.0};
+    }
+    return h;
+}
+
+CMatrix
+slicePropagator(const CMatrix& h, double dt)
+{
+    const int n = h.rows();
+
+    // Scale so the Taylor series converges fast, then square back.
+    double norm = h.frobeniusNorm() * dt;
+    int squarings = 0;
+    double scale = 1.0;
+    while (norm * scale > 0.25) {
+        scale *= 0.5;
+        ++squarings;
+    }
+
+    CMatrix x = h * Complex{0.0, -dt * scale};
+    CMatrix term = CMatrix::identity(n);
+    CMatrix sum = CMatrix::identity(n);
+    const int taylor_order = 10;
+    for (int k = 1; k <= taylor_order; ++k) {
+        term = term * x;
+        term *= Complex{1.0 / k, 0.0};
+        sum += term;
+    }
+    for (int i = 0; i < squarings; ++i)
+        sum = sum * sum;
+    return sum;
+}
+
+CMatrix
+evolveUnitary(const DeviceModel& device, const PulseSchedule& schedule)
+{
+    panicIf(schedule.numChannels() != device.numControls(),
+            "schedule has ", schedule.numChannels(),
+            " channels; device exposes ", device.numControls());
+
+    CMatrix u = CMatrix::identity(device.dim());
+    std::vector<double> amps(device.numControls(), 0.0);
+    for (int k = 0; k < schedule.numSamples(); ++k) {
+        for (int c = 0; c < device.numControls(); ++c)
+            amps[c] = schedule.channel(c)[k];
+        const CMatrix h = sliceHamiltonian(device, amps);
+        u = slicePropagator(h, schedule.dt()) * u;
+    }
+    return u;
+}
+
+double
+traceFidelity(const CMatrix& target, const CMatrix& realized)
+{
+    panicIf(target.rows() != realized.rows() ||
+                target.cols() != realized.cols(),
+            "traceFidelity dimension mismatch");
+    const Complex overlap = (target.dagger() * realized).trace();
+    const double d = static_cast<double>(target.rows());
+    return std::norm(overlap) / (d * d);
+}
+
+double
+subspaceFidelity(const DeviceModel& device, const CMatrix& target,
+                 const CMatrix& realized)
+{
+    const std::vector<int> comp = device.computationalIndices();
+    const int qdim = static_cast<int>(comp.size());
+    panicIf(target.rows() != qdim,
+            "subspaceFidelity target must live in the qubit space");
+
+    // Restrict the realized unitary to the computational block.
+    CMatrix block(qdim, qdim);
+    for (int r = 0; r < qdim; ++r)
+        for (int c = 0; c < qdim; ++c)
+            block(r, c) = realized(comp[r], comp[c]);
+
+    const Complex overlap = (target.dagger() * block).trace();
+    const double d = static_cast<double>(qdim);
+    return std::norm(overlap) / (d * d);
+}
+
+} // namespace qpc

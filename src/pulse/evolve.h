@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Piecewise-constant unitary evolution of control pulses.
+ *
+ * The forward pass of GRAPE and the verification path of the pulse
+ * library both integrate the Schrodinger equation with the controls
+ * held constant over each sample: U = prod_k exp(-i dt H(u_k)).
+ */
+
+#ifndef QPC_PULSE_EVOLVE_H
+#define QPC_PULSE_EVOLVE_H
+
+#include "pulse/device.h"
+#include "pulse/schedule.h"
+
+namespace qpc {
+
+/**
+ * Assemble the control Hamiltonian for one time slice:
+ * drift + sum_c amplitudes[c] * control_c.
+ */
+CMatrix sliceHamiltonian(const DeviceModel& device,
+                         const std::vector<double>& amplitudes);
+
+/**
+ * exp(-i dt H) via scaled Taylor expansion, specialized for the small
+ * norms of one GRAPE time slice (dt * ||H|| of order 1).
+ */
+CMatrix slicePropagator(const CMatrix& h, double dt);
+
+/** Total unitary realized by a schedule on a device. */
+CMatrix evolveUnitary(const DeviceModel& device,
+                      const PulseSchedule& schedule);
+
+/**
+ * Phase-invariant trace fidelity |tr(U_target^dag U)|^2 / d^2 between
+ * two equal-dimension unitaries.
+ */
+double traceFidelity(const CMatrix& target, const CMatrix& realized);
+
+/**
+ * Fidelity of a realized device unitary against a qubit-space target,
+ * projected onto the computational subspace (used when the device
+ * models qutrit leakage: amplitude that leaks out of the subspace
+ * reduces fidelity).
+ */
+double subspaceFidelity(const DeviceModel& device, const CMatrix& target,
+                        const CMatrix& realized);
+
+} // namespace qpc
+
+#endif // QPC_PULSE_EVOLVE_H

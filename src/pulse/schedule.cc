@@ -1,0 +1,70 @@
+#include "pulse/schedule.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+PulseSchedule::PulseSchedule(int num_channels, int num_samples, double dt)
+    : dt_(dt)
+{
+    fatalIf(num_channels <= 0, "schedule needs at least one channel");
+    fatalIf(num_samples < 0, "negative sample count");
+    fatalIf(dt <= 0.0, "sample period must be positive");
+    channels_.assign(num_channels, std::vector<double>(num_samples, 0.0));
+}
+
+std::vector<double>&
+PulseSchedule::channel(int index)
+{
+    panicIf(index < 0 || index >= numChannels(), "channel out of range");
+    return channels_[index];
+}
+
+const std::vector<double>&
+PulseSchedule::channel(int index) const
+{
+    panicIf(index < 0 || index >= numChannels(), "channel out of range");
+    return channels_[index];
+}
+
+void
+PulseSchedule::append(const PulseSchedule& other)
+{
+    panicIf(other.numChannels() != numChannels(),
+            "cannot append schedule with ", other.numChannels(),
+            " channels to one with ", numChannels());
+    panicIf(std::abs(other.dt_ - dt_) > 1e-12,
+            "cannot append schedules with different sample periods");
+    for (int c = 0; c < numChannels(); ++c)
+        channels_[c].insert(channels_[c].end(), other.channels_[c].begin(),
+                            other.channels_[c].end());
+}
+
+double
+PulseSchedule::maxAbsSample() const
+{
+    double worst = 0.0;
+    for (const auto& ch : channels_)
+        for (double v : ch)
+            worst = std::max(worst, std::abs(v));
+    return worst;
+}
+
+double
+PulseSchedule::roughness() const
+{
+    double sum = 0.0;
+    int count = 0;
+    for (const auto& ch : channels_) {
+        for (size_t i = 2; i < ch.size(); ++i) {
+            const double second = ch[i] - 2.0 * ch[i - 1] + ch[i - 2];
+            sum += second * second;
+            ++count;
+        }
+    }
+    return count ? sum / count : 0.0;
+}
+
+} // namespace qpc

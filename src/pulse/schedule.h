@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Time-discretized control pulse schedules.
+ *
+ * A PulseSchedule holds one sample array per control channel at a
+ * fixed sample period dt. The paper discretizes at 0.05 ns (20 GSa/s)
+ * in the standard configuration and 1 ns (1 GSa/s) in the realistic
+ * configuration. Concatenation of schedules is the runtime operation
+ * behind gate-based and strict partial compilation.
+ */
+
+#ifndef QPC_PULSE_SCHEDULE_H
+#define QPC_PULSE_SCHEDULE_H
+
+#include <vector>
+
+namespace qpc {
+
+/** Sampled control amplitudes for every channel of a device. */
+class PulseSchedule
+{
+  public:
+    PulseSchedule() = default;
+
+    /** All-zero schedule: num_channels x num_samples at period dt. */
+    PulseSchedule(int num_channels, int num_samples, double dt);
+
+    int numChannels() const
+    {
+        return static_cast<int>(channels_.size());
+    }
+    int numSamples() const
+    {
+        return channels_.empty()
+                   ? 0
+                   : static_cast<int>(channels_.front().size());
+    }
+    double dt() const { return dt_; }
+
+    /** Total pulse duration in nanoseconds. */
+    double durationNs() const { return dt_ * numSamples(); }
+
+    /** Mutable sample array of one channel. */
+    std::vector<double>& channel(int index);
+    const std::vector<double>& channel(int index) const;
+
+    /** Append another schedule in time (same channels and dt). */
+    void append(const PulseSchedule& other);
+
+    /** Largest |sample| across all channels. */
+    double maxAbsSample() const;
+
+    /**
+     * Mean squared second difference across samples, a smoothness
+     * figure used by pulse-regularization tests.
+     */
+    double roughness() const;
+
+  private:
+    double dt_ = 0.0;
+    std::vector<std::vector<double>> channels_;
+};
+
+} // namespace qpc
+
+#endif // QPC_PULSE_SCHEDULE_H

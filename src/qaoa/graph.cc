@@ -1,0 +1,147 @@
+#include "qaoa/graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+bool
+Graph::hasEdge(int a, int b) const
+{
+    for (const auto& [x, y] : edges)
+        if ((x == a && y == b) || (x == b && y == a))
+            return true;
+    return false;
+}
+
+std::vector<int>
+Graph::degrees() const
+{
+    std::vector<int> deg(numNodes, 0);
+    for (const auto& [a, b] : edges) {
+        ++deg[a];
+        ++deg[b];
+    }
+    return deg;
+}
+
+bool
+Graph::isConnected() const
+{
+    if (numNodes == 0)
+        return true;
+    std::vector<std::vector<int>> adj(numNodes);
+    for (const auto& [a, b] : edges) {
+        adj[a].push_back(b);
+        adj[b].push_back(a);
+    }
+    std::vector<bool> seen(numNodes, false);
+    std::queue<int> frontier;
+    frontier.push(0);
+    seen[0] = true;
+    int count = 1;
+    while (!frontier.empty()) {
+        const int node = frontier.front();
+        frontier.pop();
+        for (int next : adj[node]) {
+            if (!seen[next]) {
+                seen[next] = true;
+                ++count;
+                frontier.push(next);
+            }
+        }
+    }
+    return count == numNodes;
+}
+
+std::string
+Graph::str() const
+{
+    std::ostringstream oss;
+    oss << "graph(" << numNodes << " nodes:";
+    for (const auto& [a, b] : edges)
+        oss << " " << a << "-" << b;
+    oss << ")";
+    return oss.str();
+}
+
+Graph
+cliqueGraph(int n)
+{
+    fatalIf(n <= 0, "clique needs at least one node");
+    Graph g;
+    g.numNodes = n;
+    for (int a = 0; a < n; ++a)
+        for (int b = a + 1; b < n; ++b)
+            g.edges.emplace_back(a, b);
+    return g;
+}
+
+Graph
+cycleGraph(int n)
+{
+    fatalIf(n < 3, "cycle needs at least three nodes");
+    Graph g;
+    g.numNodes = n;
+    for (int i = 0; i < n; ++i)
+        g.edges.emplace_back(i, (i + 1) % n);
+    return g;
+}
+
+Graph
+random3Regular(int n, Rng& rng)
+{
+    fatalIf(n < 4 || (3 * n) % 2 != 0,
+            "3-regular graphs need n >= 4 with 3n even, got ", n);
+
+    const int max_attempts = 10000;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        // Configuration model: three stubs per node, paired uniformly.
+        std::vector<int> stubs;
+        stubs.reserve(3 * n);
+        for (int v = 0; v < n; ++v)
+            for (int s = 0; s < 3; ++s)
+                stubs.push_back(v);
+        rng.shuffle(stubs);
+
+        Graph g;
+        g.numNodes = n;
+        bool simple = true;
+        for (size_t i = 0; i + 1 < stubs.size() && simple; i += 2) {
+            const int a = stubs[i];
+            const int b = stubs[i + 1];
+            if (a == b || g.hasEdge(a, b))
+                simple = false;
+            else
+                g.edges.emplace_back(std::min(a, b), std::max(a, b));
+        }
+        if (simple && g.isConnected())
+            return g;
+    }
+    fatal("failed to sample a simple connected 3-regular graph");
+}
+
+Graph
+erdosRenyi(int n, double p, Rng& rng)
+{
+    fatalIf(n <= 1, "Erdos-Renyi needs at least two nodes");
+    fatalIf(p <= 0.0 || p > 1.0, "edge probability out of range");
+
+    const int max_attempts = 10000;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        Graph g;
+        g.numNodes = n;
+        for (int a = 0; a < n; ++a)
+            for (int b = a + 1; b < n; ++b)
+                if (rng.bernoulli(p))
+                    g.edges.emplace_back(a, b);
+        if (g.isConnected())
+            return g;
+    }
+    fatal("failed to sample a connected Erdos-Renyi graph");
+}
+
+} // namespace qpc

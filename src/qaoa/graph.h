@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Graphs for the QAOA MAXCUT benchmarks.
+ *
+ * The paper benchmarks 3-regular and Erdos-Renyi (p = 0.5) random
+ * graphs on 6 and 8 nodes, plus the 4-node clique for Figure 2. All
+ * generators are deterministic under a seeded Rng, mirroring the
+ * paper's fixed randomization seeds.
+ */
+
+#ifndef QPC_QAOA_GRAPH_H
+#define QPC_QAOA_GRAPH_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace qpc {
+
+/** A simple undirected graph. */
+struct Graph
+{
+    int numNodes = 0;
+    std::vector<std::pair<int, int>> edges;
+
+    int numEdges() const { return static_cast<int>(edges.size()); }
+    bool hasEdge(int a, int b) const;
+    std::vector<int> degrees() const;
+    bool isConnected() const;
+    std::string str() const;
+};
+
+/** Complete graph on n nodes (Figure 2 uses the 4-clique). */
+Graph cliqueGraph(int n);
+
+/** Cycle graph on n nodes (tests). */
+Graph cycleGraph(int n);
+
+/**
+ * Uniform random 3-regular graph via the configuration model with
+ * rejection of self-loops and multi-edges. Requires 3n even.
+ */
+Graph random3Regular(int n, Rng& rng);
+
+/**
+ * Erdos-Renyi G(n, p) conditioned on connectivity (resampled until
+ * connected, as disconnected instances decompose trivially).
+ */
+Graph erdosRenyi(int n, double p, Rng& rng);
+
+} // namespace qpc
+
+#endif // QPC_QAOA_GRAPH_H

@@ -1,0 +1,54 @@
+#include "qaoa/maxcut.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+int
+cutValue(const Graph& graph, int mask)
+{
+    int cut = 0;
+    for (const auto& [a, b] : graph.edges) {
+        const int bit_a = (mask >> a) & 1;
+        const int bit_b = (mask >> b) & 1;
+        if (bit_a != bit_b)
+            ++cut;
+    }
+    return cut;
+}
+
+int
+bruteForceMaxCut(const Graph& graph)
+{
+    fatalIf(graph.numNodes > 24, "brute force capped at 24 nodes");
+    int best = 0;
+    const int limit = 1 << graph.numNodes;
+    for (int mask = 0; mask < limit; ++mask)
+        best = std::max(best, cutValue(graph, mask));
+    return best;
+}
+
+PauliHamiltonian
+maxcutCostHamiltonian(const Graph& graph)
+{
+    PauliHamiltonian h(graph.numNodes);
+    const std::string identity(graph.numNodes, 'I');
+    for (const auto& [a, b] : graph.edges) {
+        std::string zz = identity;
+        zz[a] = 'Z';
+        zz[b] = 'Z';
+        h.add(0.5, zz);
+        h.add(-0.5, identity);
+    }
+    return h;
+}
+
+double
+expectedCut(double cost_expectation)
+{
+    return -cost_expectation;
+}
+
+} // namespace qpc

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * MAXCUT cost functions for QAOA.
+ *
+ * The cut value of a bit assignment, a brute-force optimum for
+ * benchmark-sized graphs, and the cost Hamiltonian
+ * C = sum_(i,j) (1 - Z_i Z_j) / 2 whose expectation QAOA maximizes.
+ */
+
+#ifndef QPC_QAOA_MAXCUT_H
+#define QPC_QAOA_MAXCUT_H
+
+#include "qaoa/graph.h"
+#include "sim/pauli.h"
+
+namespace qpc {
+
+/** Cut size of the assignment encoded in the bits of `mask`. */
+int cutValue(const Graph& graph, int mask);
+
+/** Exact maximum cut via exhaustive search (n <= ~24). */
+int bruteForceMaxCut(const Graph& graph);
+
+/**
+ * Cost Hamiltonian in minimization form:
+ * H_C = sum_(i,j) (Z_i Z_j - 1) / 2, so min <H_C> = -maxcut.
+ */
+PauliHamiltonian maxcutCostHamiltonian(const Graph& graph);
+
+/** Expected cut size implied by a cost expectation: -<H_C>. */
+double expectedCut(double cost_expectation);
+
+} // namespace qpc
+
+#endif // QPC_QAOA_MAXCUT_H

@@ -1,0 +1,44 @@
+#include "qaoa/qaoacircuit.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+Circuit
+buildQaoaCircuit(const Graph& graph, int p)
+{
+    fatalIf(graph.numNodes <= 0, "QAOA needs a non-empty graph");
+    fatalIf(p <= 0, "QAOA needs at least one round");
+
+    Circuit circuit(graph.numNodes);
+    for (int q = 0; q < graph.numNodes; ++q)
+        circuit.h(q);
+
+    for (int round = 0; round < p; ++round) {
+        const int gamma = 2 * round;
+        const int beta = 2 * round + 1;
+        // Cost layer: exp(-i gamma Z_a Z_b / ...) per edge via the
+        // CX ladder identity.
+        for (const auto& [a, b] : graph.edges) {
+            circuit.cx(a, b);
+            circuit.rz(b, ParamExpr::theta(gamma, 2.0));
+            circuit.cx(a, b);
+        }
+        // Mixing layer.
+        for (int q = 0; q < graph.numNodes; ++q)
+            circuit.rx(q, ParamExpr::theta(beta, 2.0));
+    }
+    return circuit;
+}
+
+std::string
+qaoaBenchmarkName(const std::string& family, int n, int p)
+{
+    std::ostringstream oss;
+    oss << family << "-n" << n << "-p" << p;
+    return oss.str();
+}
+
+} // namespace qpc

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * QAOA circuit construction (Section 4.2).
+ *
+ * A depth-p QAOA MAXCUT circuit: Hadamards prepare the uniform
+ * superposition, then p rounds alternate the Cost-Optimization layer
+ * exp(-i gamma_r C) (one CX Rz(2 gamma_r) CX sandwich per edge) and
+ * the Mixing layer exp(-i beta_r B) (one Rx(2 beta_r) per node). The
+ * 2p parameters are tagged in construction order — gamma_r at index
+ * 2r, beta_r at 2r + 1 — which makes the circuit parameter monotone
+ * by design (Section 7.1).
+ */
+
+#ifndef QPC_QAOA_QAOACIRCUIT_H
+#define QPC_QAOA_QAOACIRCUIT_H
+
+#include "ir/circuit.h"
+#include "qaoa/graph.h"
+
+namespace qpc {
+
+/**
+ * Build the symbolic QAOA circuit for a graph at depth p.
+ *
+ * Parameter convention: theta[2r] = gamma_r (cost magnitude),
+ * theta[2r + 1] = beta_r (mixing magnitude), r = 0..p-1.
+ */
+Circuit buildQaoaCircuit(const Graph& graph, int p);
+
+/** Identifier like "3reg-n6-p4" for tables and logs. */
+std::string qaoaBenchmarkName(const std::string& family, int n, int p);
+
+} // namespace qpc
+
+#endif // QPC_QAOA_QAOACIRCUIT_H

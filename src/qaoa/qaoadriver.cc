@@ -1,0 +1,57 @@
+#include "qaoa/qaoadriver.h"
+
+#include "common/logging.h"
+#include "sim/statevector.h"
+
+namespace qpc {
+
+QaoaResult
+runQaoa(const Graph& graph, const QaoaRunOptions& options)
+{
+    const Circuit circuit = buildQaoaCircuit(graph, options.p);
+    const PauliHamiltonian cost = maxcutCostHamiltonian(graph);
+
+    QaoaResult result;
+    result.maxCut = bruteForceMaxCut(graph);
+
+    int evaluations = 0;
+    auto objective = [&](const std::vector<double>& theta) {
+        ++evaluations;
+        StateVector state(graph.numNodes);
+        state.applyCircuit(circuit.bind(theta));
+        return cost.expectation(state);
+    };
+
+    Rng rng(options.seed);
+    const std::vector<double> start = rng.angles(2 * options.p);
+    const NelderMeadResult opt =
+        nelderMead(objective, start, options.optimizer);
+
+    result.bestParams = opt.best;
+    result.bestCost = opt.bestValue;
+    result.expectedCutValue = expectedCut(opt.bestValue);
+    result.approxRatio =
+        result.maxCut > 0 ? result.expectedCutValue / result.maxCut
+                          : 0.0;
+    result.iterations = evaluations;
+    return result;
+}
+
+std::vector<AggregateLatency>
+aggregateLatencies(const PartialCompiler& compiler,
+                   const std::vector<double>& theta, int iterations)
+{
+    fatalIf(iterations <= 0, "need a positive iteration count");
+    std::vector<AggregateLatency> out;
+    for (Strategy strategy : allStrategies()) {
+        const CompileReport report = compiler.compile(strategy, theta);
+        AggregateLatency agg;
+        agg.strategy = strategy;
+        agg.precomputeSeconds = report.precomputeSeconds;
+        agg.totalRuntimeSeconds = report.runtimeSeconds * iterations;
+        out.push_back(agg);
+    }
+    return out;
+}
+
+} // namespace qpc

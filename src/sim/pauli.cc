@@ -1,0 +1,110 @@
+#include "sim/pauli.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "linalg/eig.h"
+#include "linalg/su2.h"
+
+namespace qpc {
+
+PauliHamiltonian::PauliHamiltonian(int num_qubits)
+    : numQubits_(num_qubits)
+{
+    fatalIf(num_qubits <= 0, "Hamiltonian needs at least one qubit");
+}
+
+void
+PauliHamiltonian::add(double coeff, const std::string& paulis)
+{
+    fatalIf(static_cast<int>(paulis.size()) != numQubits_,
+            "Pauli string '", paulis, "' does not match width ",
+            numQubits_);
+    for (char c : paulis)
+        fatalIf(c != 'I' && c != 'X' && c != 'Y' && c != 'Z',
+                "bad Pauli character '", c, "'");
+    terms_.push_back({coeff, paulis});
+}
+
+StateVector
+applyPauli(const PauliTerm& term, const StateVector& state)
+{
+    const int n = state.numQubits();
+    const int dim = state.dim();
+    std::vector<Complex> out(dim, Complex{0.0, 0.0});
+
+    // A Pauli string is a signed permutation: basis |i> maps to
+    // |i ^ flip_mask> with a phase from the Y and Z factors.
+    int flip_mask = 0;
+    for (int q = 0; q < n; ++q) {
+        const char c = term.paulis[q];
+        if (c == 'X' || c == 'Y')
+            flip_mask |= 1 << (n - 1 - q);
+    }
+
+    const std::vector<Complex>& amps = state.amplitudes();
+    for (int i = 0; i < dim; ++i) {
+        Complex phase{1.0, 0.0};
+        for (int q = 0; q < n; ++q) {
+            const int bit = (i >> (n - 1 - q)) & 1;
+            switch (term.paulis[q]) {
+              case 'Y':
+                // Y|0> = i|1>, Y|1> = -i|0>.
+                phase *= bit ? Complex{0.0, -1.0} : Complex{0.0, 1.0};
+                break;
+              case 'Z':
+                if (bit)
+                    phase = -phase;
+                break;
+              default:
+                break;
+            }
+        }
+        out[i ^ flip_mask] += phase * amps[i];
+    }
+    return StateVector(n, std::move(out));
+}
+
+double
+PauliHamiltonian::expectation(const StateVector& state) const
+{
+    panicIf(state.numQubits() != numQubits_,
+            "state width does not match Hamiltonian width");
+    double energy = 0.0;
+    for (const PauliTerm& term : terms_) {
+        const StateVector transformed = applyPauli(term, state);
+        energy += term.coeff * state.overlap(transformed).real();
+    }
+    return energy;
+}
+
+CMatrix
+PauliHamiltonian::toMatrix() const
+{
+    fatalIf(numQubits_ > 10, "toMatrix limited to 10 qubits");
+    const int dim = 1 << numQubits_;
+    CMatrix h(dim, dim);
+    for (const PauliTerm& term : terms_) {
+        std::vector<CMatrix> factors;
+        factors.reserve(numQubits_);
+        for (char c : term.paulis) {
+            switch (c) {
+              case 'I': factors.push_back(pauliI()); break;
+              case 'X': factors.push_back(pauliX()); break;
+              case 'Y': factors.push_back(pauliY()); break;
+              case 'Z': factors.push_back(pauliZ()); break;
+            }
+        }
+        h += kronAll(factors) * Complex{term.coeff, 0.0};
+    }
+    return h;
+}
+
+double
+PauliHamiltonian::groundStateEnergy() const
+{
+    const EigResult eig = eigHermitian(toMatrix());
+    return eig.values.front();
+}
+
+} // namespace qpc

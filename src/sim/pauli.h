@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Pauli-string Hamiltonians and expectation values.
+ *
+ * VQE cost functions are weighted sums of Pauli strings; QAOA MAXCUT
+ * costs are sums of ZZ terms. Expectation values are evaluated exactly
+ * against the state-vector simulator, standing in for the sampled
+ * estimates a physical machine would return.
+ */
+
+#ifndef QPC_SIM_PAULI_H
+#define QPC_SIM_PAULI_H
+
+#include <string>
+#include <vector>
+
+#include "sim/statevector.h"
+
+namespace qpc {
+
+/** One weighted Pauli string, e.g. 0.5 * "XIZY". */
+struct PauliTerm
+{
+    double coeff = 0.0;
+    /** One char per qubit from {I, X, Y, Z}; index 0 = qubit 0. */
+    std::string paulis;
+};
+
+/** A Hermitian operator as a sum of weighted Pauli strings. */
+class PauliHamiltonian
+{
+  public:
+    PauliHamiltonian() = default;
+    explicit PauliHamiltonian(int num_qubits);
+
+    int numQubits() const { return numQubits_; }
+    const std::vector<PauliTerm>& terms() const { return terms_; }
+
+    /** Append a validated term. */
+    void add(double coeff, const std::string& paulis);
+
+    /** <state| H |state>, exact. */
+    double expectation(const StateVector& state) const;
+
+    /** Dense matrix form (tests / exact diagonalization, small n). */
+    CMatrix toMatrix() const;
+
+    /** Smallest eigenvalue via exact diagonalization (small n). */
+    double groundStateEnergy() const;
+
+  private:
+    int numQubits_ = 0;
+    std::vector<PauliTerm> terms_;
+};
+
+/** Apply one Pauli string to a state (out-of-place). */
+StateVector applyPauli(const PauliTerm& term, const StateVector& state);
+
+} // namespace qpc
+
+#endif // QPC_SIM_PAULI_H

@@ -1,0 +1,140 @@
+#include "sim/statevector.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+StateVector::StateVector(int num_qubits) : numQubits_(num_qubits)
+{
+    fatalIf(num_qubits <= 0 || num_qubits > 24,
+            "state vector width out of range: ", num_qubits);
+    amps_.assign(size_t{1} << num_qubits, Complex{0.0, 0.0});
+    amps_[0] = 1.0;
+}
+
+StateVector::StateVector(int num_qubits, std::vector<Complex> amplitudes)
+    : numQubits_(num_qubits), amps_(std::move(amplitudes))
+{
+    panicIf(amps_.size() != (size_t{1} << num_qubits),
+            "amplitude vector size does not match qubit count");
+}
+
+void
+StateVector::applyMatrix1(const CMatrix& u, int qubit)
+{
+    panicIf(u.rows() != 2 || u.cols() != 2, "applyMatrix1 needs 2x2");
+    panicIf(qubit < 0 || qubit >= numQubits_, "qubit out of range");
+
+    const int stride = 1 << (numQubits_ - 1 - qubit);
+    const int dim = static_cast<int>(amps_.size());
+    for (int base = 0; base < dim; ++base) {
+        if (base & stride)
+            continue;
+        const Complex a0 = amps_[base];
+        const Complex a1 = amps_[base | stride];
+        amps_[base] = u(0, 0) * a0 + u(0, 1) * a1;
+        amps_[base | stride] = u(1, 0) * a0 + u(1, 1) * a1;
+    }
+}
+
+void
+StateVector::applyMatrix2(const CMatrix& u, int q0, int q1)
+{
+    panicIf(u.rows() != 4 || u.cols() != 4, "applyMatrix2 needs 4x4");
+    panicIf(q0 == q1, "applyMatrix2 needs distinct qubits");
+    panicIf(q0 < 0 || q0 >= numQubits_ || q1 < 0 || q1 >= numQubits_,
+            "qubit out of range");
+
+    const int s0 = 1 << (numQubits_ - 1 - q0);
+    const int s1 = 1 << (numQubits_ - 1 - q1);
+    const int dim = static_cast<int>(amps_.size());
+    for (int base = 0; base < dim; ++base) {
+        if ((base & s0) || (base & s1))
+            continue;
+        Complex in[4] = {amps_[base], amps_[base | s1], amps_[base | s0],
+                         amps_[base | s0 | s1]};
+        Complex out[4];
+        for (int r = 0; r < 4; ++r) {
+            out[r] = u(r, 0) * in[0] + u(r, 1) * in[1] + u(r, 2) * in[2] +
+                     u(r, 3) * in[3];
+        }
+        amps_[base] = out[0];
+        amps_[base | s1] = out[1];
+        amps_[base | s0] = out[2];
+        amps_[base | s0 | s1] = out[3];
+    }
+}
+
+void
+StateVector::applyOp(const GateOp& op)
+{
+    panicIf(gateIsRotation(op.kind) && op.angle.isSymbolic(),
+            "cannot simulate a symbolic rotation; bind() first");
+    const double angle =
+        gateIsRotation(op.kind) ? op.angle.bind({}) : 0.0;
+    const CMatrix u = gateMatrix(op.kind, angle);
+    if (op.arity() == 1)
+        applyMatrix1(u, op.q0);
+    else
+        applyMatrix2(u, op.q0, op.q1);
+}
+
+void
+StateVector::applyCircuit(const Circuit& circuit)
+{
+    panicIf(circuit.numQubits() != numQubits_,
+            "circuit width ", circuit.numQubits(),
+            " does not match state width ", numQubits_);
+    for (const GateOp& op : circuit.ops())
+        applyOp(op);
+}
+
+double
+StateVector::probability(int basis_index) const
+{
+    panicIf(basis_index < 0 ||
+                basis_index >= static_cast<int>(amps_.size()),
+            "basis index out of range");
+    return std::norm(amps_[basis_index]);
+}
+
+double
+StateVector::normSquared() const
+{
+    double sum = 0.0;
+    for (const Complex& a : amps_)
+        sum += std::norm(a);
+    return sum;
+}
+
+Complex
+StateVector::overlap(const StateVector& other) const
+{
+    panicIf(other.dim() != dim(), "overlap dimension mismatch");
+    Complex acc = 0.0;
+    for (size_t i = 0; i < amps_.size(); ++i)
+        acc += std::conj(amps_[i]) * other.amps_[i];
+    return acc;
+}
+
+CMatrix
+circuitUnitary(const Circuit& circuit)
+{
+    const int n = circuit.numQubits();
+    fatalIf(n > 12, "circuitUnitary limited to 12 qubits, got ", n);
+    const int dim = 1 << n;
+    CMatrix u(dim, dim);
+    for (int col = 0; col < dim; ++col) {
+        std::vector<Complex> basis(dim, Complex{0.0, 0.0});
+        basis[col] = 1.0;
+        StateVector state(n, std::move(basis));
+        state.applyCircuit(circuit);
+        for (int row = 0; row < dim; ++row)
+            u(row, col) = state.amplitudes()[row];
+    }
+    return u;
+}
+
+} // namespace qpc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * State-vector simulator.
+ *
+ * Simulates bound (parameter-free) circuits on up to ~12 qubits, which
+ * covers every benchmark in the paper (H2O at 10 qubits is the
+ * largest). The variational drivers use it as the "quantum hardware"
+ * substitute: each VQE / QAOA iteration prepares the ansatz state here
+ * and measures the cost Hamiltonian's expectation exactly.
+ *
+ * Bit convention: qubit 0 is the most significant bit of the basis
+ * index, matching the tensor order of kron() and gateMatrix().
+ */
+
+#ifndef QPC_SIM_STATEVECTOR_H
+#define QPC_SIM_STATEVECTOR_H
+
+#include <vector>
+
+#include "ir/circuit.h"
+#include "linalg/matrix.h"
+
+namespace qpc {
+
+/** A normalized pure state over n qubits. */
+class StateVector
+{
+  public:
+    /** |0...0> over num_qubits qubits. */
+    explicit StateVector(int num_qubits);
+
+    /** Wrap an existing amplitude vector (validated power of two). */
+    StateVector(int num_qubits, std::vector<Complex> amplitudes);
+
+    int numQubits() const { return numQubits_; }
+    int dim() const { return static_cast<int>(amps_.size()); }
+    const std::vector<Complex>& amplitudes() const { return amps_; }
+
+    /** Apply a single bound gate op. The angle must be constant. */
+    void applyOp(const GateOp& op);
+
+    /** Apply every op of a bound circuit in order. */
+    void applyCircuit(const Circuit& circuit);
+
+    /** Apply an arbitrary 2x2 matrix to one qubit. */
+    void applyMatrix1(const CMatrix& u, int qubit);
+
+    /** Apply an arbitrary 4x4 matrix to an ordered qubit pair. */
+    void applyMatrix2(const CMatrix& u, int q0, int q1);
+
+    /** |amp|^2 of one computational basis state. */
+    double probability(int basis_index) const;
+
+    /** Sum of |amp|^2 (should be 1; used by tests). */
+    double normSquared() const;
+
+    /** <this|other>. */
+    Complex overlap(const StateVector& other) const;
+
+  private:
+    int bitOf(int index, int qubit) const
+    {
+        return (index >> (numQubits_ - 1 - qubit)) & 1;
+    }
+
+    int numQubits_;
+    std::vector<Complex> amps_;
+};
+
+/**
+ * Full unitary of a bound circuit, built column-by-column through the
+ * state-vector simulator. Intended for blocks and test circuits
+ * (dimension grows as 4^n in memory).
+ */
+CMatrix circuitUnitary(const Circuit& circuit);
+
+} // namespace qpc
+
+#endif // QPC_SIM_STATEVECTOR_H

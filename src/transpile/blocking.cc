@@ -1,0 +1,233 @@
+#include "transpile/blocking.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+Circuit
+CircuitBlock::asCircuit(const Circuit& source) const
+{
+    panicIf(qubits.empty(), "block has no qubits");
+    std::map<int, int> local;
+    for (size_t i = 0; i < qubits.size(); ++i)
+        local[qubits[i]] = static_cast<int>(i);
+
+    Circuit block(width());
+    for (int index : opIndices) {
+        GateOp op = source.ops()[index];
+        op.q0 = local.at(op.q0);
+        if (op.arity() == 2)
+            op.q1 = local.at(op.q1);
+        block.add(op);
+    }
+    return block;
+}
+
+namespace {
+
+/** Mutable block under construction. */
+struct OpenBlock
+{
+    std::vector<int> qubits;     // sorted
+    std::vector<int> opIndices;
+    bool open = true;
+};
+
+void
+insertSorted(std::vector<int>& sorted, int value)
+{
+    auto it = std::lower_bound(sorted.begin(), sorted.end(), value);
+    if (it == sorted.end() || *it != value)
+        sorted.insert(it, value);
+}
+
+} // namespace
+
+Blocking
+aggregateBlocks(const Circuit& circuit, int max_width)
+{
+    fatalIf(max_width < 1, "block width cap must be at least 1");
+    fatalIf(max_width < 2 && circuit.countTwoQubitOps() > 0,
+            "two-qubit gates need a width cap of at least 2");
+
+    std::vector<OpenBlock> blocks;
+    // open[q] = index of the open block currently owning qubit q.
+    std::vector<int> open(circuit.numQubits(), -1);
+
+    // Closing is strong: when a block loses any qubit, the whole block
+    // closes and every one of its qubits is released. This guarantees
+    // that open blocks never depend on one another, which keeps every
+    // merge / extension convex.
+    auto close_block = [&](int b) {
+        if (b < 0 || !blocks[b].open)
+            return;
+        blocks[b].open = false;
+        for (int q : blocks[b].qubits)
+            if (open[q] == b)
+                open[q] = -1;
+    };
+
+    auto new_block = [&](const std::vector<int>& qs) {
+        OpenBlock blk;
+        blk.qubits = qs;
+        std::sort(blk.qubits.begin(), blk.qubits.end());
+        blocks.push_back(blk);
+        const int id = static_cast<int>(blocks.size()) - 1;
+        for (int q : blk.qubits)
+            open[q] = id;
+        return id;
+    };
+
+    for (int i = 0; i < circuit.size(); ++i) {
+        const GateOp& op = circuit.ops()[i];
+
+        if (op.arity() == 1) {
+            const int q = op.q0;
+            int b = open[q];
+            if (b < 0)
+                b = new_block({q});
+            blocks[b].opIndices.push_back(i);
+            continue;
+        }
+
+        const int a = op.q0;
+        const int c = op.q1;
+        const int ba = open[a];
+        const int bc = open[c];
+
+        if (ba >= 0 && ba == bc) {
+            blocks[ba].opIndices.push_back(i);
+            continue;
+        }
+
+        // Union width if we merged/extended the operand blocks.
+        std::vector<int> unioned;
+        if (ba >= 0)
+            unioned = blocks[ba].qubits;
+        if (bc >= 0)
+            for (int q : blocks[bc].qubits)
+                insertSorted(unioned, q);
+        insertSorted(unioned, a);
+        insertSorted(unioned, c);
+
+        if (static_cast<int>(unioned.size()) <= max_width) {
+            // Merge into (or extend) block ba; absorb bc if distinct.
+            int target = ba;
+            if (target < 0)
+                target = bc;
+            if (target < 0) {
+                target = new_block({a, c});
+            } else {
+                if (bc >= 0 && bc != target) {
+                    for (int idx : blocks[bc].opIndices)
+                        blocks[target].opIndices.push_back(idx);
+                    std::sort(blocks[target].opIndices.begin(),
+                              blocks[target].opIndices.end());
+                    for (int q : blocks[bc].qubits) {
+                        insertSorted(blocks[target].qubits, q);
+                        open[q] = target;
+                    }
+                    blocks[bc].open = false;
+                    blocks[bc].opIndices.clear();
+                    blocks[bc].qubits.clear();
+                }
+                insertSorted(blocks[target].qubits, a);
+                insertSorted(blocks[target].qubits, c);
+                open[a] = target;
+                open[c] = target;
+            }
+            blocks[target].opIndices.push_back(i);
+        } else {
+            close_block(ba);
+            close_block(bc);
+            const int target = new_block({a, c});
+            blocks[target].opIndices.push_back(i);
+        }
+    }
+
+    // Drop blocks emptied by merges and build the result.
+    Blocking result;
+    std::vector<int> remap(blocks.size(), -1);
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        if (blocks[b].opIndices.empty())
+            continue;
+        remap[b] = result.numBlocks();
+        CircuitBlock out;
+        out.qubits = blocks[b].qubits;
+        out.opIndices = blocks[b].opIndices;
+        result.blocks.push_back(std::move(out));
+    }
+
+    // Dependencies: block u precedes v when v holds the next op on a
+    // qubit whose previous op sits in u.
+    result.predecessors.assign(result.numBlocks(), {});
+    std::vector<int> op_block(circuit.size(), -1);
+    for (int b = 0; b < result.numBlocks(); ++b)
+        for (int idx : result.blocks[b].opIndices)
+            op_block[idx] = b;
+    std::vector<int> last_block(circuit.numQubits(), -1);
+    for (int i = 0; i < circuit.size(); ++i) {
+        const int b = op_block[i];
+        panicIf(b < 0, "op ", i, " not assigned to any block");
+        for (int q : circuit.ops()[i].qubits()) {
+            const int prev = last_block[q];
+            if (prev >= 0 && prev != b) {
+                auto& preds = result.predecessors[b];
+                if (std::find(preds.begin(), preds.end(), prev) ==
+                    preds.end())
+                    preds.push_back(prev);
+            }
+            last_block[q] = b;
+        }
+    }
+    return result;
+}
+
+double
+blockCriticalPath(const Blocking& blocking,
+                  const std::vector<double>& block_times_ns)
+{
+    const int n = blocking.numBlocks();
+    panicIf(static_cast<int>(block_times_ns.size()) != n,
+            "need one duration per block");
+
+    // Kahn topological order over the predecessor lists.
+    std::vector<std::vector<int>> successors(n);
+    std::vector<int> in_degree(n, 0);
+    for (int b = 0; b < n; ++b) {
+        in_degree[b] =
+            static_cast<int>(blocking.predecessors[b].size());
+        for (int p : blocking.predecessors[b])
+            successors[p].push_back(b);
+    }
+
+    std::queue<int> ready;
+    for (int b = 0; b < n; ++b)
+        if (in_degree[b] == 0)
+            ready.push(b);
+
+    std::vector<double> finish(n, 0.0);
+    int visited = 0;
+    double makespan = 0.0;
+    while (!ready.empty()) {
+        const int b = ready.front();
+        ready.pop();
+        ++visited;
+        double start = 0.0;
+        for (int p : blocking.predecessors[b])
+            start = std::max(start, finish[p]);
+        finish[b] = start + block_times_ns[b];
+        makespan = std::max(makespan, finish[b]);
+        for (int s : successors[b])
+            if (--in_degree[s] == 0)
+                ready.push(s);
+    }
+    panicIf(visited != n, "block dependency graph has a cycle");
+    return makespan;
+}
+
+} // namespace qpc

@@ -1,0 +1,46 @@
+#include "transpile/durations.h"
+
+#include "common/logging.h"
+
+namespace qpc {
+
+double
+GateDurations::opDuration(const GateOp& op) const
+{
+    switch (op.kind) {
+      case GateKind::I:
+        return 0.0;
+      case GateKind::Z:
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::T:
+      case GateKind::Tdg:
+      case GateKind::Rz:
+        return rz;
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Rx:
+      case GateKind::Ry:
+        return rx;
+      case GateKind::H:
+        return h;
+      case GateKind::CX:
+      case GateKind::CZ:
+      case GateKind::ISwap:
+        return cx;
+      case GateKind::SWAP:
+        return swap;
+    }
+    panic("unknown GateKind in opDuration");
+}
+
+double
+GateDurations::serialDuration(const Circuit& circuit) const
+{
+    double total = 0.0;
+    for (const GateOp& op : circuit.ops())
+        total += opDuration(op);
+    return total;
+}
+
+} // namespace qpc

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Gate-based pulse duration table.
+ *
+ * Table 1 of the paper: the per-gate pulse durations (in nanoseconds)
+ * that gate-based compilation concatenates. Gate-based circuit runtime
+ * is the ASAP critical path of the circuit indexed to these values.
+ */
+
+#ifndef QPC_TRANSPILE_DURATIONS_H
+#define QPC_TRANSPILE_DURATIONS_H
+
+#include "ir/circuit.h"
+
+namespace qpc {
+
+/**
+ * Pulse duration lookup for the compilation basis gate set.
+ *
+ * The default values reproduce Table 1 (gmon qubit system): Rz 0.4 ns,
+ * Rx 2.5 ns, H 1.4 ns, CX 3.8 ns, SWAP 7.4 ns. Gates outside the basis
+ * are charged at the cost of their natural basis implementation
+ * (Z-axis phase gates at the Rz cost, CZ at the CX cost, and so on).
+ */
+struct GateDurations
+{
+    double rz = 0.4;
+    double rx = 2.5;
+    double h = 1.4;
+    double cx = 3.8;
+    double swap = 7.4;
+
+    /** The paper's Table 1 values. */
+    static GateDurations table1() { return GateDurations{}; }
+
+    /** Duration in nanoseconds of a single op. */
+    double opDuration(const GateOp& op) const;
+
+    /** Sum of op durations (serial lower bound, ignores parallelism). */
+    double serialDuration(const Circuit& circuit) const;
+};
+
+} // namespace qpc
+
+#endif // QPC_TRANSPILE_DURATIONS_H

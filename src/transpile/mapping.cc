@@ -1,0 +1,170 @@
+#include "transpile/mapping.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+Topology::Topology(int num_qubits, std::vector<std::pair<int, int>> edges)
+    : numQubits_(num_qubits), edges_(std::move(edges)),
+      adjacency_(num_qubits)
+{
+    for (const auto& [a, b] : edges_) {
+        panicIf(a < 0 || a >= num_qubits || b < 0 || b >= num_qubits ||
+                    a == b,
+                "bad topology edge (", a, ", ", b, ")");
+        adjacency_[a].push_back(b);
+        adjacency_[b].push_back(a);
+    }
+}
+
+Topology
+Topology::line(int n)
+{
+    fatalIf(n <= 0, "line topology needs at least one qubit");
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i + 1 < n; ++i)
+        edges.emplace_back(i, i + 1);
+    return Topology(n, std::move(edges));
+}
+
+Topology
+Topology::grid(int rows, int cols)
+{
+    fatalIf(rows <= 0 || cols <= 0, "grid topology needs positive shape");
+    std::vector<std::pair<int, int>> edges;
+    auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                edges.emplace_back(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                edges.emplace_back(id(r, c), id(r + 1, c));
+        }
+    }
+    return Topology(rows * cols, std::move(edges));
+}
+
+Topology
+Topology::clique(int n)
+{
+    fatalIf(n <= 0, "clique topology needs at least one qubit");
+    std::vector<std::pair<int, int>> edges;
+    for (int a = 0; a < n; ++a)
+        for (int b = a + 1; b < n; ++b)
+            edges.emplace_back(a, b);
+    return Topology(n, std::move(edges));
+}
+
+bool
+Topology::connected(int a, int b) const
+{
+    for (int neighbor : adjacency_[a])
+        if (neighbor == b)
+            return true;
+    return false;
+}
+
+std::vector<int>
+Topology::shortestPath(int a, int b) const
+{
+    panicIf(a < 0 || a >= numQubits_ || b < 0 || b >= numQubits_,
+            "shortestPath endpoint outside topology");
+    if (a == b)
+        return {a};
+
+    std::vector<int> parent(numQubits_, -1);
+    std::queue<int> frontier;
+    frontier.push(a);
+    parent[a] = a;
+    while (!frontier.empty()) {
+        const int node = frontier.front();
+        frontier.pop();
+        for (int next : adjacency_[node]) {
+            if (parent[next] >= 0)
+                continue;
+            parent[next] = node;
+            if (next == b) {
+                std::vector<int> path{b};
+                int walk = b;
+                while (walk != a) {
+                    walk = parent[walk];
+                    path.push_back(walk);
+                }
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            frontier.push(next);
+        }
+    }
+    panic("topology is disconnected between ", a, " and ", b);
+}
+
+int
+Topology::distance(int a, int b) const
+{
+    return static_cast<int>(shortestPath(a, b).size()) - 1;
+}
+
+MappingResult
+mapToTopology(const Circuit& circuit, const Topology& topology)
+{
+    fatalIf(topology.numQubits() < circuit.numQubits(),
+            "topology with ", topology.numQubits(),
+            " qubits cannot host a circuit of width ",
+            circuit.numQubits());
+
+    MappingResult result;
+    result.circuit = Circuit(topology.numQubits());
+
+    // layout[logical] = physical; placement[physical] = logical.
+    std::vector<int> layout(circuit.numQubits());
+    std::vector<int> placement(topology.numQubits(), -1);
+    for (int i = 0; i < circuit.numQubits(); ++i) {
+        layout[i] = i;
+        placement[i] = i;
+    }
+
+    auto swap_physical = [&](int pa, int pb) {
+        result.circuit.swap(pa, pb);
+        ++result.swapsInserted;
+        const int la = placement[pa];
+        const int lb = placement[pb];
+        if (la >= 0)
+            layout[la] = pb;
+        if (lb >= 0)
+            layout[lb] = pa;
+        std::swap(placement[pa], placement[pb]);
+    };
+
+    for (const GateOp& op : circuit.ops()) {
+        GateOp routed = op;
+        if (op.arity() == 1) {
+            routed.q0 = layout[op.q0];
+            result.circuit.add(routed);
+            continue;
+        }
+        // Walk q0's operand toward q1 until the pair is adjacent.
+        int pa = layout[op.q0];
+        int pb = layout[op.q1];
+        if (!topology.connected(pa, pb)) {
+            std::vector<int> path = topology.shortestPath(pa, pb);
+            for (size_t step = 0; step + 2 < path.size(); ++step) {
+                swap_physical(path[step], path[step + 1]);
+                pa = path[step + 1];
+            }
+        }
+        routed.q0 = pa;
+        routed.q1 = layout[op.q1];
+        panicIf(!topology.connected(routed.q0, routed.q1),
+                "routing failed to make ops adjacent");
+        result.circuit.add(routed);
+    }
+
+    result.finalLayout = layout;
+    return result;
+}
+
+} // namespace qpc

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Hardware topology and SWAP-insertion mapping.
+ *
+ * NISQ machines have sparse connectivity; the paper maps every
+ * benchmark circuit onto nearest-neighbour hardware before measuring
+ * gate-based runtimes, and the gmon device of Appendix A couples
+ * qubits on a rectangular grid. This module models such topologies and
+ * routes two-qubit gates with greedy shortest-path SWAP insertion.
+ */
+
+#ifndef QPC_TRANSPILE_MAPPING_H
+#define QPC_TRANSPILE_MAPPING_H
+
+#include <utility>
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace qpc {
+
+/** Undirected coupling graph of a device. */
+class Topology
+{
+  public:
+    /** A 1 x n nearest-neighbour chain. */
+    static Topology line(int n);
+
+    /** A rows x cols rectangular grid (row-major qubit indices). */
+    static Topology grid(int rows, int cols);
+
+    /** All-to-all connectivity (mapping becomes a no-op). */
+    static Topology clique(int n);
+
+    int numQubits() const { return numQubits_; }
+    const std::vector<std::pair<int, int>>& edges() const
+    {
+        return edges_;
+    }
+
+    /** True when a and b share a coupler. */
+    bool connected(int a, int b) const;
+
+    /** BFS shortest path from a to b, inclusive of endpoints. */
+    std::vector<int> shortestPath(int a, int b) const;
+
+    /** Hop distance between two qubits. */
+    int distance(int a, int b) const;
+
+  private:
+    Topology(int num_qubits, std::vector<std::pair<int, int>> edges);
+
+    int numQubits_;
+    std::vector<std::pair<int, int>> edges_;
+    std::vector<std::vector<int>> adjacency_;
+};
+
+/** Output of the router. */
+struct MappingResult
+{
+    /** The routed circuit; all 2q gates act on coupled pairs. */
+    Circuit circuit;
+    /** finalLayout[logical] = physical qubit after routing. */
+    std::vector<int> finalLayout;
+    /** Number of SWAP gates inserted. */
+    int swapsInserted = 0;
+};
+
+/**
+ * Route a circuit onto a topology with greedy SWAP insertion.
+ *
+ * Logical qubits start at the identity placement. Whenever a two-qubit
+ * gate spans non-adjacent physical qubits, SWAPs walk one operand along
+ * the BFS shortest path until the pair is adjacent.
+ */
+MappingResult mapToTopology(const Circuit& circuit,
+                            const Topology& topology);
+
+} // namespace qpc
+
+#endif // QPC_TRANSPILE_MAPPING_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Circuit optimization passes.
+ *
+ * Mirrors the baseline the paper builds with IBM Qiskit's transpiler
+ * plus their custom rotation-merge pass: aggressive cancellation of
+ * adjacent self-inverse gates (CX CX, H H, ...), merging of consecutive
+ * same-axis rotations — e.g. Rx(a) Rx(b) -> Rx(a+b) — including merges
+ * across commuting two-qubit gates (Rz slides through a CX control and
+ * through CZ), and removal of identity / zero-angle gates. All passes
+ * preserve the circuit unitary exactly; property tests verify this on
+ * random circuits.
+ */
+
+#ifndef QPC_TRANSPILE_PASSES_H
+#define QPC_TRANSPILE_PASSES_H
+
+#include "ir/circuit.h"
+
+namespace qpc {
+
+/** Knobs for the optimization pipeline. */
+struct OptimizeOptions
+{
+    /** Merge rotations through commuting CX controls / CZ. */
+    bool commuteThroughTwoQubit = true;
+    /** Max fixpoint iterations of the pass pipeline. */
+    int maxRounds = 20;
+};
+
+/**
+ * Merge consecutive same-axis rotations on the same qubit.
+ *
+ * Two rotations merge when their symbolic angles stay within the
+ * one-parameter form (same theta index, or at least one constant).
+ * With commuteThroughTwoQubit, an Rz can slide past a CX acting on the
+ * same qubit as control, and past either side of a CZ.
+ *
+ * @return Number of merges performed.
+ */
+int mergeRotations(Circuit& circuit, bool commute_through_two_qubit = true);
+
+/**
+ * Cancel adjacent self-inverse pairs (X X, H H, CX CX, CZ CZ,
+ * SWAP SWAP, S Sdg, T Tdg) with no intervening op on the shared qubits.
+ *
+ * @return Number of ops removed.
+ */
+int cancelInverses(Circuit& circuit);
+
+/**
+ * Drop identity gates and rotations whose angle is identically zero.
+ *
+ * @return Number of ops removed.
+ */
+int removeTrivialOps(Circuit& circuit);
+
+/**
+ * Run the full pipeline (merge, cancel, strip) to a fixpoint.
+ *
+ * @return Total number of rewrites applied.
+ */
+int optimizeCircuit(Circuit& circuit, const OptimizeOptions& options = {});
+
+} // namespace qpc
+
+#endif // QPC_TRANSPILE_PASSES_H

@@ -1,0 +1,61 @@
+#include "transpile/schedule.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+Schedule
+scheduleAsap(const Circuit& circuit, const GateDurations& durations)
+{
+    Schedule schedule;
+    schedule.items.reserve(circuit.ops().size());
+    std::vector<double> qubit_free(circuit.numQubits(), 0.0);
+
+    for (int i = 0; i < circuit.size(); ++i) {
+        const GateOp& op = circuit.ops()[i];
+        double start = qubit_free[op.q0];
+        if (op.arity() == 2)
+            start = std::max(start, qubit_free[op.q1]);
+        const double end = start + durations.opDuration(op);
+        qubit_free[op.q0] = end;
+        if (op.arity() == 2)
+            qubit_free[op.q1] = end;
+        schedule.items.push_back({i, start, end});
+        schedule.makespanNs = std::max(schedule.makespanNs, end);
+    }
+    return schedule;
+}
+
+double
+criticalPathNs(const Circuit& circuit, const GateDurations& durations)
+{
+    return scheduleAsap(circuit, durations).makespanNs;
+}
+
+std::vector<std::vector<int>>
+asMoments(const Circuit& circuit)
+{
+    std::vector<std::vector<int>> moments;
+    std::vector<int> qubit_moment(circuit.numQubits(), -1);
+
+    for (int i = 0; i < circuit.size(); ++i) {
+        const GateOp& op = circuit.ops()[i];
+        int earliest = qubit_moment[op.q0];
+        if (op.arity() == 2)
+            earliest = std::max(earliest, qubit_moment[op.q1]);
+        const int moment = earliest + 1;
+        if (moment == static_cast<int>(moments.size()))
+            moments.emplace_back();
+        panicIf(moment > static_cast<int>(moments.size()),
+                "moment index skipped a layer");
+        moments[moment].push_back(i);
+        qubit_moment[op.q0] = moment;
+        if (op.arity() == 2)
+            qubit_moment[op.q1] = moment;
+    }
+    return moments;
+}
+
+} // namespace qpc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ASAP scheduling and critical-path analysis.
+ *
+ * The paper's gate-based runtimes (Tables 2 and 3) are the critical
+ * path through the parallel-scheduled circuit, indexed to the Table 1
+ * pulse durations. The scheduler here packs every op as early as its
+ * qubit dependencies allow and reports the resulting makespan.
+ */
+
+#ifndef QPC_TRANSPILE_SCHEDULE_H
+#define QPC_TRANSPILE_SCHEDULE_H
+
+#include <vector>
+
+#include "ir/circuit.h"
+#include "transpile/durations.h"
+
+namespace qpc {
+
+/** Placement of one op on the time axis. */
+struct ScheduledOp
+{
+    int opIndex;      ///< Index into the source circuit's op list.
+    double startNs;   ///< ASAP start time.
+    double endNs;     ///< startNs + duration.
+};
+
+/** Result of ASAP scheduling. */
+struct Schedule
+{
+    std::vector<ScheduledOp> items;
+    double makespanNs = 0.0;   ///< Critical path length.
+};
+
+/** Schedule every op as soon as its qubits are free. */
+Schedule scheduleAsap(const Circuit& circuit,
+                      const GateDurations& durations);
+
+/** Critical path in nanoseconds (the gate-based circuit runtime). */
+double criticalPathNs(const Circuit& circuit,
+                      const GateDurations& durations);
+
+/**
+ * Structural moments: ops grouped into layers of qubit-disjoint gates,
+ * ignoring durations. Used by blocking and by depth statistics.
+ */
+std::vector<std::vector<int>> asMoments(const Circuit& circuit);
+
+} // namespace qpc
+
+#endif // QPC_TRANSPILE_SCHEDULE_H

@@ -1,0 +1,67 @@
+#include "vqe/hamiltonian.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace qpc {
+
+PauliHamiltonian
+h2Hamiltonian()
+{
+    // Parity-reduced STO-3G H2 at R = 0.7414 A; coefficients as
+    // published in O'Malley et al. / the Qiskit textbook.
+    PauliHamiltonian h(2);
+    h.add(-1.052373245772859, "II");
+    h.add(0.39793742484318045, "ZI");
+    h.add(-0.39793742484318045, "IZ");
+    h.add(-0.01128010425623538, "ZZ");
+    h.add(0.18093119978423156, "XX");
+    return h;
+}
+
+PauliHamiltonian
+syntheticMolecularHamiltonian(int num_qubits, uint64_t seed)
+{
+    fatalIf(num_qubits < 2, "need at least two qubits");
+    Rng rng(seed);
+    PauliHamiltonian h(num_qubits);
+    const std::string identity(num_qubits, 'I');
+
+    h.add(rng.uniform(-2.0, -0.5), identity);
+    for (int q = 0; q < num_qubits; ++q) {
+        std::string z = identity;
+        z[q] = 'Z';
+        h.add(rng.uniform(-0.5, 0.5), z);
+    }
+    for (int a = 0; a < num_qubits; ++a) {
+        for (int b = a + 1; b < num_qubits; ++b) {
+            std::string zz = identity;
+            zz[a] = 'Z';
+            zz[b] = 'Z';
+            h.add(rng.uniform(-0.2, 0.2), zz);
+            if (rng.bernoulli(0.4)) {
+                std::string xx = identity;
+                xx[a] = 'X';
+                xx[b] = 'X';
+                h.add(rng.uniform(-0.2, 0.2), xx);
+                std::string yy = identity;
+                yy[a] = 'Y';
+                yy[b] = 'Y';
+                h.add(rng.uniform(-0.2, 0.2), yy);
+            }
+        }
+    }
+    return h;
+}
+
+PauliHamiltonian
+moleculeHamiltonian(const MoleculeSpec& spec)
+{
+    if (spec.name == "H2")
+        return h2Hamiltonian();
+    // Seed by width so each molecule gets a stable Hamiltonian.
+    return syntheticMolecularHamiltonian(
+        spec.numQubits, 1000 + static_cast<uint64_t>(spec.numQubits));
+}
+
+} // namespace qpc

@@ -1,0 +1,31 @@
+#include "vqe/molecule.h"
+
+#include "common/logging.h"
+
+namespace qpc {
+
+const std::vector<MoleculeSpec>&
+vqeBenchmarks()
+{
+    // Width and parameter counts follow Table 2 of the paper; the
+    // occupied-orbital split drives the excitation enumeration.
+    static const std::vector<MoleculeSpec> specs{
+        {"H2", 2, 3, 1},
+        {"LiH", 4, 8, 2},
+        {"BeH2", 6, 26, 3},
+        {"NaH", 8, 24, 4},
+        {"H2O", 10, 92, 5},
+    };
+    return specs;
+}
+
+const MoleculeSpec&
+moleculeByName(const std::string& name)
+{
+    for (const MoleculeSpec& spec : vqeBenchmarks())
+        if (spec.name == name)
+            return spec;
+    fatal("unknown molecule '", name, "'");
+}
+
+} // namespace qpc

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The VQE benchmark molecules of Table 2.
+ *
+ * Five molecules spanning the state of the art for experimental VQE:
+ * H2 (2 qubits, 3 parameters) through H2O (10 qubits, 92 parameters).
+ * The paper generated these with PySCF + Qiskit; here each molecule
+ * records the circuit width and UCCSD parameter count from Table 2
+ * and the occupied/virtual split the from-scratch ansatz generator
+ * uses (see DESIGN.md, substitution 2).
+ */
+
+#ifndef QPC_VQE_MOLECULE_H
+#define QPC_VQE_MOLECULE_H
+
+#include <string>
+#include <vector>
+
+namespace qpc {
+
+/** Structural description of one VQE benchmark molecule. */
+struct MoleculeSpec
+{
+    std::string name;      ///< e.g. "LiH".
+    int numQubits = 0;     ///< Circuit width (spin orbitals, reduced).
+    int numParams = 0;     ///< UCCSD parameter count from Table 2.
+    int numOccupied = 0;   ///< Occupied orbitals for the generator.
+};
+
+/** The five Table 2 molecules, in size order. */
+const std::vector<MoleculeSpec>& vqeBenchmarks();
+
+/** Lookup by name; fatal on unknown molecules. */
+const MoleculeSpec& moleculeByName(const std::string& name);
+
+} // namespace qpc
+
+#endif // QPC_VQE_MOLECULE_H

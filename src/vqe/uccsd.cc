@@ -1,0 +1,170 @@
+#include "vqe/uccsd.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "transpile/passes.h"
+
+namespace qpc {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/** Qubits on which the Pauli string is non-identity, sorted. */
+std::vector<int>
+support(const std::string& paulis)
+{
+    std::vector<int> qubits;
+    for (size_t q = 0; q < paulis.size(); ++q)
+        if (paulis[q] != 'I')
+            qubits.push_back(static_cast<int>(q));
+    return qubits;
+}
+
+} // namespace
+
+void
+appendPauliEvolution(Circuit& circuit, const std::string& paulis,
+                     const ParamExpr& angle)
+{
+    fatalIf(static_cast<int>(paulis.size()) != circuit.numQubits(),
+            "Pauli string width mismatch");
+    const std::vector<int> qubits = support(paulis);
+    if (qubits.empty())
+        return;   // exp(-i a/2 I) is a global phase.
+
+    // Basis changes mapping each factor onto Z: H for X, and
+    // Rx(pi/2) for Y (undone with Rx(-pi/2)).
+    for (int q : qubits) {
+        if (paulis[q] == 'X')
+            circuit.h(q);
+        else if (paulis[q] == 'Y')
+            circuit.rx(q, kPi / 2.0);
+    }
+    // CX ladder onto the last support qubit.
+    for (size_t i = 0; i + 1 < qubits.size(); ++i)
+        circuit.cx(qubits[i], qubits[i + 1]);
+    circuit.rz(qubits.back(), angle);
+    for (size_t i = qubits.size() - 1; i >= 1; --i)
+        circuit.cx(qubits[i - 1], qubits[i]);
+    for (int q : qubits) {
+        if (paulis[q] == 'X')
+            circuit.h(q);
+        else if (paulis[q] == 'Y')
+            circuit.rx(q, -kPi / 2.0);
+    }
+}
+
+namespace {
+
+/** One excitation: the Pauli strings of its anti-Hermitian generator. */
+struct Excitation
+{
+    /** Pauli strings, each applied as exp(-i (sign * theta / 2) P). */
+    std::vector<std::pair<std::string, double>> terms;
+};
+
+/** Single excitation i -> a under Jordan-Wigner. */
+Excitation
+singleExcitation(int n, int i, int a)
+{
+    // t (a_a^dag a_i - h.c.)  ->  (t/2)(X_i Z.. Y_a - Y_i Z.. X_a).
+    Excitation exc;
+    std::string xy(n, 'I');
+    std::string yx(n, 'I');
+    for (int q = i + 1; q < a; ++q) {
+        xy[q] = 'Z';
+        yx[q] = 'Z';
+    }
+    xy[i] = 'X';
+    xy[a] = 'Y';
+    yx[i] = 'Y';
+    yx[a] = 'X';
+    exc.terms = {{xy, 0.5}, {yx, -0.5}};
+    return exc;
+}
+
+/** Double excitation (i, j) -> (a, b) under Jordan-Wigner. */
+Excitation
+doubleExcitation(int n, int i, int j, int a, int b)
+{
+    // The standard eight-string JW expansion of
+    // t (a_a^dag a_b^dag a_i a_j - h.c.); Z chains omitted between
+    // paired indices cancel for adjacent index groups and are kept
+    // between i..j and a..b.
+    Excitation exc;
+    const char patterns[8][4] = {
+        {'X', 'X', 'X', 'Y'}, {'X', 'X', 'Y', 'X'},
+        {'X', 'Y', 'X', 'X'}, {'Y', 'X', 'X', 'X'},
+        {'Y', 'Y', 'Y', 'X'}, {'Y', 'Y', 'X', 'Y'},
+        {'Y', 'X', 'Y', 'Y'}, {'X', 'Y', 'Y', 'Y'},
+    };
+    const double signs[8] = {0.125, 0.125, -0.125, -0.125,
+                             0.125, 0.125, -0.125, -0.125};
+    for (int t = 0; t < 8; ++t) {
+        std::string p(n, 'I');
+        for (int q = i + 1; q < j; ++q)
+            p[q] = 'Z';
+        for (int q = a + 1; q < b; ++q)
+            p[q] = 'Z';
+        p[i] = patterns[t][0];
+        p[j] = patterns[t][1];
+        p[a] = patterns[t][2];
+        p[b] = patterns[t][3];
+        exc.terms.emplace_back(p, signs[t]);
+    }
+    return exc;
+}
+
+} // namespace
+
+Circuit
+buildUccsdAnsatz(const MoleculeSpec& spec)
+{
+    const int n = spec.numQubits;
+    fatalIf(spec.numOccupied <= 0 || spec.numOccupied >= n,
+            "molecule needs 0 < occupied < width");
+
+    // Canonical excitation list: singles (i in occ, a in virt) then
+    // doubles (i < j in occ, a < b in virt).
+    std::vector<Excitation> excitations;
+    for (int i = 0; i < spec.numOccupied; ++i)
+        for (int a = spec.numOccupied; a < n; ++a)
+            excitations.push_back(singleExcitation(n, i, a));
+    for (int i = 0; i < spec.numOccupied; ++i)
+        for (int j = i + 1; j < spec.numOccupied; ++j)
+            for (int a = spec.numOccupied; a < n; ++a)
+                for (int b = a + 1; b < n; ++b)
+                    excitations.push_back(
+                        doubleExcitation(n, i, j, a, b));
+    panicIf(excitations.empty(), "no excitations enumerated");
+
+    Circuit circuit(n);
+    // Reference state: occupied orbitals filled.
+    for (int q = 0; q < spec.numOccupied; ++q)
+        circuit.x(q);
+
+    // Emit exactly numParams parameters, cycling with fresh Trotter
+    // repetitions when the enumeration is shorter than Table 2's
+    // count and truncating when it is longer.
+    for (int k = 0; k < spec.numParams; ++k) {
+        const Excitation& exc =
+            excitations[k % excitations.size()];
+        for (const auto& [paulis, sign] : exc.terms)
+            appendPauliEvolution(circuit, paulis,
+                                 ParamExpr::theta(k, sign));
+    }
+    return circuit;
+}
+
+Circuit
+buildOptimizedUccsd(const MoleculeSpec& spec)
+{
+    Circuit circuit = buildUccsdAnsatz(spec);
+    optimizeCircuit(circuit);
+    return circuit;
+}
+
+} // namespace qpc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * UCCSD ansatz generator (Section 4.1).
+ *
+ * Builds Unitary Coupled Cluster Single-Double ansatz circuits via
+ * Jordan-Wigner Pauli evolutions: each excitation amplitude theta_k
+ * contributes a product of exp(-i theta_k / 2 * P) factors realized
+ * as basis-change / CX-ladder / Rz(theta_k) / unladder / unbasis
+ * sandwiches. Every parameter's gates are emitted consecutively, so
+ * the circuit is parameter monotone by construction (Section 7.1),
+ * and only the Rz gates carry the parametrization — the structural
+ * properties both partial compilation strategies rely on.
+ */
+
+#ifndef QPC_VQE_UCCSD_H
+#define QPC_VQE_UCCSD_H
+
+#include "ir/circuit.h"
+#include "vqe/molecule.h"
+
+namespace qpc {
+
+/**
+ * Append exp(-i (angle/2) * P) for a Pauli string P to a circuit.
+ * Exposed for tests, which verify the construction against the dense
+ * matrix exponential.
+ *
+ * @param circuit Destination circuit.
+ * @param paulis One char per qubit from {I, X, Y, Z}.
+ * @param angle Symbolic rotation angle.
+ */
+void appendPauliEvolution(Circuit& circuit, const std::string& paulis,
+                          const ParamExpr& angle);
+
+/**
+ * Build the UCCSD ansatz for a molecule: enumerate single and double
+ * excitations over the occupied/virtual split, cycling through the
+ * list with fresh Trotter repetitions (or truncating it) until
+ * exactly spec.numParams parameters are emitted.
+ */
+Circuit buildUccsdAnsatz(const MoleculeSpec& spec);
+
+/**
+ * Optimized, scheduled variant: the raw ansatz after the full
+ * transpiler pipeline (rotation merge, cancellation), ready for
+ * runtime measurement. This is the circuit the benchmark tables use.
+ */
+Circuit buildOptimizedUccsd(const MoleculeSpec& spec);
+
+} // namespace qpc
+
+#endif // QPC_VQE_UCCSD_H

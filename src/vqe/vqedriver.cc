@@ -1,0 +1,41 @@
+#include "vqe/vqedriver.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "sim/statevector.h"
+
+namespace qpc {
+
+VqeResult
+runVqe(const Circuit& ansatz, const PauliHamiltonian& hamiltonian,
+       const VqeRunOptions& options)
+{
+    fatalIf(ansatz.numQubits() != hamiltonian.numQubits(),
+            "ansatz width does not match the Hamiltonian");
+
+    VqeResult result;
+    int evaluations = 0;
+    auto objective = [&](const std::vector<double>& theta) {
+        ++evaluations;
+        StateVector state(ansatz.numQubits());
+        state.applyCircuit(ansatz.bind(theta));
+        return hamiltonian.expectation(state);
+    };
+
+    Rng rng(options.seed);
+    std::vector<double> start(ansatz.numParams());
+    for (double& v : start)
+        v = options.initialSpread * rng.normal();
+
+    const NelderMeadResult opt =
+        nelderMead(objective, start, options.optimizer);
+
+    result.bestParams = opt.best;
+    result.energy = opt.bestValue;
+    result.iterations = evaluations;
+    if (ansatz.numQubits() <= 10)
+        result.exactGroundEnergy = hamiltonian.groundStateEnergy();
+    return result;
+}
+
+} // namespace qpc

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "testutil.h"
+#include "transpile/blocking.h"
+
+namespace {
+
+using namespace qpc;
+using namespace qpc::testutil;
+
+TEST(Blocking, SingleBlockWhenNarrow)
+{
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    const Blocking b = aggregateBlocks(c, 4);
+    EXPECT_EQ(b.numBlocks(), 1);
+    EXPECT_EQ(b.blocks[0].width(), 3);
+    EXPECT_EQ(b.blocks[0].opIndices.size(), 3u);
+}
+
+TEST(Blocking, SplitsAtWidthCap)
+{
+    Circuit c(4);
+    c.cx(0, 1);
+    c.cx(2, 3);
+    c.cx(1, 2);   // would join all four qubits
+    const Blocking b = aggregateBlocks(c, 2);
+    EXPECT_EQ(b.numBlocks(), 3);
+    for (const CircuitBlock& block : b.blocks)
+        EXPECT_LE(block.width(), 2);
+}
+
+TEST(Blocking, EveryOpExactlyOnce)
+{
+    Rng rng(41);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Circuit c = randomCircuit(rng, 6, 60);
+        const Blocking b = aggregateBlocks(c, 4);
+        std::set<int> seen;
+        for (const CircuitBlock& block : b.blocks) {
+            EXPECT_LE(block.width(), 4);
+            for (int idx : block.opIndices) {
+                EXPECT_TRUE(seen.insert(idx).second)
+                    << "op " << idx << " in two blocks";
+            }
+        }
+        EXPECT_EQ(static_cast<int>(seen.size()), c.size());
+    }
+}
+
+TEST(Blocking, BlockQubitsCoverTheirOps)
+{
+    Rng rng(42);
+    const Circuit c = randomCircuit(rng, 5, 50);
+    const Blocking b = aggregateBlocks(c, 3);
+    for (const CircuitBlock& block : b.blocks) {
+        for (int idx : block.opIndices) {
+            for (int q : c.ops()[idx].qubits()) {
+                EXPECT_TRUE(std::binary_search(block.qubits.begin(),
+                                               block.qubits.end(), q));
+            }
+        }
+    }
+}
+
+TEST(Blocking, AsCircuitRelabelsAndPreservesOrder)
+{
+    Circuit c(4);
+    c.h(2);
+    c.cx(2, 3);
+    c.rz(3, 0.5);
+    const Blocking b = aggregateBlocks(c, 2);
+    ASSERT_EQ(b.numBlocks(), 1);
+    const Circuit local = b.blocks[0].asCircuit(c);
+    EXPECT_EQ(local.numQubits(), 2);
+    EXPECT_EQ(local.ops()[0].kind, GateKind::H);
+    EXPECT_EQ(local.ops()[0].q0, 0);   // global q2 -> local 0
+    EXPECT_EQ(local.ops()[1].q1, 1);   // global q3 -> local 1
+}
+
+TEST(Blocking, DagIsAcyclicAndOrdered)
+{
+    Rng rng(43);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Circuit c = randomCircuit(rng, 6, 80);
+        const Blocking b = aggregateBlocks(c, 4);
+        // blockCriticalPath panics on cycles; also sanity check that
+        // predecessor lists stay in range and irreflexive.
+        for (int v = 0; v < b.numBlocks(); ++v) {
+            for (int p : b.predecessors[v]) {
+                EXPECT_GE(p, 0);
+                EXPECT_LT(p, b.numBlocks());
+                EXPECT_NE(p, v);
+            }
+        }
+        const std::vector<double> unit(b.numBlocks(), 1.0);
+        const double depth = blockCriticalPath(b, unit);
+        EXPECT_GE(depth, 1.0);
+        EXPECT_LE(depth, static_cast<double>(b.numBlocks()));
+    }
+}
+
+TEST(Blocking, CriticalPathBounds)
+{
+    Rng rng(44);
+    const Circuit c = randomCircuit(rng, 6, 60);
+    const Blocking b = aggregateBlocks(c, 4);
+    std::vector<double> times;
+    double total = 0.0;
+    double longest = 0.0;
+    for (int i = 0; i < b.numBlocks(); ++i) {
+        const double t = 1.0 + (i % 5);
+        times.push_back(t);
+        total += t;
+        longest = std::max(longest, t);
+    }
+    const double critical = blockCriticalPath(b, times);
+    EXPECT_GE(critical, longest - 1e-12);
+    EXPECT_LE(critical, total + 1e-12);
+}
+
+TEST(Blocking, ParallelChainsStayParallel)
+{
+    // Two disjoint 2-qubit chains: blocks must not serialize.
+    Circuit c(4);
+    for (int i = 0; i < 5; ++i) {
+        c.cx(0, 1);
+        c.rz(1, 0.3);
+        c.cx(2, 3);
+        c.rz(3, 0.4);
+    }
+    const Blocking b = aggregateBlocks(c, 2);
+    EXPECT_EQ(b.numBlocks(), 2);
+    const double critical = blockCriticalPath(b, {7.0, 9.0});
+    EXPECT_NEAR(critical, 9.0, 1e-12);
+}
+
+TEST(Blocking, WidthOneDegeneratesToPerQubitRuns)
+{
+    Circuit c(2);
+    c.h(0);
+    c.h(1);
+    c.x(0);
+    const Blocking b = aggregateBlocks(c, 1);
+    EXPECT_EQ(b.numBlocks(), 2);
+}
+
+} // namespace

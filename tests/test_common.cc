@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace qpc;
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, RandintInclusive)
+{
+    Rng rng(2);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 500; ++i) {
+        const int v = rng.randint(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo = saw_lo || v == 0;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(3);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sum_sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, AnglesInRange)
+{
+    Rng rng(4);
+    for (double a : rng.angles(200)) {
+        EXPECT_GE(a, -3.14159266);
+        EXPECT_LT(a, 3.14159266);
+    }
+}
+
+TEST(Rng, ShufflePreservesMultiset)
+{
+    Rng rng(5);
+    std::vector<int> v{1, 2, 3, 4, 5, 6};
+    std::vector<int> shuffled = v;
+    rng.shuffle(shuffled);
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(6);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Table, AlignsColumns)
+{
+    TextTable t("caption");
+    t.addRow({"a", "long-header"});
+    t.addRow({"wide-cell", "b"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("caption"), std::string::npos);
+    EXPECT_NE(s.find("long-header"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtRatio(2.5, 1), "2.5x");
+    EXPECT_EQ(fmtNs(5308.31, 1), "5308.3");
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/decoherence.h"
+#include "qaoa/qaoacircuit.h"
+#include "testutil.h"
+
+namespace {
+
+using namespace qpc;
+using namespace qpc::testutil;
+
+TEST(Decoherence, ZeroDurationSurvives)
+{
+    const DecoherenceModel model;
+    EXPECT_NEAR(model.successProbability(0.0), 1.0, 1e-12);
+}
+
+TEST(Decoherence, MonotoneDecreasingInDuration)
+{
+    const DecoherenceModel model{1000.0, 2};
+    double last = 1.1;
+    for (double t : {0.0, 10.0, 100.0, 500.0, 2000.0}) {
+        const double p = model.successProbability(t);
+        EXPECT_LT(p, last);
+        EXPECT_GT(p, 0.0);
+        last = p;
+    }
+}
+
+TEST(Decoherence, ExponentialComposition)
+{
+    // p(a + b) = p(a) p(b): the memoryless property.
+    const DecoherenceModel model{750.0, 3};
+    const double a = 42.0, b = 117.0;
+    EXPECT_NEAR(model.successProbability(a + b),
+                model.successProbability(a) *
+                    model.successProbability(b),
+                1e-12);
+}
+
+TEST(Decoherence, MoreQubitsDecayFaster)
+{
+    const DecoherenceModel one{1000.0, 1};
+    const DecoherenceModel four{1000.0, 4};
+    EXPECT_GT(one.successProbability(200.0),
+              four.successProbability(200.0));
+    EXPECT_NEAR(four.successProbability(200.0),
+                std::pow(one.successProbability(200.0), 4.0), 1e-12);
+}
+
+TEST(Decoherence, HorizonInvertsSuccess)
+{
+    const DecoherenceModel model{5000.0, 2};
+    const double horizon = model.horizonNs(0.9);
+    EXPECT_NEAR(model.successProbability(horizon), 0.9, 1e-9);
+}
+
+TEST(Decoherence, AdvantageExceedsOneForShorterPulse)
+{
+    const DecoherenceModel model{300.0, 1};
+    EXPECT_GT(model.advantage(50.0, 150.0), 1.0);
+    EXPECT_NEAR(model.advantage(50.0, 150.0),
+                std::exp(100.0 / 300.0), 1e-9);
+}
+
+TEST(Decoherence, StrategySurvivalOrdering)
+{
+    // Shorter pulses must always survive better: the ordering of the
+    // compilation strategies transfers to success probability.
+    const Circuit circuit = buildQaoaCircuit(cliqueGraph(4), 3);
+    PartialCompiler compiler(circuit);
+    Rng rng(121);
+    const std::vector<double> theta = rng.angles(6);
+
+    const DecoherenceModel model{500.0, 4};
+    const auto rows = survivalByStrategy(compiler, theta, model);
+    ASSERT_EQ(rows.size(), 4u);
+    // Gate-based (index 0) survives worst; full GRAPE (3) best.
+    EXPECT_LE(rows[0].successProbability,
+              rows[1].successProbability + 1e-12);
+    EXPECT_LE(rows[2].successProbability,
+              rows[3].successProbability + 1e-12);
+    EXPECT_LT(rows[0].successProbability,
+              rows[3].successProbability);
+}
+
+TEST(Decoherence, FeasibilityStory)
+{
+    // Section 9's point in numbers: at a coherence time where the
+    // gate-based H2O-scale pulse (~23 us at T2 = 30 us) is hopeless,
+    // a 1.9x pulse speedup moves the experiment from ~46% to ~66%
+    // survival — the difference between unusable and usable data.
+    const DecoherenceModel model{30000.0, 1};
+    const double gate_ns = 23237.0;
+    const double grape_ns = 12360.0;
+    EXPECT_LT(model.successProbability(gate_ns), 0.5);
+    EXPECT_GT(model.successProbability(grape_ns), 0.6);
+}
+
+} // namespace

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grape/grape.h"
+#include "grape/hyper.h"
+#include "grape/mintime.h"
+#include "linalg/random_unitary.h"
+#include "linalg/su2.h"
+#include "pulse/evolve.h"
+#include "testutil.h"
+
+namespace {
+
+using namespace qpc;
+using namespace qpc::testutil;
+
+const double kPi = 3.14159265358979323846;
+
+TEST(Grape, GradientExactWithRegularizers)
+{
+    DeviceModel device = DeviceModel::gmonLine(1);
+    GrapeOptions options;
+    options.dt = 0.1;
+    options.amplitudeWeight = 1e-3;
+    options.slopeWeight = 1e-3;
+    options.envelopeWeight = 1e-3;
+    const double err =
+        grapeGradientCheck(device, hMatrix(), 2.0, options, 25);
+    EXPECT_LT(err, 2e-4);
+}
+
+TEST(Grape, GradientExactOnQutritDevice)
+{
+    DeviceModel device = DeviceModel::gmonLine(1, 3);
+    GrapeOptions options;
+    options.dt = 0.1;
+    const double err =
+        grapeGradientCheck(device, pauliX(), 3.0, options, 20);
+    EXPECT_LT(err, 2e-4);
+}
+
+TEST(Grape, FindsXPulseAtPhysicalMinimum)
+{
+    // Rx(pi) at full charge drive takes pi / (2 * 0.628) = 2.5 ns;
+    // GRAPE must succeed just above and fail well below.
+    DeviceModel device = DeviceModel::gmonLine(1);
+    GrapeOptions options;
+    options.dt = 0.05;
+    options.maxIterations = 400;
+    options.hyper = AdamHyperParams{0.1, 0.999};
+
+    GrapeResult above =
+        runGrapeFixedTime(device, pauliX(), 2.8, options);
+    EXPECT_TRUE(above.converged) << above.fidelity;
+
+    GrapeResult below =
+        runGrapeFixedTime(device, pauliX(), 1.0, options);
+    EXPECT_FALSE(below.converged)
+        << "converged below the quantum speed limit";
+}
+
+TEST(Grape, PulseRespectsAmplitudeBounds)
+{
+    DeviceModel device = DeviceModel::gmonLine(1);
+    GrapeOptions options;
+    options.dt = 0.1;
+    options.maxIterations = 200;
+    const GrapeResult run =
+        runGrapeFixedTime(device, hMatrix(), 3.0, options);
+    for (int c = 0; c < device.numControls(); ++c) {
+        const double bound = device.controls()[c].maxAmp;
+        for (double v : run.pulse.channel(c))
+            EXPECT_LE(std::abs(v), bound * (1.0 + 1e-9));
+    }
+}
+
+TEST(Grape, ConvergesOnTwoQubitEntangler)
+{
+    DeviceModel device = DeviceModel::gmonLine(2);
+    GrapeOptions options;
+    options.dt = 0.1;
+    options.maxIterations = 500;
+    options.hyper = AdamHyperParams{0.1, 0.999};
+    const GrapeResult run = runGrapeFixedTime(
+        device, gateMatrix(GateKind::CX), 8.0, options);
+    EXPECT_TRUE(run.converged) << run.fidelity;
+
+    const CMatrix realized = evolveUnitary(device, run.pulse);
+    EXPECT_GT(traceFidelity(gateMatrix(GateKind::CX), realized),
+              0.999);
+}
+
+TEST(Grape, DeterministicUnderSeed)
+{
+    DeviceModel device = DeviceModel::gmonLine(1);
+    GrapeOptions options;
+    options.dt = 0.1;
+    options.maxIterations = 50;
+    const GrapeResult a =
+        runGrapeFixedTime(device, hMatrix(), 2.0, options);
+    const GrapeResult b =
+        runGrapeFixedTime(device, hMatrix(), 2.0, options);
+    ASSERT_EQ(a.history.size(), b.history.size());
+    for (size_t i = 0; i < a.history.size(); ++i)
+        EXPECT_NEAR(a.history[i], b.history[i], 1e-12);
+}
+
+TEST(Grape, HistoryImprovesOverall)
+{
+    DeviceModel device = DeviceModel::gmonLine(1);
+    GrapeOptions options;
+    options.dt = 0.1;
+    options.maxIterations = 150;
+    const GrapeResult run =
+        runGrapeFixedTime(device, hMatrix(), 3.0, options);
+    ASSERT_GE(run.history.size(), 2u);
+    EXPECT_GT(run.history.back(), run.history.front());
+}
+
+TEST(MinTime, BinarySearchFindsXGateLimit)
+{
+    DeviceModel device = DeviceModel::gmonLine(1);
+    MinTimeOptions options;
+    options.grape.dt = 0.1;
+    options.grape.maxIterations = 300;
+    options.grape.hyper = AdamHyperParams{0.1, 0.999};
+    options.lowerBoundNs = 0.5;
+    options.upperBoundNs = 6.0;
+    options.precisionNs = 0.3;
+    const MinTimeResult result =
+        grapeMinimalTime(device, pauliX(), options);
+    ASSERT_TRUE(result.found);
+    // Physical minimum is 2.5 ns; allow the search precision plus
+    // discretization slack around it.
+    EXPECT_GT(result.minTimeNs, 1.8);
+    EXPECT_LT(result.minTimeNs, 3.5);
+    EXPECT_GT(result.probes, 2);
+}
+
+TEST(MinTime, ScanAgreesWithBinarySearch)
+{
+    DeviceModel device = DeviceModel::gmonLine(1);
+    MinTimeOptions options;
+    options.grape.dt = 0.1;
+    options.grape.maxIterations = 300;
+    options.grape.hyper = AdamHyperParams{0.1, 0.999};
+    options.lowerBoundNs = 1.0;
+    options.upperBoundNs = 8.0;
+    const MinTimeResult scan =
+        grapeMinimalTimeScan(device, pauliX(), options, 1.3);
+    ASSERT_TRUE(scan.found);
+    EXPECT_GT(scan.minTimeNs, 1.8);
+    EXPECT_LT(scan.minTimeNs, 4.0);
+}
+
+TEST(Hyper, TunedBeatsDetunedOnIterations)
+{
+    DeviceModel device = DeviceModel::gmonLine(1);
+    HyperTuneOptions options;
+    options.grape.dt = 0.1;
+    options.trialIterations = 150;
+    options.learningRates = {0.001, 0.03, 0.1};
+    options.decays = {0.999};
+    const HyperTuneResult tuned =
+        tuneHyperParams(device, hMatrix(), 3.0, options);
+
+    EXPECT_EQ(tuned.trials.size(), 3u);
+    // The sluggish 0.001 rate must not win.
+    EXPECT_GT(tuned.best.learningRate, 0.001);
+
+    // Run with tuned vs the worst trial's hyperparameters.
+    GrapeOptions best_config = options.grape;
+    best_config.hyper = tuned.best;
+    best_config.maxIterations = 300;
+    GrapeOptions worst_config = options.grape;
+    worst_config.hyper = AdamHyperParams{0.001, 0.999};
+    worst_config.maxIterations = 300;
+    const GrapeResult with_best =
+        runGrapeFixedTime(device, hMatrix(), 3.0, best_config);
+    const GrapeResult with_worst =
+        runGrapeFixedTime(device, hMatrix(), 3.0, worst_config);
+    EXPECT_TRUE(with_best.converged);
+    EXPECT_GT(with_best.fidelity, with_worst.fidelity - 1e-9);
+}
+
+TEST(Hyper, RobustAcrossAngleBindings)
+{
+    // The Figure 4 property at test scale: tune on one binding of a
+    // parametrized rotation, verify the tuned rate still converges
+    // fast on another binding.
+    DeviceModel device = DeviceModel::gmonLine(1);
+    HyperTuneOptions options;
+    options.grape.dt = 0.1;
+    options.trialIterations = 120;
+    options.learningRates = {0.003, 0.03, 0.15};
+    options.decays = {0.999};
+    const HyperTuneResult tuned = tuneHyperParams(
+        device, rzMatrix(0.4) * rxMatrix(0.9), 3.0, options);
+
+    GrapeOptions config = options.grape;
+    config.hyper = tuned.best;
+    config.maxIterations = 200;
+    const GrapeResult other = runGrapeFixedTime(
+        device, rzMatrix(2.0) * rxMatrix(2.4), 3.0, config);
+    EXPECT_TRUE(other.converged) << other.fidelity;
+}
+
+TEST(Grape, RegularizedPulseIsSmoother)
+{
+    DeviceModel device = DeviceModel::gmonLine(1);
+    GrapeOptions plain;
+    plain.dt = 0.1;
+    plain.maxIterations = 250;
+    GrapeOptions reg = plain;
+    reg.slopeWeight = 5e-3;
+    reg.envelopeWeight = 5e-3;
+
+    const GrapeResult a =
+        runGrapeFixedTime(device, hMatrix(), 4.0, plain);
+    const GrapeResult b =
+        runGrapeFixedTime(device, hMatrix(), 4.0, reg);
+    EXPECT_TRUE(b.converged);
+    EXPECT_LE(b.pulse.roughness(), a.pulse.roughness() + 1e-9);
+}
+
+} // namespace

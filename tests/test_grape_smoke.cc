@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grape/grape.h"
+#include "grape/mintime.h"
+#include "linalg/su2.h"
+#include "pulse/evolve.h"
+#include "pulse/library.h"
+
+namespace {
+
+using namespace qpc;
+
+TEST(GrapeSmoke, GradientMatchesFiniteDifferences)
+{
+    DeviceModel device = DeviceModel::gmonLine(1);
+    GrapeOptions options;
+    options.dt = 0.1;
+    const double err = grapeGradientCheck(device, hMatrix(), 2.0,
+                                          options, 20);
+    EXPECT_LT(err, 2e-3);
+}
+
+TEST(GrapeSmoke, GradientMatchesFiniteDifferencesTwoQubit)
+{
+    DeviceModel device = DeviceModel::gmonLine(2);
+    GrapeOptions options;
+    options.dt = 0.1;
+    const double err = grapeGradientCheck(
+        device, gateMatrix(GateKind::CX), 5.0, options, 20);
+    EXPECT_LT(err, 2e-3);
+}
+
+TEST(GrapeSmoke, FindsHadamardPulse)
+{
+    DeviceModel device = DeviceModel::gmonLine(1);
+    GrapeOptions options;
+    options.dt = 0.1;
+    options.maxIterations = 400;
+    options.hyper = AdamHyperParams{0.1, 0.999};
+    GrapeResult run = runGrapeFixedTime(device, hMatrix(), 3.0, options);
+    EXPECT_TRUE(run.converged) << "final fidelity " << run.fidelity;
+
+    // Re-simulate the pulse independently and confirm the fidelity.
+    const CMatrix realized = evolveUnitary(device, run.pulse);
+    EXPECT_GT(traceFidelity(hMatrix(), realized), 0.999);
+}
+
+TEST(GrapeSmoke, PulseLibraryHadamardIsExact)
+{
+    DeviceModel device = DeviceModel::gmonLine(1);
+    GatePulseLibrary library(device, 0.01);
+    const CMatrix realized = evolveUnitary(device, library.h(0));
+    EXPECT_GT(traceFidelity(hMatrix(), realized), 0.9999);
+}
+
+TEST(GrapeSmoke, PulseLibraryCxIsExact)
+{
+    DeviceModel device = DeviceModel::gmonLine(2);
+    GatePulseLibrary library(device, 0.01);
+    const CMatrix realized = evolveUnitary(device, library.cx(0, 1));
+    EXPECT_GT(traceFidelity(gateMatrix(GateKind::CX), realized), 0.999);
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "partial/compiler.h"
+#include "qaoa/qaoadriver.h"
+#include "testutil.h"
+#include "transpile/mapping.h"
+#include "transpile/passes.h"
+#include "vqe/hamiltonian.h"
+#include "vqe/uccsd.h"
+#include "vqe/vqedriver.h"
+
+namespace {
+
+using namespace qpc;
+using namespace qpc::testutil;
+
+/**
+ * The full H2 story end to end: build the ansatz, run the hybrid
+ * loop to the ground state, then compile the converged circuit under
+ * all four strategies and check the paper's qualitative claims.
+ */
+TEST(Integration, H2VqeThenCompile)
+{
+    const MoleculeSpec& spec = moleculeByName("H2");
+    const Circuit ansatz = buildOptimizedUccsd(spec);
+
+    VqeRunOptions run;
+    run.optimizer.maxIterations = 600;
+    const VqeResult vqe = runVqe(ansatz, h2Hamiltonian(), run);
+    EXPECT_NEAR(vqe.energy, vqe.exactGroundEnergy, 5e-3);
+
+    PartialCompiler compiler(ansatz);
+    const std::vector<CompileReport> reports =
+        compiler.compileAll(vqe.bestParams);
+    EXPECT_LE(reports[1].pulseNs, reports[0].pulseNs + 1e-9);
+    EXPECT_LE(reports[3].pulseNs, reports[1].pulseNs + 1e-9);
+    // Whole-circuit GRAPE on 2 qubits: large speedup (paper: 11x).
+    EXPECT_GT(reports[0].pulseNs / reports[3].pulseNs, 3.0);
+}
+
+TEST(Integration, QaoaOptimizeThenCompileMappedCircuit)
+{
+    Rng rng(111);
+    const Graph graph = random3Regular(6, rng);
+
+    QaoaRunOptions run;
+    run.p = 1;
+    run.optimizer.maxIterations = 300;
+    const QaoaResult qaoa = runQaoa(graph, run);
+    EXPECT_GT(qaoa.approxRatio, 0.5);
+
+    Circuit circuit = buildQaoaCircuit(graph, 1);
+    optimizeCircuit(circuit);
+    const MappingResult mapped =
+        mapToTopology(circuit, Topology::grid(2, 3));
+    Circuit routed = mapped.circuit;
+    optimizeCircuit(routed);
+    EXPECT_TRUE(isParamMonotone(routed));
+
+    PartialCompiler compiler(routed);
+    const std::vector<CompileReport> reports =
+        compiler.compileAll(qaoa.bestParams);
+    EXPECT_LE(reports[1].pulseNs, reports[0].pulseNs + 1e-9);
+    EXPECT_LE(reports[3].pulseNs, reports[2].pulseNs + 1e-9);
+    // Flexible must deliver a real speedup on QAOA even at the
+    // optimizer's converged (small-angle) parameters.
+    EXPECT_GT(reports[0].pulseNs / reports[2].pulseNs, 1.15);
+}
+
+TEST(Integration, DecoherenceAdvantageOfShorterPulses)
+{
+    // The paper's motivation: error decays exponentially with pulse
+    // time, so pulse speedups compound into success probability.
+    const Circuit circuit = buildQaoaCircuit(cliqueGraph(4), 3);
+    PartialCompiler compiler(circuit);
+    Rng rng(112);
+    const std::vector<double> theta = rng.angles(6);
+    const std::vector<CompileReport> reports =
+        compiler.compileAll(theta);
+
+    const double t2_ns = 200.0;   // representative coherence time
+    auto success = [&](double pulse_ns) {
+        return std::exp(-pulse_ns / t2_ns);
+    };
+    EXPECT_GT(success(reports[3].pulseNs),
+              success(reports[0].pulseNs));
+    // The ratio of survival probabilities exceeds the time ratio —
+    // the "exponential in the exponent" argument of Section 9.
+    const double ratio =
+        success(reports[3].pulseNs) / success(reports[0].pulseNs);
+    EXPECT_GT(ratio, reports[0].pulseNs / reports[3].pulseNs / 10.0);
+}
+
+TEST(Integration, StrictIsNeverWorseAcrossBenchmarks)
+{
+    Rng rng(113);
+    // Sweep the small end of both benchmark families.
+    std::vector<Circuit> circuits;
+    circuits.push_back(
+        buildOptimizedUccsd(moleculeByName("H2")));
+    circuits.push_back(
+        buildOptimizedUccsd(moleculeByName("LiH")));
+    circuits.push_back(buildQaoaCircuit(cliqueGraph(4), 2));
+    {
+        Circuit c = buildQaoaCircuit(random3Regular(6, rng), 2);
+        optimizeCircuit(c);
+        circuits.push_back(c);
+    }
+    for (const Circuit& circuit : circuits) {
+        PartialCompiler compiler(circuit);
+        const std::vector<double> theta =
+            rng.angles(circuit.numParams());
+        const CompileReport gate =
+            compiler.compile(Strategy::GateBased, theta);
+        const CompileReport strict =
+            compiler.compile(Strategy::StrictPartial, theta);
+        EXPECT_LE(strict.pulseNs, gate.pulseNs + 1e-9);
+        EXPECT_LE(strict.runtimeSeconds, 1e-3);
+    }
+}
+
+TEST(Integration, VariationalLoopAmortizesPrecompute)
+{
+    // Strict pays pre-compute once; full GRAPE pays per iteration.
+    // After the paper's 3500 iterations the totals must diverge by
+    // orders of magnitude.
+    const Circuit circuit =
+        buildOptimizedUccsd(moleculeByName("LiH"));
+    PartialCompiler compiler(circuit);
+    Rng rng(114);
+    const std::vector<double> theta =
+        rng.angles(circuit.numParams());
+    const auto agg = aggregateLatencies(compiler, theta, 3500);
+
+    const double strict_total =
+        agg[1].precomputeSeconds + agg[1].totalRuntimeSeconds;
+    const double full_total =
+        agg[3].precomputeSeconds + agg[3].totalRuntimeSeconds;
+    EXPECT_GT(full_total, 100.0 * strict_total);
+}
+
+TEST(Integration, MappedVqeStaysMonotoneAndCompilable)
+{
+    const MoleculeSpec& spec = moleculeByName("BeH2");
+    Circuit circuit = buildUccsdAnsatz(spec);
+    optimizeCircuit(circuit);
+    const MappingResult mapped =
+        mapToTopology(circuit, Topology::line(spec.numQubits));
+    Circuit routed = mapped.circuit;
+    optimizeCircuit(routed);
+
+    EXPECT_TRUE(isParamMonotone(routed));
+    EXPECT_EQ(routed.numParams(), spec.numParams);
+
+    PartialCompiler compiler(routed);
+    Rng rng(115);
+    const std::vector<CompileReport> reports =
+        compiler.compileAll(rng.angles(spec.numParams));
+    for (const CompileReport& r : reports)
+        EXPECT_GT(r.pulseNs, 0.0);
+}
+
+} // namespace

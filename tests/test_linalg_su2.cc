@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/random_unitary.h"
+#include "linalg/su2.h"
+#include "testutil.h"
+
+namespace {
+
+using namespace qpc;
+using namespace qpc::testutil;
+
+const double kPi = 3.14159265358979323846;
+
+TEST(Su2, PauliAlgebra)
+{
+    // X^2 = Y^2 = Z^2 = I; XY = iZ.
+    EXPECT_TRUE((pauliX() * pauliX()).approxEqual(pauliI(), 1e-12));
+    EXPECT_TRUE((pauliY() * pauliY()).approxEqual(pauliI(), 1e-12));
+    EXPECT_TRUE((pauliZ() * pauliZ()).approxEqual(pauliI(), 1e-12));
+    EXPECT_TRUE((pauliX() * pauliY())
+                    .approxEqual(pauliZ() * kImag, 1e-12));
+}
+
+TEST(Su2, RotationPeriodicity)
+{
+    // Rx(2 pi) = -I (spinor sign), Rx(4 pi) = I.
+    EXPECT_TRUE(rxMatrix(2 * kPi).approxEqual(
+        CMatrix::identity(2) * Complex{-1.0, 0.0}, 1e-10));
+    EXPECT_TRUE(rxMatrix(4 * kPi).approxEqual(CMatrix::identity(2),
+                                              1e-10));
+}
+
+TEST(Su2, RotationsCompose)
+{
+    EXPECT_TRUE((rzMatrix(0.4) * rzMatrix(0.9))
+                    .approxEqual(rzMatrix(1.3), 1e-10));
+    EXPECT_TRUE((rxMatrix(-0.2) * rxMatrix(0.5))
+                    .approxEqual(rxMatrix(0.3), 1e-10));
+}
+
+TEST(Su2, XGateIsRxPi)
+{
+    EXPECT_TRUE(sameUpToPhase(pauliX(), rxMatrix(kPi)));
+    EXPECT_TRUE(sameUpToPhase(pauliZ(), rzMatrix(kPi)));
+}
+
+TEST(Su2, HadamardDecomposition)
+{
+    // H = e^{i pi/2} Rz(pi/2) Rx(pi/2) Rz(pi/2).
+    const CMatrix h = rzMatrix(kPi / 2) * rxMatrix(kPi / 2) *
+                      rzMatrix(kPi / 2) * std::polar(1.0, kPi / 2);
+    EXPECT_TRUE(h.approxEqual(hMatrix(), 1e-10));
+}
+
+TEST(Su2, EulerOfKnownGates)
+{
+    const EulerZXZ h = eulerZXZ(hMatrix());
+    EXPECT_NEAR(h.beta, kPi / 2, 1e-8);
+    EXPECT_NEAR(std::abs(h.alpha), kPi / 2, 1e-8);
+    EXPECT_NEAR(std::abs(h.gamma), kPi / 2, 1e-8);
+
+    const EulerZXZ x = eulerZXZ(pauliX());
+    EXPECT_NEAR(x.beta, kPi, 1e-8);
+
+    const EulerZXZ id = eulerZXZ(CMatrix::identity(2));
+    EXPECT_NEAR(id.beta, 0.0, 1e-8);
+}
+
+TEST(Su2, WrapAngle)
+{
+    EXPECT_NEAR(wrapAngle(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(wrapAngle(3 * kPi), kPi, 1e-9);
+    EXPECT_NEAR(wrapAngle(-3 * kPi), kPi, 1e-9);
+    EXPECT_NEAR(wrapAngle(kPi + 0.1), -kPi + 0.1, 1e-9);
+}
+
+/** Haar round-trip sweep: decompose then rebuild. */
+class EulerSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EulerSweep, RoundTrip)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 25; ++trial) {
+        const CMatrix u = haarUnitary(2, rng);
+        const EulerZXZ e = eulerZXZ(u);
+        EXPECT_GE(e.beta, -1e-12);
+        EXPECT_LE(e.beta, kPi + 1e-12);
+        const CMatrix rebuilt = eulerZXZMatrix(e);
+        EXPECT_LT(rebuilt.maxAbsDiff(u), 1e-8);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EulerSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Su2, EulerOfDiagonalGates)
+{
+    // Pure Z rotations must not acquire X content.
+    for (double phi : {0.1, 1.0, -2.0, 3.0}) {
+        const EulerZXZ e = eulerZXZ(rzMatrix(phi));
+        EXPECT_NEAR(e.beta, 0.0, 1e-8) << "phi " << phi;
+    }
+}
+
+} // namespace

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grape/mintime.h"
+#include "linalg/su2.h"
+#include "model/latencymodel.h"
+#include "model/timemodel.h"
+#include "sim/statevector.h"
+#include "testutil.h"
+#include "transpile/durations.h"
+#include "transpile/schedule.h"
+
+namespace {
+
+using namespace qpc;
+using namespace qpc::testutil;
+
+const double kPi = 3.14159265358979323846;
+
+TEST(TimeModel, Table1Anchors)
+{
+    const PulseTimeModel model;
+    // Rx(pi) at max charge drive: exactly 2.5 ns.
+    EXPECT_NEAR(model.singleQubitTimeNs(rxMatrix(kPi)), 2.5, 0.05);
+    // H near its Table 1 value.
+    EXPECT_NEAR(model.singleQubitTimeNs(hMatrix()), 1.4, 0.1);
+    // CX between the 2.5 ns interaction bound and 3.8 ns gate cost.
+    const double cx = model.twoQubitTimeNs(gateMatrix(GateKind::CX));
+    EXPECT_GT(cx, 2.5);
+    EXPECT_LE(cx, 3.8);
+    // SWAP: pure canonical gate, 3 * (pi/4) / g = 7.5 ns.
+    EXPECT_NEAR(model.twoQubitTimeNs(gateMatrix(GateKind::SWAP)), 7.5,
+                0.1);
+}
+
+TEST(TimeModel, IdentityAndZCostsNearZero)
+{
+    const PulseTimeModel model;
+    EXPECT_NEAR(model.singleQubitTimeNs(CMatrix::identity(2)), 0.0,
+                1e-9);
+    // Z rotations are 15x faster than X rotations.
+    EXPECT_LT(model.singleQubitTimeNs(rzMatrix(kPi)),
+              model.singleQubitTimeNs(rxMatrix(kPi)) / 5.0);
+}
+
+TEST(TimeModel, LocalPairCostsNoInteraction)
+{
+    const PulseTimeModel model;
+    const CMatrix local = kron(hMatrix(), rxMatrix(0.8));
+    const double t = model.twoQubitTimeNs(local);
+    // Priced as parallel single-qubit work: max of the two.
+    EXPECT_NEAR(t, model.singleQubitTimeNs(hMatrix()), 0.1);
+}
+
+TEST(TimeModel, FractionalGateDiscovery)
+{
+    // CX Rz(gamma) CX with small gamma must cost far less than two
+    // CX gates — the fractional-gate speedup source of Section 5.1.
+    const PulseTimeModel model;
+    Circuit sandwich(2);
+    sandwich.cx(0, 1);
+    sandwich.rz(1, 0.4);
+    sandwich.cx(0, 1);
+    const double fused = model.blockTimeNs(sandwich);
+    const double two_cx =
+        2.0 * model.twoQubitTimeNs(gateMatrix(GateKind::CX));
+    EXPECT_LT(fused, 0.5 * two_cx);
+}
+
+TEST(TimeModel, BlockNeverBeatsQuantumSpeedLimitForX)
+{
+    // A single Rx(pi) block: model must charge the full 2.5 ns.
+    const PulseTimeModel model;
+    Circuit c(1);
+    c.rx(0, kPi);
+    EXPECT_NEAR(model.blockTimeNs(c), 2.5, 0.05);
+}
+
+TEST(TimeModel, BlockTimeAtMostGateBased)
+{
+    Rng rng(71);
+    const PulseTimeModel model;
+    const GateDurations durations = GateDurations::table1();
+    for (int trial = 0; trial < 10; ++trial) {
+        const Circuit c = randomCircuit(rng, 4, 30);
+        EXPECT_LE(model.blockTimeNs(c),
+                  criticalPathNs(c, durations) + 1e-9);
+    }
+}
+
+TEST(TimeModel, SaturationCapsDeepBlocks)
+{
+    const PulseTimeModel model;
+    Circuit deep(4);
+    Rng rng(72);
+    for (int i = 0; i < 300; ++i) {
+        deep.cx(rng.randint(0, 2), 3);
+        deep.rx(3, rng.angle());
+        deep.h(rng.randint(0, 3));
+    }
+    const Circuit bound = deep;
+    EXPECT_LE(model.blockTimeNs(bound),
+              model.saturationNs(4) + 1e-9);
+}
+
+TEST(TimeModel, CircuitTimePositiveAndBelowGate)
+{
+    Rng rng(73);
+    const PulseTimeModel model;
+    const GateDurations durations = GateDurations::table1();
+    for (int trial = 0; trial < 6; ++trial) {
+        const Circuit c = randomCircuit(rng, 6, 60);
+        const double t = model.circuitTimeNs(c, 4);
+        EXPECT_GT(t, 0.0);
+        EXPECT_LE(t, criticalPathNs(c, durations) + 1e-9);
+    }
+}
+
+TEST(TimeModel, CrossValidatedAgainstRealGrape)
+{
+    // The substitution check: for small unitaries the analytic model
+    // must agree with real GRAPE's binary-searched minimal time to
+    // within the search precision plus modelling slack.
+    DeviceModel device = DeviceModel::gmonLine(1);
+    const PulseTimeModel model;
+
+    MinTimeOptions options;
+    options.grape.dt = 0.1;
+    options.grape.maxIterations = 300;
+    options.grape.hyper = AdamHyperParams{0.1, 0.999};
+    options.lowerBoundNs = 0.3;
+    options.upperBoundNs = 6.0;
+
+    for (const CMatrix& target :
+         {rxMatrix(kPi), hMatrix(), rxMatrix(1.2)}) {
+        const MinTimeResult grape =
+            grapeMinimalTime(device, target, options);
+        ASSERT_TRUE(grape.found);
+        const double predicted = model.singleQubitTimeNs(target);
+        EXPECT_NEAR(grape.minTimeNs, predicted, 1.0)
+            << "model " << predicted << " vs GRAPE "
+            << grape.minTimeNs;
+    }
+}
+
+TEST(LatencyModel, ScalesWithWidthAndDuration)
+{
+    const GrapeLatencyModel model;
+    EXPECT_GT(model.iterationSeconds(4, 50.0),
+              8.0 * model.iterationSeconds(3, 50.0) * 0.99);
+    EXPECT_NEAR(model.iterationSeconds(2, 40.0),
+                2.0 * model.iterationSeconds(2, 20.0), 1e-12);
+}
+
+TEST(LatencyModel, FullVsTunedRatio)
+{
+    const GrapeLatencyModel model;
+    const double full = model.fullGrapeSeconds(4, 50.0);
+    const double tuned = model.tunedGrapeSeconds(4, 50.0);
+    const double ratio = full / tuned;
+    // Paper's Figure 7 envelope: 10x to 100x.
+    EXPECT_GT(ratio, 10.0);
+    EXPECT_LT(ratio, 120.0);
+}
+
+TEST(LatencyModel, FourQubitBlockTakesMinutes)
+{
+    // Section 1: several minutes to an hour for a 4-qubit circuit.
+    const GrapeLatencyModel model;
+    const double seconds = model.fullGrapeSeconds(4, 50.0);
+    EXPECT_GT(seconds, 60.0);
+    EXPECT_LT(seconds, 3600.0 * 8.0);
+}
+
+TEST(LatencyModel, ProbeCountMatchesPaperFootnote)
+{
+    // log2(M / 0.3 ns) probes; with M = 60 ns that is ~8.
+    const GrapeLatencyModel model;
+    EXPECT_GE(model.searchProbes(), 6);
+    EXPECT_LE(model.searchProbes(), 10);
+}
+
+} // namespace

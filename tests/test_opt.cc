@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/adam.h"
+#include "opt/neldermead.h"
+
+namespace {
+
+using namespace qpc;
+
+TEST(NelderMead, QuadraticBowl)
+{
+    auto f = [](const std::vector<double>& x) {
+        double s = 0.0;
+        for (size_t i = 0; i < x.size(); ++i)
+            s += (x[i] - 1.0 * (i + 1)) * (x[i] - 1.0 * (i + 1));
+        return s;
+    };
+    const NelderMeadResult r = nelderMead(f, {0.0, 0.0, 0.0});
+    EXPECT_TRUE(r.converged);
+    EXPECT_NEAR(r.best[0], 1.0, 1e-3);
+    EXPECT_NEAR(r.best[1], 2.0, 1e-3);
+    EXPECT_NEAR(r.best[2], 3.0, 1e-3);
+    EXPECT_LT(r.bestValue, 1e-6);
+}
+
+TEST(NelderMead, Rosenbrock2d)
+{
+    auto f = [](const std::vector<double>& x) {
+        const double a = 1.0 - x[0];
+        const double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+    };
+    NelderMeadOptions options;
+    options.maxIterations = 5000;
+    const NelderMeadResult r = nelderMead(f, {-1.2, 1.0}, options);
+    EXPECT_NEAR(r.best[0], 1.0, 1e-2);
+    EXPECT_NEAR(r.best[1], 1.0, 1e-2);
+}
+
+TEST(NelderMead, RespectsIterationCap)
+{
+    auto f = [](const std::vector<double>& x) {
+        return x[0] * x[0];
+    };
+    NelderMeadOptions options;
+    options.maxIterations = 3;
+    const NelderMeadResult r = nelderMead(f, {5.0}, options);
+    EXPECT_LE(r.iterations, 3);
+}
+
+TEST(NelderMead, NoisyObjectiveStillImproves)
+{
+    // A small deterministic "noise" ripple on a bowl; Nelder-Mead is
+    // chosen in variational algorithms for exactly this robustness.
+    auto f = [](const std::vector<double>& x) {
+        double s = 0.0;
+        for (double v : x)
+            s += v * v;
+        return s + 0.01 * std::sin(37.0 * x[0]) *
+                       std::cos(23.0 * (x.size() > 1 ? x[1] : 0.0));
+    };
+    const NelderMeadResult r = nelderMead(f, {3.0, -2.0});
+    EXPECT_LT(r.bestValue, 0.05);
+}
+
+TEST(Adam, ConvergesOnQuadratic)
+{
+    AdamOptimizer adam(2, AdamHyperParams{0.1, 1.0});
+    std::vector<double> x{4.0, -3.0};
+    for (int i = 0; i < 500; ++i) {
+        const std::vector<double> grad{2.0 * (x[0] - 1.0),
+                                       2.0 * (x[1] + 2.0)};
+        adam.step(x, grad);
+    }
+    EXPECT_NEAR(x[0], 1.0, 1e-2);
+    EXPECT_NEAR(x[1], -2.0, 1e-2);
+    EXPECT_EQ(adam.stepsTaken(), 500);
+}
+
+TEST(Adam, DecayShrinksEffectiveRate)
+{
+    const AdamHyperParams h{0.1, 0.99};
+    EXPECT_NEAR(h.rateAt(0), 0.1, 1e-12);
+    EXPECT_LT(h.rateAt(100), 0.1 * 0.4);
+
+    // With aggressive decay the optimizer moves less overall.
+    auto run = [](double decay) {
+        AdamOptimizer adam(1, AdamHyperParams{0.05, decay});
+        std::vector<double> x{10.0};
+        for (int i = 0; i < 200; ++i) {
+            const std::vector<double> grad{2.0 * x[0]};
+            adam.step(x, grad);
+        }
+        return x[0];
+    };
+    EXPECT_GT(run(0.9), run(1.0));
+}
+
+TEST(Adam, HandlesSparseGradients)
+{
+    AdamOptimizer adam(3, AdamHyperParams{0.05, 1.0});
+    std::vector<double> x{1.0, 1.0, 1.0};
+    std::vector<double> grad{0.0, 1.0, 0.0};
+    for (int i = 0; i < 100; ++i)
+        adam.step(x, grad);
+    EXPECT_NEAR(x[0], 1.0, 1e-12);   // untouched coordinate
+    EXPECT_LT(x[1], 1.0);
+}
+
+} // namespace

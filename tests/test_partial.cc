@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "partial/compiler.h"
+#include "partial/flexible.h"
+#include "partial/strict.h"
+#include "qaoa/qaoacircuit.h"
+#include "testutil.h"
+#include "vqe/uccsd.h"
+
+namespace {
+
+using namespace qpc;
+using namespace qpc::testutil;
+
+Circuit
+exampleVariationalCircuit()
+{
+    // The Figure 3a shape: fixed gates with interspersed Rz(theta_i),
+    // theta order [t0, t0, t1, t2].
+    Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(1, ParamExpr::theta(0));
+    c.cx(1, 2);
+    c.h(2);
+    c.rz(2, ParamExpr::theta(0));
+    c.cx(0, 1);
+    c.rz(0, ParamExpr::theta(1));
+    c.h(1);
+    c.rz(1, ParamExpr::theta(2));
+    c.x(2);
+    return c;
+}
+
+TEST(Strict, AlternationAndCounts)
+{
+    const Circuit c = exampleVariationalCircuit();
+    const StrictPartition p = strictPartition(c);
+    EXPECT_EQ(p.numParamGates(), 4);
+    EXPECT_GE(p.numFixedSegments(), 3);
+    for (const StrictSegment& s : p.segments) {
+        if (s.fixed) {
+            EXPECT_TRUE(s.circuit.isParamFree());
+            EXPECT_FALSE(s.circuit.empty());
+        } else {
+            EXPECT_EQ(s.circuit.size(), 1);
+            EXPECT_GE(s.circuit.ops()[0].paramIndex(), 0);
+        }
+    }
+}
+
+TEST(Strict, ReassemblesExactly)
+{
+    const Circuit c = exampleVariationalCircuit();
+    const StrictPartition p = strictPartition(c);
+    EXPECT_TRUE(circuitEquals(p.reassemble(c.numQubits()), c));
+}
+
+TEST(Strict, ReassemblesRandomVariationalCircuits)
+{
+    Rng rng(81);
+    for (int trial = 0; trial < 8; ++trial) {
+        const Circuit c =
+            randomParametrizedCircuit(rng, 4, 6, 5);
+        const StrictPartition p = strictPartition(c);
+        EXPECT_TRUE(circuitEquals(p.reassemble(4), c));
+        EXPECT_EQ(p.numParamGates(), 6);
+    }
+}
+
+TEST(Strict, ParamFreeCircuitIsOneFixedBlock)
+{
+    Rng rng(82);
+    const Circuit c = randomCircuit(rng, 3, 20);
+    const StrictPartition p = strictPartition(c);
+    EXPECT_EQ(p.segments.size(), 1u);
+    EXPECT_TRUE(p.segments[0].fixed);
+}
+
+TEST(Flexible, SingleParamPerSlice)
+{
+    const Circuit c = exampleVariationalCircuit();
+    const FlexiblePartition p = flexibleSlices(c);
+    ASSERT_EQ(p.slices.size(), 3u);
+    EXPECT_EQ(p.slices[0].paramIndex, 0);
+    EXPECT_EQ(p.slices[1].paramIndex, 1);
+    EXPECT_EQ(p.slices[2].paramIndex, 2);
+    for (const FlexibleSlice& s : p.slices)
+        EXPECT_LE(s.circuit.paramsUsed().size(), 1u);
+}
+
+TEST(Flexible, ReassemblesExactly)
+{
+    const Circuit c = exampleVariationalCircuit();
+    const FlexiblePartition p = flexibleSlices(c);
+    EXPECT_TRUE(circuitEquals(p.reassemble(c.numQubits()), c));
+}
+
+TEST(Flexible, SlicesAreDeeperThanStrictFixedBlocks)
+{
+    // The Section 7.1 motivation: flexible slices absorb the fixed
+    // gates around each parameter.
+    const Circuit qaoa = buildQaoaCircuit(cliqueGraph(4), 3);
+    const StrictPartition strict = strictPartition(qaoa);
+    const FlexiblePartition flex = flexibleSlices(qaoa);
+    EXPECT_GT(flex.maxSliceDepth(), strict.maxFixedDepth());
+}
+
+TEST(Flexible, TrailingFixedOpsLandInLastSlice)
+{
+    Circuit c(2);
+    c.rz(0, ParamExpr::theta(0));
+    c.h(1);
+    c.cx(0, 1);
+    const FlexiblePartition p = flexibleSlices(c);
+    ASSERT_EQ(p.slices.size(), 1u);
+    EXPECT_EQ(p.slices[0].circuit.size(), 3);
+}
+
+TEST(Flexible, QaoaSliceCountIs2p)
+{
+    for (int p = 1; p <= 4; ++p) {
+        const Circuit c = buildQaoaCircuit(cliqueGraph(4), p);
+        const FlexiblePartition part = flexibleSlices(c);
+        EXPECT_EQ(static_cast<int>(part.slices.size()), 2 * p);
+    }
+}
+
+TEST(Compiler, StrategyNamesAndOrder)
+{
+    EXPECT_EQ(allStrategies().size(), 4u);
+    EXPECT_EQ(strategyName(Strategy::GateBased), "Gate-based");
+    EXPECT_EQ(strategyName(Strategy::FullGrape), "Full GRAPE");
+}
+
+TEST(Compiler, PulseOrderingInvariants)
+{
+    Rng rng(83);
+    const Circuit circuit = buildQaoaCircuit(cliqueGraph(4), 2);
+    PartialCompiler compiler(circuit);
+    const std::vector<double> theta = rng.angles(4);
+    const std::vector<CompileReport> r = compiler.compileAll(theta);
+
+    const double gate = r[0].pulseNs;
+    const double strict_ns = r[1].pulseNs;
+    const double flex = r[2].pulseNs;
+    const double grape = r[3].pulseNs;
+    EXPECT_GT(gate, 0.0);
+    EXPECT_LE(strict_ns, gate + 1e-9);
+    EXPECT_LE(grape, flex + 1e-9);
+    EXPECT_LE(grape, gate + 1e-9);
+}
+
+TEST(Compiler, LatencyOrderingInvariants)
+{
+    Rng rng(84);
+    const Circuit circuit = buildQaoaCircuit(cliqueGraph(4), 2);
+    PartialCompiler compiler(circuit);
+    const std::vector<double> theta = rng.angles(4);
+    const std::vector<CompileReport> r = compiler.compileAll(theta);
+
+    // Lookup strategies are effectively instant at runtime.
+    EXPECT_LT(r[0].runtimeSeconds, 1e-3);
+    EXPECT_LT(r[1].runtimeSeconds, 1e-3);
+    // Flexible pays real runtime latency, but far less than full.
+    EXPECT_GT(r[2].runtimeSeconds, r[1].runtimeSeconds);
+    EXPECT_GT(r[3].runtimeSeconds, 10.0 * r[2].runtimeSeconds);
+    // Pre-compute: strict and flexible pay it; the others do not.
+    EXPECT_GT(r[1].precomputeSeconds, 0.0);
+    EXPECT_GT(r[2].precomputeSeconds, 0.0);
+    EXPECT_EQ(r[0].precomputeSeconds, 0.0);
+    EXPECT_EQ(r[3].precomputeSeconds, 0.0);
+}
+
+TEST(Compiler, OrderingsHoldAcrossBindings)
+{
+    Rng rng(85);
+    const MoleculeSpec& lih = moleculeByName("LiH");
+    const Circuit circuit = buildOptimizedUccsd(lih);
+    PartialCompiler compiler(circuit);
+    for (int trial = 0; trial < 4; ++trial) {
+        const std::vector<double> theta =
+            rng.angles(circuit.numParams());
+        const std::vector<CompileReport> r =
+            compiler.compileAll(theta);
+        EXPECT_LE(r[1].pulseNs, r[0].pulseNs + 1e-9);
+        EXPECT_LE(r[3].pulseNs, r[2].pulseNs + 1e-9);
+        EXPECT_LE(r[3].pulseNs, r[1].pulseNs + 1e-9);
+    }
+}
+
+TEST(Compiler, GrapeProblemCountsReported)
+{
+    const Circuit circuit = buildQaoaCircuit(cliqueGraph(4), 2);
+    PartialCompiler compiler(circuit);
+    Rng rng(86);
+    const std::vector<double> theta = rng.angles(4);
+    EXPECT_EQ(compiler.compile(Strategy::GateBased, theta)
+                  .grapeProblems,
+              0);
+    EXPECT_GT(compiler.compile(Strategy::StrictPartial, theta)
+                  .grapeProblems,
+              0);
+    EXPECT_GT(compiler.compile(Strategy::FullGrape, theta)
+                  .grapeProblems,
+              0);
+}
+
+TEST(Compiler, PulseTimeRespondsToBindings)
+{
+    // Small angles yield shorter GRAPE pulses than large angles —
+    // the fractional-gate effect end to end.
+    const Circuit circuit = buildQaoaCircuit(cliqueGraph(4), 1);
+    PartialCompiler compiler(circuit);
+    const CompileReport small = compiler.compile(
+        Strategy::FullGrape, {0.05, 0.05});
+    const CompileReport large = compiler.compile(
+        Strategy::FullGrape, {2.8, 2.9});
+    EXPECT_LT(small.pulseNs, large.pulseNs);
+}
+
+} // namespace

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/random_unitary.h"
+#include "linalg/su2.h"
+#include "linalg/weyl.h"
+#include "pulse/device.h"
+#include "pulse/evolve.h"
+#include "pulse/library.h"
+#include "pulse/schedule.h"
+#include "sim/statevector.h"
+#include "testutil.h"
+
+namespace {
+
+using namespace qpc;
+using namespace qpc::testutil;
+
+const double kPi = 3.14159265358979323846;
+
+TEST(Device, GmonLineShape)
+{
+    const DeviceModel dev = DeviceModel::gmonLine(3);
+    EXPECT_EQ(dev.dim(), 8);
+    EXPECT_EQ(dev.couplings().size(), 2u);
+    // charge + flux per qubit plus one coupler per edge.
+    EXPECT_EQ(dev.numControls(), 8);
+}
+
+TEST(Device, ControlsAreHermitianAndBounded)
+{
+    for (int levels : {2, 3}) {
+        const DeviceModel dev = DeviceModel::gmonLine(2, levels);
+        for (const ControlChannel& ch : dev.controls()) {
+            EXPECT_TRUE(ch.op.isHermitian(1e-12)) << ch.name;
+            EXPECT_GT(ch.maxAmp, 0.0) << ch.name;
+        }
+    }
+}
+
+TEST(Device, AmplitudeAsymmetryIs15x)
+{
+    const DeviceModel dev = DeviceModel::gmonLine(1);
+    const double charge = dev.controls()[0].maxAmp;
+    const double flux = dev.controls()[1].maxAmp;
+    EXPECT_NEAR(flux / charge, 15.0, 1e-9);
+}
+
+TEST(Device, QubitDriftIsZeroQutritAnharmonic)
+{
+    const DeviceModel qubit = DeviceModel::gmonLine(2, 2);
+    EXPECT_NEAR(qubit.drift().maxAbs(), 0.0, 1e-12);
+    const DeviceModel qutrit = DeviceModel::gmonLine(1, 3);
+    EXPECT_NEAR(qutrit.drift()(2, 2).real(),
+                qutrit.limits().anharmonicity, 1e-12);
+}
+
+TEST(Device, ComputationalIndices)
+{
+    const DeviceModel qutrit = DeviceModel::gmonLine(2, 3);
+    const std::vector<int> comp = qutrit.computationalIndices();
+    // Base-3 digit strings with digits < 2: 00,01,10,11 ->
+    // 0, 1, 3, 4.
+    ASSERT_EQ(comp.size(), 4u);
+    EXPECT_EQ(comp[0], 0);
+    EXPECT_EQ(comp[1], 1);
+    EXPECT_EQ(comp[2], 3);
+    EXPECT_EQ(comp[3], 4);
+}
+
+TEST(Device, EmbedUnitaryKeepsLeakageIdentity)
+{
+    const DeviceModel qutrit = DeviceModel::gmonLine(1, 3);
+    const CMatrix embedded = qutrit.embedUnitary(pauliX());
+    EXPECT_TRUE(embedded.isUnitary(1e-12));
+    EXPECT_NEAR(std::abs(embedded(2, 2) - Complex{1.0, 0.0}), 0.0,
+                1e-12);
+    EXPECT_NEAR(std::abs(embedded(0, 1) - Complex{1.0, 0.0}), 0.0,
+                1e-12);
+}
+
+TEST(Schedule, AppendConcatenates)
+{
+    PulseSchedule a(2, 3, 0.1);
+    PulseSchedule b(2, 2, 0.1);
+    a.channel(0)[0] = 1.0;
+    b.channel(1)[1] = -2.0;
+    a.append(b);
+    EXPECT_EQ(a.numSamples(), 5);
+    EXPECT_NEAR(a.durationNs(), 0.5, 1e-12);
+    EXPECT_NEAR(a.channel(1)[4], -2.0, 1e-12);
+    EXPECT_NEAR(a.maxAbsSample(), 2.0, 1e-12);
+}
+
+TEST(Schedule, RoughnessOfSmoothVsJagged)
+{
+    PulseSchedule smooth(1, 32, 1.0);
+    PulseSchedule jagged(1, 32, 1.0);
+    for (int k = 0; k < 32; ++k) {
+        smooth.channel(0)[k] = 0.5;
+        jagged.channel(0)[k] = (k % 2) ? 1.0 : -1.0;
+    }
+    EXPECT_NEAR(smooth.roughness(), 0.0, 1e-12);
+    EXPECT_GT(jagged.roughness(), 1.0);
+}
+
+TEST(Evolve, ZeroPulseIsIdentity)
+{
+    const DeviceModel dev = DeviceModel::gmonLine(2);
+    const PulseSchedule zeros(dev.numControls(), 10, 0.1);
+    EXPECT_TRUE(evolveUnitary(dev, zeros)
+                    .approxEqual(CMatrix::identity(4), 1e-10));
+}
+
+TEST(Evolve, TraceFidelityIsPhaseInvariant)
+{
+    Rng rng(61);
+    const CMatrix u = haarUnitary(4, rng);
+    EXPECT_NEAR(traceFidelity(u, u), 1.0, 1e-10);
+    EXPECT_NEAR(traceFidelity(u, u * std::polar(1.0, 1.1)), 1.0,
+                1e-10);
+    EXPECT_LT(traceFidelity(u, haarUnitary(4, rng)), 0.9);
+}
+
+TEST(Library, RzPulsesAllAngles)
+{
+    const DeviceModel dev = DeviceModel::gmonLine(1);
+    const GatePulseLibrary lib(dev, 0.01);
+    for (double theta : {0.2, -0.7, 2.9, kPi}) {
+        const CMatrix realized = evolveUnitary(dev, lib.rz(0, theta));
+        EXPECT_GT(traceFidelity(rzMatrix(theta), realized), 0.9999)
+            << "theta " << theta;
+    }
+}
+
+TEST(Library, RxPulsesAllAngles)
+{
+    const DeviceModel dev = DeviceModel::gmonLine(1);
+    const GatePulseLibrary lib(dev, 0.01);
+    for (double theta : {0.2, -0.7, 2.9, kPi}) {
+        const CMatrix realized = evolveUnitary(dev, lib.rx(0, theta));
+        EXPECT_GT(traceFidelity(rxMatrix(theta), realized), 0.9999)
+            << "theta " << theta;
+    }
+}
+
+TEST(Library, PulsesRespectAmplitudeBounds)
+{
+    const DeviceModel dev = DeviceModel::gmonLine(2);
+    const GatePulseLibrary lib(dev, 0.02);
+    const PulseSchedule cx = lib.cx(0, 1);
+    for (int c = 0; c < dev.numControls(); ++c) {
+        const double bound = dev.controls()[c].maxAmp;
+        for (double v : cx.channel(c))
+            EXPECT_LE(std::abs(v), bound * (1.0 + 1e-9));
+    }
+}
+
+TEST(Library, XxPulseHasCxClass)
+{
+    const DeviceModel dev = DeviceModel::gmonLine(2);
+    const GatePulseLibrary lib(dev, 0.01);
+    const CMatrix realized =
+        evolveUnitary(dev, lib.xx(0, 1, -kPi / 4));
+    const WeylCoords w = weylCoordinates(realized);
+    EXPECT_NEAR(w.c1, kPi / 4, 1e-6);
+    EXPECT_NEAR(w.c2, 0.0, 1e-6);
+}
+
+TEST(Library, CzAndSwapAreExact)
+{
+    const DeviceModel dev = DeviceModel::gmonLine(2);
+    const GatePulseLibrary lib(dev, 0.01);
+    EXPECT_GT(traceFidelity(gateMatrix(GateKind::CZ),
+                            evolveUnitary(dev, lib.cz(0, 1))),
+              0.999);
+    EXPECT_GT(traceFidelity(gateMatrix(GateKind::SWAP),
+                            evolveUnitary(dev, lib.swapGate(0, 1))),
+              0.998);
+}
+
+TEST(Library, CompileCircuitMatchesCircuitUnitary)
+{
+    const DeviceModel dev = DeviceModel::gmonLine(2);
+    const GatePulseLibrary lib(dev, 0.01);
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(1, 0.7);
+    c.ry(0, -0.4);
+    const CMatrix target = circuitUnitary(c);
+    const CMatrix realized =
+        evolveUnitary(dev, lib.compileCircuit(c));
+    EXPECT_GT(traceFidelity(target, realized), 0.998);
+}
+
+TEST(Evolve, SubspaceFidelityDetectsLeakage)
+{
+    const DeviceModel qutrit = DeviceModel::gmonLine(1, 3);
+    // A pulse driving hard 1<->2 transitions leaks; identity target
+    // fidelity on the subspace must drop below 1.
+    PulseSchedule pulse(qutrit.numControls(), 50, 0.1);
+    for (double& v : pulse.channel(0))
+        v = qutrit.limits().chargeMax;
+    const CMatrix realized = evolveUnitary(qutrit, pulse);
+    const double fid =
+        subspaceFidelity(qutrit, CMatrix::identity(2), realized);
+    EXPECT_LT(fid, 0.99);
+    EXPECT_GE(fid, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/random_unitary.h"
+#include "linalg/su2.h"
+#include "linalg/weyl.h"
+
+namespace {
+
+using namespace qpc;
+
+const double kPi = 3.14159265358979323846;
+
+CMatrix
+cxMatrix4()
+{
+    CMatrix m(4, 4);
+    m(0, 0) = 1;
+    m(1, 1) = 1;
+    m(2, 3) = 1;
+    m(3, 2) = 1;
+    return m;
+}
+
+CMatrix
+swapMatrix4()
+{
+    CMatrix m(4, 4);
+    m(0, 0) = 1;
+    m(1, 2) = 1;
+    m(2, 1) = 1;
+    m(3, 3) = 1;
+    return m;
+}
+
+TEST(WeylSmoke, Cx)
+{
+    WeylCoords c = weylCoordinates(cxMatrix4());
+    EXPECT_NEAR(c.c1, kPi / 4, 1e-8);
+    EXPECT_NEAR(c.c2, 0.0, 1e-8);
+    EXPECT_NEAR(c.c3, 0.0, 1e-8);
+}
+
+TEST(WeylSmoke, Swap)
+{
+    WeylCoords c = weylCoordinates(swapMatrix4());
+    EXPECT_NEAR(c.c1, kPi / 4, 1e-8);
+    EXPECT_NEAR(c.c2, kPi / 4, 1e-8);
+    EXPECT_NEAR(std::abs(c.c3), kPi / 4, 1e-8);
+}
+
+TEST(WeylSmoke, Identity)
+{
+    WeylCoords c = weylCoordinates(CMatrix::identity(4));
+    EXPECT_NEAR(c.interaction(), 0.0, 1e-8);
+}
+
+TEST(WeylSmoke, LocalGatesHaveZeroInteraction)
+{
+    Rng rng(7);
+    for (int i = 0; i < 20; ++i) {
+        CMatrix u = kron(haarUnitary(2, rng), haarUnitary(2, rng));
+        WeylCoords c = weylCoordinates(u);
+        EXPECT_NEAR(c.interaction(), 0.0, 1e-6);
+    }
+}
+
+TEST(WeylSmoke, RoundTripRandomCanonical)
+{
+    Rng rng(3);
+    for (int i = 0; i < 30; ++i) {
+        double c1 = rng.uniform(0.0, kPi / 4);
+        double c2 = rng.uniform(0.0, c1);
+        double c3 = rng.uniform(0.0, c2);
+        CMatrix g = canonicalGate(c1, c2, c3);
+        WeylCoords c = weylCoordinates(g);
+        EXPECT_NEAR(c.c1, c1, 1e-6);
+        EXPECT_NEAR(c.c2, c2, 1e-6);
+        EXPECT_NEAR(std::abs(c.c3), c3, 1e-6);
+    }
+}
+
+TEST(WeylSmoke, DressedCanonicalInvariant)
+{
+    Rng rng(11);
+    for (int i = 0; i < 20; ++i) {
+        double c1 = rng.uniform(0.0, kPi / 4);
+        double c2 = rng.uniform(0.0, c1);
+        double c3 = rng.uniform(0.0, c2);
+        CMatrix g = canonicalGate(c1, c2, c3);
+        CMatrix dressed =
+            kron(haarUnitary(2, rng), haarUnitary(2, rng)) * g *
+            kron(haarUnitary(2, rng), haarUnitary(2, rng));
+        EXPECT_TRUE(locallyEquivalent(g, dressed, 1e-6));
+    }
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Shared helpers for the test suite: random circuit generation,
+ * op-level circuit equality, and phase-invariant unitary comparison.
+ */
+
+#ifndef QPC_TESTS_TESTUTIL_H
+#define QPC_TESTS_TESTUTIL_H
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ir/circuit.h"
+#include "linalg/matrix.h"
+
+namespace qpc::testutil {
+
+/** Largest |difference| after removing the optimal global phase. */
+inline double
+phaseInvariantDistance(const CMatrix& a, const CMatrix& b)
+{
+    const Complex overlap = (a.dagger() * b).trace();
+    if (std::abs(overlap) < 1e-12)
+        return a.maxAbsDiff(b);
+    const Complex phase = overlap / std::abs(overlap);
+    return (b * std::conj(phase)).maxAbsDiff(a);
+}
+
+/** True when two unitaries agree up to global phase. */
+inline bool
+sameUpToPhase(const CMatrix& a, const CMatrix& b, double tol = 1e-8)
+{
+    return phaseInvariantDistance(a, b) <= tol;
+}
+
+/** Exact op-by-op circuit equality. */
+inline bool
+circuitEquals(const Circuit& a, const Circuit& b)
+{
+    if (a.numQubits() != b.numQubits() || a.size() != b.size())
+        return false;
+    for (int i = 0; i < a.size(); ++i) {
+        const GateOp& x = a.ops()[i];
+        const GateOp& y = b.ops()[i];
+        if (x.kind != y.kind || x.q0 != y.q0 || x.q1 != y.q1)
+            return false;
+        if (x.angle.index != y.angle.index ||
+            std::abs(x.angle.coeff - y.angle.coeff) > 1e-12 ||
+            std::abs(x.angle.offset - y.angle.offset) > 1e-12)
+            return false;
+    }
+    return true;
+}
+
+/** Random bound circuit over a standard gate mix. */
+inline Circuit
+randomCircuit(Rng& rng, int num_qubits, int num_ops)
+{
+    Circuit circuit(num_qubits);
+    for (int i = 0; i < num_ops; ++i) {
+        const int pick = rng.randint(0, 7);
+        const int q = rng.randint(0, num_qubits - 1);
+        switch (pick) {
+          case 0: circuit.h(q); break;
+          case 1: circuit.x(q); break;
+          case 2: circuit.rz(q, rng.angle()); break;
+          case 3: circuit.rx(q, rng.angle()); break;
+          case 4: circuit.ry(q, rng.angle()); break;
+          case 5: circuit.s(q); break;
+          default: {
+            if (num_qubits < 2) {
+                circuit.t(q);
+                break;
+            }
+            int r = rng.randint(0, num_qubits - 2);
+            if (r >= q)
+                ++r;
+            if (pick == 6)
+                circuit.cx(q, r);
+            else
+                circuit.cz(q, r);
+            break;
+          }
+        }
+    }
+    return circuit;
+}
+
+/** Random symbolic variational circuit with monotone parameters. */
+inline Circuit
+randomParametrizedCircuit(Rng& rng, int num_qubits, int num_params,
+                          int ops_per_param)
+{
+    Circuit circuit(num_qubits);
+    for (int p = 0; p < num_params; ++p) {
+        for (int i = 0; i < ops_per_param; ++i) {
+            const int q = rng.randint(0, num_qubits - 1);
+            const int pick = rng.randint(0, 3);
+            if (pick == 0 && num_qubits >= 2) {
+                int r = rng.randint(0, num_qubits - 2);
+                if (r >= q)
+                    ++r;
+                circuit.cx(q, r);
+            } else if (pick == 1) {
+                circuit.h(q);
+            } else {
+                circuit.rx(q, rng.angle());
+            }
+        }
+        const int q = rng.randint(0, num_qubits - 1);
+        circuit.rz(q, ParamExpr::theta(p, rng.uniform(0.5, 2.0)));
+    }
+    return circuit;
+}
+
+} // namespace qpc::testutil
+
+#endif // QPC_TESTS_TESTUTIL_H
