@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Run every bench binary and emit one JSON per bench with wall-clock
+# timing and the bench's table output, so successive PRs can diff the
+# BENCH_ perf trajectory.
+#
+# Usage:
+#   bench/run_all.sh [build-dir] [out-dir]
+#
+# Defaults: build dir "build", results in "<build-dir>/bench_results".
+# Requires jq. Respects QPC_BENCH_TIMEOUT (seconds, default 1800).
+set -u
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-"$BUILD_DIR/bench_results"}
+TIMEOUT=${QPC_BENCH_TIMEOUT:-1800}
+
+BENCHES=(
+    bench_table1_gate_library
+    bench_table2_vqe_circuits
+    bench_table3_qaoa_circuits
+    bench_table5_realistic_pulses
+    bench_fig2_clique_scaling
+    bench_fig4_hyperparam_robustness
+    bench_fig5_table4_vqe_speedups
+    bench_fig6_table4_qaoa_speedups
+    bench_fig7_latency_reduction
+)
+
+# Built only when Google Benchmark is installed (see bench/CMakeLists);
+# skipped with a note rather than failing when absent.
+OPTIONAL_BENCHES=(
+    bench_micro_kernels
+)
+
+if ! command -v jq >/dev/null; then
+    echo "run_all.sh: jq is required to emit JSON" >&2
+    exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+git_rev=$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null || echo unknown)
+overall=0
+
+for bench in "${BENCHES[@]}" "${OPTIONAL_BENCHES[@]}"; do
+    bin="$BUILD_DIR/bench/$bench"
+    if [ ! -x "$bin" ]; then
+        case " ${OPTIONAL_BENCHES[*]} " in
+          *" $bench "*)
+            echo "== $bench: skipped (optional; not built on this machine)"
+            ;;
+          *)
+            echo "run_all.sh: missing binary $bin (build with -DQPC_BUILD_BENCH=ON)" >&2
+            overall=1
+            ;;
+        esac
+        continue
+    fi
+    echo "== $bench"
+    start=$(date +%s%N)
+    output=$(timeout "$TIMEOUT" "$bin" 2>&1)
+    status=$?
+    end=$(date +%s%N)
+    elapsed=$(awk -v s="$start" -v e="$end" 'BEGIN { printf "%.3f", (e - s) / 1e9 }')
+    [ "$status" -ne 0 ] && overall=1
+    jq -n \
+        --arg bench "$bench" \
+        --arg git_rev "$git_rev" \
+        --arg elapsed "$elapsed" \
+        --arg status "$status" \
+        --arg output "$output" \
+        '{bench: $bench,
+          git_rev: $git_rev,
+          elapsed_seconds: ($elapsed | tonumber),
+          exit_status: ($status | tonumber),
+          lines: ($output | split("\n"))}' \
+        > "$OUT_DIR/$bench.json"
+    echo "   ${elapsed}s (exit $status) -> $OUT_DIR/$bench.json"
+done
+
+# One merged summary for quick PR-over-PR diffing.
+shopt -s nullglob
+results=("$OUT_DIR"/bench_*.json)
+if [ "${#results[@]}" -gt 0 ]; then
+    jq -s 'map({bench, git_rev, elapsed_seconds, exit_status})' \
+        "${results[@]}" > "$OUT_DIR/summary.json"
+    echo "== summary -> $OUT_DIR/summary.json"
+fi
+exit "$overall"

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench/benchcommon.h"
+#include "sim/statevector.h"
+#include "testutil.h"
+#include "transpile/mapping.h"
+#include "transpile/passes.h"
+
+namespace {
+
+using namespace qpc;
+using namespace qpc::testutil;
+
+// prepareCircuit is optimize -> map -> re-optimize; rerunning the same
+// deterministic pipeline recovers the final layout it used.
+std::vector<int>
+layoutUsedByPrepare(Circuit circuit, const Topology& topology)
+{
+    optimizeCircuit(circuit);
+    const MappingResult mapped = mapToTopology(circuit, topology);
+    return mapped.finalLayout;
+}
+
+TEST(PrepareCircuit, PreservesUnitaryOnLine3)
+{
+    Rng rng(301);
+    const Topology line = Topology::line(3);
+    for (int trial = 0; trial < 6; ++trial) {
+        const Circuit circuit = randomCircuit(rng, 3, 25);
+        const Circuit prepared = bench::prepareCircuit(circuit, line);
+        const CMatrix perm =
+            layoutPermutation(layoutUsedByPrepare(circuit, line));
+        EXPECT_TRUE(sameUpToPhase(circuitUnitary(prepared),
+                                  perm * circuitUnitary(circuit),
+                                  1e-8))
+            << "trial " << trial;
+    }
+}
+
+TEST(PrepareCircuit, PreservesUnitaryOnLine4)
+{
+    Rng rng(302);
+    const Topology line = Topology::line(4);
+    for (int trial = 0; trial < 4; ++trial) {
+        const Circuit circuit = randomCircuit(rng, 4, 30);
+        const Circuit prepared = bench::prepareCircuit(circuit, line);
+        const CMatrix perm =
+            layoutPermutation(layoutUsedByPrepare(circuit, line));
+        EXPECT_TRUE(sameUpToPhase(circuitUnitary(prepared),
+                                  perm * circuitUnitary(circuit),
+                                  1e-8))
+            << "trial " << trial;
+    }
+}
+
+TEST(PrepareCircuit, OutputRespectsTopology)
+{
+    Rng rng(303);
+    const Topology line = Topology::line(4);
+    const Circuit circuit = randomCircuit(rng, 4, 40);
+    const Circuit prepared = bench::prepareCircuit(circuit, line);
+    for (const GateOp& op : prepared.ops()) {
+        if (op.arity() == 2) {
+            EXPECT_TRUE(line.connected(op.q0, op.q1)) << op.str();
+        }
+    }
+}
+
+TEST(PrepareCircuit, CliqueMappingKeepsQubitsInPlace)
+{
+    // All-to-all connectivity: mapping is a no-op, so prepare reduces
+    // to plain optimization and the unitary matches with no layout
+    // permutation.
+    Rng rng(304);
+    const Topology clique = Topology::clique(3);
+    const Circuit circuit = randomCircuit(rng, 3, 20);
+    const Circuit prepared = bench::prepareCircuit(circuit, clique);
+    EXPECT_TRUE(sameUpToPhase(circuitUnitary(prepared),
+                              circuitUnitary(circuit), 1e-8));
+}
+
+TEST(BenchmarkTopology, GridForEvenSixPlusLineBelow)
+{
+    EXPECT_EQ(bench::benchmarkTopology(4).numQubits(), 4);
+    EXPECT_EQ(bench::benchmarkTopology(4).edges().size(), 3u);
+
+    // 2 x 3 grid: 6 qubits, 3 horizontal + 2x2 vertical... exactly 7
+    // edges; a 6-line would have 5.
+    const Topology grid6 = bench::benchmarkTopology(6);
+    EXPECT_EQ(grid6.numQubits(), 6);
+    EXPECT_EQ(grid6.edges().size(), 7u);
+
+    // Odd n >= 6 falls back to a line.
+    EXPECT_EQ(bench::benchmarkTopology(7).edges().size(), 6u);
+}
+
+TEST(QaoaBenchmarkGraph, FamiliesAndDeterminism)
+{
+    const Graph reg = bench::qaoaBenchmarkGraph("3reg", 6, 7);
+    EXPECT_EQ(reg.numNodes, 6);
+    EXPECT_EQ(reg.edges.size(), 9u); // 3-regular: 3n/2 edges.
+
+    const Graph a = bench::qaoaBenchmarkGraph("erdos", 6, 11);
+    const Graph b = bench::qaoaBenchmarkGraph("erdos", 6, 11);
+    EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(NestedAngles, SharedPrefixAcrossCounts)
+{
+    const std::vector<double> four = bench::nestedAngles(4, 21);
+    const std::vector<double> eight = bench::nestedAngles(8, 21);
+    ASSERT_EQ(four.size(), 4u);
+    ASSERT_EQ(eight.size(), 8u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(four[i], eight[i]);
+}
+
+} // namespace

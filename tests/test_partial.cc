@@ -6,6 +6,7 @@
 #include "partial/flexible.h"
 #include "partial/strict.h"
 #include "qaoa/qaoacircuit.h"
+#include "sim/statevector.h"
 #include "testutil.h"
 #include "vqe/uccsd.h"
 
@@ -125,6 +126,57 @@ TEST(Flexible, QaoaSliceCountIs2p)
         const Circuit c = buildQaoaCircuit(cliqueGraph(4), p);
         const FlexiblePartition part = flexibleSlices(c);
         EXPECT_EQ(static_cast<int>(part.slices.size()), 2 * p);
+    }
+}
+
+TEST(RoundTrip, StrictMatchesFullUnitaryAcrossBindings)
+{
+    Rng rng(87);
+    const Circuit c = randomParametrizedCircuit(rng, 4, 5, 4);
+    const StrictPartition p = strictPartition(c);
+    const Circuit reassembled = p.reassemble(c.numQubits());
+    for (int trial = 0; trial < 3; ++trial) {
+        const std::vector<double> theta = rng.angles(c.numParams());
+        const CMatrix full = circuitUnitary(c.bind(theta));
+        const CMatrix partial =
+            circuitUnitary(reassembled.bind(theta));
+        EXPECT_LT(phaseInvariantDistance(partial, full), 1e-8)
+            << "binding " << trial;
+    }
+}
+
+TEST(RoundTrip, FlexibleMatchesFullUnitaryAcrossBindings)
+{
+    Rng rng(88);
+    const Circuit c = randomParametrizedCircuit(rng, 3, 6, 4);
+    const FlexiblePartition p = flexibleSlices(c);
+    const Circuit reassembled = p.reassemble(c.numQubits());
+    for (int trial = 0; trial < 3; ++trial) {
+        const std::vector<double> theta = rng.angles(c.numParams());
+        const CMatrix full = circuitUnitary(c.bind(theta));
+        const CMatrix partial =
+            circuitUnitary(reassembled.bind(theta));
+        EXPECT_LT(phaseInvariantDistance(partial, full), 1e-8)
+            << "binding " << trial;
+    }
+}
+
+TEST(RoundTrip, SliceUnitaryProductMatchesFullUnitary)
+{
+    // Stronger than reassembly: multiplying the per-slice unitaries in
+    // program order must reproduce the full circuit unitary, which is
+    // exactly what concatenating per-slice GRAPE pulses relies on.
+    Rng rng(89);
+    const Circuit c = randomParametrizedCircuit(rng, 3, 4, 3);
+    const FlexiblePartition p = flexibleSlices(c);
+    for (int trial = 0; trial < 3; ++trial) {
+        const std::vector<double> theta = rng.angles(c.numParams());
+        CMatrix product = CMatrix::identity(1 << c.numQubits());
+        for (const FlexibleSlice& s : p.slices)
+            product = circuitUnitary(s.circuit.bind(theta)) * product;
+        const CMatrix full = circuitUnitary(c.bind(theta));
+        EXPECT_LT(phaseInvariantDistance(product, full), 1e-8)
+            << "binding " << trial;
     }
 }
 

@@ -250,19 +250,8 @@ TEST(Mapping, PreservesSemanticsUpToLayout)
     const CMatrix original = circuitUnitary(circuit);
     const CMatrix routed = circuitUnitary(mapped.circuit);
 
-    const int n = circuit.numQubits();
-    const int dim = 1 << n;
-    CMatrix perm(dim, dim);
-    for (int basis = 0; basis < dim; ++basis) {
-        int image = 0;
-        for (int l = 0; l < n; ++l) {
-            const int bit = (basis >> (n - 1 - l)) & 1;
-            if (bit)
-                image |= 1 << (n - 1 - mapped.finalLayout[l]);
-        }
-        perm(image, basis) = 1.0;
-    }
     // routed == perm * original (logical result lands at layout).
+    const CMatrix perm = layoutPermutation(mapped.finalLayout);
     EXPECT_TRUE(sameUpToPhase(routed, perm * original, 1e-8));
 }
 

@@ -43,8 +43,9 @@ TEST_P(UccsdSweep, WidthParamsAndStructure)
 
     // Only Rz gates carry parameters (Section 6's structure).
     for (const GateOp& op : ansatz.ops()) {
-        if (op.paramIndex() >= 0)
+        if (op.paramIndex() >= 0) {
             EXPECT_EQ(op.kind, GateKind::Rz) << op.str();
+        }
     }
 }
 

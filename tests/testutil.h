@@ -8,6 +8,7 @@
 #define QPC_TESTS_TESTUTIL_H
 
 #include <cmath>
+#include <vector>
 
 #include "common/rng.h"
 #include "ir/circuit.h"
@@ -31,6 +32,30 @@ inline bool
 sameUpToPhase(const CMatrix& a, const CMatrix& b, double tol = 1e-8)
 {
     return phaseInvariantDistance(a, b) <= tol;
+}
+
+/**
+ * Basis permutation matrix P sending logical qubit l to physical
+ * qubit layout[l], in the bit convention of circuitUnitary() (qubit 0
+ * is the most significant bit of the basis index). A routed circuit's
+ * unitary equals P * U_original up to global phase.
+ */
+inline CMatrix
+layoutPermutation(const std::vector<int>& layout)
+{
+    const int n = static_cast<int>(layout.size());
+    const int dim = 1 << n;
+    CMatrix perm(dim, dim);
+    for (int basis = 0; basis < dim; ++basis) {
+        int image = 0;
+        for (int l = 0; l < n; ++l) {
+            const int bit = (basis >> (n - 1 - l)) & 1;
+            if (bit)
+                image |= 1 << (n - 1 - layout[l]);
+        }
+        perm(image, basis) = 1.0;
+    }
+    return perm;
 }
 
 /** Exact op-by-op circuit equality. */
