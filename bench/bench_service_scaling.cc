@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Compilation-service scaling: wall-clock precompute speedup vs.
+ * worker count, cross-circuit block deduplication, and warm-cache hit
+ * rate on the QAOA benchmark sweep.
+ *
+ * The paper pre-compiled Fixed blocks on a parallel cluster
+ * (Section 8.4 reports strict partial's pre-compute as "about an
+ * hour" of parallelized subcircuit jobs vs. years of serial full
+ * GRAPE). This bench measures the service half of that story: the
+ * batch API dedupes the sweep's shared blocks, the worker pool
+ * overlaps the per-block synthesis latency, and a warm rerun is pure
+ * cache lookup. Pulse synthesis is paced by the calibrated GRAPE
+ * latency model (scaled so the whole bench runs in seconds), so what
+ * is measured is the service's scheduling, deduplication, and cache
+ * behaviour at a realistic latency *shape* rather than the container's
+ * core count.
+ *
+ * Machine-readable lines (picked up by bench/run_all.sh JSON):
+ *   BENCH_service_total_blocks / _unique_blocks / _dedup_ratio
+ *   BENCH_service_wall_seconds_1w / _4w / BENCH_service_speedup_4w
+ *   BENCH_service_warm_wall_seconds / _warm_hit_rate
+ */
+
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/benchcommon.h"
+#include "cache/fingerprint.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "model/latencymodel.h"
+#include "model/timemodel.h"
+#include "runtime/service.h"
+
+using namespace qpc;
+using namespace qpc::bench;
+
+namespace {
+
+/** The QAOA benchmark sweep: both families, both sizes, p = 1..5. */
+std::vector<Circuit>
+qaoaSweep()
+{
+    const struct
+    {
+        const char* family;
+        int n;
+        uint64_t seed;
+    } families[] = {{"3reg", 6, 11},
+                    {"3reg", 8, 13},
+                    {"erdos", 6, 12},
+                    {"erdos", 8, 14}};
+    std::vector<Circuit> sweep;
+    for (const auto& fam : families) {
+        const Graph graph =
+            qaoaBenchmarkGraph(fam.family, fam.n, fam.seed);
+        for (int p = 1; p <= 5; ++p)
+            sweep.push_back(qaoaBenchmarkCircuit(graph, p));
+    }
+    return sweep;
+}
+
+CompileServiceOptions
+serviceOptions(int workers, double time_scale)
+{
+    CompileServiceOptions options;
+    options.numWorkers = workers;
+    // Coarse sample period: the bench measures scheduling, not pulse
+    // resolution, and the modeled sleep dominates synthesis anyway.
+    options.lookupDt = 0.5;
+    options.synthesizer = modeledLatencySynthesizer(time_scale, 0.5);
+    return options;
+}
+
+} // namespace
+
+int
+main()
+{
+    inform("compilation service scaling on the QAOA benchmark sweep");
+    const std::vector<Circuit> sweep = qaoaSweep();
+
+    // Calibrate the latency scale so the serial (1-worker) pass costs
+    // roughly kTargetSerialSeconds: sum the modeled full-GRAPE latency
+    // over the *unique* blocks of the sweep.
+    const GrapeLatencyModel latency;
+    const PulseTimeModel time_model;
+    double modeled_serial_seconds = 0.0;
+    int total_blocks = 0;
+    int unique_blocks = 0;
+    {
+        CompileService scout(serviceOptions(1, 0.0));
+        std::unordered_map<BlockFingerprint, double,
+                           BlockFingerprintHash>
+            unique;
+        for (const Circuit& circuit : sweep) {
+            for (const Circuit& block : scout.fixedBlocksOf(circuit)) {
+                ++total_blocks;
+                unique.emplace(
+                    fingerprintBlock(block),
+                    latency.fullGrapeSeconds(
+                        block.numQubits(),
+                        time_model.blockTimeNs(block)));
+            }
+        }
+        unique_blocks = static_cast<int>(unique.size());
+        for (const auto& [fp, seconds] : unique)
+            modeled_serial_seconds += seconds;
+    }
+    const double kTargetSerialSeconds = 2.0;
+    const double time_scale =
+        modeled_serial_seconds > 0.0
+            ? kTargetSerialSeconds / modeled_serial_seconds
+            : 0.0;
+    inform("sweep: ", sweep.size(), " circuits, ", total_blocks,
+           " Fixed blocks, ", unique_blocks,
+           " unique after cross-circuit dedup; modeled serial "
+           "pre-compute ",
+           fmtDouble(modeled_serial_seconds / 3600.0, 1),
+           " core-hours, paced down by ", time_scale);
+
+    // Cold batch at 1 worker vs. 4 workers (fresh service, fresh
+    // cache each), then a warm rerun on the 4-worker service.
+    CompileService serial(serviceOptions(1, time_scale));
+    const BatchCompileReport cold1 = serial.compileBatch(sweep);
+
+    CompileService parallel(serviceOptions(4, time_scale));
+    const BatchCompileReport cold4 = parallel.compileBatch(sweep);
+    const BatchCompileReport warm = parallel.compileBatch(sweep);
+
+    const double speedup =
+        cold4.wallSeconds > 0.0 ? cold1.wallSeconds / cold4.wallSeconds
+                                : 0.0;
+
+    TextTable table("compile-service precompute, QAOA sweep");
+    table.addRow({"Configuration", "Wall (s)", "Synth runs",
+                  "Cache hit rate"});
+    table.addRow({"cold, 1 worker", fmtDouble(cold1.wallSeconds, 2),
+                  std::to_string(cold1.synthRuns),
+                  fmtDouble(100.0 * cold1.hitRate(), 1) + "%"});
+    table.addRow({"cold, 4 workers", fmtDouble(cold4.wallSeconds, 2),
+                  std::to_string(cold4.synthRuns),
+                  fmtDouble(100.0 * cold4.hitRate(), 1) + "%"});
+    table.addRow({"warm rerun, 4 workers",
+                  fmtDouble(warm.wallSeconds, 2),
+                  std::to_string(warm.synthRuns),
+                  fmtDouble(100.0 * warm.hitRate(), 1) + "%"});
+    table.print();
+
+    inform("4-worker speedup over serial: ", fmtRatio(speedup, 2),
+           "; warm rerun needs ", warm.synthRuns,
+           " fresh syntheses at ",
+           fmtDouble(100.0 * warm.hitRate(), 1), "% hit rate");
+
+    std::printf("BENCH_service_total_blocks=%d\n", total_blocks);
+    std::printf("BENCH_service_unique_blocks=%d\n", unique_blocks);
+    std::printf("BENCH_service_dedup_ratio=%.3f\n",
+                unique_blocks > 0
+                    ? static_cast<double>(total_blocks) / unique_blocks
+                    : 0.0);
+    std::printf("BENCH_service_wall_seconds_1w=%.3f\n",
+                cold1.wallSeconds);
+    std::printf("BENCH_service_wall_seconds_4w=%.3f\n",
+                cold4.wallSeconds);
+    std::printf("BENCH_service_speedup_4w=%.3f\n", speedup);
+    std::printf("BENCH_service_warm_wall_seconds=%.3f\n",
+                warm.wallSeconds);
+    std::printf("BENCH_service_warm_hit_rate=%.4f\n", warm.hitRate());
+
+    fatalIf(warm.synthRuns != 0,
+            "warm rerun re-synthesized blocks: cache is broken");
+    return 0;
+}

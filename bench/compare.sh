@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Diff a fresh bench results directory against a baseline (default:
+# the checked-in seed snapshot), so each PR can read its BENCH_ perf
+# trajectory at a glance.
+#
+# Usage:
+#   bench/compare.sh <fresh-results-dir> [baseline-dir]
+#
+# Defaults: baseline "bench/results/seed" relative to the repo root.
+# Reports, per bench: elapsed-seconds delta vs. baseline, exit-status
+# changes, benches new to this run, and benches missing from it. Also
+# diffs any BENCH_<key>=<value> lines embedded in the bench output.
+# Requires jq.
+set -u
+
+FRESH=${1:?usage: bench/compare.sh <fresh-results-dir> [baseline-dir]}
+BASE=${2:-"$(dirname "$0")/results/seed"}
+
+if ! command -v jq >/dev/null; then
+    echo "compare.sh: jq is required" >&2
+    exit 1
+fi
+for dir in "$FRESH" "$BASE"; do
+    if [ ! -d "$dir" ]; then
+        echo "compare.sh: no such directory: $dir" >&2
+        exit 1
+    fi
+done
+
+status=0
+printf '%-36s %12s %12s %9s\n' "bench" "base (s)" "fresh (s)" "delta"
+
+shopt -s nullglob
+for fresh_json in "$FRESH"/bench_*.json; do
+    bench=$(basename "$fresh_json" .json)
+    [ "$bench" = "summary" ] && continue
+    base_json="$BASE/$bench.json"
+    fresh_elapsed=$(jq -r '.elapsed_seconds' "$fresh_json")
+    fresh_status=$(jq -r '.exit_status' "$fresh_json")
+    if [ ! -f "$base_json" ]; then
+        printf '%-36s %12s %12s %9s\n' "$bench" "-" "$fresh_elapsed" "NEW"
+        continue
+    fi
+    base_elapsed=$(jq -r '.elapsed_seconds' "$base_json")
+    base_status=$(jq -r '.exit_status' "$base_json")
+    delta=$(awk -v b="$base_elapsed" -v f="$fresh_elapsed" \
+        'BEGIN { if (b > 0) printf "%+.1f%%", 100 * (f - b) / b;
+                 else printf "n/a" }')
+    printf '%-36s %12s %12s %9s\n' \
+        "$bench" "$base_elapsed" "$fresh_elapsed" "$delta"
+    if [ "$fresh_status" != "$base_status" ]; then
+        echo "   !! exit status changed: $base_status -> $fresh_status"
+        status=1
+    fi
+    # Diff machine-readable BENCH_key=value lines, if either side has
+    # them (new keys, changed values, and removed keys all show).
+    # (Explicit section markers rather than NR==FNR: that idiom
+    # misattributes the second stream when the first is empty.)
+    awk -F= '
+        $0 == "__SECTION__" { section++; next }
+        section == 1 { base[$1] = $2; next }
+        { fresh[$1] = 1
+          if (!($1 in base))
+              printf "   BENCH %s: (new) -> %s\n", $1, $2
+          else if (base[$1] != $2)
+              printf "   BENCH %s: %s -> %s\n", $1, base[$1], $2 }
+        END { for (k in base) if (!(k in fresh))
+                  printf "   BENCH %s: %s -> (removed)\n", k, base[k] }' \
+        <(echo __SECTION__;
+          jq -r '.lines[] | select(startswith("BENCH_"))' "$base_json") \
+        <(echo __SECTION__;
+          jq -r '.lines[] | select(startswith("BENCH_"))' "$fresh_json") \
+        | sort
+done
+
+# Benches present in the baseline but absent from the fresh run.
+for base_json in "$BASE"/bench_*.json; do
+    bench=$(basename "$base_json" .json)
+    if [ ! -f "$FRESH/$bench.json" ]; then
+        printf '%-36s %12s %12s %9s\n' "$bench" \
+            "$(jq -r '.elapsed_seconds' "$base_json")" "-" "MISSING"
+        status=1
+    fi
+done
+
+exit "$status"

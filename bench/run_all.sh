@@ -24,6 +24,7 @@ BENCHES=(
     bench_fig5_table4_vqe_speedups
     bench_fig6_table4_qaoa_speedups
     bench_fig7_latency_reduction
+    bench_service_scaling
 )
 
 # Built only when Google Benchmark is installed (see bench/CMakeLists);

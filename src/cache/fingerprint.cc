@@ -1,0 +1,118 @@
+#include "cache/fingerprint.h"
+
+#include <cmath>
+#include <complex>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "sim/statevector.h"
+
+namespace qpc {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void
+mix(std::uint64_t& h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+    }
+}
+
+/** Quantize a real value onto a fixed grid before hashing. */
+std::int64_t
+quantize(double v, double grid)
+{
+    const double scaled = v / grid;
+    // Saturate rather than invoke UB on out-of-range casts; angles and
+    // unitary entries never get near this in practice.
+    if (scaled >= 9.2e18)
+        return INT64_MAX;
+    if (scaled <= -9.2e18)
+        return INT64_MIN;
+    return std::llround(scaled);
+}
+
+} // namespace
+
+std::string
+BlockFingerprint::hex() const
+{
+    char buf[18];
+    std::snprintf(buf, sizeof(buf), "%c%016llx",
+                  unitaryHash ? 'u' : 's',
+                  static_cast<unsigned long long>(canonical()));
+    return buf;
+}
+
+std::uint64_t
+phaseInvariantUnitaryHash(const CMatrix& u)
+{
+    // Rotate the global phase so the first entry of largest magnitude
+    // becomes real positive. Magnitudes are phase-invariant, so the
+    // anchor entry is chosen identically for any phase-shifted copy.
+    double best = 0.0;
+    for (int r = 0; r < u.rows(); ++r)
+        for (int c = 0; c < u.cols(); ++c)
+            best = std::max(best, std::abs(u(r, c)));
+    Complex anchor = 1.0;
+    bool found = false;
+    for (int r = 0; r < u.rows() && !found; ++r)
+        for (int c = 0; c < u.cols() && !found; ++c) {
+            const Complex v = u(r, c);
+            if (std::abs(v) >= best * (1.0 - 1e-9)) {
+                anchor = v / std::abs(v);
+                found = true;
+            }
+        }
+    const Complex rotation = std::conj(anchor);
+
+    // 1e-6 grid: far above the ~1e-12 numerical noise of building the
+    // same unitary twice, far below any distance between distinct
+    // gates. A rare straddle only splits one cache line, never aliases
+    // two different unitaries.
+    std::uint64_t h = kFnvOffset;
+    mix(h, static_cast<std::uint64_t>(u.rows()));
+    for (int r = 0; r < u.rows(); ++r)
+        for (int c = 0; c < u.cols(); ++c) {
+            const Complex v = u(r, c) * rotation;
+            mix(h, static_cast<std::uint64_t>(
+                       quantize(v.real(), 1e-6)));
+            mix(h, static_cast<std::uint64_t>(
+                       quantize(v.imag(), 1e-6)));
+        }
+    return h;
+}
+
+BlockFingerprint
+fingerprintBlock(const Circuit& block)
+{
+    fatalIf(!block.isParamFree(),
+            "cannot fingerprint a symbolic circuit: bind parameters "
+            "first");
+
+    BlockFingerprint fp;
+    std::uint64_t h = kFnvOffset;
+    mix(h, static_cast<std::uint64_t>(block.numQubits()));
+    for (const GateOp& op : block.ops()) {
+        mix(h, static_cast<std::uint64_t>(op.kind));
+        mix(h, static_cast<std::uint64_t>(op.q0));
+        mix(h, static_cast<std::uint64_t>(op.q1 + 1));
+        const double angle =
+            gateIsRotation(op.kind) ? op.angle.bind({}) : 0.0;
+        // 1e-9 rad grid keeps the address exact for identical bound
+        // angles while tolerating printf-and-reparse jitter.
+        mix(h, static_cast<std::uint64_t>(quantize(angle, 1e-9)));
+    }
+    fp.structureHash = h;
+
+    if (block.numQubits() <= kMaxUnitaryFingerprintQubits)
+        fp.unitaryHash = phaseInvariantUnitaryHash(circuitUnitary(block));
+    return fp;
+}
+
+} // namespace qpc

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Canonical content address of a compiled block.
+ *
+ * The pulse cache keys a GRAPE-compiled block by what it *computes*,
+ * not where it sits in a circuit: blocks are relabeled to local qubits
+ * 0..w-1 before fingerprinting (transpile/blocking already emits them
+ * that way), so the same Fixed subcircuit appearing in two different
+ * circuits — or twice in one ansatz, as UCCSD and QAOA repetitions do
+ * — hashes to the same address and is synthesized once.
+ *
+ * Two 64-bit hashes are computed:
+ *  - unitaryHash: hash of the block's unitary after removing the
+ *    global phase. This is the *canonical address* when available
+ *    (blocks up to kMaxUnitaryFingerprintQubits): decompositions that
+ *    differ only by gate sequence or global phase (e.g. Z vs
+ *    Rz(pi) = -i Z) share it, so they deduplicate to one synthesis
+ *    and one cache entry — a pulse realizing the unitary serves every
+ *    spelling of it.
+ *  - structureHash: FNV-1a over the exact gate sequence (kind,
+ *    qubits, bound angle). The fallback address for blocks too wide
+ *    to simulate (unitaryHash == 0), and a debugging aid elsewhere.
+ *
+ * Equality, hashing, and the on-disk name all follow that canonical
+ * rule; see BlockFingerprint::operator==.
+ */
+
+#ifndef QPC_CACHE_FINGERPRINT_H
+#define QPC_CACHE_FINGERPRINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "ir/circuit.h"
+#include "linalg/matrix.h"
+
+namespace qpc {
+
+/** Widest block whose unitary is folded into the fingerprint. */
+inline constexpr int kMaxUnitaryFingerprintQubits = 6;
+
+/** Content address of one parameter-free block circuit. */
+struct BlockFingerprint
+{
+    std::uint64_t structureHash = 0;
+    std::uint64_t unitaryHash = 0;
+
+    /** The address the cache actually keys on: phase-invariant
+     * unitary content when available, gate structure otherwise. */
+    std::uint64_t
+    canonical() const
+    {
+        return unitaryHash ? unitaryHash : structureHash;
+    }
+
+    /**
+     * Canonical equality: two fingerprints with unitary content match
+     * iff the unitaries match (regardless of gate spelling); a
+     * unitary-bearing fingerprint never equals a structure-only one
+     * (different widths by construction).
+     */
+    bool
+    operator==(const BlockFingerprint& other) const
+    {
+        if (unitaryHash || other.unitaryHash)
+            return unitaryHash == other.unitaryHash;
+        return structureHash == other.structureHash;
+    }
+    bool
+    operator!=(const BlockFingerprint& other) const
+    {
+        return !(*this == other);
+    }
+
+    /**
+     * On-disk file stem, derived from the canonical component only so
+     * phase-equivalent spellings share one record: "u<16 hex>" for
+     * unitary-addressed blocks, "s<16 hex>" for structure-addressed.
+     */
+    std::string hex() const;
+};
+
+/** Hash functor for unordered containers keyed by fingerprints. */
+struct BlockFingerprintHash
+{
+    std::size_t
+    operator()(const BlockFingerprint& fp) const
+    {
+        // Consistent with canonical equality; remix for good measure.
+        return static_cast<std::size_t>(fp.canonical() *
+                                        0x9e3779b97f4a7c15ull);
+    }
+};
+
+/**
+ * Fingerprint a bound (parameter-free) block circuit. Fatal on a
+ * symbolic circuit: variational angles must be bound — or the block
+ * must be Fixed — before its pulse can be content-addressed.
+ */
+BlockFingerprint fingerprintBlock(const Circuit& block);
+
+/**
+ * Global-phase-invariant hash of a unitary: the matrix is rotated so
+ * its largest-magnitude entry is real positive, quantized, and
+ * hashed. Exposed for tests.
+ */
+std::uint64_t phaseInvariantUnitaryHash(const CMatrix& u);
+
+} // namespace qpc
+
+#endif // QPC_CACHE_FINGERPRINT_H

@@ -1,0 +1,153 @@
+#include "cache/pulsecache.h"
+
+#include <filesystem>
+
+#include "common/logging.h"
+#include "pulse/serialize.h"
+
+namespace qpc {
+
+PulseCache::PulseCache(PulseCacheOptions options)
+    : options_(std::move(options))
+{
+    fatalIf(options_.shards <= 0, "cache needs at least one shard");
+    fatalIf(options_.capacity == 0, "cache needs nonzero capacity");
+    perShardCapacity_ = std::max<std::size_t>(
+        1, options_.capacity / static_cast<std::size_t>(options_.shards));
+    shards_ = std::make_unique<Shard[]>(options_.shards);
+    if (!options_.diskDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options_.diskDir, ec);
+        fatalIf(static_cast<bool>(ec), "cannot create cache directory ",
+                options_.diskDir, ": ", ec.message());
+    }
+}
+
+PulseCache::Shard&
+PulseCache::shardFor(const BlockFingerprint& fp)
+{
+    const std::size_t h = BlockFingerprintHash{}(fp);
+    return shards_[h % static_cast<std::size_t>(options_.shards)];
+}
+
+std::string
+PulseCache::diskPath(const BlockFingerprint& fp) const
+{
+    return options_.diskDir + "/" + fp.hex() + ".qpulse";
+}
+
+PulsePtr
+PulseCache::get(const BlockFingerprint& fp)
+{
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+    Shard& shard = shardFor(fp);
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.index.find(fp);
+        if (it != shard.index.end()) {
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second->second;
+        }
+    }
+    if (!options_.diskDir.empty()) {
+        if (std::optional<PulseSchedule> pulse =
+                loadPulseSchedule(diskPath(fp))) {
+            diskHits_.fetch_add(1, std::memory_order_relaxed);
+            PulsePtr shared =
+                std::make_shared<const PulseSchedule>(std::move(*pulse));
+            insertMemory(shard, fp, shared);
+            return shared;
+        }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+}
+
+PulsePtr
+PulseCache::peekMemory(const BlockFingerprint& fp)
+{
+    Shard& shard = shardFor(fp);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(fp);
+    if (it == shard.index.end())
+        return nullptr;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->second;
+}
+
+void
+PulseCache::insertMemory(Shard& shard, const BlockFingerprint& fp,
+                         PulsePtr pulse)
+{
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(fp);
+    if (it != shard.index.end()) {
+        // Refresh in place: same key, possibly re-synthesized pulse.
+        it->second->second = std::move(pulse);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    shard.lru.emplace_front(fp, std::move(pulse));
+    shard.index[fp] = shard.lru.begin();
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    while (shard.lru.size() > perShardCapacity_) {
+        shard.index.erase(shard.lru.back().first);
+        shard.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+PulseCache::put(const BlockFingerprint& fp, PulsePtr pulse)
+{
+    panicIf(!pulse, "cannot cache a null pulse");
+    // Disk first (outside any shard lock: serialization and I/O are
+    // the slow part), then memory, so a reader that sees the memory
+    // entry evicted later still finds the disk record.
+    if (!options_.diskDir.empty()) {
+        if (savePulseSchedule(diskPath(fp), *pulse))
+            diskWrites_.fetch_add(1, std::memory_order_relaxed);
+        else
+            warn("pulse cache: failed to persist ", diskPath(fp));
+    }
+    insertMemory(shardFor(fp), fp, std::move(pulse));
+}
+
+void
+PulseCache::put(const BlockFingerprint& fp, PulseSchedule pulse)
+{
+    put(fp, std::make_shared<const PulseSchedule>(std::move(pulse)));
+}
+
+void
+PulseCache::clearMemory()
+{
+    for (int s = 0; s < options_.shards; ++s) {
+        std::lock_guard<std::mutex> lock(shards_[s].mu);
+        shards_[s].lru.clear();
+        shards_[s].index.clear();
+    }
+}
+
+CacheStats
+PulseCache::stats() const
+{
+    CacheStats out;
+    out.lookups = lookups_.load(std::memory_order_relaxed);
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.diskHits = diskHits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.insertions = insertions_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
+    out.diskWrites = diskWrites_.load(std::memory_order_relaxed);
+    std::size_t entries = 0;
+    for (int s = 0; s < options_.shards; ++s) {
+        std::lock_guard<std::mutex> lock(shards_[s].mu);
+        entries += shards_[s].lru.size();
+    }
+    out.entries = entries;
+    return out;
+}
+
+} // namespace qpc

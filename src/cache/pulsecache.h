@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Content-addressed pulse store.
+ *
+ * Two tiers behind one get/put interface:
+ *  - a sharded in-memory LRU (per-shard mutex + intrusive recency
+ *    list), sized in entries, so concurrent compile workers and the
+ *    serving path never contend on a single lock;
+ *  - an optional on-disk tier: one binary-serialized PulseSchedule per
+ *    fingerprint (`<hex>.qpulse` under diskDir, written atomically),
+ *    which survives process exit — the amortization story of the
+ *    paper (pre-compile once, serve thousands of VQE/QAOA iterations)
+ *    extended across runs.
+ *
+ * A memory miss falls through to disk; a disk hit is promoted back
+ * into the LRU. Corrupt or truncated disk records read as misses.
+ * Every transition is counted in CacheStats.
+ */
+
+#ifndef QPC_CACHE_PULSECACHE_H
+#define QPC_CACHE_PULSECACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "cache/fingerprint.h"
+#include "pulse/schedule.h"
+
+namespace qpc {
+
+/**
+ * Cached pulses are shared, immutable values: a lookup hands back a
+ * reference-counted pointer, so serving thousands of iterations never
+ * deep-copies sample arrays out of the cache.
+ */
+using PulsePtr = std::shared_ptr<const PulseSchedule>;
+
+/** Sizing and placement of one PulseCache. */
+struct PulseCacheOptions
+{
+    /** Total in-memory entries across all shards (>= 1 per shard). */
+    std::size_t capacity = 4096;
+    /** Shard count; requests spread by fingerprint hash. */
+    int shards = 8;
+    /** On-disk tier directory; empty keeps the cache memory-only. */
+    std::string diskDir;
+};
+
+/** Monotonic counters, snapshotted by PulseCache::stats(). */
+struct CacheStats
+{
+    std::uint64_t lookups = 0;    ///< get() calls.
+    std::uint64_t hits = 0;       ///< Served from memory.
+    std::uint64_t diskHits = 0;   ///< Served from disk (and promoted).
+    std::uint64_t misses = 0;     ///< Absent from both tiers.
+    std::uint64_t insertions = 0; ///< put() calls that added an entry.
+    std::uint64_t evictions = 0;  ///< LRU entries displaced.
+    std::uint64_t diskWrites = 0; ///< Files persisted.
+    std::size_t entries = 0;      ///< Current in-memory entries.
+
+    /** Fraction of lookups served from either tier. */
+    double
+    hitRate() const
+    {
+        return lookups ? static_cast<double>(hits + diskHits) / lookups
+                       : 0.0;
+    }
+};
+
+/** Thread-safe two-tier pulse store addressed by block fingerprint. */
+class PulseCache
+{
+  public:
+    explicit PulseCache(PulseCacheOptions options = {});
+
+    const PulseCacheOptions& options() const { return options_; }
+
+    /** Fetch a pulse (null on miss), promoting disk entries into
+     * memory. */
+    PulsePtr get(const BlockFingerprint& fp);
+
+    /**
+     * Memory-tier-only probe that records no statistics: used by the
+     * compile service's single-flight admission to re-check under its
+     * lock without touching disk or double-counting the lookup it
+     * already performed.
+     */
+    PulsePtr peekMemory(const BlockFingerprint& fp);
+
+    /** Store a pulse in memory and (when configured) on disk. */
+    void put(const BlockFingerprint& fp, PulsePtr pulse);
+    void put(const BlockFingerprint& fp, PulseSchedule pulse);
+
+    /** Drop every in-memory entry; the disk tier is untouched. */
+    void clearMemory();
+
+    CacheStats stats() const;
+
+  private:
+    struct Shard
+    {
+        std::mutex mu;
+        /** Front = most recently used. */
+        std::list<std::pair<BlockFingerprint, PulsePtr>> lru;
+        std::unordered_map<
+            BlockFingerprint,
+            std::list<std::pair<BlockFingerprint, PulsePtr>>::iterator,
+            BlockFingerprintHash>
+            index;
+    };
+
+    Shard& shardFor(const BlockFingerprint& fp);
+    /** Insert into one shard, evicting as needed. Caller holds no lock. */
+    void insertMemory(Shard& shard, const BlockFingerprint& fp,
+                      PulsePtr pulse);
+    std::string diskPath(const BlockFingerprint& fp) const;
+
+    PulseCacheOptions options_;
+    std::size_t perShardCapacity_;
+    std::unique_ptr<Shard[]> shards_;
+
+    std::atomic<std::uint64_t> lookups_{0};
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> diskHits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> insertions_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> diskWrites_{0};
+};
+
+} // namespace qpc
+
+#endif // QPC_CACHE_PULSECACHE_H

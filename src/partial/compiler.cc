@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "runtime/service.h"
 #include "transpile/schedule.h"
 
 namespace qpc {
@@ -52,6 +53,12 @@ PartialCompiler::compile(Strategy strategy,
         return compileFlexible(theta);
     }
     panic("unknown Strategy");
+}
+
+BatchCompileReport
+PartialCompiler::precompute(CompileService& service) const
+{
+    return service.precompileCircuit(template_);
 }
 
 std::vector<CompileReport>

@@ -34,6 +34,9 @@
 
 namespace qpc {
 
+class CompileService;
+struct BatchCompileReport;
+
 /** The compilation strategies compared throughout the paper. */
 enum class Strategy
 {
@@ -101,6 +104,16 @@ class PartialCompiler
     /** Compile under all four strategies (benchmark convenience). */
     std::vector<CompileReport>
     compileAll(const std::vector<double>& theta) const;
+
+    /**
+     * Run the one-off strict-partial pre-compute through a compile
+     * service: every Fixed block of the template is content-addressed,
+     * deduplicated, and synthesized on the service's worker pool (or
+     * found in its cache — instant on a warm rerun). Callers that
+     * share one service across circuits amortize further, since
+     * identical blocks compile once process-wide.
+     */
+    BatchCompileReport precompute(CompileService& service) const;
 
   private:
     struct TimedItem

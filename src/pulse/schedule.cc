@@ -15,6 +15,19 @@ PulseSchedule::PulseSchedule(int num_channels, int num_samples, double dt)
     channels_.assign(num_channels, std::vector<double>(num_samples, 0.0));
 }
 
+int
+PulseSchedule::numSamples() const
+{
+    if (channels_.empty())
+        return 0;
+    const size_t count = channels_.front().size();
+    for (const auto& ch : channels_)
+        panicIf(ch.size() != count,
+                "channel sample counts diverged: expected ", count,
+                ", found a channel with ", ch.size());
+    return static_cast<int>(count);
+}
+
 std::vector<double>&
 PulseSchedule::channel(int index)
 {
@@ -27,6 +40,16 @@ PulseSchedule::channel(int index) const
 {
     panicIf(index < 0 || index >= numChannels(), "channel out of range");
     return channels_[index];
+}
+
+void
+PulseSchedule::setChannel(int index, std::vector<double> samples)
+{
+    panicIf(index < 0 || index >= numChannels(), "channel out of range");
+    panicIf(static_cast<int>(samples.size()) != numSamples(),
+            "setChannel must preserve the shared sample count (",
+            numSamples(), "), got ", samples.size());
+    channels_[index] = std::move(samples);
 }
 
 void

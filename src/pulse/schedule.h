@@ -29,12 +29,15 @@ class PulseSchedule
     {
         return static_cast<int>(channels_.size());
     }
-    int numSamples() const
-    {
-        return channels_.empty()
-                   ? 0
-                   : static_cast<int>(channels_.front().size());
-    }
+
+    /**
+     * Samples per channel. Every channel carries the same count (class
+     * invariant, enforced here rather than trusted from the first
+     * channel): panics if a caller desynchronized the channels through
+     * the mutable channel() reference.
+     */
+    int numSamples() const;
+
     double dt() const { return dt_; }
 
     /** Total pulse duration in nanoseconds. */
@@ -43,6 +46,13 @@ class PulseSchedule
     /** Mutable sample array of one channel. */
     std::vector<double>& channel(int index);
     const std::vector<double>& channel(int index) const;
+
+    /**
+     * Replace one channel's samples. The replacement must preserve the
+     * shared sample count (panics otherwise); resizing a schedule means
+     * rebuilding it.
+     */
+    void setChannel(int index, std::vector<double> samples);
 
     /** Append another schedule in time (same channels and dt). */
     void append(const PulseSchedule& other);

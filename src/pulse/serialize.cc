@@ -1,0 +1,185 @@
+#include "pulse/serialize.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+namespace qpc {
+
+namespace {
+
+constexpr char kMagic[4] = {'Q', 'P', 'L', 'S'};
+
+void
+putU32(std::vector<std::uint8_t>& out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<std::uint8_t>& out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putF64(std::vector<std::uint8_t>& out, double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+std::uint32_t
+getU32(const std::uint8_t* p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::uint8_t* p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+double
+getF64(const std::uint8_t* p)
+{
+    const std::uint64_t bits = getU64(p);
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4 + 8;
+
+} // namespace
+
+std::vector<std::uint8_t>
+serializePulseSchedule(const PulseSchedule& schedule)
+{
+    const int channels = schedule.numChannels();
+    const int samples = schedule.numSamples();
+
+    std::vector<std::uint8_t> out;
+    out.reserve(kHeaderBytes +
+                static_cast<std::size_t>(channels) * samples * 8);
+    for (char m : kMagic)
+        out.push_back(static_cast<std::uint8_t>(m));
+    putU32(out, kPulseFormatVersion);
+    putF64(out, schedule.dt());
+    putU32(out, static_cast<std::uint32_t>(channels));
+    putU64(out, static_cast<std::uint64_t>(samples));
+    for (int c = 0; c < channels; ++c)
+        for (double v : schedule.channel(c))
+            putF64(out, v);
+    return out;
+}
+
+std::optional<PulseSchedule>
+deserializePulseSchedule(const std::uint8_t* data, std::size_t size)
+{
+    if (data == nullptr || size < kHeaderBytes)
+        return std::nullopt;
+    if (std::memcmp(data, kMagic, 4) != 0)
+        return std::nullopt;
+    if (getU32(data + 4) != kPulseFormatVersion)
+        return std::nullopt;
+    const double dt = getF64(data + 8);
+    const std::uint64_t channels = getU32(data + 16);
+    const std::uint64_t samples = getU64(data + 20);
+
+    // Guard the multiplication, and both int casts below: a record
+    // whose counts overflow int must read as malformed, not abort in
+    // the PulseSchedule constructor.
+    if (channels > (1u << 20) ||
+        samples > static_cast<std::uint64_t>(INT32_MAX))
+        return std::nullopt;
+    const std::uint64_t payload = channels * samples * 8;
+    if (size != kHeaderBytes + payload)
+        return std::nullopt;
+
+    if (channels == 0) {
+        // The empty schedule round-trips to the default object.
+        return dt == 0.0 ? std::optional<PulseSchedule>(PulseSchedule())
+                         : std::nullopt;
+    }
+    if (!(dt > 0.0))
+        return std::nullopt;
+
+    PulseSchedule schedule(static_cast<int>(channels),
+                           static_cast<int>(samples), dt);
+    const std::uint8_t* p = data + kHeaderBytes;
+    for (std::uint64_t c = 0; c < channels; ++c) {
+        std::vector<double>& ch = schedule.channel(static_cast<int>(c));
+        for (std::uint64_t s = 0; s < samples; ++s, p += 8)
+            ch[s] = getF64(p);
+    }
+    return schedule;
+}
+
+std::optional<PulseSchedule>
+deserializePulseSchedule(const std::vector<std::uint8_t>& bytes)
+{
+    return deserializePulseSchedule(bytes.data(), bytes.size());
+}
+
+bool
+savePulseSchedule(const std::string& path, const PulseSchedule& schedule)
+{
+    const std::vector<std::uint8_t> bytes =
+        serializePulseSchedule(schedule);
+    // Unique temp name per writer: concurrent savers of the same path
+    // (two processes sharing a cache directory, or two threads racing
+    // past the single-flight map) must never interleave into one temp
+    // file, or the atomic-rename guarantee publishes garbage.
+    static std::atomic<std::uint64_t> save_counter{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(save_counter.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(reinterpret_cast<const char*>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out)
+            return false;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::optional<PulseSchedule>
+loadPulseSchedule(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof())
+        return std::nullopt;
+    return deserializePulseSchedule(bytes);
+}
+
+} // namespace qpc

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Binary (de)serialization of PulseSchedule.
+ *
+ * Format "QPLS" version 1, little-endian, bit-exact doubles:
+ *
+ *   bytes 0..3   magic "QPLS"
+ *   u32          format version (currently 1)
+ *   u64          IEEE-754 bits of dt
+ *   u32          number of channels
+ *   u64          samples per channel
+ *   f64[]        channel samples, channel-major, raw IEEE-754 bits
+ *
+ * Doubles travel as their raw bit patterns, so a round trip is exact
+ * to the last ulp (including signed zeros and NaN payloads) — the
+ * property the content-addressed pulse cache relies on. Deserialization
+ * never trusts its input: malformed bytes yield nullopt, not a crash,
+ * so a corrupt cache file degrades to a cache miss.
+ */
+
+#ifndef QPC_PULSE_SERIALIZE_H
+#define QPC_PULSE_SERIALIZE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pulse/schedule.h"
+
+namespace qpc {
+
+/** Current on-disk format version written by serializePulseSchedule. */
+inline constexpr std::uint32_t kPulseFormatVersion = 1;
+
+/** Encode a schedule into the versioned binary format. */
+std::vector<std::uint8_t>
+serializePulseSchedule(const PulseSchedule& schedule);
+
+/**
+ * Decode a schedule; nullopt when the bytes are not a well-formed
+ * version-1 record (bad magic, unsupported version, size mismatch,
+ * non-positive dt with channels present).
+ */
+std::optional<PulseSchedule>
+deserializePulseSchedule(const std::uint8_t* data, std::size_t size);
+
+/** Convenience overload over a byte vector. */
+std::optional<PulseSchedule>
+deserializePulseSchedule(const std::vector<std::uint8_t>& bytes);
+
+/**
+ * Write a schedule to a file (atomically: temp file + rename, so a
+ * concurrent reader never observes a half-written record). Returns
+ * false on I/O failure.
+ */
+bool savePulseSchedule(const std::string& path,
+                       const PulseSchedule& schedule);
+
+/** Read a schedule from a file; nullopt on I/O error or bad bytes. */
+std::optional<PulseSchedule> loadPulseSchedule(const std::string& path);
+
+} // namespace qpc
+
+#endif // QPC_PULSE_SERIALIZE_H

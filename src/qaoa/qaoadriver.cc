@@ -1,6 +1,7 @@
 #include "qaoa/qaoadriver.h"
 
 #include "common/logging.h"
+#include "runtime/service.h"
 #include "sim/statevector.h"
 
 namespace qpc {
@@ -14,9 +15,28 @@ runQaoa(const Graph& graph, const QaoaRunOptions& options)
     QaoaResult result;
     result.maxCut = bruteForceMaxCut(graph);
 
+    // Strict-partial service path: one-off block pre-compute and
+    // serving plan, then per-iteration lookup-and-concatenate (see
+    // runVqe).
+    ServingPlan plan;
+    if (options.compileService) {
+        plan = options.compileService->prepareServing(
+            strictPartition(circuit));
+        const BatchCompileReport precompute =
+            options.compileService->precompilePlan(plan);
+        result.precomputeWallSeconds = precompute.wallSeconds;
+        result.precompiledBlocks = precompute.uniqueBlocks;
+    }
+
     int evaluations = 0;
     auto objective = [&](const std::vector<double>& theta) {
         ++evaluations;
+        if (options.compileService) {
+            const ServedPulse served =
+                options.compileService->serve(plan, theta);
+            result.servedCacheHits += served.cacheHits;
+            result.servedCacheMisses += served.cacheMisses;
+        }
         StateVector state(graph.numNodes);
         state.applyCircuit(circuit.bind(theta));
         return cost.expectation(state);

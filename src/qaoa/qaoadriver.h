@@ -21,12 +21,20 @@
 
 namespace qpc {
 
+class CompileService;
+
 /** Configuration of one QAOA optimization run. */
 struct QaoaRunOptions
 {
     int p = 1;                        ///< QAOA depth.
     NelderMeadOptions optimizer;      ///< Classical-loop settings.
     uint64_t seed = 0;                ///< Initial-parameter seed.
+    /**
+     * Optional compilation service: pre-compiles the QAOA template's
+     * Fixed blocks once and serves every iteration from the cache
+     * (see VqeRunOptions::compileService).
+     */
+    CompileService* compileService = nullptr;
 };
 
 /** Outcome of one QAOA optimization run. */
@@ -38,6 +46,14 @@ struct QaoaResult
     int maxCut = 0;                   ///< Brute-force optimum.
     double approxRatio = 0.0;         ///< expectedCut / maxCut.
     int iterations = 0;               ///< Objective evaluations.
+
+    /** @name Compile-service accounting (zero without a service)
+     *  @{ */
+    double precomputeWallSeconds = 0.0; ///< One-off block synthesis.
+    int precompiledBlocks = 0;      ///< Unique Fixed blocks compiled.
+    uint64_t servedCacheHits = 0;   ///< Warm lookups across the loop.
+    uint64_t servedCacheMisses = 0; ///< Cold blocks hit at runtime.
+    /** @} */
 };
 
 /** Run the hybrid QAOA loop on a graph. */

@@ -1,0 +1,405 @@
+#include "runtime/service.h"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "common/logging.h"
+#include "model/timemodel.h"
+#include "pulse/device.h"
+#include "pulse/library.h"
+#include "sim/statevector.h"
+#include "transpile/blocking.h"
+
+namespace qpc {
+
+namespace {
+
+/** Analytic library pulse for one local block on a clique device. */
+PulseSchedule
+analyticPulse(const Circuit& block, double dt)
+{
+    const DeviceModel device =
+        DeviceModel::gmonClique(std::max(1, block.numQubits()));
+    const GatePulseLibrary library(device, dt);
+    return library.compileCircuit(block);
+}
+
+} // namespace
+
+BlockSynthesizer
+analyticBlockSynthesizer(double dt)
+{
+    fatalIf(dt <= 0.0, "sample period must be positive");
+    return [dt](const Circuit& block) {
+        return analyticPulse(block, dt);
+    };
+}
+
+BlockSynthesizer
+grapeBlockSynthesizer(GrapeOptions options)
+{
+    return [options](const Circuit& block) {
+        const DeviceModel device =
+            DeviceModel::gmonClique(std::max(1, block.numQubits()));
+        const CMatrix target = circuitUnitary(block);
+        const double time_ns = PulseTimeModel().blockTimeNs(block);
+        const GrapeResult result =
+            runGrapeFixedTime(device, target, time_ns, options);
+        return result.pulse;
+    };
+}
+
+BlockSynthesizer
+modeledLatencySynthesizer(double time_scale, double dt,
+                          LatencyModelParams params)
+{
+    fatalIf(time_scale < 0.0, "time scale must be non-negative");
+    auto latency = std::make_shared<GrapeLatencyModel>(params);
+    auto time_model = std::make_shared<PulseTimeModel>();
+    return [time_scale, dt, latency, time_model](const Circuit& block) {
+        const double pulse_ns = time_model->blockTimeNs(block);
+        const double seconds =
+            time_scale *
+            latency->fullGrapeSeconds(block.numQubits(), pulse_ns);
+        if (seconds > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(seconds));
+        return analyticPulse(block, dt);
+    };
+}
+
+CompileService::CompileService(CompileServiceOptions options)
+    : options_(std::move(options)), cache_(options_.cache),
+      pool_(options_.numWorkers)
+{
+    fatalIf(options_.maxBlockWidth <= 0,
+            "block width cap must be positive");
+    if (!options_.synthesizer)
+        options_.synthesizer = analyticBlockSynthesizer(options_.lookupDt);
+}
+
+CompileService::~CompileService() = default;
+
+CompileService::PulseFuture
+CompileService::requestBlock(const Circuit& block)
+{
+    return admit(fingerprintBlock(block), block, nullptr);
+}
+
+namespace {
+
+CompileService::PulseFuture
+readyFuture(PulsePtr pulse)
+{
+    std::promise<PulsePtr> ready;
+    ready.set_value(std::move(pulse));
+    return ready.get_future().share();
+}
+
+} // namespace
+
+CompileService::PulseFuture
+CompileService::admit(const BlockFingerprint& fp, const Circuit& block,
+                      AdmitOutcome* outcome)
+{
+    requests_.fetch_add(1, std::memory_order_relaxed);
+
+    // Optimistic full lookup (memory, then disk) outside the
+    // admission lock: disk I/O must never serialize every requester
+    // behind inflightMu_.
+    if (PulsePtr cached = cache_.get(fp)) {
+        cacheHits_.fetch_add(1, std::memory_order_relaxed);
+        if (outcome)
+            *outcome = AdmitOutcome::CacheHit;
+        return readyFuture(std::move(cached));
+    }
+
+    // Admission under one lock: join an in-flight synthesis, or
+    // re-check the memory tier (the worker inserts there *before*
+    // erasing its in-flight entry, so a requester that misses the
+    // in-flight map finds the pulse), or start a flight. Together
+    // these guarantee at most one synthesis per fingerprint while it
+    // stays cached.
+    std::unique_lock<std::mutex> lock(inflightMu_);
+    auto it = inflight_.find(fp);
+    if (it != inflight_.end()) {
+        coalesced_.fetch_add(1, std::memory_order_relaxed);
+        if (outcome)
+            *outcome = AdmitOutcome::Coalesced;
+        return it->second;
+    }
+    if (PulsePtr cached = cache_.peekMemory(fp)) {
+        cacheHits_.fetch_add(1, std::memory_order_relaxed);
+        if (outcome)
+            *outcome = AdmitOutcome::CacheHit;
+        return readyFuture(std::move(cached));
+    }
+    auto completion = std::make_shared<std::promise<PulsePtr>>();
+    PulseFuture future = completion->get_future().share();
+    inflight_.emplace(fp, future);
+    lock.unlock();
+    if (outcome)
+        *outcome = AdmitOutcome::Started;
+
+    // Worker-side ordering: cache.put, then in-flight erase, then
+    // promise resolution. Pairs with the admission order above for the
+    // at-most-once guarantee, and means a requester arriving after a
+    // waiter's get() returns deterministically finds the cache entry
+    // rather than a stale in-flight record.
+    pool_.submit([this, fp, block, completion] {
+        std::exception_ptr failure;
+        PulsePtr pulse;
+        try {
+            pulse = std::make_shared<const PulseSchedule>(
+                options_.synthesizer(block));
+            synthRuns_.fetch_add(1, std::memory_order_relaxed);
+            cache_.put(fp, pulse);
+        } catch (...) {
+            failure = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> guard(inflightMu_);
+            inflight_.erase(fp);
+        }
+        if (failure)
+            completion->set_exception(failure);
+        else
+            completion->set_value(std::move(pulse));
+    });
+    return future;
+}
+
+PulseSchedule
+CompileService::compileBlock(const Circuit& block)
+{
+    return *requestBlock(block).get();
+}
+
+void
+CompileService::appendFixedEntries(
+    const Circuit& segment_circuit,
+    std::vector<ServingPlan::FixedEntry>& out) const
+{
+    const Blocking blocking =
+        aggregateBlocks(segment_circuit, options_.maxBlockWidth);
+    for (const CircuitBlock& block : blocking.blocks) {
+        ServingPlan::FixedEntry entry;
+        entry.local = block.asCircuit(segment_circuit);
+        entry.fingerprint = fingerprintBlock(entry.local);
+        out.push_back(std::move(entry));
+    }
+}
+
+std::vector<ServingPlan::FixedEntry>
+CompileService::collectFixedEntries(const Circuit& template_circuit) const
+{
+    std::vector<ServingPlan::FixedEntry> entries;
+    const StrictPartition partition = strictPartition(template_circuit);
+    for (const StrictSegment& segment : partition.segments)
+        if (segment.fixed && !segment.circuit.empty())
+            appendFixedEntries(segment.circuit, entries);
+    return entries;
+}
+
+std::vector<Circuit>
+CompileService::fixedBlocksOf(const Circuit& template_circuit) const
+{
+    std::vector<Circuit> blocks;
+    for (ServingPlan::FixedEntry& entry :
+         collectFixedEntries(template_circuit))
+        blocks.push_back(std::move(entry.local));
+    return blocks;
+}
+
+BatchCompileReport
+CompileService::compileEntries(
+    const std::vector<ServingPlan::FixedEntry>& entries, int circuits,
+    std::chrono::steady_clock::time_point start)
+{
+    BatchCompileReport report;
+    report.circuits = circuits;
+    report.totalBlocks = static_cast<int>(entries.size());
+
+    // Dedupe before a single job is enqueued: shared structure (QAOA
+    // sweeps over one graph, repeated UCCSD entanglers) collapses
+    // here.
+    std::unordered_map<BlockFingerprint, const Circuit*,
+                       BlockFingerprintHash>
+        unique;
+    for (const ServingPlan::FixedEntry& entry : entries)
+        unique.emplace(entry.fingerprint, &entry.local);
+    report.uniqueBlocks = static_cast<int>(unique.size());
+
+    // Per-batch accounting comes from admission outcomes, not from
+    // deltas of the service-wide counters: a shared service may be
+    // compiling other callers' batches concurrently.
+    std::vector<PulseFuture> pending;
+    pending.reserve(unique.size());
+    for (const auto& [fp, block] : unique) {
+        AdmitOutcome outcome = AdmitOutcome::CacheHit;
+        pending.push_back(admit(fp, *block, &outcome));
+        if (outcome == AdmitOutcome::CacheHit)
+            ++report.cacheHits;
+        else if (outcome == AdmitOutcome::Started)
+            ++report.synthRuns;
+    }
+    for (PulseFuture& future : pending)
+        future.get();
+
+    report.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return report;
+}
+
+BatchCompileReport
+CompileService::compileBatch(const std::vector<Circuit>& templates)
+{
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<ServingPlan::FixedEntry> entries;
+    for (const Circuit& template_circuit : templates)
+        for (ServingPlan::FixedEntry& entry :
+             collectFixedEntries(template_circuit))
+            entries.push_back(std::move(entry));
+    return compileEntries(entries, static_cast<int>(templates.size()),
+                          start);
+}
+
+BatchCompileReport
+CompileService::precompileCircuit(const Circuit& template_circuit)
+{
+    return compileBatch({template_circuit});
+}
+
+BatchCompileReport
+CompileService::precompilePlan(const ServingPlan& plan)
+{
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<ServingPlan::FixedEntry> entries;
+    for (const ServingPlan::PlanSegment& segment : plan.segments_)
+        for (const ServingPlan::FixedEntry& entry : segment.blocks)
+            entries.push_back(entry);
+    return compileEntries(entries, 1, start);
+}
+
+int
+ServingPlan::numFixedBlocks() const
+{
+    int count = 0;
+    for (const PlanSegment& segment : segments_)
+        if (segment.fixed)
+            count += static_cast<int>(segment.blocks.size());
+    return count;
+}
+
+int
+ServingPlan::numParamGates() const
+{
+    int count = 0;
+    for (const PlanSegment& segment : segments_)
+        if (!segment.fixed)
+            ++count;
+    return count;
+}
+
+ServingPlan
+CompileService::prepareServing(const StrictPartition& partition) const
+{
+    ServingPlan plan;
+    for (const StrictSegment& segment : partition.segments) {
+        if (segment.fixed) {
+            if (segment.circuit.empty())
+                continue;
+            ServingPlan::PlanSegment out;
+            out.fixed = true;
+            appendFixedEntries(segment.circuit, out.blocks);
+            plan.segments_.push_back(std::move(out));
+        } else {
+            // Relabel the lone symbolic rotation to local qubits; its
+            // blocking never depends on the binding, so none of this
+            // repeats per iteration.
+            panicIf(segment.circuit.size() != 1,
+                    "non-fixed segment must hold exactly one gate");
+            const GateOp& op = segment.circuit.ops().front();
+            ServingPlan::PlanSegment out;
+            out.fixed = false;
+            const int width = op.arity();
+            Circuit local(width);
+            GateOp relabeled = op;
+            relabeled.q0 = 0;
+            if (width == 2)
+                relabeled.q1 = 1;
+            local.add(relabeled);
+            out.gate = std::move(local);
+            if (!plan.kits_.count(width))
+                plan.kits_.emplace(
+                    width, std::make_unique<ServingPlan::LookupKit>(
+                               width, options_.lookupDt));
+            plan.segments_.push_back(std::move(out));
+        }
+    }
+    return plan;
+}
+
+ServedPulse
+CompileService::serve(const ServingPlan& plan,
+                      const std::vector<double>& theta)
+{
+    ServedPulse served;
+    for (const ServingPlan::PlanSegment& segment : plan.segments_) {
+        if (segment.fixed) {
+            for (const ServingPlan::FixedEntry& entry : segment.blocks) {
+                // Warm path: probe the cache directly — no promise /
+                // future machinery for a value that is already there.
+                PulsePtr pulse = cache_.get(entry.fingerprint);
+                if (pulse) {
+                    ++served.cacheHits;
+                } else {
+                    ++served.cacheMisses;
+                    pulse = admit(entry.fingerprint, entry.local,
+                                  nullptr)
+                                .get();
+                }
+                served.pulseNs += pulse->durationNs();
+                served.segments.push_back(std::move(pulse));
+            }
+        } else {
+            // A parametrized rotation is a table lookup: synthesized
+            // analytically per binding, never cached (its angle
+            // changes every iteration).
+            const auto kit =
+                plan.kits_.find(segment.gate.numQubits());
+            panicIf(kit == plan.kits_.end(),
+                    "serving plan is missing a lookup kit");
+            PulsePtr pulse = std::make_shared<const PulseSchedule>(
+                kit->second->library.compileCircuit(
+                    segment.gate.bind(theta)));
+            served.pulseNs += pulse->durationNs();
+            served.segments.push_back(std::move(pulse));
+        }
+    }
+    return served;
+}
+
+ServedPulse
+CompileService::serveStrict(const StrictPartition& partition,
+                            const std::vector<double>& theta)
+{
+    const ServingPlan plan = prepareServing(partition);
+    return serve(plan, theta);
+}
+
+ServiceStats
+CompileService::stats() const
+{
+    ServiceStats out;
+    out.requests = requests_.load(std::memory_order_relaxed);
+    out.cacheHits = cacheHits_.load(std::memory_order_relaxed);
+    out.coalesced = coalesced_.load(std::memory_order_relaxed);
+    out.synthRuns = synthRuns_.load(std::memory_order_relaxed);
+    return out;
+}
+
+} // namespace qpc

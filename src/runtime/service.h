@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Parallel, deduplicating, cache-backed pulse compilation service.
+ *
+ * The paper's economics are amortization: GRAPE-precompile the Fixed
+ * blocks of a variational template once, then serve thousands of
+ * VQE/QAOA iterations by lookup-and-concatenate. This service is the
+ * machinery that makes the "once" cheap and the "thousands" instant:
+ *
+ *  - content addressing: every block is keyed by its BlockFingerprint,
+ *    so identical subcircuits — within one circuit, across the
+ *    circuits of a batch, or across process runs via the disk tier —
+ *    resolve to one synthesis;
+ *  - single flight: concurrent requests for the same fingerprint
+ *    coalesce onto one in-flight future; exactly one synthesizer run
+ *    happens no matter how many callers race;
+ *  - batching: compileBatch() accepts many circuit templates (a QAOA
+ *    sweep, a VQE iteration stream), dedupes their Fixed blocks
+ *    *across* circuits, and fans the unique remainder out to a worker
+ *    pool.
+ *
+ * The actual pulse synthesis is pluggable (BlockSynthesizer): real
+ * GRAPE for production, the analytic library for fast exact pulses,
+ * or a latency-model-paced stand-in for scheduling benchmarks.
+ */
+
+#ifndef QPC_RUNTIME_SERVICE_H
+#define QPC_RUNTIME_SERVICE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include <map>
+#include <memory>
+
+#include "cache/pulsecache.h"
+#include "grape/grape.h"
+#include "ir/circuit.h"
+#include "model/latencymodel.h"
+#include "partial/strict.h"
+#include "pulse/device.h"
+#include "pulse/library.h"
+#include "pulse/schedule.h"
+#include "runtime/threadpool.h"
+
+namespace qpc {
+
+/** Pulse synthesis backend: local (relabeled) block in, pulse out. */
+using BlockSynthesizer = std::function<PulseSchedule(const Circuit&)>;
+
+/** Exact analytic pulses from the gate library (fast, deterministic). */
+BlockSynthesizer analyticBlockSynthesizer(double dt = 0.05);
+
+/** Real GRAPE against the block unitary on a clique device. */
+BlockSynthesizer grapeBlockSynthesizer(GrapeOptions options = {});
+
+/**
+ * Analytic pulses paced by the calibrated GRAPE latency model: sleeps
+ * time_scale x fullGrapeSeconds(block) before returning, so service
+ * scheduling and worker scaling can be benchmarked at a realistic
+ * latency *shape* without the paper's CPU-core-hours.
+ */
+BlockSynthesizer modeledLatencySynthesizer(double time_scale,
+                                           double dt = 0.05,
+                                           LatencyModelParams params = {});
+
+/** Configuration of one CompileService. */
+struct CompileServiceOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    int numWorkers = 0;
+    /** GRAPE width cap applied when blocking Fixed segments. */
+    int maxBlockWidth = 4;
+    /** Block synthesis backend; defaults to the analytic library. */
+    BlockSynthesizer synthesizer;
+    /** Sample period for served parametrized-gate lookups, ns. */
+    double lookupDt = 0.05;
+    /** Cache sizing/placement (diskDir enables persistence). */
+    PulseCacheOptions cache;
+};
+
+/** Service-level counters, snapshotted by CompileService::stats(). */
+struct ServiceStats
+{
+    std::uint64_t requests = 0;   ///< requestBlock() calls.
+    std::uint64_t cacheHits = 0;  ///< Served straight from the cache.
+    std::uint64_t coalesced = 0;  ///< Joined an in-flight synthesis.
+    std::uint64_t synthRuns = 0;  ///< Synthesizer invocations.
+};
+
+/** What one batch submission cost and deduplicated. */
+struct BatchCompileReport
+{
+    int circuits = 0;      ///< Templates submitted.
+    int totalBlocks = 0;   ///< Fixed blocks before deduplication.
+    int uniqueBlocks = 0;  ///< Distinct fingerprints compiled/looked up.
+    std::uint64_t synthRuns = 0;  ///< Fresh syntheses this batch.
+    std::uint64_t cacheHits = 0;  ///< Admission-time cache hits.
+    double wallSeconds = 0.0;     ///< End-to-end batch wall clock.
+
+    /** Fraction of unique blocks served from cache. */
+    double
+    hitRate() const
+    {
+        return uniqueBlocks
+                   ? static_cast<double>(cacheHits) / uniqueBlocks
+                   : 0.0;
+    }
+};
+
+/** A warm-path compilation assembled by lookup-and-concatenate. */
+struct ServedPulse
+{
+    /**
+     * One pulse per Fixed block / parametrized gate, program order.
+     * Cached blocks are shared with the cache (no sample copies);
+     * lookup pulses are owned by this result.
+     */
+    std::vector<PulsePtr> segments;
+    /** Serial (concatenated) duration, ns. */
+    double pulseNs = 0.0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+};
+
+/**
+ * The iteration-invariant half of serving one strict partition,
+ * computed once by CompileService::prepareServing(): Fixed segments
+ * are blocked and fingerprinted up front, parametrized rotations are
+ * relabeled to local qubits with their device/library pair built, so
+ * serve() in the hybrid-loop hot path does nothing but cache lookups,
+ * one angle binding per rotation, and concatenation.
+ */
+class ServingPlan
+{
+  public:
+    ServingPlan() = default;
+
+    /** Pre-fingerprinted Fixed blocks, across all Fixed segments. */
+    int numFixedBlocks() const;
+    /** Parametrized rotations served by analytic lookup. */
+    int numParamGates() const;
+
+  private:
+    friend class CompileService;
+
+    /** A device and its pulse library with stable addresses (the
+     * library holds a reference to the device). */
+    struct LookupKit
+    {
+        LookupKit(int width, double dt)
+            : device(DeviceModel::gmonClique(width)), library(device, dt)
+        {
+        }
+        DeviceModel device;
+        GatePulseLibrary library;
+    };
+
+    struct FixedEntry
+    {
+        BlockFingerprint fingerprint;
+        Circuit local;
+    };
+
+    struct PlanSegment
+    {
+        bool fixed = true;
+        /** Fixed path: pre-fingerprinted local blocks. */
+        std::vector<FixedEntry> blocks;
+        /** Lookup path: the symbolic rotation, relabeled local. */
+        Circuit gate;
+    };
+
+    std::vector<PlanSegment> segments_;
+    /** One kit per distinct rotation width (stable addresses). */
+    std::map<int, std::unique_ptr<LookupKit>> kits_;
+};
+
+/**
+ * The compilation service. Thread-safe; one instance is meant to be
+ * shared by every driver thread of a process.
+ */
+class CompileService
+{
+  public:
+    /** Resolved compilation: a shared handle on the cached pulse. */
+    using PulseFuture = std::shared_future<PulsePtr>;
+
+    explicit CompileService(CompileServiceOptions options = {});
+    /** Joins the worker pool after draining queued syntheses. */
+    ~CompileService();
+
+    CompileService(const CompileService&) = delete;
+    CompileService& operator=(const CompileService&) = delete;
+
+    /**
+     * Request one bound block. Returns immediately with a future that
+     * resolves from cache, an in-flight duplicate, or a fresh worker
+     * synthesis — in that order of preference.
+     */
+    PulseFuture requestBlock(const Circuit& block);
+
+    /** Blocking convenience wrapper around requestBlock(). */
+    PulseSchedule compileBlock(const Circuit& block);
+
+    /**
+     * Pre-compile the Fixed blocks of many circuit templates at once,
+     * deduplicating across circuits before fanning out to workers.
+     * Blocks until every unique block's pulse is available.
+     */
+    BatchCompileReport
+    compileBatch(const std::vector<Circuit>& templates);
+
+    /** compileBatch() of one template. */
+    BatchCompileReport precompileCircuit(const Circuit& template_circuit);
+
+    /**
+     * Pre-compile the Fixed blocks of an already-prepared serving
+     * plan, reusing its blocking and fingerprints — the recommended
+     * driver sequence is prepareServing() once, precompilePlan() once,
+     * then serve() per iteration, so the template is partitioned and
+     * fingerprinted exactly once.
+     */
+    BatchCompileReport precompilePlan(const ServingPlan& plan);
+
+    /**
+     * Precompute the iteration-invariant serving work for one strict
+     * partition (blocking, fingerprints, lookup libraries). Do this
+     * once before a hybrid loop; the plan stays valid for the
+     * service's lifetime.
+     */
+    ServingPlan prepareServing(const StrictPartition& partition) const;
+
+    /**
+     * Warm-path compilation of one parameter binding: cached pulses
+     * for the plan's Fixed blocks, analytic lookups for its
+     * parametrized rotations. A cold block (evicted or never
+     * pre-compiled) is synthesized on the spot and counted as a miss.
+     */
+    ServedPulse serve(const ServingPlan& plan,
+                      const std::vector<double>& theta);
+
+    /** prepareServing + serve in one shot, for one-off callers. */
+    ServedPulse serveStrict(const StrictPartition& partition,
+                            const std::vector<double>& theta);
+
+    /** Fixed blocks of a template, relabeled to local qubits. */
+    std::vector<Circuit>
+    fixedBlocksOf(const Circuit& template_circuit) const;
+
+    ServiceStats stats() const;
+    CacheStats cacheStats() const { return cache_.stats(); }
+    PulseCache& cache() { return cache_; }
+    int numWorkers() const { return pool_.numWorkers(); }
+    const CompileServiceOptions& options() const { return options_; }
+
+  private:
+    /** How one admission resolved (drives per-batch accounting). */
+    enum class AdmitOutcome
+    {
+        CacheHit,   ///< Served straight from the cache.
+        Coalesced,  ///< Joined an already-in-flight synthesis.
+        Started,    ///< Started a fresh synthesis.
+    };
+
+    /** Single-flight admission for a pre-fingerprinted block. */
+    PulseFuture admit(const BlockFingerprint& fp, const Circuit& block,
+                      AdmitOutcome* outcome);
+
+    /**
+     * Block one Fixed segment, relabel to local qubits, fingerprint,
+     * and append — the one blocking recipe every path (batch
+     * precompute, serving plan) shares, so their addresses always
+     * line up.
+     */
+    void appendFixedEntries(const Circuit& segment_circuit,
+                            std::vector<ServingPlan::FixedEntry>& out)
+        const;
+
+    /** Blocked, relabeled, fingerprinted Fixed blocks of a template. */
+    std::vector<ServingPlan::FixedEntry>
+    collectFixedEntries(const Circuit& template_circuit) const;
+
+    /** Dedupe entries by fingerprint, fan out, wait, and report.
+     * wallSeconds is measured from `start`. */
+    BatchCompileReport
+    compileEntries(const std::vector<ServingPlan::FixedEntry>& entries,
+                   int circuits,
+                   std::chrono::steady_clock::time_point start);
+
+    CompileServiceOptions options_;
+    PulseCache cache_;
+
+    std::mutex inflightMu_;
+    std::unordered_map<BlockFingerprint, PulseFuture,
+                       BlockFingerprintHash>
+        inflight_;
+
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> cacheHits_{0};
+    std::atomic<std::uint64_t> coalesced_{0};
+    std::atomic<std::uint64_t> synthRuns_{0};
+
+    /** Last member: destroyed first, so draining workers may still
+     * touch the cache and the single-flight map above. */
+    ThreadPool pool_;
+};
+
+} // namespace qpc
+
+#endif // QPC_RUNTIME_SERVICE_H

@@ -1,0 +1,59 @@
+#include "runtime/threadpool.h"
+
+#include "common/logging.h"
+
+namespace qpc {
+
+ThreadPool::ThreadPool(int num_workers)
+{
+    if (num_workers <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        num_workers = hw ? static_cast<int>(hw) : 1;
+    }
+    workers_.reserve(num_workers);
+    for (int i = 0; i < num_workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    panicIf(!job, "cannot submit an empty job");
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        panicIf(stopping_, "submit() on a stopping ThreadPool");
+        queue_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and drained.
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+    }
+}
+
+} // namespace qpc

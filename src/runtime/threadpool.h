@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fixed-size worker pool for compilation jobs.
+ *
+ * Deliberately minimal: a mutex-guarded FIFO and N workers. The
+ * compile service layers futures and single-flight deduplication on
+ * top, so the pool itself only needs ordered, exactly-once execution.
+ * Destruction drains the queue before joining — a submitted job always
+ * runs, which is what lets the service guarantee every issued
+ * shared_future resolves.
+ */
+
+#ifndef QPC_RUNTIME_THREADPOOL_H
+#define QPC_RUNTIME_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qpc {
+
+/** N worker threads draining one FIFO of jobs. */
+class ThreadPool
+{
+  public:
+    /** @param num_workers Worker count; 0 = hardware concurrency. */
+    explicit ThreadPool(int num_workers = 0);
+
+    /** Drains every queued job, then joins. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Enqueue a job for asynchronous execution. */
+    void submit(std::function<void()> job);
+
+    int numWorkers() const { return static_cast<int>(workers_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace qpc
+
+#endif // QPC_RUNTIME_THREADPOOL_H

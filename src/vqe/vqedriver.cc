@@ -2,6 +2,8 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "partial/strict.h"
+#include "runtime/service.h"
 #include "sim/statevector.h"
 
 namespace qpc {
@@ -14,9 +16,30 @@ runVqe(const Circuit& ansatz, const PauliHamiltonian& hamiltonian,
             "ansatz width does not match the Hamiltonian");
 
     VqeResult result;
+
+    // With a compile service attached, pay the strict-partial
+    // pre-compute once up front (block synthesis and the serving
+    // plan's blocking/fingerprints); the hybrid loop below then
+    // serves each binding from the warm cache.
+    ServingPlan plan;
+    if (options.compileService) {
+        plan = options.compileService->prepareServing(
+            strictPartition(ansatz));
+        const BatchCompileReport precompute =
+            options.compileService->precompilePlan(plan);
+        result.precomputeWallSeconds = precompute.wallSeconds;
+        result.precompiledBlocks = precompute.uniqueBlocks;
+    }
+
     int evaluations = 0;
     auto objective = [&](const std::vector<double>& theta) {
         ++evaluations;
+        if (options.compileService) {
+            const ServedPulse served =
+                options.compileService->serve(plan, theta);
+            result.servedCacheHits += served.cacheHits;
+            result.servedCacheMisses += served.cacheMisses;
+        }
         StateVector state(ansatz.numQubits());
         state.applyCircuit(ansatz.bind(theta));
         return hamiltonian.expectation(state);

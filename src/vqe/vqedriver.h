@@ -17,12 +17,22 @@
 
 namespace qpc {
 
+class CompileService;
+
 /** Configuration of one VQE run. */
 struct VqeRunOptions
 {
     NelderMeadOptions optimizer;
     uint64_t seed = 0;          ///< Initial-amplitude seed.
     double initialSpread = 0.1; ///< Scale of the random start point.
+    /**
+     * Optional compilation service. When set, the driver pre-compiles
+     * the ansatz's Fixed blocks through the service before the hybrid
+     * loop starts, then serves every iteration's pulse program by
+     * lookup-and-concatenate — the paper's strict-partial serving
+     * path. Null keeps the simulator-only behaviour.
+     */
+    CompileService* compileService = nullptr;
 };
 
 /** Outcome of one VQE run. */
@@ -32,6 +42,14 @@ struct VqeResult
     double energy = 0.0;         ///< Lowest energy found.
     double exactGroundEnergy = 0.0;  ///< From diagonalization.
     int iterations = 0;          ///< Objective evaluations.
+
+    /** @name Compile-service accounting (zero without a service)
+     *  @{ */
+    double precomputeWallSeconds = 0.0; ///< One-off block synthesis.
+    int precompiledBlocks = 0;      ///< Unique Fixed blocks compiled.
+    uint64_t servedCacheHits = 0;   ///< Warm lookups across the loop.
+    uint64_t servedCacheMisses = 0; ///< Cold blocks hit at runtime.
+    /** @} */
 };
 
 /**

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "cache/fingerprint.h"
+#include "cache/pulsecache.h"
+#include "pulse/serialize.h"
+#include "testutil.h"
+
+namespace {
+
+using namespace qpc;
+using namespace qpc::testutil;
+
+const double kPi = 3.14159265358979323846;
+
+/** Unique scratch directory under the test's working dir. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string& stem)
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 (stem + "." + std::to_string(::getpid())))
+                    .string();
+        std::filesystem::remove_all(path_);
+        std::filesystem::create_directories(path_);
+    }
+    ~TempDir() { std::filesystem::remove_all(path_); }
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+PulseSchedule
+samplePulse(uint64_t seed, int channels = 3, int samples = 17)
+{
+    Rng rng(seed);
+    PulseSchedule pulse(channels, samples, 0.05);
+    for (int c = 0; c < channels; ++c)
+        for (double& v : pulse.channel(c))
+            v = rng.normal();
+    return pulse;
+}
+
+// ---------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------
+
+TEST(Fingerprint, DeterministicAcrossCopies)
+{
+    Rng rng(3);
+    const Circuit a = randomCircuit(rng, 3, 12);
+    const Circuit b = a;
+    EXPECT_EQ(fingerprintBlock(a), fingerprintBlock(b));
+    EXPECT_EQ(fingerprintBlock(a).hex(), fingerprintBlock(b).hex());
+}
+
+TEST(Fingerprint, SensitiveToStructure)
+{
+    Circuit a(2);
+    a.h(0);
+    a.cx(0, 1);
+    Circuit b(2);
+    b.cx(0, 1);
+    b.h(0);
+    EXPECT_NE(fingerprintBlock(a).structureHash,
+              fingerprintBlock(b).structureHash);
+
+    Circuit c(2);
+    c.h(0);
+    c.cx(1, 0); // Swapped control/target.
+    EXPECT_NE(fingerprintBlock(a).structureHash,
+              fingerprintBlock(c).structureHash);
+
+    Circuit d(2);
+    d.h(0);
+    d.cx(0, 1);
+    d.rz(1, 0.25);
+    EXPECT_NE(fingerprintBlock(a), fingerprintBlock(d));
+}
+
+TEST(Fingerprint, SensitiveToAngles)
+{
+    Circuit a(1);
+    a.rz(0, 0.5);
+    Circuit b(1);
+    b.rz(0, 0.5 + 1e-6);
+    EXPECT_NE(fingerprintBlock(a).structureHash,
+              fingerprintBlock(b).structureHash);
+}
+
+TEST(Fingerprint, UnitaryHashIsGlobalPhaseInvariant)
+{
+    // Z and Rz(pi) = -i Z differ exactly by a global phase: the
+    // structural hashes differ, the unitary fingerprints agree.
+    Circuit z(1);
+    z.z(0);
+    Circuit rz(1);
+    rz.rz(0, kPi);
+    const BlockFingerprint fz = fingerprintBlock(z);
+    const BlockFingerprint frz = fingerprintBlock(rz);
+    EXPECT_NE(fz.structureHash, frz.structureHash);
+    EXPECT_EQ(fz.unitaryHash, frz.unitaryHash);
+    // The unitary hash is the canonical address: the two spellings
+    // are one cache entry (equality, container hash, and disk name).
+    EXPECT_EQ(fz, frz);
+    EXPECT_EQ(BlockFingerprintHash{}(fz), BlockFingerprintHash{}(frz));
+    EXPECT_EQ(fz.hex(), frz.hex());
+
+    // Direct check on matrices as well.
+    const CMatrix u = gateMatrix(GateKind::H);
+    EXPECT_EQ(phaseInvariantUnitaryHash(u),
+              phaseInvariantUnitaryHash(u * Complex(0.0, 1.0)));
+    EXPECT_EQ(phaseInvariantUnitaryHash(u),
+              phaseInvariantUnitaryHash(u * std::exp(kImag * 0.7)));
+}
+
+TEST(Fingerprint, DistinctUnitariesDistinctHashes)
+{
+    EXPECT_NE(phaseInvariantUnitaryHash(gateMatrix(GateKind::X)),
+              phaseInvariantUnitaryHash(gateMatrix(GateKind::Y)));
+    EXPECT_NE(phaseInvariantUnitaryHash(gateMatrix(GateKind::H)),
+              phaseInvariantUnitaryHash(gateMatrix(GateKind::Z)));
+}
+
+TEST(Fingerprint, WideBlocksFallBackToStructureAddressing)
+{
+    // 7 qubits is past the unitary-simulation cap: the address is the
+    // structure hash and the hex stem is tagged accordingly.
+    Circuit wide(7);
+    for (int q = 0; q < 6; ++q)
+        wide.cx(q, q + 1);
+    const BlockFingerprint fw = fingerprintBlock(wide);
+    EXPECT_EQ(fw.unitaryHash, 0u);
+    EXPECT_EQ(fw.canonical(), fw.structureHash);
+    EXPECT_EQ(fw.hex().front(), 's');
+    EXPECT_EQ(fingerprintBlock(wide), fw);
+
+    Circuit narrow(1);
+    narrow.h(0);
+    EXPECT_EQ(fingerprintBlock(narrow).hex().front(), 'u');
+    EXPECT_NE(fingerprintBlock(narrow), fw);
+}
+
+TEST(Fingerprint, RelabeledBlocksShareAddresses)
+{
+    // The same local structure extracted from different global
+    // positions must collide — that is the whole point of
+    // content-addressing blocks after relabeling.
+    Circuit a(2);
+    a.h(0);
+    a.cx(0, 1);
+    Circuit wide(4);
+    wide.h(2);
+    wide.cx(2, 3);
+    // Relabel {2,3} -> {0,1} by hand, mirroring CircuitBlock::asCircuit.
+    Circuit relabeled(2);
+    relabeled.h(0);
+    relabeled.cx(0, 1);
+    EXPECT_EQ(fingerprintBlock(a), fingerprintBlock(relabeled));
+}
+
+// ---------------------------------------------------------------------
+// In-memory LRU tier
+// ---------------------------------------------------------------------
+
+BlockFingerprint
+fp(uint64_t n)
+{
+    BlockFingerprint f;
+    f.structureHash = n * 0x9e3779b97f4a7c15ull + 1;
+    f.unitaryHash = n;
+    return f;
+}
+
+TEST(PulseCache, HitMissAndStats)
+{
+    PulseCache cache({16, 2, ""});
+    EXPECT_FALSE((cache.get(fp(1)) != nullptr));
+    cache.put(fp(1), samplePulse(1));
+    const auto hit = cache.get(fp(1));
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->numChannels(), 3);
+
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.lookups, 2u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.insertions, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_NEAR(stats.hitRate(), 0.5, 1e-12);
+}
+
+TEST(PulseCache, EvictsLeastRecentlyUsed)
+{
+    // One shard of capacity 4 makes the LRU order fully observable.
+    PulseCache cache({4, 1, ""});
+    for (uint64_t i = 0; i < 4; ++i)
+        cache.put(fp(i), samplePulse(i));
+    // Touch 0 so 1 becomes the eviction victim.
+    EXPECT_TRUE((cache.get(fp(0)) != nullptr));
+    cache.put(fp(99), samplePulse(99));
+
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_TRUE((cache.get(fp(0)) != nullptr));
+    EXPECT_FALSE((cache.get(fp(1)) != nullptr));
+    EXPECT_TRUE((cache.get(fp(99)) != nullptr));
+    EXPECT_EQ(cache.stats().entries, 4u);
+}
+
+TEST(PulseCache, PutSameKeyRefreshesInPlace)
+{
+    PulseCache cache({4, 1, ""});
+    cache.put(fp(7), samplePulse(1));
+    cache.put(fp(7), samplePulse(2));
+    EXPECT_EQ(cache.stats().entries, 1u);
+    EXPECT_EQ(cache.stats().insertions, 1u);
+    // The refreshed pulse is the one served.
+    const auto got = cache.get(fp(7));
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->channel(0), samplePulse(2).channel(0));
+}
+
+// ---------------------------------------------------------------------
+// Disk tier
+// ---------------------------------------------------------------------
+
+TEST(PulseCache, DiskRoundTripSurvivesMemoryLoss)
+{
+    TempDir dir("qpc_cache_disk");
+    const PulseSchedule original = samplePulse(5);
+    {
+        PulseCache cache({16, 2, dir.path()});
+        cache.put(fp(42), original);
+        EXPECT_EQ(cache.stats().diskWrites, 1u);
+    }
+    // A brand-new cache (fresh process, empty memory) finds the pulse
+    // on disk and promotes it.
+    PulseCache cold({16, 2, dir.path()});
+    const auto got = cold.get(fp(42));
+    ASSERT_NE(got, nullptr);
+    for (int c = 0; c < original.numChannels(); ++c)
+        EXPECT_EQ(got->channel(c), original.channel(c));
+    EXPECT_EQ(cold.stats().diskHits, 1u);
+
+    // Promoted: the second lookup is a memory hit.
+    EXPECT_TRUE((cold.get(fp(42)) != nullptr));
+    EXPECT_EQ(cold.stats().hits, 1u);
+}
+
+TEST(PulseCache, ClearMemoryKeepsDiskTier)
+{
+    TempDir dir("qpc_cache_clear");
+    PulseCache cache({16, 2, dir.path()});
+    cache.put(fp(8), samplePulse(8));
+    cache.clearMemory();
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_TRUE((cache.get(fp(8)) != nullptr));
+    EXPECT_EQ(cache.stats().diskHits, 1u);
+}
+
+TEST(PulseCache, CorruptDiskRecordReadsAsMiss)
+{
+    TempDir dir("qpc_cache_corrupt");
+    PulseCache cache({16, 2, dir.path()});
+    cache.put(fp(3), samplePulse(3));
+    cache.clearMemory();
+
+    // Truncate the record behind the cache's back.
+    const std::string file = dir.path() + "/" + fp(3).hex() + ".qpulse";
+    ASSERT_TRUE(std::filesystem::exists(file));
+    std::filesystem::resize_file(file, 10);
+
+    EXPECT_FALSE((cache.get(fp(3)) != nullptr));
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+} // namespace

@@ -78,6 +78,73 @@ TEST(Strict, ParamFreeCircuitIsOneFixedBlock)
     const StrictPartition p = strictPartition(c);
     EXPECT_EQ(p.segments.size(), 1u);
     EXPECT_TRUE(p.segments[0].fixed);
+    EXPECT_TRUE(circuitEquals(p.reassemble(3), c));
+    EXPECT_EQ(p.maxFixedDepth(), c.size());
+}
+
+TEST(Strict, EmptyCircuitPartitionsToNothing)
+{
+    const Circuit c(4);
+    const StrictPartition p = strictPartition(c);
+    EXPECT_TRUE(p.segments.empty());
+    EXPECT_EQ(p.numFixedSegments(), 0);
+    EXPECT_EQ(p.numParamGates(), 0);
+    EXPECT_EQ(p.maxFixedDepth(), 0);
+    const Circuit back = p.reassemble(4);
+    EXPECT_TRUE(back.empty());
+    EXPECT_EQ(back.numQubits(), 4);
+}
+
+TEST(Strict, AllParametrizedCircuitHasNoFixedSegments)
+{
+    // Back-to-back parametrized rotations: every segment is a
+    // single-gate non-fixed segment and reassembly is exact.
+    Circuit c(2);
+    c.rz(0, ParamExpr::theta(0));
+    c.rx(1, ParamExpr::theta(1));
+    c.rz(1, ParamExpr::theta(2, -0.5));
+    const StrictPartition p = strictPartition(c);
+    EXPECT_EQ(p.segments.size(), 3u);
+    EXPECT_EQ(p.numFixedSegments(), 0);
+    EXPECT_EQ(p.numParamGates(), 3);
+    EXPECT_EQ(p.maxFixedDepth(), 0);
+    EXPECT_TRUE(circuitEquals(p.reassemble(2), c));
+}
+
+TEST(Strict, SingleOpCircuits)
+{
+    // One fixed gate: one Fixed segment.
+    Circuit fixed(2);
+    fixed.cx(0, 1);
+    const StrictPartition pf = strictPartition(fixed);
+    EXPECT_EQ(pf.segments.size(), 1u);
+    EXPECT_TRUE(pf.segments[0].fixed);
+    EXPECT_TRUE(circuitEquals(pf.reassemble(2), fixed));
+
+    // One parametrized gate: one non-fixed segment, nothing else.
+    Circuit param(1);
+    param.rz(0, ParamExpr::theta(0));
+    const StrictPartition pp = strictPartition(param);
+    EXPECT_EQ(pp.segments.size(), 1u);
+    EXPECT_FALSE(pp.segments[0].fixed);
+    EXPECT_TRUE(circuitEquals(pp.reassemble(1), param));
+}
+
+TEST(Strict, LeadingAndTrailingParamGatesRoundTrip)
+{
+    // Parametrized gates at both ends: no fixed run is silently
+    // dropped at either boundary.
+    Circuit c(2);
+    c.rz(0, ParamExpr::theta(0));
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(1, ParamExpr::theta(1));
+    const StrictPartition p = strictPartition(c);
+    ASSERT_EQ(p.segments.size(), 3u);
+    EXPECT_FALSE(p.segments[0].fixed);
+    EXPECT_TRUE(p.segments[1].fixed);
+    EXPECT_FALSE(p.segments[2].fixed);
+    EXPECT_TRUE(circuitEquals(p.reassemble(2), c));
 }
 
 TEST(Flexible, SingleParamPerSlice)

@@ -9,6 +9,7 @@
 #include "pulse/evolve.h"
 #include "pulse/library.h"
 #include "pulse/schedule.h"
+#include "pulse/serialize.h"
 #include "sim/statevector.h"
 #include "testutil.h"
 
@@ -193,6 +194,103 @@ TEST(Library, CompileCircuitMatchesCircuitUnitary)
     const CMatrix realized =
         evolveUnitary(dev, lib.compileCircuit(c));
     EXPECT_GT(traceFidelity(target, realized), 0.998);
+}
+
+TEST(Schedule, SetChannelPreservesSampleCount)
+{
+    PulseSchedule pulse(2, 4, 0.1);
+    pulse.setChannel(1, {1.0, 2.0, 3.0, 4.0});
+    EXPECT_NEAR(pulse.channel(1)[3], 4.0, 1e-12);
+    EXPECT_EQ(pulse.numSamples(), 4);
+}
+
+TEST(ScheduleDeathTest, RaggedChannelsPanic)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    PulseSchedule pulse(2, 4, 0.1);
+    // Desynchronize one channel through the mutable reference; the
+    // invariant check in numSamples() must refuse to guess.
+    pulse.channel(1).push_back(0.0);
+    EXPECT_DEATH(pulse.numSamples(), "sample counts diverged");
+
+    PulseSchedule other(2, 4, 0.1);
+    EXPECT_DEATH(other.setChannel(0, {1.0, 2.0}),
+                 "preserve the shared sample count");
+}
+
+TEST(Serialize, RoundTripIsBitExact)
+{
+    PulseSchedule pulse(3, 29, 0.05);
+    Rng rng(17);
+    for (int c = 0; c < 3; ++c)
+        for (double& v : pulse.channel(c))
+            v = rng.normal() * 1e3;
+    // Values a lossy text format would mangle.
+    pulse.channel(0)[0] = 1.0 / 3.0;
+    pulse.channel(1)[1] = -0.0;
+    pulse.channel(2)[2] = 5e-324; // Smallest subnormal.
+
+    const std::vector<uint8_t> bytes = serializePulseSchedule(pulse);
+    const auto back = deserializePulseSchedule(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->numChannels(), 3);
+    EXPECT_EQ(back->numSamples(), 29);
+    EXPECT_EQ(back->dt(), 0.05);
+    for (int c = 0; c < 3; ++c)
+        for (int s = 0; s < 29; ++s)
+            EXPECT_EQ(back->channel(c)[s], pulse.channel(c)[s])
+                << "channel " << c << " sample " << s;
+    // Signed zero survives with its sign.
+    EXPECT_TRUE(std::signbit(back->channel(1)[1]));
+}
+
+TEST(Serialize, EmptyScheduleRoundTrips)
+{
+    const PulseSchedule empty;
+    const auto back =
+        deserializePulseSchedule(serializePulseSchedule(empty));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->numChannels(), 0);
+    EXPECT_EQ(back->numSamples(), 0);
+}
+
+TEST(Serialize, ZeroSampleScheduleRoundTrips)
+{
+    const PulseSchedule pulse(2, 0, 0.05);
+    const auto back =
+        deserializePulseSchedule(serializePulseSchedule(pulse));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->numChannels(), 2);
+    EXPECT_EQ(back->numSamples(), 0);
+    EXPECT_EQ(back->dt(), 0.05);
+}
+
+TEST(Serialize, RejectsMalformedBytes)
+{
+    const PulseSchedule pulse(2, 8, 0.05);
+    std::vector<uint8_t> bytes = serializePulseSchedule(pulse);
+
+    // Truncation.
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.end() - 1);
+    EXPECT_FALSE(deserializePulseSchedule(truncated).has_value());
+    // Bad magic.
+    std::vector<uint8_t> magic = bytes;
+    magic[0] ^= 0xff;
+    EXPECT_FALSE(deserializePulseSchedule(magic).has_value());
+    // Unknown version.
+    std::vector<uint8_t> version = bytes;
+    version[4] = 99;
+    EXPECT_FALSE(deserializePulseSchedule(version).has_value());
+    // Header shorter than the fixed fields.
+    std::vector<uint8_t> stub(bytes.begin(), bytes.begin() + 10);
+    EXPECT_FALSE(deserializePulseSchedule(stub).has_value());
+    // Channel count inflated past the payload.
+    std::vector<uint8_t> inflated = bytes;
+    inflated[16] += 1;
+    EXPECT_FALSE(deserializePulseSchedule(inflated).has_value());
+
+    // The pristine copy still parses.
+    EXPECT_TRUE(deserializePulseSchedule(bytes).has_value());
 }
 
 TEST(Evolve, SubspaceFidelityDetectsLeakage)

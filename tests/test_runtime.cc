@@ -1,0 +1,436 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "partial/compiler.h"
+#include "partial/strict.h"
+#include "pulse/evolve.h"
+#include "qaoa/qaoacircuit.h"
+#include "qaoa/graph.h"
+#include "runtime/service.h"
+#include "runtime/threadpool.h"
+#include "sim/statevector.h"
+#include "testutil.h"
+#include "vqe/vqedriver.h"
+#include "vqe/hamiltonian.h"
+#include "vqe/molecule.h"
+#include "vqe/uccsd.h"
+
+namespace {
+
+using namespace qpc;
+using namespace qpc::testutil;
+
+/** Unique scratch directory, removed on destruction. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string& stem)
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 (stem + "." + std::to_string(::getpid())))
+                    .string();
+        std::filesystem::remove_all(path_);
+        std::filesystem::create_directories(path_);
+    }
+    ~TempDir() { std::filesystem::remove_all(path_); }
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** Synthesizer wrapper that counts invocations and optionally sleeps. */
+struct CountingSynth
+{
+    std::atomic<int> runs{0};
+
+    BlockSynthesizer
+    make(int sleep_ms = 0)
+    {
+        BlockSynthesizer inner = analyticBlockSynthesizer(0.5);
+        return [this, sleep_ms, inner](const Circuit& block) {
+            runs.fetch_add(1);
+            if (sleep_ms > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(sleep_ms));
+            return inner(block);
+        };
+    }
+};
+
+Circuit
+smallFixedBlock()
+{
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(1, 0.375);
+    return c;
+}
+
+/** A small variational circuit with two identical Fixed blocks. */
+Circuit
+twoBlockTemplate()
+{
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(1, ParamExpr::theta(0));
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(1, ParamExpr::theta(1));
+    return c;
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(4);
+        EXPECT_EQ(pool.numWorkers(), 4);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&counter] { counter.fetch_add(1); });
+    } // Destructor drains.
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneWorker)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.numWorkers(), 1);
+    std::atomic<bool> ran{false};
+    pool.submit([&ran] { ran.store(true); });
+    while (!ran.load())
+        std::this_thread::yield();
+}
+
+// ---------------------------------------------------------------------
+// CompileService basics
+// ---------------------------------------------------------------------
+
+TEST(Service, CompileBlockMatchesSynthesizer)
+{
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.synthesizer = analyticBlockSynthesizer(0.5);
+    CompileService service(options);
+
+    const Circuit block = smallFixedBlock();
+    const PulseSchedule pulse = service.compileBlock(block);
+    const PulseSchedule direct = analyticBlockSynthesizer(0.5)(block);
+    ASSERT_EQ(pulse.numChannels(), direct.numChannels());
+    for (int c = 0; c < pulse.numChannels(); ++c)
+        EXPECT_EQ(pulse.channel(c), direct.channel(c));
+
+    // The served pulse realizes the block unitary (library exactness).
+    const DeviceModel device = DeviceModel::gmonClique(2);
+    const double fidelity =
+        traceFidelity(circuitUnitary(block),
+                      evolveUnitary(device, pulse));
+    EXPECT_GT(fidelity, 0.999);
+}
+
+TEST(Service, SecondRequestHitsCache)
+{
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.synthesizer = synth.make();
+    CompileService service(options);
+
+    const Circuit block = smallFixedBlock();
+    service.compileBlock(block);
+    service.compileBlock(block);
+    EXPECT_EQ(synth.runs.load(), 1);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.requests, 2u);
+    EXPECT_EQ(stats.cacheHits, 1u);
+    EXPECT_EQ(stats.synthRuns, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Single flight
+// ---------------------------------------------------------------------
+
+TEST(Service, SingleFlightDedupesConcurrentIdenticalRequests)
+{
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 4;
+    options.synthesizer = synth.make(/*sleep_ms=*/50);
+    CompileService service(options);
+
+    const Circuit block = smallFixedBlock();
+    constexpr int kRequesters = 16;
+    std::vector<CompileService::PulseFuture> futures(kRequesters);
+    std::vector<std::thread> threads;
+    threads.reserve(kRequesters);
+    for (int i = 0; i < kRequesters; ++i)
+        threads.emplace_back([&service, &futures, &block, i] {
+            futures[i] = service.requestBlock(block);
+        });
+    for (std::thread& t : threads)
+        t.join();
+    for (auto& future : futures)
+        future.get();
+
+    // N concurrent identical requests trigger exactly one GRAPE run.
+    EXPECT_EQ(synth.runs.load(), 1);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.requests, static_cast<uint64_t>(kRequesters));
+    EXPECT_EQ(stats.synthRuns, 1u);
+    // Everyone else either coalesced onto the flight or hit the cache.
+    EXPECT_EQ(stats.coalesced + stats.cacheHits,
+              static_cast<uint64_t>(kRequesters - 1));
+}
+
+TEST(Service, PhaseEquivalentSpellingsShareOneSynthesis)
+{
+    // Z and Rz(pi) realize the same unitary up to global phase, so
+    // the content-addressed cache serves one pulse for both
+    // spellings: one synthesis, second request is a hit.
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.synthesizer = synth.make();
+    CompileService service(options);
+
+    Circuit z(1);
+    z.z(0);
+    Circuit rz(1);
+    rz.rz(0, 3.14159265358979323846);
+    service.compileBlock(z);
+    service.compileBlock(rz);
+    EXPECT_EQ(synth.runs.load(), 1);
+    EXPECT_EQ(service.stats().cacheHits, 1u);
+}
+
+TEST(Service, DistinctBlocksDoNotCoalesce)
+{
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 4;
+    options.synthesizer = synth.make();
+    CompileService service(options);
+
+    Circuit a(1);
+    a.rx(0, 0.25);
+    Circuit b(1);
+    b.rx(0, 0.75);
+    service.compileBlock(a);
+    service.compileBlock(b);
+    EXPECT_EQ(synth.runs.load(), 2);
+}
+
+// ---------------------------------------------------------------------
+// Batch submission
+// ---------------------------------------------------------------------
+
+TEST(Service, BatchDedupesSharedBlocksAcrossCircuits)
+{
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 4;
+    options.synthesizer = synth.make();
+    CompileService service(options);
+
+    // A p-sweep over one QAOA graph: every depth repeats the same
+    // cost/mixer structure, so Fixed blocks are massively shared.
+    Rng rng(11);
+    const Graph graph = random3Regular(6, rng);
+    std::vector<Circuit> sweep;
+    for (int p = 1; p <= 4; ++p)
+        sweep.push_back(buildQaoaCircuit(graph, p));
+
+    const BatchCompileReport report = service.compileBatch(sweep);
+    EXPECT_EQ(report.circuits, 4);
+    EXPECT_GT(report.totalBlocks, report.uniqueBlocks);
+    // Each unique block synthesized exactly once.
+    EXPECT_EQ(report.synthRuns,
+              static_cast<uint64_t>(report.uniqueBlocks));
+    EXPECT_EQ(synth.runs.load(), report.uniqueBlocks);
+    EXPECT_EQ(report.cacheHits, 0u);
+
+    // Warm rerun of the whole batch: no new synthesis, ~100% hit rate.
+    const BatchCompileReport warm = service.compileBatch(sweep);
+    EXPECT_EQ(warm.synthRuns, 0u);
+    EXPECT_EQ(warm.uniqueBlocks, report.uniqueBlocks);
+    EXPECT_EQ(warm.cacheHits,
+              static_cast<uint64_t>(warm.uniqueBlocks));
+    EXPECT_NEAR(warm.hitRate(), 1.0, 1e-12);
+    EXPECT_EQ(synth.runs.load(), report.uniqueBlocks);
+}
+
+TEST(Service, RepeatedBlocksWithinOneCircuitCompileOnce)
+{
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.synthesizer = synth.make();
+    CompileService service(options);
+
+    const BatchCompileReport report =
+        service.precompileCircuit(twoBlockTemplate());
+    EXPECT_EQ(report.totalBlocks, 2);
+    EXPECT_EQ(report.uniqueBlocks, 1);
+    EXPECT_EQ(synth.runs.load(), 1);
+}
+
+TEST(Service, EmptyAndFullyParametrizedTemplates)
+{
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.synthesizer = synth.make();
+    CompileService service(options);
+
+    const BatchCompileReport empty =
+        service.precompileCircuit(Circuit(3));
+    EXPECT_EQ(empty.totalBlocks, 0);
+    EXPECT_EQ(empty.uniqueBlocks, 0);
+
+    Circuit all_param(1);
+    all_param.rz(0, ParamExpr::theta(0));
+    all_param.rx(0, ParamExpr::theta(1));
+    const BatchCompileReport none =
+        service.precompileCircuit(all_param);
+    EXPECT_EQ(none.totalBlocks, 0);
+    EXPECT_EQ(synth.runs.load(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Disk persistence through the service
+// ---------------------------------------------------------------------
+
+TEST(Service, WarmDiskCacheSkipsSynthesisAcrossServices)
+{
+    TempDir dir("qpc_service_disk");
+    const Circuit templ = twoBlockTemplate();
+
+    CountingSynth first_synth;
+    {
+        CompileServiceOptions options;
+        options.numWorkers = 2;
+        options.synthesizer = first_synth.make();
+        options.cache.diskDir = dir.path();
+        CompileService service(options);
+        service.precompileCircuit(templ);
+        EXPECT_EQ(first_synth.runs.load(), 1);
+    }
+
+    // A new service over the same directory — a fresh process in the
+    // amortization story — needs zero synthesis.
+    CountingSynth second_synth;
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.synthesizer = second_synth.make();
+    options.cache.diskDir = dir.path();
+    CompileService service(options);
+    const BatchCompileReport report = service.precompileCircuit(templ);
+    EXPECT_EQ(second_synth.runs.load(), 0);
+    EXPECT_EQ(report.synthRuns, 0u);
+    EXPECT_NEAR(report.hitRate(), 1.0, 1e-12);
+    EXPECT_GE(service.cacheStats().diskHits, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Serving (lookup-and-concatenate warm path)
+// ---------------------------------------------------------------------
+
+TEST(Service, ServeStrictIsAllHitsAfterPrecompute)
+{
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.lookupDt = 0.5;
+    CompileService service(options);
+
+    Rng rng(21);
+    const Circuit templ = randomParametrizedCircuit(rng, 3, 3, 4);
+    service.precompileCircuit(templ);
+
+    const StrictPartition partition = strictPartition(templ);
+    const std::vector<double> theta = rng.angles(templ.numParams());
+    const ServedPulse served = service.serveStrict(partition, theta);
+
+    EXPECT_EQ(served.cacheMisses, 0u);
+    EXPECT_GT(served.cacheHits, 0u);
+    EXPECT_GT(served.pulseNs, 0.0);
+    EXPECT_EQ(served.segments.size(),
+              static_cast<size_t>(served.cacheHits) +
+                  partition.numParamGates());
+}
+
+TEST(Service, ServeStrictColdCompilesOnDemand)
+{
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.synthesizer = synth.make();
+    CompileService service(options);
+
+    const Circuit templ = twoBlockTemplate();
+    const StrictPartition partition = strictPartition(templ);
+    const ServedPulse cold =
+        service.serveStrict(partition, {0.1, 0.2});
+    EXPECT_EQ(cold.cacheMisses, 1u); // Two identical blocks, one miss.
+    EXPECT_EQ(cold.cacheHits, 1u);   // ... the repeat is already warm.
+    EXPECT_EQ(synth.runs.load(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Driver integration
+// ---------------------------------------------------------------------
+
+TEST(Service, PartialCompilerPrecomputeGoesThroughService)
+{
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.synthesizer = synth.make();
+    CompileService service(options);
+
+    Rng rng(5);
+    const Circuit templ = randomParametrizedCircuit(rng, 3, 2, 3);
+    PartialCompiler compiler(templ);
+    const BatchCompileReport report = compiler.precompute(service);
+    EXPECT_EQ(report.uniqueBlocks, synth.runs.load());
+    EXPECT_GT(report.uniqueBlocks, 0);
+    // Second precompute of the same template is free.
+    const BatchCompileReport warm = compiler.precompute(service);
+    EXPECT_EQ(warm.synthRuns, 0u);
+}
+
+TEST(Service, VqeDriverServesFromWarmCache)
+{
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.lookupDt = 0.5;
+    CompileService service(options);
+
+    const MoleculeSpec& h2 = moleculeByName("H2");
+    const Circuit ansatz = buildUccsdAnsatz(h2);
+    const PauliHamiltonian hamiltonian = moleculeHamiltonian(h2);
+
+    VqeRunOptions run;
+    run.optimizer.maxIterations = 8;
+    run.compileService = &service;
+    const VqeResult result = runVqe(ansatz, hamiltonian, run);
+
+    EXPECT_GT(result.iterations, 0);
+    EXPECT_GT(result.precompiledBlocks, 0);
+    EXPECT_GT(result.servedCacheHits, 0u);
+    // Everything was pre-compiled: the hybrid loop never misses.
+    EXPECT_EQ(result.servedCacheMisses, 0u);
+}
+
+} // namespace
