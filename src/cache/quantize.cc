@@ -1,0 +1,140 @@
+#include "cache/quantize.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+namespace {
+
+constexpr double kTau = 6.283185307179586476925286766559;
+
+/** Euclidean remainder: v mod m in [0, m) for positive m. */
+std::int64_t
+positiveMod(std::int64_t v, std::int64_t m)
+{
+    const std::int64_t r = v % m;
+    return r < 0 ? r + m : r;
+}
+
+} // namespace
+
+double
+ParamQuantization::stepRadians() const
+{
+    fatalIf(bins <= 0, "quantization grid needs a positive bin count");
+    return kTau / bins;
+}
+
+std::int64_t
+angleBin(double theta, int bins)
+{
+    fatalIf(bins <= 0, "quantization grid needs a positive bin count");
+    fatalIf(!std::isfinite(theta), "cannot quantize a non-finite angle");
+    const double step = kTau / bins;
+    // Reduce into [-pi, pi] first (IEEE remainder is exact), so the
+    // scaled value stays within +/- bins/2 and llround can never
+    // overflow, no matter how many turns theta carries.
+    const double wrapped = std::remainder(theta, kTau);
+    return positiveMod(std::llround(wrapped / step), bins);
+}
+
+double
+binAngle(std::int64_t bin, int bins)
+{
+    fatalIf(bins <= 0, "quantization grid needs a positive bin count");
+    const std::int64_t wrapped = positiveMod(bin, bins);
+    const double step = kTau / bins;
+    // Center the representative into (-pi, pi]: bins past the halfway
+    // point unwind backwards, so snapped pulses never take the long
+    // way around the circle.
+    return wrapped > bins / 2 ? (wrapped - bins) * step
+                              : wrapped * step;
+}
+
+double
+snapAngle(double theta, int bins)
+{
+    return binAngle(angleBin(theta, bins), bins);
+}
+
+double
+snapDelta(double theta, int bins)
+{
+    const double snapped = snapAngle(theta, bins);
+    // Reduce the raw difference by whole periods: theta may sit many
+    // turns away from its centered representative, but the rotations
+    // only differ by the wrapped remainder (mod a global phase).
+    const double raw = theta - snapped;
+    return raw - kTau * std::round(raw / kTau);
+}
+
+double
+quantizationErrorBound(double delta)
+{
+    return std::abs(delta) / 2.0;
+}
+
+QuantizedBlock
+quantizeBlock(const Circuit& symbolic, const std::vector<double>& theta,
+              const ParamQuantization& quantization)
+{
+    fatalIf(quantization.bins <= 0,
+            "quantization grid needs a positive bin count");
+
+    QuantizedBlock out;
+    Circuit snapped(symbolic.numQubits());
+    for (const GateOp& op : symbolic.ops()) {
+        GateOp bound = op;
+        if (gateIsRotation(op.kind)) {
+            const double angle = op.angle.bind(theta);
+            if (op.angle.isSymbolic()) {
+                const std::int64_t bin =
+                    angleBin(angle, quantization.bins);
+                bound.angle = ParamExpr::constant(
+                    binAngle(bin, quantization.bins));
+                out.bins.push_back(bin);
+                out.errorBound += quantizationErrorBound(
+                    snapDelta(angle, quantization.bins));
+            } else {
+                bound.angle = ParamExpr::constant(angle);
+            }
+        }
+        snapped.add(bound);
+    }
+    out.withinBudget = out.errorBound <= quantization.fidelityBudget;
+    out.fingerprint = fingerprintBlock(snapped);
+    out.snapped = std::move(snapped);
+    return out;
+}
+
+Circuit
+snapSymbolicRotations(const Circuit& symbolic,
+                      const std::vector<double>& theta,
+                      const ParamQuantization& quantization)
+{
+    Circuit bound(symbolic.numQubits());
+    for (const GateOp& op : symbolic.ops()) {
+        GateOp next = op;
+        if (gateIsRotation(op.kind)) {
+            const double angle = op.angle.bind(theta);
+            double value = angle;
+            if (op.angle.isSymbolic()) {
+                // Per-gate budget check mirrors the serve path, which
+                // quantizes one rotation per strict segment: a gate
+                // whose snap would overdraw the budget stays exact.
+                const double delta =
+                    snapDelta(angle, quantization.bins);
+                if (quantizationErrorBound(delta) <=
+                    quantization.fidelityBudget)
+                    value = snapAngle(angle, quantization.bins);
+            }
+            next.angle = ParamExpr::constant(value);
+        }
+        bound.add(next);
+    }
+    return bound;
+}
+
+} // namespace qpc

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Angle quantization of parametrized rotation blocks.
+ *
+ * The content-addressed cache (fingerprint.h) amortizes Fixed blocks,
+ * but a Parametrized block's angle changes every VQE/QAOA iteration,
+ * so PR 2's exact keys never repeat: Rz(0.1001) and Rz(0.1002) are
+ * distinct addresses and each pays a fresh synthesis. Parametrized
+ * blocks are low-dimensional — in this IR, exactly one single-qubit
+ * rotation per strict segment — so a fidelity-bounded angle grid turns
+ * the per-iteration hot path into pure cache lookups:
+ *
+ *  - every bound rotation angle is snapped onto a uniform grid of
+ *    `bins` points over one period (step 2*pi/bins), wrap-aware: theta
+ *    and theta + 2*pi land in the same bin, and the snapped
+ *    representative lives in (-pi, pi] so snapped pulses stay short;
+ *  - the snapped block is fingerprinted like any Fixed block, so all
+ *    angles of one bin share one cache entry and one synthesis;
+ *  - the substitution error is *bounded before serving*: a rotation
+ *    exp(-i theta P / 2) snapped by delta differs from the exact
+ *    unitary by operator norm 2*sin(|delta|/4) <= |delta|/2 (up to
+ *    global phase), and per-rotation bounds add across a block. When
+ *    the block's total bound exceeds the caller's fidelity budget, the
+ *    serve path falls back to exact synthesis instead.
+ */
+
+#ifndef QPC_CACHE_QUANTIZE_H
+#define QPC_CACHE_QUANTIZE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/fingerprint.h"
+#include "ir/circuit.h"
+
+namespace qpc {
+
+/** Angle-grid configuration of the quantized parametric cache. */
+struct ParamQuantization
+{
+    /** Master switch; disabled keeps the exact per-binding path. */
+    bool enabled = false;
+    /** Grid points per 2*pi period; step = 2*pi / bins. */
+    int bins = 1024;
+    /**
+     * Per-block budget on the advertised operator-norm error of
+     * snapping (phase-invariant; see quantizationErrorBound). A block
+     * whose summed bound exceeds this is served by exact synthesis.
+     * The default comfortably admits the default grid: one rotation
+     * snaps by at most step/4 ~ 1.5e-3.
+     */
+    double fidelityBudget = 1e-2;
+
+    /** Grid spacing in radians. */
+    double stepRadians() const;
+};
+
+/**
+ * Wrap-aware bin of an angle: round(theta / step) reduced mod bins,
+ * always in [0, bins). theta and theta + 2*pi*k share a bin for every
+ * integer k, and angles straddling the +/-pi seam round to the same
+ * bin from both sides.
+ */
+std::int64_t angleBin(double theta, int bins);
+
+/**
+ * Representative angle of a bin, centered into (-pi, pi] so a snapped
+ * rotation never unwinds the long way around (analytic pulse duration
+ * grows with |angle|).
+ */
+double binAngle(std::int64_t bin, int bins);
+
+/** binAngle(angleBin(theta)): idempotent, wrap-aware snapping. */
+double snapAngle(double theta, int bins);
+
+/**
+ * Signed wrapped distance from the snapped representative to theta,
+ * in [-step/2, step/2]: the delta whose rotation the cache substitutes
+ * away.
+ */
+double snapDelta(double theta, int bins);
+
+/**
+ * Advertised operator-norm error of substituting one rotation snapped
+ * by delta, up to global phase: |delta| / 2, an upper bound on the
+ * exact distance 2*sin(|delta|/4). Per-rotation bounds add across a
+ * block (triangle inequality over the unitary product).
+ */
+double quantizationErrorBound(double delta);
+
+/** One block's angles snapped onto the grid, ready to serve. */
+struct QuantizedBlock
+{
+    /** Content address of the snapped block (shared by its whole bin). */
+    BlockFingerprint fingerprint;
+    /** The bound block with every symbolic rotation snapped. */
+    Circuit snapped;
+    /** Summed advertised error bound of all substitutions. */
+    double errorBound = 0.0;
+    /** Bin index per snapped rotation, program order. */
+    std::vector<std::int64_t> bins;
+    /** errorBound <= quantization.fidelityBudget. */
+    bool withinBudget = true;
+};
+
+/**
+ * Bind a symbolic block against theta, snapping every parametrized
+ * rotation onto the grid. Constant angles (and non-rotation gates)
+ * pass through exactly — only the per-iteration degrees of freedom are
+ * quantized. The fingerprint addresses the snapped block, so every
+ * binding inside one bin resolves to the same cache entry.
+ *
+ * This is the reference form of the quantized keying;
+ * CompileService::serve() inlines the same bind -> bin -> bound
+ * sequence against per-axis fingerprint tables precomputed at
+ * prepareServing() time (re-deriving a unitary fingerprint per
+ * iteration would cost more than the lookup it replaces). Keep the
+ * two in lockstep: for the single-rotation blocks strict partitioning
+ * emits, the per-gate budget check there coincides with the
+ * per-block sum here.
+ */
+QuantizedBlock quantizeBlock(const Circuit& symbolic,
+                             const std::vector<double>& theta,
+                             const ParamQuantization& quantization);
+
+/**
+ * Full-circuit counterpart for simulation: bind a symbolic template,
+ * snapping each parametrized rotation that fits the *per-gate* budget
+ * and keeping the exact bound angle otherwise — exactly the circuit
+ * the quantized serve path's pulses realize, so drivers that simulate
+ * "hardware" evaluate the same physics the cache serves.
+ */
+Circuit snapSymbolicRotations(const Circuit& symbolic,
+                              const std::vector<double>& theta,
+                              const ParamQuantization& quantization);
+
+} // namespace qpc
+
+#endif // QPC_CACHE_QUANTIZE_H

@@ -61,6 +61,14 @@ PartialCompiler::precompute(CompileService& service) const
     return service.precompileCircuit(template_);
 }
 
+BatchCompileReport
+PartialCompiler::prewarmParametric(CompileService& service) const
+{
+    const ServingPlan plan =
+        service.prepareServing(strict_, options_.quantization);
+    return service.prewarmQuantizedBins(plan);
+}
+
 std::vector<CompileReport>
 PartialCompiler::compileAll(const std::vector<double>& theta) const
 {

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/quantize.h"
 #include "ir/circuit.h"
 #include "model/latencymodel.h"
 #include "model/timemodel.h"
@@ -75,6 +76,13 @@ struct CompilerOptions
     LatencyModelParams latencyModel;
     /** Modeled per-op lookup cost of table-based compilation, s. */
     double lookupSecondsPerOp = 1.0e-7;
+    /**
+     * Angle quantization applied when this compiler's template is
+     * served through a CompileService (prewarmParametric, and passed
+     * as the plan override by callers that build serving plans from
+     * this facade). Disabled by default.
+     */
+    ParamQuantization quantization;
 };
 
 /**
@@ -91,6 +99,7 @@ class PartialCompiler
                     CompilerOptions options = {});
 
     const Circuit& templateCircuit() const { return template_; }
+    const CompilerOptions& options() const { return options_; }
     const StrictPartition& strictPartition() const { return strict_; }
     const FlexiblePartition& flexiblePartition() const
     {
@@ -114,6 +123,16 @@ class PartialCompiler
      * identical blocks compile once process-wide.
      */
     BatchCompileReport precompute(CompileService& service) const;
+
+    /**
+     * Pre-warm the quantized parametric grid: synthesize every
+     * (rotation axis, bin) the template's serve path can request,
+     * per options().quantization, through the service's worker pool.
+     * Returns an empty report when quantization is disabled. Pair
+     * with precompute() so both the Fixed blocks and the rotation
+     * grid are warm before the hybrid loop starts.
+     */
+    BatchCompileReport prewarmParametric(CompileService& service) const;
 
   private:
     struct TimedItem

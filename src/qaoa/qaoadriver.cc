@@ -1,5 +1,7 @@
 #include "qaoa/qaoadriver.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "runtime/service.h"
 #include "sim/statevector.h"
@@ -20,13 +22,24 @@ runQaoa(const Graph& graph, const QaoaRunOptions& options)
     // runVqe).
     ServingPlan plan;
     if (options.compileService) {
-        plan = options.compileService->prepareServing(
-            strictPartition(circuit));
+        plan = options.quantization
+                   ? options.compileService->prepareServing(
+                         strictPartition(circuit),
+                         *options.quantization)
+                   : options.compileService->prepareServing(
+                         strictPartition(circuit));
         const BatchCompileReport precompute =
             options.compileService->precompilePlan(plan);
         result.precomputeWallSeconds = precompute.wallSeconds;
         result.precompiledBlocks = precompute.uniqueBlocks;
+        if (options.prewarmQuantizedBins) {
+            const BatchCompileReport prewarm =
+                options.compileService->prewarmQuantizedBins(plan);
+            result.precomputeWallSeconds += prewarm.wallSeconds;
+        }
     }
+    const bool quantized =
+        options.compileService && plan.quantization().enabled;
 
     int evaluations = 0;
     auto objective = [&](const std::vector<double>& theta) {
@@ -36,9 +49,19 @@ runQaoa(const Graph& graph, const QaoaRunOptions& options)
                 options.compileService->serve(plan, theta);
             result.servedCacheHits += served.cacheHits;
             result.servedCacheMisses += served.cacheMisses;
+            result.quantHits += served.quantHits;
+            result.quantMisses += served.quantMisses;
+            result.quantFallbacks += served.quantFallbacks;
+            result.maxQuantErrorBound = std::max(
+                result.maxQuantErrorBound, served.quantErrorBound);
         }
         StateVector state(graph.numNodes);
-        state.applyCircuit(circuit.bind(theta));
+        // The served pulses realize snapped angles under quantization;
+        // simulate exactly what they execute (see runVqe).
+        state.applyCircuit(
+            quantized ? snapSymbolicRotations(circuit, theta,
+                                              plan.quantization())
+                      : circuit.bind(theta));
         return cost.expectation(state);
     };
 

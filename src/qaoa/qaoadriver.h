@@ -13,6 +13,9 @@
 #ifndef QPC_QAOA_QAOADRIVER_H
 #define QPC_QAOA_QAOADRIVER_H
 
+#include <optional>
+
+#include "cache/quantize.h"
 #include "opt/neldermead.h"
 #include "partial/compiler.h"
 #include "qaoa/graph.h"
@@ -35,6 +38,14 @@ struct QaoaRunOptions
      * (see VqeRunOptions::compileService).
      */
     CompileService* compileService = nullptr;
+    /**
+     * Per-run override of the service's angle quantization; the
+     * simulated hardware executes the snapped angles when in effect
+     * (see VqeRunOptions::quantization).
+     */
+    std::optional<ParamQuantization> quantization;
+    /** Pre-warm the whole rotation grid before the hybrid loop. */
+    bool prewarmQuantizedBins = false;
 };
 
 /** Outcome of one QAOA optimization run. */
@@ -53,6 +64,15 @@ struct QaoaResult
     int precompiledBlocks = 0;      ///< Unique Fixed blocks compiled.
     uint64_t servedCacheHits = 0;   ///< Warm lookups across the loop.
     uint64_t servedCacheMisses = 0; ///< Cold blocks hit at runtime.
+    /** @} */
+
+    /** @name Quantized-serving accounting (zero when disabled)
+     *  @{ */
+    uint64_t quantHits = 0;       ///< Rotation bins served warm.
+    uint64_t quantMisses = 0;     ///< First touches of a bin.
+    uint64_t quantFallbacks = 0;  ///< Budget-exceeded exact serves.
+    /** Largest per-iteration summed snap error bound observed. */
+    double maxQuantErrorBound = 0.0;
     /** @} */
 };
 

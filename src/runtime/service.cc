@@ -15,6 +15,17 @@ namespace qpc {
 
 namespace {
 
+/** One strict segment's rotation, rebuilt at a grid bin's angle. */
+Circuit
+snappedRotation(const Circuit& gate, std::int64_t bin, int bins)
+{
+    Circuit snapped(gate.numQubits());
+    GateOp op = gate.ops().front();
+    op.angle = ParamExpr::constant(binAngle(bin, bins));
+    snapped.add(op);
+    return snapped;
+}
+
 /** Analytic library pulse for one local block on a clique device. */
 PulseSchedule
 analyticPulse(const Circuit& block, double dt)
@@ -75,6 +86,11 @@ CompileService::CompileService(CompileServiceOptions options)
 {
     fatalIf(options_.maxBlockWidth <= 0,
             "block width cap must be positive");
+    fatalIf(options_.quantization.enabled &&
+                (options_.quantization.bins <= 0 ||
+                 options_.quantization.fidelityBudget < 0.0),
+            "quantization needs a positive bin count and a "
+            "non-negative fidelity budget");
     if (!options_.synthesizer)
         options_.synthesizer = analyticBlockSynthesizer(options_.lookupDt);
 }
@@ -284,6 +300,41 @@ CompileService::precompilePlan(const ServingPlan& plan)
     return compileEntries(entries, 1, start);
 }
 
+BatchCompileReport
+CompileService::prewarmQuantizedBins(const ServingPlan& plan)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const ParamQuantization& quantization = plan.quant_;
+    if (!quantization.enabled) {
+        BatchCompileReport report;
+        report.wallSeconds = 0.0;
+        return report;
+    }
+
+    // Enumerate the grid once per distinct snapped circuit: segments
+    // sharing a rotation axis (every QAOA mixer Rx, say) collapse in
+    // compileEntries' fingerprint dedupe, so the worker pool sees each
+    // (axis, bin) exactly once.
+    std::vector<ServingPlan::FixedEntry> entries;
+    for (const ServingPlan::PlanSegment& segment : plan.segments_) {
+        if (segment.fixed)
+            continue;
+        const auto table =
+            plan.binTables_.find(segment.gate.ops().front().kind);
+        panicIf(table == plan.binTables_.end(),
+                "serving plan is missing a quantized bin table");
+        for (int bin = 0; bin < quantization.bins; ++bin) {
+            ServingPlan::FixedEntry entry;
+            entry.fingerprint =
+                table->second[static_cast<std::size_t>(bin)];
+            entry.local =
+                snappedRotation(segment.gate, bin, quantization.bins);
+            entries.push_back(std::move(entry));
+        }
+    }
+    return compileEntries(entries, 1, start);
+}
+
 int
 ServingPlan::numFixedBlocks() const
 {
@@ -307,7 +358,24 @@ ServingPlan::numParamGates() const
 ServingPlan
 CompileService::prepareServing(const StrictPartition& partition) const
 {
+    return prepareServing(partition, options_.quantization);
+}
+
+ServingPlan
+CompileService::prepareServing(const StrictPartition& partition,
+                               const ParamQuantization& quantization)
+    const
+{
+    // Per-plan overrides (driver knobs) get the same validation the
+    // constructor applies to the service-wide default, so an invalid
+    // config fails here rather than deep inside the first serve().
+    fatalIf(quantization.enabled &&
+                (quantization.bins <= 0 ||
+                 quantization.fidelityBudget < 0.0),
+            "quantization needs a positive bin count and a "
+            "non-negative fidelity budget");
     ServingPlan plan;
+    plan.quant_ = quantization;
     for (const StrictSegment& segment : partition.segments) {
         if (segment.fixed) {
             if (segment.circuit.empty())
@@ -337,6 +405,18 @@ CompileService::prepareServing(const StrictPartition& partition) const
                 plan.kits_.emplace(
                     width, std::make_unique<ServingPlan::LookupKit>(
                                width, options_.lookupDt));
+            // Fingerprint the whole grid for this axis once: serve()
+            // then maps binding -> bin -> address by array index.
+            if (quantization.enabled &&
+                !plan.binTables_.count(relabeled.kind)) {
+                std::vector<BlockFingerprint> table;
+                table.reserve(quantization.bins);
+                for (int bin = 0; bin < quantization.bins; ++bin)
+                    table.push_back(fingerprintBlock(snappedRotation(
+                        out.gate, bin, quantization.bins)));
+                plan.binTables_.emplace(relabeled.kind,
+                                        std::move(table));
+            }
             plan.segments_.push_back(std::move(out));
         }
     }
@@ -366,9 +446,51 @@ CompileService::serve(const ServingPlan& plan,
                 served.segments.push_back(std::move(pulse));
             }
         } else {
-            // A parametrized rotation is a table lookup: synthesized
-            // analytically per binding, never cached (its angle
-            // changes every iteration).
+            // A parametrized rotation. Quantized serving snaps the
+            // binding onto the angle grid and resolves the bin through
+            // the content-addressed cache — one synthesis per bin,
+            // ever — falling back to the exact path when the snap
+            // would overdraw the fidelity budget (or quantization is
+            // off): an analytic lookup synthesized per binding, never
+            // cached.
+            if (plan.quant_.enabled) {
+                const GateOp& op = segment.gate.ops().front();
+                const double angle = op.angle.bind(theta);
+                const double bound = quantizationErrorBound(
+                    snapDelta(angle, plan.quant_.bins));
+                if (bound <= plan.quant_.fidelityBudget) {
+                    const std::int64_t bin =
+                        angleBin(angle, plan.quant_.bins);
+                    const auto table = plan.binTables_.find(op.kind);
+                    panicIf(table == plan.binTables_.end(),
+                            "serving plan is missing a quantized bin "
+                            "table");
+                    const BlockFingerprint& fp =
+                        table->second[static_cast<std::size_t>(bin)];
+                    served.quantErrorBound += bound;
+                    PulsePtr pulse = cache_.get(fp);
+                    if (pulse) {
+                        ++served.quantHits;
+                        quantHits_.fetch_add(1,
+                                             std::memory_order_relaxed);
+                    } else {
+                        ++served.quantMisses;
+                        quantMisses_.fetch_add(
+                            1, std::memory_order_relaxed);
+                        pulse = admit(fp,
+                                      snappedRotation(segment.gate,
+                                                      bin,
+                                                      plan.quant_.bins),
+                                      nullptr)
+                                    .get();
+                    }
+                    served.pulseNs += pulse->durationNs();
+                    served.segments.push_back(std::move(pulse));
+                    continue;
+                }
+                ++served.quantFallbacks;
+                quantFallbacks_.fetch_add(1, std::memory_order_relaxed);
+            }
             const auto kit =
                 plan.kits_.find(segment.gate.numQubits());
             panicIf(kit == plan.kits_.end(),
@@ -399,6 +521,10 @@ CompileService::stats() const
     out.cacheHits = cacheHits_.load(std::memory_order_relaxed);
     out.coalesced = coalesced_.load(std::memory_order_relaxed);
     out.synthRuns = synthRuns_.load(std::memory_order_relaxed);
+    out.quantHits = quantHits_.load(std::memory_order_relaxed);
+    out.quantMisses = quantMisses_.load(std::memory_order_relaxed);
+    out.quantFallbacks =
+        quantFallbacks_.load(std::memory_order_relaxed);
     return out;
 }
 

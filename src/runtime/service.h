@@ -40,6 +40,7 @@
 #include <memory>
 
 #include "cache/pulsecache.h"
+#include "cache/quantize.h"
 #include "grape/grape.h"
 #include "ir/circuit.h"
 #include "model/latencymodel.h"
@@ -83,6 +84,15 @@ struct CompileServiceOptions
     double lookupDt = 0.05;
     /** Cache sizing/placement (diskDir enables persistence). */
     PulseCacheOptions cache;
+    /**
+     * Angle-quantized caching of Parametrized blocks on the serve
+     * path (see cache/quantize.h). Disabled by default: serve()
+     * synthesizes every rotation binding exactly. Enabled, each
+     * binding snaps to a fidelity-bounded grid bin and resolves
+     * through the content-addressed cache, so a warm grid turns the
+     * per-iteration hot path into pure lookups.
+     */
+    ParamQuantization quantization;
 };
 
 /** Service-level counters, snapshotted by CompileService::stats(). */
@@ -92,6 +102,13 @@ struct ServiceStats
     std::uint64_t cacheHits = 0;  ///< Served straight from the cache.
     std::uint64_t coalesced = 0;  ///< Joined an in-flight synthesis.
     std::uint64_t synthRuns = 0;  ///< Synthesizer invocations.
+
+    /** @name Quantized parametric serving (zero when disabled)
+     *  @{ */
+    std::uint64_t quantHits = 0;      ///< Rotation bins served warm.
+    std::uint64_t quantMisses = 0;    ///< First touches of a bin.
+    std::uint64_t quantFallbacks = 0; ///< Budget-exceeded exact serves.
+    /** @} */
 };
 
 /** What one batch submission cost and deduplicated. */
@@ -127,6 +144,16 @@ struct ServedPulse
     double pulseNs = 0.0;
     std::uint64_t cacheHits = 0;
     std::uint64_t cacheMisses = 0;
+
+    /** @name Quantized rotation serving (zero when disabled)
+     *  @{ */
+    std::uint64_t quantHits = 0;      ///< Rotation bins served warm.
+    std::uint64_t quantMisses = 0;    ///< Bins synthesized on touch.
+    std::uint64_t quantFallbacks = 0; ///< Rotations served exactly
+                                      ///< (budget exceeded).
+    /** Summed advertised operator-norm error of every snap served. */
+    double quantErrorBound = 0.0;
+    /** @} */
 };
 
 /**
@@ -146,6 +173,8 @@ class ServingPlan
     int numFixedBlocks() const;
     /** Parametrized rotations served by analytic lookup. */
     int numParamGates() const;
+    /** Effective quantization config this plan serves under. */
+    const ParamQuantization& quantization() const { return quant_; }
 
   private:
     friend class CompileService;
@@ -180,6 +209,16 @@ class ServingPlan
     std::vector<PlanSegment> segments_;
     /** One kit per distinct rotation width (stable addresses). */
     std::map<int, std::unique_ptr<LookupKit>> kits_;
+    /** Quantization config captured at prepareServing() time. */
+    ParamQuantization quant_;
+    /**
+     * Iteration-invariant half of the quantized path: the content
+     * address of every grid bin's snapped rotation, per axis, computed
+     * once at prepareServing() so serve() never re-derives a
+     * fingerprint (hashing the snapped unitary per iteration would
+     * cost more than the exact analytic lookup it replaces).
+     */
+    std::map<GateKind, std::vector<BlockFingerprint>> binTables_;
 };
 
 /**
@@ -233,9 +272,25 @@ class CompileService
      * Precompute the iteration-invariant serving work for one strict
      * partition (blocking, fingerprints, lookup libraries). Do this
      * once before a hybrid loop; the plan stays valid for the
-     * service's lifetime.
+     * service's lifetime. The plan captures the service's quantization
+     * config; the second overload overrides it per plan (drivers use
+     * this to flip quantization on or off for one run).
      */
     ServingPlan prepareServing(const StrictPartition& partition) const;
+    ServingPlan prepareServing(const StrictPartition& partition,
+                               const ParamQuantization& quantization)
+        const;
+
+    /**
+     * Grid pre-warm: synthesize every bin of every rotation axis the
+     * plan serves (deduplicated across segments sharing an axis)
+     * through the worker pool, so the hybrid loop's very first
+     * iterations already hit the quantized cache. A no-op report when
+     * the plan's quantization is disabled. Sizing note: the cache must
+     * hold bins x distinct-axes entries on top of the Fixed blocks to
+     * keep the warmed grid resident.
+     */
+    BatchCompileReport prewarmQuantizedBins(const ServingPlan& plan);
 
     /**
      * Warm-path compilation of one parameter binding: cached pulses
@@ -306,6 +361,9 @@ class CompileService
     std::atomic<std::uint64_t> cacheHits_{0};
     std::atomic<std::uint64_t> coalesced_{0};
     std::atomic<std::uint64_t> synthRuns_{0};
+    std::atomic<std::uint64_t> quantHits_{0};
+    std::atomic<std::uint64_t> quantMisses_{0};
+    std::atomic<std::uint64_t> quantFallbacks_{0};
 
     /** Last member: destroyed first, so draining workers may still
      * touch the cache and the single-flight map above. */

@@ -1,5 +1,7 @@
 #include "vqe/vqedriver.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/rng.h"
 #include "partial/strict.h"
@@ -23,13 +25,23 @@ runVqe(const Circuit& ansatz, const PauliHamiltonian& hamiltonian,
     // serves each binding from the warm cache.
     ServingPlan plan;
     if (options.compileService) {
-        plan = options.compileService->prepareServing(
-            strictPartition(ansatz));
+        plan = options.quantization
+                   ? options.compileService->prepareServing(
+                         strictPartition(ansatz), *options.quantization)
+                   : options.compileService->prepareServing(
+                         strictPartition(ansatz));
         const BatchCompileReport precompute =
             options.compileService->precompilePlan(plan);
         result.precomputeWallSeconds = precompute.wallSeconds;
         result.precompiledBlocks = precompute.uniqueBlocks;
+        if (options.prewarmQuantizedBins) {
+            const BatchCompileReport prewarm =
+                options.compileService->prewarmQuantizedBins(plan);
+            result.precomputeWallSeconds += prewarm.wallSeconds;
+        }
     }
+    const bool quantized =
+        options.compileService && plan.quantization().enabled;
 
     int evaluations = 0;
     auto objective = [&](const std::vector<double>& theta) {
@@ -39,9 +51,20 @@ runVqe(const Circuit& ansatz, const PauliHamiltonian& hamiltonian,
                 options.compileService->serve(plan, theta);
             result.servedCacheHits += served.cacheHits;
             result.servedCacheMisses += served.cacheMisses;
+            result.quantHits += served.quantHits;
+            result.quantMisses += served.quantMisses;
+            result.quantFallbacks += served.quantFallbacks;
+            result.maxQuantErrorBound = std::max(
+                result.maxQuantErrorBound, served.quantErrorBound);
         }
         StateVector state(ansatz.numQubits());
-        state.applyCircuit(ansatz.bind(theta));
+        // Quantized serving delivers pulses for the *snapped* angles,
+        // so that is what the simulated hardware must execute — the
+        // energy honestly carries the grid's substitution error.
+        state.applyCircuit(
+            quantized ? snapSymbolicRotations(ansatz, theta,
+                                              plan.quantization())
+                      : ansatz.bind(theta));
         return hamiltonian.expectation(state);
     };
 

@@ -11,6 +11,9 @@
 #ifndef QPC_VQE_VQEDRIVER_H
 #define QPC_VQE_VQEDRIVER_H
 
+#include <optional>
+
+#include "cache/quantize.h"
 #include "ir/circuit.h"
 #include "opt/neldermead.h"
 #include "sim/pauli.h"
@@ -33,6 +36,22 @@ struct VqeRunOptions
      * path. Null keeps the simulator-only behaviour.
      */
     CompileService* compileService = nullptr;
+    /**
+     * Per-run override of the service's angle quantization (see
+     * ParamQuantization): unset inherits the service default, set
+     * forces it on or off for this run. When quantization is in
+     * effect, the simulated "hardware" executes the *snapped* angles
+     * — the circuit the cached pulses actually realize — so the
+     * reported energy reflects the quantization error honestly. No
+     * effect without a compileService.
+     */
+    std::optional<ParamQuantization> quantization;
+    /**
+     * Pre-warm the whole rotation grid through the service's worker
+     * pool before the hybrid loop, so even the first iterations serve
+     * warm (only meaningful with quantization enabled).
+     */
+    bool prewarmQuantizedBins = false;
 };
 
 /** Outcome of one VQE run. */
@@ -49,6 +68,15 @@ struct VqeResult
     int precompiledBlocks = 0;      ///< Unique Fixed blocks compiled.
     uint64_t servedCacheHits = 0;   ///< Warm lookups across the loop.
     uint64_t servedCacheMisses = 0; ///< Cold blocks hit at runtime.
+    /** @} */
+
+    /** @name Quantized-serving accounting (zero when disabled)
+     *  @{ */
+    uint64_t quantHits = 0;       ///< Rotation bins served warm.
+    uint64_t quantMisses = 0;     ///< First touches of a bin.
+    uint64_t quantFallbacks = 0;  ///< Budget-exceeded exact serves.
+    /** Largest per-iteration summed snap error bound observed. */
+    double maxQuantErrorBound = 0.0;
     /** @} */
 };
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -7,7 +9,10 @@
 
 #include "cache/fingerprint.h"
 #include "cache/pulsecache.h"
+#include "cache/quantize.h"
+#include "linalg/eig.h"
 #include "pulse/serialize.h"
+#include "sim/statevector.h"
 #include "testutil.h"
 
 namespace {
@@ -163,6 +168,251 @@ TEST(Fingerprint, RelabeledBlocksShareAddresses)
     relabeled.h(0);
     relabeled.cx(0, 1);
     EXPECT_EQ(fingerprintBlock(a), fingerprintBlock(relabeled));
+}
+
+// ---------------------------------------------------------------------
+// Angle quantization
+// ---------------------------------------------------------------------
+
+const double kTau = 2.0 * kPi;
+
+/** Operator norm (largest singular value) of a small matrix. */
+double
+opNorm(const CMatrix& d)
+{
+    const EigResult eig = eigHermitian(d.dagger() * d);
+    return std::sqrt(std::max(0.0, eig.values.back()));
+}
+
+/**
+ * ||a - e^{i phi} b||_op at the trace-aligned phase: an upper bound
+ * on the phase-invariant operator distance, and exactly the minimum
+ * for a single snapped rotation (whose residual eigenphases are
+ * symmetric about the trace phase).
+ */
+double
+tracePhaseOpNorm(const CMatrix& a, const CMatrix& b)
+{
+    const Complex overlap = (a.dagger() * b).trace();
+    if (std::abs(overlap) < 1e-12)
+        return opNorm(a - b);
+    return opNorm(a - b * std::conj(overlap / std::abs(overlap)));
+}
+
+/**
+ * min over a phase grid of ||a - e^{i phi} b||_op: an upper bound on
+ * the phase-invariant operator distance that overshoots the true
+ * minimum by at most ~pi/kPhaseGrid (the grid granularity), which the
+ * caller absorbs into its tolerance.
+ */
+constexpr int kPhaseGrid = 256;
+
+double
+minPhaseOpNorm(const CMatrix& a, const CMatrix& b)
+{
+    double best = opNorm(a - b);
+    for (int k = 1; k < kPhaseGrid; ++k) {
+        const double phi = kTau * k / kPhaseGrid;
+        best = std::min(best, opNorm(a - b * std::exp(kImag * phi)));
+    }
+    return best;
+}
+
+TEST(Quantize, SnapIsIdempotentAndWrapAware)
+{
+    Rng rng(29);
+    const int grids[] = {16, 64, 256, 1024};
+    for (int trial = 0; trial < 500; ++trial) {
+        const int bins = grids[trial % 4];
+        const double step = kTau / bins;
+        // Several turns in both directions, not just (-pi, pi].
+        const double theta = rng.uniform(-10.0, 10.0);
+
+        const std::int64_t bin = angleBin(theta, bins);
+        EXPECT_GE(bin, 0);
+        EXPECT_LT(bin, bins);
+        // theta and theta +/- 2 pi share the bin.
+        EXPECT_EQ(bin, angleBin(theta + kTau, bins));
+        EXPECT_EQ(bin, angleBin(theta - kTau, bins));
+
+        // Snapping is idempotent, bit-for-bit: a snapped angle is on
+        // the grid, so snapping it again is the identity.
+        const double snapped = snapAngle(theta, bins);
+        EXPECT_EQ(snapped, snapAngle(snapped, bins));
+        EXPECT_EQ(bin, angleBin(snapped, bins));
+        // The representative is centered and the residue is at most
+        // half a step.
+        EXPECT_GT(snapped, -kPi - 1e-12);
+        EXPECT_LE(snapped, kPi + 1e-12);
+        EXPECT_LE(std::abs(snapDelta(theta, bins)),
+                  step / 2.0 + 1e-12);
+    }
+}
+
+TEST(Quantize, BinEdgesNearPiDoNotSplit)
+{
+    Rng rng(31);
+    for (int trial = 0; trial < 500; ++trial) {
+        const int bins = 64 << (trial % 3);
+        const double eps = rng.uniform(1e-9, 0.4 * kTau / bins);
+        // The same angle spelled on either side of the +/- pi seam
+        // must land in one bin: pi - eps and its alias -pi - eps,
+        // pi + eps and its alias -pi + eps.
+        EXPECT_EQ(angleBin(kPi - eps, bins),
+                  angleBin(-kPi - eps, bins));
+        EXPECT_EQ(angleBin(kPi + eps, bins),
+                  angleBin(-kPi + eps, bins));
+    }
+    // Both spellings of the seam itself share the +pi representative.
+    for (int bins : {16, 64, 256, 1024}) {
+        EXPECT_EQ(snapAngle(kPi, bins), snapAngle(-kPi, bins));
+        EXPECT_NEAR(snapDelta(-kPi, bins), 0.0, 1e-12);
+    }
+}
+
+TEST(Quantize, ErrorBoundHoldsAcrossGateLibrary)
+{
+    // For every rotation axis the IR serves, the measured
+    // phase-invariant operator error of the snapped unitary stays
+    // within the advertised bound. Single rotations measure with the
+    // (exact) trace-aligned phase via the grid minimum.
+    Rng rng(37);
+    const GateKind axes[] = {GateKind::Rx, GateKind::Ry, GateKind::Rz};
+    const int grids[] = {64, 256, 1024};
+    for (int trial = 0; trial < 500; ++trial) {
+        const GateKind kind = axes[trial % 3];
+        const int bins = grids[(trial / 3) % 3];
+        ParamQuantization quantization;
+        quantization.enabled = true;
+        quantization.bins = bins;
+
+        Circuit symbolic(1);
+        GateOp op;
+        op.kind = kind;
+        op.q0 = 0;
+        op.angle = ParamExpr::theta(0, rng.uniform(0.5, 2.0),
+                                    rng.uniform(-1.0, 1.0));
+        symbolic.add(op);
+        const std::vector<double> theta = {rng.uniform(-8.0, 8.0)};
+
+        const QuantizedBlock quantized =
+            quantizeBlock(symbolic, theta, quantization);
+        ASSERT_EQ(quantized.bins.size(), 1u);
+        // Advertised bound never exceeds the worst case of the grid.
+        EXPECT_LE(quantized.errorBound, kTau / bins / 4.0 + 1e-12);
+
+        const double measured =
+            tracePhaseOpNorm(circuitUnitary(symbolic.bind(theta)),
+                             circuitUnitary(quantized.snapped));
+        EXPECT_LE(measured, quantized.errorBound + 1e-9)
+            << gateName(kind) << " bins=" << bins
+            << " theta=" << theta[0];
+    }
+}
+
+TEST(Quantize, MultiRotationBlockBoundIsAdditive)
+{
+    // Blocks mixing fixed gates with several snapped rotations: the
+    // per-rotation bounds add, and the measured error of the whole
+    // block unitary respects the sum. The phase-grid measurement
+    // overshoots the true minimum by at most ~pi/kPhaseGrid.
+    const double kGridSlack = 4.0 * kPi / kPhaseGrid;
+    Rng rng(41);
+    for (int trial = 0; trial < 40; ++trial) {
+        ParamQuantization quantization;
+        quantization.enabled = true;
+        quantization.bins = 32; // Coarse: real error, well above slack.
+
+        Circuit symbolic(2);
+        symbolic.h(0);
+        symbolic.cx(0, 1);
+        symbolic.rx(0, ParamExpr::theta(0, rng.uniform(0.5, 2.0)));
+        symbolic.cz(0, 1);
+        symbolic.ry(1, ParamExpr::theta(1, rng.uniform(0.5, 2.0)));
+        symbolic.rz(0, ParamExpr::theta(2, rng.uniform(0.5, 2.0)));
+        const std::vector<double> theta = rng.angles(3);
+
+        const QuantizedBlock quantized =
+            quantizeBlock(symbolic, theta, quantization);
+        ASSERT_EQ(quantized.bins.size(), 3u);
+        const double measured =
+            minPhaseOpNorm(circuitUnitary(symbolic.bind(theta)),
+                           circuitUnitary(quantized.snapped));
+        EXPECT_LE(measured, quantized.errorBound + kGridSlack);
+    }
+}
+
+TEST(Quantize, BindingsInOneBinShareOneAddress)
+{
+    ParamQuantization quantization;
+    quantization.enabled = true;
+    quantization.bins = 1024;
+
+    Circuit symbolic(1);
+    symbolic.rz(0, ParamExpr::theta(0));
+
+    // The PR 2 pathology: adjacent iterations' angles are distinct
+    // exact keys but the same grid bin — one pulse serves both.
+    const QuantizedBlock a =
+        quantizeBlock(symbolic, {0.1001}, quantization);
+    const QuantizedBlock b =
+        quantizeBlock(symbolic, {0.1002}, quantization);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.bins, b.bins);
+
+    // A different bin is a different address.
+    const QuantizedBlock far =
+        quantizeBlock(symbolic, {0.1001 + kTau / 1024 * 3}, quantization);
+    EXPECT_NE(a.fingerprint, far.fingerprint);
+
+    // Wrap-awareness carries through to the address.
+    const QuantizedBlock wrapped =
+        quantizeBlock(symbolic, {0.1001 + kTau}, quantization);
+    EXPECT_EQ(a.fingerprint, wrapped.fingerprint);
+
+    // Quantizing a block that is already on the grid is free.
+    Circuit on_grid(1);
+    on_grid.rz(0, ParamExpr::theta(0));
+    const QuantizedBlock snapped_again = quantizeBlock(
+        on_grid, {binAngle(17, quantization.bins)}, quantization);
+    EXPECT_EQ(snapped_again.errorBound, 0.0);
+    EXPECT_TRUE(snapped_again.withinBudget);
+}
+
+TEST(Quantize, FidelityBudgetGatesTheSnap)
+{
+    Circuit symbolic(1);
+    symbolic.rx(0, ParamExpr::theta(0));
+
+    // A zero budget rejects any off-grid angle...
+    ParamQuantization strict_budget;
+    strict_budget.enabled = true;
+    strict_budget.bins = 64;
+    strict_budget.fidelityBudget = 0.0;
+    const double off_grid = 0.3 + kTau / 64 / 3.0;
+    EXPECT_FALSE(
+        quantizeBlock(symbolic, {off_grid}, strict_budget)
+            .withinBudget);
+    // ... but still admits an exactly-on-grid one.
+    EXPECT_TRUE(quantizeBlock(symbolic, {binAngle(5, 64)},
+                              strict_budget)
+                    .withinBudget);
+
+    // The default budget admits the default grid's worst case.
+    ParamQuantization defaults;
+    defaults.enabled = true;
+    EXPECT_TRUE(
+        quantizeBlock(symbolic, {off_grid}, defaults).withinBudget);
+
+    // Constant-angle rotations pass through exactly: no bins, no
+    // error, same fingerprint as plain fingerprinting.
+    Circuit constant(1);
+    constant.rz(0, 0.123456);
+    const QuantizedBlock fixed =
+        quantizeBlock(constant, {}, strict_budget);
+    EXPECT_TRUE(fixed.bins.empty());
+    EXPECT_EQ(fixed.errorBound, 0.0);
+    EXPECT_EQ(fixed.fingerprint, fingerprintBlock(constant));
 }
 
 // ---------------------------------------------------------------------

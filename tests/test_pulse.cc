@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
 
 #include "linalg/random_unitary.h"
 #include "linalg/su2.h"
@@ -291,6 +294,151 @@ TEST(Serialize, RejectsMalformedBytes)
 
     // The pristine copy still parses.
     EXPECT_TRUE(deserializePulseSchedule(bytes).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Fuzz-style corruption: malformed bytes must read as errors, never
+// crash, and never produce a partially-loaded schedule — a corrupt
+// cache record has to degrade to a cache miss.
+// ---------------------------------------------------------------------
+
+PulseSchedule
+fuzzSeedPulse()
+{
+    PulseSchedule pulse(3, 13, 0.05);
+    Rng rng(23);
+    for (int c = 0; c < 3; ++c)
+        for (double& v : pulse.channel(c))
+            v = rng.normal();
+    return pulse;
+}
+
+TEST(SerializeFuzz, EveryTruncationIsRejected)
+{
+    const std::vector<uint8_t> bytes =
+        serializePulseSchedule(fuzzSeedPulse());
+    // Exhaustive: every proper prefix of a valid record is malformed
+    // (the header's channel/sample counts pin the exact payload size).
+    for (size_t len = 0; len < bytes.size(); ++len) {
+        const auto back = deserializePulseSchedule(bytes.data(), len);
+        EXPECT_FALSE(back.has_value()) << "prefix length " << len;
+    }
+    EXPECT_TRUE(deserializePulseSchedule(bytes).has_value());
+}
+
+TEST(SerializeFuzz, FlippedVersionBytesAreRejected)
+{
+    const std::vector<uint8_t> bytes =
+        serializePulseSchedule(fuzzSeedPulse());
+    Rng rng(29);
+    // Any disturbance of the 4 version bytes (offsets 4..7) makes the
+    // version != 1 and must be rejected, whichever byte and bit.
+    for (int offset = 4; offset < 8; ++offset)
+        for (int bit = 0; bit < 8; ++bit) {
+            std::vector<uint8_t> flipped = bytes;
+            flipped[offset] ^= static_cast<uint8_t>(1u << bit);
+            EXPECT_FALSE(
+                deserializePulseSchedule(flipped).has_value())
+                << "version byte " << offset << " bit " << bit;
+        }
+}
+
+TEST(SerializeFuzz, RaggedChannelCountsAreRejected)
+{
+    const std::vector<uint8_t> bytes =
+        serializePulseSchedule(fuzzSeedPulse());
+    // Rewrite the channel-count field (little-endian u32 at offset
+    // 16) to every plausible lie: fewer channels than the payload
+    // holds, more, zero, and absurdly many.
+    for (uint32_t lie : {0u, 1u, 2u, 4u, 5u, 64u, 0x7fffffffu,
+                         0xffffffffu}) {
+        std::vector<uint8_t> ragged = bytes;
+        for (int i = 0; i < 4; ++i)
+            ragged[16 + i] = static_cast<uint8_t>(lie >> (8 * i));
+        EXPECT_FALSE(deserializePulseSchedule(ragged).has_value())
+            << "channel count " << lie;
+    }
+    // Same treatment for the sample count (u64 at offset 20).
+    for (uint64_t lie : {0ull, 1ull, 12ull, 14ull, 1ull << 40}) {
+        std::vector<uint8_t> ragged = bytes;
+        for (int i = 0; i < 8; ++i)
+            ragged[20 + i] = static_cast<uint8_t>(lie >> (8 * i));
+        EXPECT_FALSE(deserializePulseSchedule(ragged).has_value())
+            << "sample count " << lie;
+    }
+}
+
+TEST(SerializeFuzz, RandomCorruptionNeverCrashesOrPartiallyLoads)
+{
+    const PulseSchedule original = fuzzSeedPulse();
+    const std::vector<uint8_t> bytes =
+        serializePulseSchedule(original);
+    Rng rng(31);
+    for (int trial = 0; trial < 500; ++trial) {
+        std::vector<uint8_t> mutated = bytes;
+        // 1-4 random byte flips anywhere in the record, plus an
+        // occasional random resize.
+        const int flips = 1 + rng.randint(0, 3);
+        for (int f = 0; f < flips; ++f) {
+            const int at =
+                rng.randint(0, static_cast<int>(mutated.size()) - 1);
+            mutated[at] ^= static_cast<uint8_t>(
+                1u << rng.randint(0, 7));
+        }
+        if (rng.bernoulli(0.3))
+            mutated.resize(
+                rng.randint(0, static_cast<int>(mutated.size())));
+
+        const auto back = deserializePulseSchedule(mutated);
+        if (!back.has_value())
+            continue;
+        // A record that still parses must be *internally* whole:
+        // header-consistent shape, usable without panics. (Payload
+        // flips legitimately survive — bit-exact doubles carry no
+        // checksum — but they can never yield a ragged schedule.)
+        EXPECT_EQ(back->numChannels(), original.numChannels());
+        EXPECT_EQ(back->numSamples(), original.numSamples());
+        for (int c = 0; c < back->numChannels(); ++c)
+            EXPECT_EQ(back->channel(c).size(),
+                      static_cast<size_t>(back->numSamples()));
+    }
+}
+
+TEST(SerializeFuzz, CorruptFilesLoadAsErrors)
+{
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() /
+         ("qpc_fuzz_files." + std::to_string(::getpid())))
+            .string();
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    const PulseSchedule pulse = fuzzSeedPulse();
+    const std::string good = dir + "/good.qpulse";
+    ASSERT_TRUE(savePulseSchedule(good, pulse));
+    ASSERT_TRUE(loadPulseSchedule(good).has_value());
+
+    // Truncated on disk.
+    const std::string truncated = dir + "/truncated.qpulse";
+    ASSERT_TRUE(savePulseSchedule(truncated, pulse));
+    fs::resize_file(truncated, 21);
+    EXPECT_FALSE(loadPulseSchedule(truncated).has_value());
+
+    // Empty file, garbage file, missing file.
+    const std::string empty = dir + "/empty.qpulse";
+    std::ofstream(empty, std::ios::binary).close();
+    EXPECT_FALSE(loadPulseSchedule(empty).has_value());
+    const std::string garbage = dir + "/garbage.qpulse";
+    {
+        std::ofstream out(garbage, std::ios::binary);
+        out << "this is not a pulse record at all, sorry";
+    }
+    EXPECT_FALSE(loadPulseSchedule(garbage).has_value());
+    EXPECT_FALSE(
+        loadPulseSchedule(dir + "/missing.qpulse").has_value());
+
+    fs::remove_all(dir);
 }
 
 TEST(Evolve, SubspaceFidelityDetectsLeakage)

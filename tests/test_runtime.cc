@@ -11,6 +11,7 @@
 #include "partial/strict.h"
 #include "pulse/evolve.h"
 #include "qaoa/qaoacircuit.h"
+#include "qaoa/qaoadriver.h"
 #include "qaoa/graph.h"
 #include "runtime/service.h"
 #include "runtime/threadpool.h"
@@ -388,6 +389,189 @@ TEST(Service, ServeStrictColdCompilesOnDemand)
 }
 
 // ---------------------------------------------------------------------
+// Quantized parametric serving
+// ---------------------------------------------------------------------
+
+TEST(Service, QuantizedServeHitsCacheAcrossBindings)
+{
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.synthesizer = synth.make();
+    options.quantization.enabled = true;
+    options.quantization.bins = 128;
+    // Generous budget: the test's angles sit mid-bin, where the snap
+    // error can approach the grid's worst case of step/4 ~ 0.012.
+    options.quantization.fidelityBudget = 0.05;
+    CompileService service(options);
+
+    const Circuit templ = twoBlockTemplate();
+    const ServingPlan plan =
+        service.prepareServing(strictPartition(templ));
+    service.precompilePlan(plan);
+    const int fixed_runs = synth.runs.load();
+    EXPECT_EQ(fixed_runs, 1); // Two identical Fixed blocks.
+
+    // Two bindings in the same bins: the second serve is all hits.
+    const ServedPulse cold = service.serve(plan, {0.300, 1.200});
+    EXPECT_EQ(cold.quantMisses, 2u);
+    EXPECT_EQ(cold.quantHits, 0u);
+    const ServedPulse warm = service.serve(plan, {0.3001, 1.2001});
+    EXPECT_EQ(warm.quantMisses, 0u);
+    EXPECT_EQ(warm.quantHits, 2u);
+    EXPECT_EQ(warm.quantFallbacks, 0u);
+    EXPECT_EQ(synth.runs.load(), fixed_runs + 2);
+    // The served pulses cover every segment either way.
+    EXPECT_EQ(warm.segments.size(), cold.segments.size());
+    // The advertised per-iteration snap error is within budget.
+    EXPECT_LE(warm.quantErrorBound,
+              options.quantization.fidelityBudget + 1e-12);
+}
+
+TEST(Service, QuantizedPlanOverrideAndExactFallback)
+{
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.synthesizer = synth.make();
+    CompileService service(options); // Quantization off by default.
+
+    const Circuit templ = twoBlockTemplate();
+    const StrictPartition partition = strictPartition(templ);
+
+    // Plan-level override flips quantization on for one run...
+    ParamQuantization quantization;
+    quantization.enabled = true;
+    quantization.bins = 64;
+    const ServingPlan quant =
+        service.prepareServing(partition, quantization);
+    service.precompilePlan(quant);
+    const ServedPulse served = service.serve(quant, {0.4, 0.9});
+    EXPECT_EQ(served.quantHits + served.quantMisses, 2u);
+
+    // ... and a zero budget forces the exact fallback path on any
+    // off-grid binding: no bin traffic, analytic lookup instead.
+    ParamQuantization zero_budget = quantization;
+    zero_budget.fidelityBudget = 0.0;
+    const ServingPlan strict_plan =
+        service.prepareServing(partition, zero_budget);
+    const ServedPulse fallback =
+        service.serve(strict_plan, {0.4001, 0.9001});
+    EXPECT_EQ(fallback.quantFallbacks, 2u);
+    EXPECT_EQ(fallback.quantHits + fallback.quantMisses, 0u);
+    EXPECT_EQ(fallback.segments.size(), served.segments.size());
+}
+
+TEST(Service, QuantizedSingleFlightOneSynthesisPerTouchedBin)
+{
+    // The stress case of the quantized cache: many threads serve the
+    // same template with adversarially close angles — all inside the
+    // same grid bins — and the single-flight admission must collapse
+    // the storm to exactly one synthesis per touched bin.
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 4;
+    options.synthesizer = synth.make(/*sleep_ms=*/2);
+    options.quantization.enabled = true;
+    options.quantization.bins = 256;
+    CompileService service(options);
+
+    const Circuit templ = twoBlockTemplate();
+    const ServingPlan plan =
+        service.prepareServing(strictPartition(templ));
+    service.precompilePlan(plan);
+    const int fixed_runs = synth.runs.load();
+
+    constexpr int kThreads = 8;
+    constexpr int kServesPerThread = 25;
+    const double step = options.quantization.stepRadians();
+    // Centers exactly on grid points, so jitter under half a step can
+    // never straddle a bin edge.
+    const double center0 = 31 * step;
+    const double center1 = -86 * step;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    std::atomic<uint64_t> fallbacks{0};
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&service, &plan, &fallbacks, step,
+                              center0, center1, t] {
+            Rng rng(1000 + t);
+            for (int i = 0; i < kServesPerThread; ++i) {
+                // Jitter well inside half a bin around two centers:
+                // every thread's every serve maps to the same 2 bins.
+                const double jitter = 0.2 * step * rng.uniform(-1.0, 1.0);
+                const ServedPulse served = service.serve(
+                    plan, {center0 + jitter, center1 + jitter});
+                fallbacks.fetch_add(served.quantFallbacks);
+                ASSERT_EQ(served.segments.size(), 4u);
+                for (const PulsePtr& pulse : served.segments)
+                    ASSERT_NE(pulse, nullptr);
+            }
+        });
+    for (std::thread& t : threads)
+        t.join();
+
+    // Exactly one synthesis per touched bin, no matter the race.
+    EXPECT_EQ(synth.runs.load(), fixed_runs + 2);
+    EXPECT_EQ(fallbacks.load(), 0u);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.quantHits + stats.quantMisses,
+              static_cast<uint64_t>(2 * kThreads * kServesPerThread));
+    EXPECT_EQ(stats.quantFallbacks, 0u);
+    // Service-wide synthesis accounting agrees with the synthesizer.
+    EXPECT_EQ(stats.synthRuns,
+              static_cast<uint64_t>(fixed_runs) + 2u);
+}
+
+TEST(Service, PrewarmQuantizedBinsMakesFirstServeWarm)
+{
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 4;
+    options.synthesizer = synth.make();
+    options.cache.capacity = 8192;
+    options.quantization.enabled = true;
+    options.quantization.bins = 64;
+    CompileService service(options);
+
+    // Two axes (Rz and Rx) across three rotations: the grid dedupes
+    // per (axis, bin), minus the shared identity bin at angle 0.
+    Circuit templ(2);
+    templ.h(0);
+    templ.cx(0, 1);
+    templ.rz(1, ParamExpr::theta(0));
+    templ.rx(0, ParamExpr::theta(1));
+    templ.rz(0, ParamExpr::theta(2));
+
+    const ServingPlan plan =
+        service.prepareServing(strictPartition(templ));
+    service.precompilePlan(plan);
+    const int fixed_runs = synth.runs.load();
+
+    const BatchCompileReport grid =
+        service.prewarmQuantizedBins(plan);
+    EXPECT_EQ(grid.totalBlocks, 3 * 64);
+    // Rz and Rx grids share the identity at bin 0 (same unitary).
+    EXPECT_EQ(grid.uniqueBlocks, 2 * 64 - 1);
+    EXPECT_EQ(synth.runs.load(), fixed_runs + 2 * 64 - 1);
+
+    // Any binding now serves warm.
+    Rng rng(9);
+    const ServedPulse served = service.serve(plan, rng.angles(3));
+    EXPECT_EQ(served.quantMisses, 0u);
+    EXPECT_EQ(served.quantHits, 3u);
+    EXPECT_EQ(synth.runs.load(), fixed_runs + 2 * 64 - 1);
+
+    // A disabled plan reports an empty pre-warm.
+    const ServingPlan exact = service.prepareServing(
+        strictPartition(templ), ParamQuantization{});
+    const BatchCompileReport none =
+        service.prewarmQuantizedBins(exact);
+    EXPECT_EQ(none.totalBlocks, 0);
+    EXPECT_EQ(none.synthRuns, 0u);
+}
+
+// ---------------------------------------------------------------------
 // Driver integration
 // ---------------------------------------------------------------------
 
@@ -408,6 +592,39 @@ TEST(Service, PartialCompilerPrecomputeGoesThroughService)
     // Second precompute of the same template is free.
     const BatchCompileReport warm = compiler.precompute(service);
     EXPECT_EQ(warm.synthRuns, 0u);
+}
+
+TEST(Service, PartialCompilerParametricPrewarm)
+{
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.synthesizer = synth.make();
+    CompileService service(options); // Service default: quantization off.
+
+    CompilerOptions copts;
+    copts.quantization.enabled = true;
+    copts.quantization.bins = 32;
+    // Coarse grid: raise the budget past its step/4 ~ 0.05 worst case.
+    copts.quantization.fidelityBudget = 0.1;
+    PartialCompiler compiler(twoBlockTemplate(), copts);
+    compiler.precompute(service);
+    const int fixed_runs = synth.runs.load();
+
+    // Both rz segments share one axis: 2 x 32 grid entries, 32 unique.
+    const BatchCompileReport grid =
+        compiler.prewarmParametric(service);
+    EXPECT_EQ(grid.totalBlocks, 2 * 32);
+    EXPECT_EQ(grid.uniqueBlocks, 32);
+    EXPECT_EQ(synth.runs.load(), fixed_runs + 32);
+
+    // A plan prepared under the same quantization serves warm.
+    const ServingPlan plan = service.prepareServing(
+        compiler.strictPartition(), copts.quantization);
+    const ServedPulse served = service.serve(plan, {0.55, -1.9});
+    EXPECT_EQ(served.quantHits, 2u);
+    EXPECT_EQ(served.quantMisses, 0u);
+    EXPECT_EQ(synth.runs.load(), fixed_runs + 32);
 }
 
 TEST(Service, VqeDriverServesFromWarmCache)
@@ -431,6 +648,38 @@ TEST(Service, VqeDriverServesFromWarmCache)
     EXPECT_GT(result.servedCacheHits, 0u);
     // Everything was pre-compiled: the hybrid loop never misses.
     EXPECT_EQ(result.servedCacheMisses, 0u);
+}
+
+TEST(Service, QaoaDriverRunsQuantized)
+{
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.lookupDt = 0.5;
+    options.cache.capacity = 8192;
+    CompileService service(options);
+
+    Rng rng(17);
+    const Graph graph = random3Regular(4, rng);
+
+    // The run-level knob overrides the (disabled) service default.
+    QaoaRunOptions run;
+    run.p = 1;
+    run.optimizer.maxIterations = 40;
+    run.compileService = &service;
+    ParamQuantization quantization;
+    quantization.enabled = true;
+    quantization.bins = 512;
+    run.quantization = quantization;
+    run.prewarmQuantizedBins = true;
+    const QaoaResult result = runQaoa(graph, run);
+
+    EXPECT_GT(result.iterations, 0);
+    EXPECT_GT(result.quantHits, 0u);
+    EXPECT_EQ(result.quantMisses, 0u); // Grid was pre-warmed.
+    EXPECT_EQ(result.quantFallbacks, 0u);
+    EXPECT_EQ(result.servedCacheMisses, 0u);
+    // Optimizing over the snapped angles still finds a decent cut.
+    EXPECT_GT(result.approxRatio, 0.5);
 }
 
 } // namespace
