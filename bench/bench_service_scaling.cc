@@ -22,10 +22,17 @@
  *   BENCH_service_warm_wall_seconds / _warm_hit_rate
  *   BENCH_service_quant_hit_rate / _quant_fallbacks
  *   BENCH_service_quant_serve_us / _exact_serve_us / _quant_speedup
+ *   BENCH_service_backpressure_max_queued / _peak_queue /
+ *     _wall_seconds / _rejected / _reject_rate
+ *   BENCH_cache_bytes_capacity / _in_use / _evicted / _entries /
+ *     _warm_hit_rate
  */
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -283,6 +290,147 @@ main()
         fatalIf(hit_rate < 0.9,
                 "quantized warm hit rate fell below 90% on the QAOA "
                 "sweep");
+    }
+
+    // Backpressure: 8 drivers race the whole sweep through one
+    // bounded service. The queue must never exceed maxQueuedJobs
+    // (admissions block instead of ballooning memory), and the work
+    // still completes. A second, Reject-policy service measures how
+    // much load an impatient caller sheds at the same bound.
+    {
+        constexpr std::size_t kMaxQueued = 8;
+        constexpr int kDrivers = 8;
+
+        CompileServiceOptions options = serviceOptions(2, time_scale);
+        options.maxQueuedJobs = kMaxQueued;
+        CompileService bounded(options);
+
+        const auto bp_start = std::chrono::steady_clock::now();
+        std::vector<std::thread> drivers;
+        drivers.reserve(kDrivers);
+        for (int d = 0; d < kDrivers; ++d)
+            drivers.emplace_back(
+                [&bounded, &sweep] { bounded.compileBatch(sweep); });
+        for (std::thread& d : drivers)
+            d.join();
+        const double bp_seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - bp_start)
+                .count();
+        const std::size_t peak = bounded.peakQueueDepth();
+
+        CompileServiceOptions shed_options = serviceOptions(2, 0.0);
+        shed_options.synthesizer =
+            modeledLatencySynthesizer(time_scale, 0.5);
+        shed_options.maxQueuedJobs = kMaxQueued;
+        shed_options.queueFullPolicy = QueueFullPolicy::Reject;
+        CompileService shedding(shed_options);
+        std::atomic<uint64_t> rejected{0};
+        std::atomic<uint64_t> attempts{0};
+        std::vector<std::thread> impatient;
+        impatient.reserve(kDrivers);
+        for (int d = 0; d < kDrivers; ++d)
+            impatient.emplace_back([&shedding, &sweep, &rejected,
+                                    &attempts] {
+                std::vector<CompileService::PulseFuture> pending;
+                for (const Circuit& circuit : sweep)
+                    for (const Circuit& block :
+                         shedding.fixedBlocksOf(circuit)) {
+                        AdmitOutcome outcome = AdmitOutcome::CacheHit;
+                        auto future =
+                            shedding.requestBlock(block, &outcome);
+                        attempts.fetch_add(1);
+                        if (outcome == AdmitOutcome::Rejected)
+                            rejected.fetch_add(1);
+                        else
+                            pending.push_back(std::move(future));
+                    }
+                for (auto& future : pending)
+                    future.get();
+            });
+        for (std::thread& d : impatient)
+            d.join();
+        const double reject_rate =
+            attempts.load()
+                ? static_cast<double>(rejected.load()) / attempts.load()
+                : 0.0;
+
+        inform("backpressure: ", kDrivers, " drivers, queue bound ",
+               kMaxQueued, ", peak depth ", peak, ", batch storm in ",
+               fmtDouble(bp_seconds, 2), " s; reject policy shed ",
+               rejected.load(), "/", attempts.load(), " admissions (",
+               fmtDouble(100.0 * reject_rate, 1), "%)");
+
+        std::printf("BENCH_service_backpressure_max_queued=%zu\n",
+                    kMaxQueued);
+        std::printf("BENCH_service_backpressure_peak_queue=%zu\n",
+                    peak);
+        std::printf("BENCH_service_backpressure_wall_seconds=%.3f\n",
+                    bp_seconds);
+        std::printf("BENCH_service_backpressure_rejected=%llu\n",
+                    static_cast<unsigned long long>(rejected.load()));
+        std::printf("BENCH_service_backpressure_reject_rate=%.4f\n",
+                    reject_rate);
+
+        fatalIf(peak > kMaxQueued,
+                "pool queue exceeded maxQueuedJobs: backpressure is "
+                "broken");
+        fatalIf(shedding.peakQueueDepth() > kMaxQueued,
+                "reject-policy queue exceeded maxQueuedJobs");
+    }
+
+    // Byte-budgeted caching: rerun the sweep against a cache whose
+    // byte budget holds only a fraction of the unique pulses. The
+    // bound must hold exactly (bytesInUse <= capacityBytes, enforced
+    // by eviction), and the warm hit rate degrades gracefully instead
+    // of the cache growing without limit.
+    {
+        // Measure the sweep's total unique-pulse footprint first.
+        CompileServiceOptions unbounded_options;
+        unbounded_options.numWorkers = 4;
+        unbounded_options.lookupDt = 0.5;
+        unbounded_options.synthesizer = analyticBlockSynthesizer(0.5);
+        CompileService unbounded(unbounded_options);
+        unbounded.compileBatch(sweep);
+        const std::size_t full_bytes =
+            unbounded.cacheStats().bytesInUse;
+
+        CompileServiceOptions options = unbounded_options;
+        options.cache.capacityBytes = std::max<std::size_t>(
+            1024, full_bytes / 3);
+        // Few shards: pulses here average ~full_bytes/33 each, so a
+        // finely sharded budget would leave per-shard slices smaller
+        // than single pulses (refused as oversized) and under-fill
+        // the cap.
+        options.cache.shards = 2;
+        CompileService budgeted(options);
+        budgeted.compileBatch(sweep);
+        const BatchCompileReport warm_budgeted =
+            budgeted.compileBatch(sweep);
+        const CacheStats cache_stats = budgeted.cacheStats();
+
+        inform("byte budget: full sweep needs ", full_bytes,
+               " B; capped at ", options.cache.capacityBytes, " B -> ",
+               cache_stats.entries, " resident entries (",
+               cache_stats.bytesInUse, " B), ",
+               cache_stats.bytesEvicted, " B evicted, warm hit rate ",
+               fmtDouble(100.0 * warm_budgeted.hitRate(), 1), "%");
+
+        std::printf("BENCH_cache_bytes_capacity=%zu\n",
+                    options.cache.capacityBytes);
+        std::printf("BENCH_cache_bytes_in_use=%zu\n",
+                    cache_stats.bytesInUse);
+        std::printf("BENCH_cache_bytes_evicted=%llu\n",
+                    static_cast<unsigned long long>(
+                        cache_stats.bytesEvicted));
+        std::printf("BENCH_cache_bytes_entries=%zu\n",
+                    cache_stats.entries);
+        std::printf("BENCH_cache_bytes_warm_hit_rate=%.4f\n",
+                    warm_budgeted.hitRate());
+
+        fatalIf(cache_stats.bytesInUse > options.cache.capacityBytes,
+                "cache bytesInUse exceeded capacityBytes: the byte "
+                "budget is not a hard bound");
     }
     return 0;
 }

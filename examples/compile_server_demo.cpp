@@ -14,7 +14,11 @@
  *     needs zero synthesis;
  *  5. angle-quantized parametric serving: snap rotation bindings onto
  *     a fidelity-bounded grid so even the Parametrized blocks become
- *     cache hits.
+ *     cache hits;
+ *  6. resource bounds: a byte-budgeted cache that never exceeds its
+ *     budget, a disk tier swept down to a size cap (oldest records
+ *     first), and a bounded worker queue that rejects overload
+ *     instead of ballooning.
  */
 
 #include <cstdio>
@@ -147,6 +151,44 @@ main()
                 static_cast<unsigned long long>(hits),
                 static_cast<unsigned long long>(misses),
                 static_cast<unsigned long long>(fallbacks));
+
+    // 6. Resource bounds. A production service cannot grow without
+    //    limit: capacityBytes caps the in-memory tier (hard bound,
+    //    byte-LRU eviction), maxDiskBytes caps the disk tier (mtime-
+    //    LRU GC sweep), and maxQueuedJobs caps the worker queue
+    //    (blocking by default; QueueFullPolicy::Reject sheds load for
+    //    impatient callers instead).
+    CompileServiceOptions bounded_options = demoOptions(cache_dir);
+    bounded_options.cache.capacityBytes = 64 * 1024;
+    bounded_options.cache.shards = 2;
+    bounded_options.cache.maxDiskBytes = 128 * 1024;
+    bounded_options.maxQueuedJobs = 4;
+    CompileService bounded(bounded_options);
+    bounded.compileBatch(sweep);
+    const CacheStats bounded_stats = bounded.cacheStats();
+    std::printf("byte-budgeted cache: %zu / %zu B resident across %zu "
+                "entries, %llu B evicted, %llu oversized refusals\n",
+                bounded_stats.bytesInUse,
+                bounded_options.cache.capacityBytes,
+                bounded_stats.entries,
+                static_cast<unsigned long long>(
+                    bounded_stats.bytesEvicted),
+                static_cast<unsigned long long>(
+                    bounded_stats.oversized));
+    const DiskGcReport swept = bounded.cache().gcDisk();
+    std::printf("disk GC: scanned %llu records, removed %llu (%llu "
+                "B), %zu B remain under the %zu B cap\n",
+                static_cast<unsigned long long>(swept.scannedFiles),
+                static_cast<unsigned long long>(swept.removedFiles),
+                static_cast<unsigned long long>(swept.removedBytes),
+                swept.remainingBytes,
+                bounded_options.cache.maxDiskBytes);
+    std::printf("backpressure: peak queue depth %zu (bound %zu), %llu "
+                "rejected admissions\n",
+                bounded.peakQueueDepth(),
+                bounded_options.maxQueuedJobs,
+                static_cast<unsigned long long>(
+                    bounded.stats().rejected));
 
     std::filesystem::remove_all(cache_dir);
     return 0;

@@ -1,26 +1,101 @@
 #include "cache/pulsecache.h"
 
+#include <algorithm>
 #include <filesystem>
+#include <vector>
 
 #include "common/logging.h"
 #include "pulse/serialize.h"
 
 namespace qpc {
 
+namespace {
+
+/** Scan one disk-tier directory: .qpulse records only, errors skipped
+ * (a record another thread is unlinking is simply not counted). */
+struct DiskRecord
+{
+    std::filesystem::path path;
+    std::uintmax_t bytes = 0;
+    std::filesystem::file_time_type mtime;
+};
+
+std::vector<DiskRecord>
+scanDiskTier(const std::string& dir)
+{
+    std::vector<DiskRecord> records;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec)
+        return records;
+    for (const auto& entry : it) {
+        if (!entry.is_regular_file(ec) || ec)
+            continue;
+        if (entry.path().extension() != ".qpulse")
+            continue;
+        DiskRecord record;
+        record.path = entry.path();
+        record.bytes = entry.file_size(ec);
+        if (ec)
+            continue;
+        record.mtime = entry.last_write_time(ec);
+        if (ec)
+            continue;
+        records.push_back(std::move(record));
+    }
+    return records;
+}
+
+} // namespace
+
 PulseCache::PulseCache(PulseCacheOptions options)
     : options_(std::move(options))
 {
     fatalIf(options_.shards <= 0, "cache needs at least one shard");
     fatalIf(options_.capacity == 0, "cache needs nonzero capacity");
-    perShardCapacity_ = std::max<std::size_t>(
-        1, options_.capacity / static_cast<std::size_t>(options_.shards));
+    const auto shards = static_cast<std::size_t>(options_.shards);
     shards_ = std::make_unique<Shard[]>(options_.shards);
+    // Distribute both budgets with their remainders spread across the
+    // low shards: per-shard caps sum to >= the requested capacity (the
+    // old truncating division under-provisioned, e.g. capacity=12 over
+    // 8 shards gave 8 effective entries) and to exactly capacityBytes,
+    // which is what makes the byte bound a *global* hard bound.
+    for (std::size_t s = 0; s < shards; ++s) {
+        shards_[s].capacityEntries =
+            std::max<std::size_t>(1, options_.capacity / shards +
+                                         (s < options_.capacity % shards
+                                              ? 1
+                                              : 0));
+        if (options_.capacityBytes > 0)
+            // Never 0: a 0 per-shard budget would read as "unbounded"
+            // and void the hard bound for keys hashing there. A 1-byte
+            // floor instead refuses every pulse (all are larger), so a
+            // degenerate budget under-admits rather than over-commits.
+            shards_[s].capacityBytes = std::max<std::size_t>(
+                1, options_.capacityBytes / shards +
+                       (s < options_.capacityBytes % shards ? 1 : 0));
+    }
     if (!options_.diskDir.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(options_.diskDir, ec);
         fatalIf(static_cast<bool>(ec), "cannot create cache directory ",
                 options_.diskDir, ": ", ec.message());
+        // Adopt whatever a previous process left behind, so gcOnPut
+        // triggers at the right point from the first write on.
+        std::size_t existing = 0;
+        for (const DiskRecord& record : scanDiskTier(options_.diskDir))
+            existing += static_cast<std::size_t>(record.bytes);
+        diskBytes_.store(existing, std::memory_order_relaxed);
     }
+}
+
+std::size_t
+PulseCache::effectiveCapacity() const
+{
+    std::size_t total = 0;
+    for (int s = 0; s < options_.shards; ++s)
+        total += shards_[s].capacityEntries;
+    return total;
 }
 
 PulseCache::Shard&
@@ -47,7 +122,7 @@ PulseCache::get(const BlockFingerprint& fp)
         if (it != shard.index.end()) {
             shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
             hits_.fetch_add(1, std::memory_order_relaxed);
-            return it->second->second;
+            return it->second->pulse;
         }
     }
     if (!options_.diskDir.empty()) {
@@ -73,29 +148,64 @@ PulseCache::peekMemory(const BlockFingerprint& fp)
     if (it == shard.index.end())
         return nullptr;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return it->second->second;
+    return it->second->pulse;
+}
+
+void
+PulseCache::evictToBounds(Shard& shard)
+{
+    while (!shard.lru.empty() &&
+           (shard.lru.size() > shard.capacityEntries ||
+            (shard.capacityBytes > 0 &&
+             shard.bytesInUse > shard.capacityBytes))) {
+        const Entry& victim = shard.lru.back();
+        shard.bytesInUse -= victim.bytes;
+        bytesEvicted_.fetch_add(victim.bytes,
+                                std::memory_order_relaxed);
+        shard.index.erase(victim.fp);
+        shard.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
 }
 
 void
 PulseCache::insertMemory(Shard& shard, const BlockFingerprint& fp,
                          PulsePtr pulse)
 {
+    const std::size_t bytes = pulse->serializedBytes();
     std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.capacityBytes > 0 && bytes > shard.capacityBytes) {
+        // Larger than this shard's whole byte budget: admitting it
+        // would displace the entire shard only to be evicted right
+        // back out. Refuse up front — the disk tier (when configured)
+        // still holds the pulse — and drop any stale smaller entry
+        // under the same key so a refresh never serves outdated
+        // samples.
+        auto it = shard.index.find(fp);
+        if (it != shard.index.end()) {
+            shard.bytesInUse -= it->second->bytes;
+            shard.lru.erase(it->second);
+            shard.index.erase(it);
+        }
+        oversized_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
     auto it = shard.index.find(fp);
     if (it != shard.index.end()) {
         // Refresh in place: same key, possibly re-synthesized pulse.
-        it->second->second = std::move(pulse);
+        shard.bytesInUse += bytes;
+        shard.bytesInUse -= it->second->bytes;
+        it->second->pulse = std::move(pulse);
+        it->second->bytes = bytes;
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        evictToBounds(shard);
         return;
     }
-    shard.lru.emplace_front(fp, std::move(pulse));
+    shard.lru.push_front(Entry{fp, std::move(pulse), bytes});
     shard.index[fp] = shard.lru.begin();
+    shard.bytesInUse += bytes;
     insertions_.fetch_add(1, std::memory_order_relaxed);
-    while (shard.lru.size() > perShardCapacity_) {
-        shard.index.erase(shard.lru.back().first);
-        shard.lru.pop_back();
-        evictions_.fetch_add(1, std::memory_order_relaxed);
-    }
+    evictToBounds(shard);
 }
 
 void
@@ -106,10 +216,21 @@ PulseCache::put(const BlockFingerprint& fp, PulsePtr pulse)
     // the slow part), then memory, so a reader that sees the memory
     // entry evicted later still finds the disk record.
     if (!options_.diskDir.empty()) {
-        if (savePulseSchedule(diskPath(fp), *pulse))
+        if (savePulseSchedule(diskPath(fp), *pulse)) {
             diskWrites_.fetch_add(1, std::memory_order_relaxed);
-        else
+            // Overwrites count their record twice until the next
+            // sweep rescans — the approximation only ever errs toward
+            // sweeping early, never toward overshooting the cap.
+            const std::size_t tracked =
+                diskBytes_.fetch_add(pulse->serializedBytes(),
+                                     std::memory_order_relaxed) +
+                pulse->serializedBytes();
+            if (options_.gcOnPut && options_.maxDiskBytes > 0 &&
+                tracked > options_.maxDiskBytes)
+                gcDisk();
+        } else {
             warn("pulse cache: failed to persist ", diskPath(fp));
+        }
     }
     insertMemory(shardFor(fp), fp, std::move(pulse));
 }
@@ -120,6 +241,74 @@ PulseCache::put(const BlockFingerprint& fp, PulseSchedule pulse)
     put(fp, std::make_shared<const PulseSchedule>(std::move(pulse)));
 }
 
+DiskGcReport
+PulseCache::gcDisk()
+{
+    DiskGcReport report;
+    if (options_.diskDir.empty())
+        return report;
+    // One sweep at a time; readers and writers are never blocked by
+    // this lock (they don't take it), only concurrent sweeps are.
+    std::lock_guard<std::mutex> lock(diskGcMu_);
+
+    const std::size_t tracked_before =
+        diskBytes_.load(std::memory_order_relaxed);
+    std::vector<DiskRecord> records = scanDiskTier(options_.diskDir);
+    report.scannedFiles = records.size();
+    std::size_t total = 0;
+    for (const DiskRecord& record : records)
+        total += static_cast<std::size_t>(record.bytes);
+
+    if (options_.maxDiskBytes > 0 && total > options_.maxDiskBytes) {
+        // Sweep down to a low-water mark one eighth below the cap,
+        // not to the cap itself: at steady state each sweep then buys
+        // maxDiskBytes/8 of writes before the next one, instead of a
+        // full directory rescan on every put.
+        const std::size_t target =
+            options_.maxDiskBytes - options_.maxDiskBytes / 8;
+        // Oldest mtime first (path as a deterministic tie-break), so
+        // the sweep — and any crash partway through it — only ever
+        // costs the records least likely to be served again; removal
+        // is whole-file unlink, never an in-place truncation, so a
+        // concurrent get() reads a complete record or misses cleanly.
+        std::sort(records.begin(), records.end(),
+                  [](const DiskRecord& a, const DiskRecord& b) {
+                      if (a.mtime != b.mtime)
+                          return a.mtime < b.mtime;
+                      return a.path < b.path;
+                  });
+        for (const DiskRecord& record : records) {
+            if (total <= target)
+                break;
+            std::error_code ec;
+            if (!std::filesystem::remove(record.path, ec) || ec)
+                continue; // Already gone, or busy: skip, keep sweeping.
+            total -= static_cast<std::size_t>(record.bytes);
+            ++report.removedFiles;
+            report.removedBytes += record.bytes;
+        }
+    }
+    report.remainingBytes = total;
+    // Reconcile the tracker by *delta*, not a plain store: records
+    // written during the sweep bumped diskBytes_ concurrently, and a
+    // store would erase them, leaving the tracker under the truth so
+    // gcOnPut stops firing. Subtracting (tracked_before - total)
+    // keeps every concurrent writer's contribution — the tracker only
+    // ever errs toward sweeping early.
+    if (tracked_before >= total)
+        diskBytes_.fetch_sub(tracked_before - total,
+                             std::memory_order_relaxed);
+    else
+        diskBytes_.fetch_add(total - tracked_before,
+                             std::memory_order_relaxed);
+    diskGcRuns_.fetch_add(1, std::memory_order_relaxed);
+    diskGcRemovals_.fetch_add(report.removedFiles,
+                              std::memory_order_relaxed);
+    diskGcBytesRemoved_.fetch_add(report.removedBytes,
+                                  std::memory_order_relaxed);
+    return report;
+}
+
 void
 PulseCache::clearMemory()
 {
@@ -127,6 +316,7 @@ PulseCache::clearMemory()
         std::lock_guard<std::mutex> lock(shards_[s].mu);
         shards_[s].lru.clear();
         shards_[s].index.clear();
+        shards_[s].bytesInUse = 0;
     }
 }
 
@@ -141,12 +331,23 @@ PulseCache::stats() const
     out.insertions = insertions_.load(std::memory_order_relaxed);
     out.evictions = evictions_.load(std::memory_order_relaxed);
     out.diskWrites = diskWrites_.load(std::memory_order_relaxed);
+    out.bytesEvicted = bytesEvicted_.load(std::memory_order_relaxed);
+    out.oversized = oversized_.load(std::memory_order_relaxed);
+    out.diskGcRuns = diskGcRuns_.load(std::memory_order_relaxed);
+    out.diskGcRemovals =
+        diskGcRemovals_.load(std::memory_order_relaxed);
+    out.diskGcBytesRemoved =
+        diskGcBytesRemoved_.load(std::memory_order_relaxed);
+    out.diskBytesInUse = diskBytes_.load(std::memory_order_relaxed);
     std::size_t entries = 0;
+    std::size_t bytes = 0;
     for (int s = 0; s < options_.shards; ++s) {
         std::lock_guard<std::mutex> lock(shards_[s].mu);
         entries += shards_[s].lru.size();
+        bytes += shards_[s].bytesInUse;
     }
     out.entries = entries;
+    out.bytesInUse = bytes;
     return out;
 }
 

@@ -4,13 +4,17 @@
  *
  * Two tiers behind one get/put interface:
  *  - a sharded in-memory LRU (per-shard mutex + intrusive recency
- *    list), sized in entries, so concurrent compile workers and the
- *    serving path never contend on a single lock;
+ *    list), bounded in entries *and* in bytes, so concurrent compile
+ *    workers and the serving path never contend on a single lock and
+ *    a handful of wide-block pulses cannot blow the memory budget;
  *  - an optional on-disk tier: one binary-serialized PulseSchedule per
  *    fingerprint (`<hex>.qpulse` under diskDir, written atomically),
  *    which survives process exit — the amortization story of the
  *    paper (pre-compile once, serve thousands of VQE/QAOA iterations)
- *    extended across runs.
+ *    extended across runs. The disk tier is kept under `maxDiskBytes`
+ *    by an mtime-LRU garbage collector (oldest records removed first,
+ *    whole-file unlinks only, so a concurrent get() sees either a
+ *    complete record or a miss — never a torn one).
  *
  * A memory miss falls through to disk; a disk hit is promoted back
  * into the LRU. Corrupt or truncated disk records read as misses.
@@ -45,12 +49,50 @@ using PulsePtr = std::shared_ptr<const PulseSchedule>;
 /** Sizing and placement of one PulseCache. */
 struct PulseCacheOptions
 {
-    /** Total in-memory entries across all shards (>= 1 per shard). */
+    /**
+     * Total in-memory entries across all shards. Distributed so every
+     * shard holds at least one entry and the per-shard caps sum to at
+     * least `capacity` (remainders go to the low shards rather than
+     * being truncated away).
+     */
     std::size_t capacity = 4096;
+    /**
+     * Total in-memory budget in serialized bytes across all shards;
+     * 0 leaves the cache entry-bounded only. A hard bound: eviction
+     * keeps the sum of resident pulses' serializedBytes() at or under
+     * this, even if that means a pulse larger than its shard's budget
+     * is not retained at all. Granularity caveat: the budget is split
+     * per shard, so a single pulse larger than capacityBytes/shards
+     * is refused from memory (counted in CacheStats::oversized) even
+     * when the global budget could hold it — size `shards` down when
+     * individual pulses are a large fraction of the budget.
+     */
+    std::size_t capacityBytes = 0;
     /** Shard count; requests spread by fingerprint hash. */
     int shards = 8;
     /** On-disk tier directory; empty keeps the cache memory-only. */
     std::string diskDir;
+    /**
+     * Byte cap on the disk tier; 0 leaves it unbounded. Enforced by
+     * an mtime-LRU sweep (oldest records unlinked first) that runs
+     * after any put() that pushes the tier past the cap (when
+     * `gcOnPut` is set) or whenever gcDisk() is called explicitly.
+     * Each sweep removes down to a low-water mark 1/8 below the cap,
+     * so steady-state writes amortize the directory rescan instead of
+     * paying it per put.
+     */
+    std::size_t maxDiskBytes = 0;
+    /** Sweep the disk tier automatically when a put() overflows it. */
+    bool gcOnPut = true;
+};
+
+/** What one disk-tier garbage-collection sweep saw and removed. */
+struct DiskGcReport
+{
+    std::uint64_t scannedFiles = 0; ///< .qpulse records found.
+    std::uint64_t removedFiles = 0; ///< Records unlinked (oldest first).
+    std::uint64_t removedBytes = 0; ///< Bytes those records held.
+    std::size_t remainingBytes = 0; ///< Tier size after the sweep.
 };
 
 /** Monotonic counters, snapshotted by PulseCache::stats(). */
@@ -64,6 +106,26 @@ struct CacheStats
     std::uint64_t evictions = 0;  ///< LRU entries displaced.
     std::uint64_t diskWrites = 0; ///< Files persisted.
     std::size_t entries = 0;      ///< Current in-memory entries.
+
+    /** @name Byte accounting (serialized footprint of cached pulses)
+     *  @{ */
+    std::size_t bytesInUse = 0;      ///< Resident bytes, all shards.
+    std::uint64_t bytesEvicted = 0;  ///< Bytes displaced by eviction.
+    /** Pulses larger than their shard's byte budget, refused up front
+     * (the disk tier still holds them when configured). */
+    std::uint64_t oversized = 0;
+    /** @} */
+
+    /** @name Disk-tier garbage collection
+     *  @{ */
+    std::uint64_t diskGcRuns = 0;         ///< Sweeps performed.
+    std::uint64_t diskGcRemovals = 0;     ///< Records unlinked.
+    std::uint64_t diskGcBytesRemoved = 0; ///< Bytes reclaimed.
+    /** Disk-tier size as tracked by the cache (exact after a sweep;
+     * between sweeps, an upper bound that counts re-written records
+     * twice until the next rescan). */
+    std::size_t diskBytesInUse = 0;
+    /** @} */
 
     /** Fraction of lookups served from either tier. */
     double
@@ -82,6 +144,12 @@ class PulseCache
 
     const PulseCacheOptions& options() const { return options_; }
 
+    /**
+     * Sum of per-shard entry caps — at least options().capacity, never
+     * silently less when capacity does not divide the shard count.
+     */
+    std::size_t effectiveCapacity() const;
+
     /** Fetch a pulse (null on miss), promoting disk entries into
      * memory. */
     PulsePtr get(const BlockFingerprint& fp);
@@ -98,32 +166,52 @@ class PulseCache
     void put(const BlockFingerprint& fp, PulsePtr pulse);
     void put(const BlockFingerprint& fp, PulseSchedule pulse);
 
+    /**
+     * Sweep the disk tier down to options().maxDiskBytes by removing
+     * the oldest records (mtime order) first. Safe to call at any
+     * time, from any thread, concurrently with get()/put(): removal is
+     * whole-file unlink, so a concurrent reader observes either the
+     * intact record or a clean miss. A no-op report when the cache has
+     * no disk tier (or is already under the cap).
+     */
+    DiskGcReport gcDisk();
+
     /** Drop every in-memory entry; the disk tier is untouched. */
     void clearMemory();
 
     CacheStats stats() const;
 
   private:
+    struct Entry
+    {
+        BlockFingerprint fp;
+        PulsePtr pulse;
+        std::size_t bytes = 0; ///< pulse->serializedBytes(), cached.
+    };
+
     struct Shard
     {
         std::mutex mu;
         /** Front = most recently used. */
-        std::list<std::pair<BlockFingerprint, PulsePtr>> lru;
-        std::unordered_map<
-            BlockFingerprint,
-            std::list<std::pair<BlockFingerprint, PulsePtr>>::iterator,
-            BlockFingerprintHash>
+        std::list<Entry> lru;
+        std::unordered_map<BlockFingerprint, std::list<Entry>::iterator,
+                           BlockFingerprintHash>
             index;
+        std::size_t capacityEntries = 0;
+        /** 0 = no byte bound on this shard. */
+        std::size_t capacityBytes = 0;
+        std::size_t bytesInUse = 0;
     };
 
     Shard& shardFor(const BlockFingerprint& fp);
     /** Insert into one shard, evicting as needed. Caller holds no lock. */
     void insertMemory(Shard& shard, const BlockFingerprint& fp,
                       PulsePtr pulse);
+    /** Evict from the shard tail until both bounds hold (lock held). */
+    void evictToBounds(Shard& shard);
     std::string diskPath(const BlockFingerprint& fp) const;
 
     PulseCacheOptions options_;
-    std::size_t perShardCapacity_;
     std::unique_ptr<Shard[]> shards_;
 
     std::atomic<std::uint64_t> lookups_{0};
@@ -133,6 +221,16 @@ class PulseCache
     std::atomic<std::uint64_t> insertions_{0};
     std::atomic<std::uint64_t> evictions_{0};
     std::atomic<std::uint64_t> diskWrites_{0};
+    std::atomic<std::uint64_t> bytesEvicted_{0};
+    std::atomic<std::uint64_t> oversized_{0};
+
+    /** One sweep at a time; put()/get() never take this. */
+    std::mutex diskGcMu_;
+    /** Tracked tier size: exact after a sweep, upper bound between. */
+    std::atomic<std::size_t> diskBytes_{0};
+    std::atomic<std::uint64_t> diskGcRuns_{0};
+    std::atomic<std::uint64_t> diskGcRemovals_{0};
+    std::atomic<std::uint64_t> diskGcBytesRemoved_{0};
 };
 
 } // namespace qpc

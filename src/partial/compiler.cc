@@ -69,6 +69,15 @@ PartialCompiler::prewarmParametric(CompileService& service) const
     return service.prewarmQuantizedBins(plan);
 }
 
+std::unique_ptr<CompileService>
+PartialCompiler::makeService() const
+{
+    CompileServiceOptions service = options_.service;
+    service.maxBlockWidth = options_.maxBlockWidth;
+    service.quantization = options_.quantization;
+    return std::make_unique<CompileService>(std::move(service));
+}
+
 std::vector<CompileReport>
 PartialCompiler::compileAll(const std::vector<double>& theta) const
 {

@@ -22,6 +22,7 @@
 #ifndef QPC_PARTIAL_COMPILER_H
 #define QPC_PARTIAL_COMPILER_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,12 +32,10 @@
 #include "model/timemodel.h"
 #include "partial/flexible.h"
 #include "partial/strict.h"
+#include "runtime/service.h"
 #include "transpile/durations.h"
 
 namespace qpc {
-
-class CompileService;
-struct BatchCompileReport;
 
 /** The compilation strategies compared throughout the paper. */
 enum class Strategy
@@ -83,6 +82,15 @@ struct CompilerOptions
      * this facade). Disabled by default.
      */
     ParamQuantization quantization;
+    /**
+     * Service configuration used by PartialCompiler::makeService():
+     * worker count, cache capacity/capacityBytes, disk tier +
+     * maxDiskBytes GC, and maxQueuedJobs backpressure all plumb
+     * through here. Its own quantization member is ignored —
+     * CompilerOptions::quantization above is authoritative, so the
+     * facade serves and pre-warms under one consistent grid.
+     */
+    CompileServiceOptions service;
 };
 
 /**
@@ -133,6 +141,14 @@ class PartialCompiler
      * grid are warm before the hybrid loop starts.
      */
     BatchCompileReport prewarmParametric(CompileService& service) const;
+
+    /**
+     * Build a CompileService from options().service (with
+     * options().quantization substituted in), ready for precompute()
+     * / prewarmParametric() / the drivers — the facade-level entry to
+     * the resource-bounded serving stack.
+     */
+    std::unique_ptr<CompileService> makeService() const;
 
   private:
     struct TimedItem

@@ -28,6 +28,14 @@ PulseSchedule::numSamples() const
     return static_cast<int>(count);
 }
 
+std::size_t
+PulseSchedule::serializedBytes() const
+{
+    return kPulseRecordHeaderBytes +
+           static_cast<std::size_t>(numChannels()) *
+               static_cast<std::size_t>(numSamples()) * sizeof(double);
+}
+
 std::vector<double>&
 PulseSchedule::channel(int index)
 {

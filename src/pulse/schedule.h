@@ -12,9 +12,17 @@
 #ifndef QPC_PULSE_SCHEDULE_H
 #define QPC_PULSE_SCHEDULE_H
 
+#include <cstddef>
 #include <vector>
 
 namespace qpc {
+
+/**
+ * Header bytes of the on-disk "QPLS" record (magic + version + dt +
+ * channel count + sample count); pulse/serialize.cc asserts this stays
+ * in sync with the actual format.
+ */
+inline constexpr std::size_t kPulseRecordHeaderBytes = 4 + 4 + 8 + 4 + 8;
 
 /** Sampled control amplitudes for every channel of a device. */
 class PulseSchedule
@@ -42,6 +50,14 @@ class PulseSchedule
 
     /** Total pulse duration in nanoseconds. */
     double durationNs() const { return dt_ * numSamples(); }
+
+    /**
+     * Size of this schedule's serialized record in bytes (header plus
+     * 8 bytes per sample per channel) — the footprint the byte-budgeted
+     * pulse cache accounts against, identical in memory-tier
+     * bookkeeping and on disk because the format is bit-exact.
+     */
+    std::size_t serializedBytes() const;
 
     /** Mutable sample array of one channel. */
     std::vector<double>& channel(int index);

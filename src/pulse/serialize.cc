@@ -65,6 +65,9 @@ getF64(const std::uint8_t* p)
 }
 
 constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4 + 8;
+static_assert(kHeaderBytes == kPulseRecordHeaderBytes,
+              "PulseSchedule::serializedBytes() must track the record "
+              "header size");
 
 } // namespace
 

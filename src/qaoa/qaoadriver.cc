@@ -1,6 +1,7 @@
 #include "qaoa/qaoadriver.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.h"
 #include "runtime/service.h"
@@ -17,36 +18,41 @@ runQaoa(const Graph& graph, const QaoaRunOptions& options)
     QaoaResult result;
     result.maxCut = bruteForceMaxCut(graph);
 
+    // A shared service takes precedence; serviceOptions otherwise
+    // spins up a run-owned one (see runVqe).
+    std::unique_ptr<CompileService> owned;
+    CompileService* service = options.compileService;
+    if (!service && options.serviceOptions) {
+        owned = std::make_unique<CompileService>(*options.serviceOptions);
+        service = owned.get();
+    }
+
     // Strict-partial service path: one-off block pre-compute and
     // serving plan, then per-iteration lookup-and-concatenate (see
     // runVqe).
     ServingPlan plan;
-    if (options.compileService) {
+    if (service) {
         plan = options.quantization
-                   ? options.compileService->prepareServing(
-                         strictPartition(circuit),
-                         *options.quantization)
-                   : options.compileService->prepareServing(
-                         strictPartition(circuit));
+                   ? service->prepareServing(strictPartition(circuit),
+                                             *options.quantization)
+                   : service->prepareServing(strictPartition(circuit));
         const BatchCompileReport precompute =
-            options.compileService->precompilePlan(plan);
+            service->precompilePlan(plan);
         result.precomputeWallSeconds = precompute.wallSeconds;
         result.precompiledBlocks = precompute.uniqueBlocks;
         if (options.prewarmQuantizedBins) {
             const BatchCompileReport prewarm =
-                options.compileService->prewarmQuantizedBins(plan);
+                service->prewarmQuantizedBins(plan);
             result.precomputeWallSeconds += prewarm.wallSeconds;
         }
     }
-    const bool quantized =
-        options.compileService && plan.quantization().enabled;
+    const bool quantized = service && plan.quantization().enabled;
 
     int evaluations = 0;
     auto objective = [&](const std::vector<double>& theta) {
         ++evaluations;
-        if (options.compileService) {
-            const ServedPulse served =
-                options.compileService->serve(plan, theta);
+        if (service) {
+            const ServedPulse served = service->serve(plan, theta);
             result.servedCacheHits += served.cacheHits;
             result.servedCacheMisses += served.cacheMisses;
             result.quantHits += served.quantHits;

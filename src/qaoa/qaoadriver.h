@@ -21,10 +21,9 @@
 #include "qaoa/graph.h"
 #include "qaoa/maxcut.h"
 #include "qaoa/qaoacircuit.h"
+#include "runtime/service.h"
 
 namespace qpc {
-
-class CompileService;
 
 /** Configuration of one QAOA optimization run. */
 struct QaoaRunOptions
@@ -38,6 +37,11 @@ struct QaoaRunOptions
      * (see VqeRunOptions::compileService).
      */
     CompileService* compileService = nullptr;
+    /**
+     * Run-owned service configuration (used when compileService is
+     * null; see VqeRunOptions::serviceOptions).
+     */
+    std::optional<CompileServiceOptions> serviceOptions;
     /**
      * Per-run override of the service's angle quantization; the
      * simulated hardware executes the snapped angles when in effect

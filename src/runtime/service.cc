@@ -82,7 +82,7 @@ modeledLatencySynthesizer(double time_scale, double dt,
 
 CompileService::CompileService(CompileServiceOptions options)
     : options_(std::move(options)), cache_(options_.cache),
-      pool_(options_.numWorkers)
+      pool_(options_.numWorkers, options_.maxQueuedJobs)
 {
     fatalIf(options_.maxBlockWidth <= 0,
             "block width cap must be positive");
@@ -98,9 +98,10 @@ CompileService::CompileService(CompileServiceOptions options)
 CompileService::~CompileService() = default;
 
 CompileService::PulseFuture
-CompileService::requestBlock(const Circuit& block)
+CompileService::requestBlock(const Circuit& block, AdmitOutcome* outcome)
 {
-    return admit(fingerprintBlock(block), block, nullptr);
+    return admit(fingerprintBlock(block), block, outcome,
+                 /*force_block=*/false);
 }
 
 namespace {
@@ -117,7 +118,7 @@ readyFuture(PulsePtr pulse)
 
 CompileService::PulseFuture
 CompileService::admit(const BlockFingerprint& fp, const Circuit& block,
-                      AdmitOutcome* outcome)
+                      AdmitOutcome* outcome, bool force_block)
 {
     requests_.fetch_add(1, std::memory_order_relaxed);
 
@@ -130,7 +131,14 @@ CompileService::admit(const BlockFingerprint& fp, const Circuit& block,
             *outcome = AdmitOutcome::CacheHit;
         return readyFuture(std::move(cached));
     }
+    return admitAfterMiss(fp, block, outcome, force_block);
+}
 
+CompileService::PulseFuture
+CompileService::admitAfterMiss(const BlockFingerprint& fp,
+                               const Circuit& block,
+                               AdmitOutcome* outcome, bool force_block)
+{
     // Admission under one lock: join an in-flight synthesis, or
     // re-check the memory tier (the worker inserts there *before*
     // erasing its in-flight entry, so a requester that misses the
@@ -153,17 +161,13 @@ CompileService::admit(const BlockFingerprint& fp, const Circuit& block,
     }
     auto completion = std::make_shared<std::promise<PulsePtr>>();
     PulseFuture future = completion->get_future().share();
-    inflight_.emplace(fp, future);
-    lock.unlock();
-    if (outcome)
-        *outcome = AdmitOutcome::Started;
 
     // Worker-side ordering: cache.put, then in-flight erase, then
     // promise resolution. Pairs with the admission order above for the
     // at-most-once guarantee, and means a requester arriving after a
     // waiter's get() returns deterministically finds the cache entry
     // rather than a stale in-flight record.
-    pool_.submit([this, fp, block, completion] {
+    auto job = [this, fp, block, completion] {
         std::exception_ptr failure;
         PulsePtr pulse;
         try {
@@ -182,14 +186,45 @@ CompileService::admit(const BlockFingerprint& fp, const Circuit& block,
             completion->set_exception(failure);
         else
             completion->set_value(std::move(pulse));
-    });
+    };
+
+    if (!force_block &&
+        options_.queueFullPolicy == QueueFullPolicy::Reject &&
+        options_.maxQueuedJobs > 0) {
+        // Reserve-or-refuse while still holding inflightMu_: nobody
+        // can have coalesced onto this flight yet, so refusing leaves
+        // no dangling future behind, and the in-flight entry is
+        // published before the job can possibly run and erase it.
+        inflight_.emplace(fp, future);
+        if (!pool_.trySubmit(std::move(job))) {
+            inflight_.erase(fp);
+            lock.unlock();
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            if (outcome)
+                *outcome = AdmitOutcome::Rejected;
+            return PulseFuture{};
+        }
+        lock.unlock();
+    } else {
+        // Publish the flight, release the lock, then submit: if the
+        // bounded queue makes submit() block, concurrent requesters of
+        // this fingerprint still coalesce instead of piling onto
+        // inflightMu_.
+        inflight_.emplace(fp, future);
+        lock.unlock();
+        pool_.submit(std::move(job));
+    }
+    if (outcome)
+        *outcome = AdmitOutcome::Started;
     return future;
 }
 
 PulseSchedule
 CompileService::compileBlock(const Circuit& block)
 {
-    return *requestBlock(block).get();
+    return *admit(fingerprintBlock(block), block, nullptr,
+                  /*force_block=*/true)
+                .get();
 }
 
 void
@@ -254,11 +289,24 @@ CompileService::compileEntries(
     pending.reserve(unique.size());
     for (const auto& [fp, block] : unique) {
         AdmitOutcome outcome = AdmitOutcome::CacheHit;
-        pending.push_back(admit(fp, *block, &outcome));
-        if (outcome == AdmitOutcome::CacheHit)
+        // Batch admissions always block for queue space: the report
+        // promises every unique block resolves, so backpressure slows
+        // the batch down rather than thinning it out.
+        pending.push_back(
+            admit(fp, *block, &outcome, /*force_block=*/true));
+        switch (outcome) {
+        case AdmitOutcome::CacheHit:
             ++report.cacheHits;
-        else if (outcome == AdmitOutcome::Started)
+            break;
+        case AdmitOutcome::Started:
             ++report.synthRuns;
+            break;
+        case AdmitOutcome::Coalesced:
+            ++report.coalesced;
+            break;
+        case AdmitOutcome::Rejected:
+            panic("blocking batch admission cannot be rejected");
+        }
     }
     for (PulseFuture& future : pending)
         future.get();
@@ -433,13 +481,20 @@ CompileService::serve(const ServingPlan& plan,
             for (const ServingPlan::FixedEntry& entry : segment.blocks) {
                 // Warm path: probe the cache directly — no promise /
                 // future machinery for a value that is already there.
+                // One logical lookup, counted once: the probe is the
+                // only CacheStats lookup (a miss hands the result to
+                // admitAfterMiss rather than re-probing), and the
+                // service-wide request/hit counters see every serve.
+                requests_.fetch_add(1, std::memory_order_relaxed);
                 PulsePtr pulse = cache_.get(entry.fingerprint);
                 if (pulse) {
+                    cacheHits_.fetch_add(1, std::memory_order_relaxed);
                     ++served.cacheHits;
                 } else {
                     ++served.cacheMisses;
-                    pulse = admit(entry.fingerprint, entry.local,
-                                  nullptr)
+                    pulse = admitAfterMiss(entry.fingerprint,
+                                           entry.local, nullptr,
+                                           /*force_block=*/true)
                                 .get();
                 }
                 served.pulseNs += pulse->durationNs();
@@ -468,8 +523,14 @@ CompileService::serve(const ServingPlan& plan,
                     const BlockFingerprint& fp =
                         table->second[static_cast<std::size_t>(bin)];
                     served.quantErrorBound += bound;
+                    // Same single-probe discipline as the Fixed path:
+                    // the bin lookup is one logical request, counted
+                    // once in CacheStats and in the service counters.
+                    requests_.fetch_add(1, std::memory_order_relaxed);
                     PulsePtr pulse = cache_.get(fp);
                     if (pulse) {
+                        cacheHits_.fetch_add(1,
+                                             std::memory_order_relaxed);
                         ++served.quantHits;
                         quantHits_.fetch_add(1,
                                              std::memory_order_relaxed);
@@ -477,11 +538,11 @@ CompileService::serve(const ServingPlan& plan,
                         ++served.quantMisses;
                         quantMisses_.fetch_add(
                             1, std::memory_order_relaxed);
-                        pulse = admit(fp,
-                                      snappedRotation(segment.gate,
-                                                      bin,
-                                                      plan.quant_.bins),
-                                      nullptr)
+                        pulse = admitAfterMiss(
+                                    fp,
+                                    snappedRotation(segment.gate, bin,
+                                                    plan.quant_.bins),
+                                    nullptr, /*force_block=*/true)
                                     .get();
                     }
                     served.pulseNs += pulse->durationNs();
@@ -521,6 +582,7 @@ CompileService::stats() const
     out.cacheHits = cacheHits_.load(std::memory_order_relaxed);
     out.coalesced = coalesced_.load(std::memory_order_relaxed);
     out.synthRuns = synthRuns_.load(std::memory_order_relaxed);
+    out.rejected = rejected_.load(std::memory_order_relaxed);
     out.quantHits = quantHits_.load(std::memory_order_relaxed);
     out.quantMisses = quantMisses_.load(std::memory_order_relaxed);
     out.quantFallbacks =

@@ -71,11 +71,48 @@ BlockSynthesizer modeledLatencySynthesizer(double time_scale,
                                            double dt = 0.05,
                                            LatencyModelParams params = {});
 
+/** What happens to a fresh synthesis when the worker queue is full. */
+enum class QueueFullPolicy
+{
+    /**
+     * Block the admitting caller until a slot frees (default):
+     * concurrent drivers degrade to the pool's throughput. Other
+     * requesters of the same fingerprint still coalesce onto the
+     * in-flight future without blocking.
+     */
+    Block,
+    /**
+     * Refuse immediately: requestBlock() returns an invalid future and
+     * reports AdmitOutcome::Rejected, so a latency-sensitive caller
+     * can shed load instead of waiting. Batch precompute and serve()
+     * always block (they must deliver every pulse they promised).
+     */
+    Reject,
+};
+
+/** How one admission resolved (drives per-batch accounting). */
+enum class AdmitOutcome
+{
+    CacheHit,  ///< Served straight from the cache.
+    Coalesced, ///< Joined an already-in-flight synthesis.
+    Started,   ///< Started a fresh synthesis.
+    Rejected,  ///< Queue full under QueueFullPolicy::Reject.
+};
+
 /** Configuration of one CompileService. */
 struct CompileServiceOptions
 {
     /** Worker threads; 0 = hardware concurrency. */
     int numWorkers = 0;
+    /**
+     * Bound on queued (not yet executing) synthesis jobs; 0 =
+     * unbounded. With a bound, the pool queue length never exceeds it:
+     * admissions past the bound either block or are rejected per
+     * queueFullPolicy.
+     */
+    std::size_t maxQueuedJobs = 0;
+    /** Overflow behaviour when maxQueuedJobs is reached. */
+    QueueFullPolicy queueFullPolicy = QueueFullPolicy::Block;
     /** GRAPE width cap applied when blocking Fixed segments. */
     int maxBlockWidth = 4;
     /** Block synthesis backend; defaults to the analytic library. */
@@ -98,10 +135,13 @@ struct CompileServiceOptions
 /** Service-level counters, snapshotted by CompileService::stats(). */
 struct ServiceStats
 {
-    std::uint64_t requests = 0;   ///< requestBlock() calls.
+    /** Block lookups: requestBlock()/batch admissions *and* serve()'s
+     * direct warm-path probes — every logical "give me this block". */
+    std::uint64_t requests = 0;
     std::uint64_t cacheHits = 0;  ///< Served straight from the cache.
     std::uint64_t coalesced = 0;  ///< Joined an in-flight synthesis.
     std::uint64_t synthRuns = 0;  ///< Synthesizer invocations.
+    std::uint64_t rejected = 0;   ///< Admissions shed by backpressure.
 
     /** @name Quantized parametric serving (zero when disabled)
      *  @{ */
@@ -119,6 +159,11 @@ struct BatchCompileReport
     int uniqueBlocks = 0;  ///< Distinct fingerprints compiled/looked up.
     std::uint64_t synthRuns = 0;  ///< Fresh syntheses this batch.
     std::uint64_t cacheHits = 0;  ///< Admission-time cache hits.
+    /** Admissions that joined a synthesis another caller already had
+     * in flight (a concurrent batch or serve). Every unique block is
+     * accounted exactly once:
+     * cacheHits + synthRuns + coalesced == uniqueBlocks. */
+    std::uint64_t coalesced = 0;
     double wallSeconds = 0.0;     ///< End-to-end batch wall clock.
 
     /** Fraction of unique blocks served from cache. */
@@ -241,11 +286,17 @@ class CompileService
     /**
      * Request one bound block. Returns immediately with a future that
      * resolves from cache, an in-flight duplicate, or a fresh worker
-     * synthesis — in that order of preference.
+     * synthesis — in that order of preference. Under
+     * QueueFullPolicy::Reject with a full queue, returns an *invalid*
+     * future (future.valid() == false) and reports
+     * AdmitOutcome::Rejected through `outcome`; under the default
+     * Block policy it may block for queue space instead.
      */
-    PulseFuture requestBlock(const Circuit& block);
+    PulseFuture requestBlock(const Circuit& block,
+                             AdmitOutcome* outcome = nullptr);
 
-    /** Blocking convenience wrapper around requestBlock(). */
+    /** Blocking convenience wrapper around requestBlock(); always
+     * waits for queue space regardless of the overflow policy. */
     PulseSchedule compileBlock(const Circuit& block);
 
     /**
@@ -313,20 +364,36 @@ class CompileService
     CacheStats cacheStats() const { return cache_.stats(); }
     PulseCache& cache() { return cache_; }
     int numWorkers() const { return pool_.numWorkers(); }
+    /** Synthesis jobs currently queued (excludes executing ones). */
+    std::size_t queueDepth() const { return pool_.queueDepth(); }
+    /** High-water mark of the synthesis queue; with maxQueuedJobs set
+     * this never exceeds it. */
+    std::size_t peakQueueDepth() const
+    {
+        return pool_.peakQueueDepth();
+    }
     const CompileServiceOptions& options() const { return options_; }
 
   private:
-    /** How one admission resolved (drives per-batch accounting). */
-    enum class AdmitOutcome
-    {
-        CacheHit,   ///< Served straight from the cache.
-        Coalesced,  ///< Joined an already-in-flight synthesis.
-        Started,    ///< Started a fresh synthesis.
-    };
-
-    /** Single-flight admission for a pre-fingerprinted block. */
+    /**
+     * Single-flight admission for a pre-fingerprinted block: one
+     * optimistic full cache lookup, then admitAfterMiss(). force_block
+     * overrides a Reject overflow policy for callers that must
+     * deliver (batch precompute, compileBlock, serve).
+     */
     PulseFuture admit(const BlockFingerprint& fp, const Circuit& block,
-                      AdmitOutcome* outcome);
+                      AdmitOutcome* outcome, bool force_block);
+
+    /**
+     * Admission after the caller already probed the cache and missed
+     * (the probe's CacheStats lookup/miss is the one and only one
+     * recorded for this logical request — serve() relies on that).
+     * Joins an in-flight synthesis, re-checks the memory tier under
+     * the lock, or starts a flight, honoring backpressure.
+     */
+    PulseFuture admitAfterMiss(const BlockFingerprint& fp,
+                               const Circuit& block,
+                               AdmitOutcome* outcome, bool force_block);
 
     /**
      * Block one Fixed segment, relabel to local qubits, fingerprint,
@@ -361,6 +428,7 @@ class CompileService
     std::atomic<std::uint64_t> cacheHits_{0};
     std::atomic<std::uint64_t> coalesced_{0};
     std::atomic<std::uint64_t> synthRuns_{0};
+    std::atomic<std::uint64_t> rejected_{0};
     std::atomic<std::uint64_t> quantHits_{0};
     std::atomic<std::uint64_t> quantMisses_{0};
     std::atomic<std::uint64_t> quantFallbacks_{0};

@@ -1,10 +1,13 @@
 #include "runtime/threadpool.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace qpc {
 
-ThreadPool::ThreadPool(int num_workers)
+ThreadPool::ThreadPool(int num_workers, std::size_t max_queued_jobs)
+    : maxQueued_(max_queued_jobs)
 {
     if (num_workers <= 0) {
         const unsigned hw = std::thread::hardware_concurrency();
@@ -22,8 +25,16 @@ ThreadPool::~ThreadPool()
         stopping_ = true;
     }
     cv_.notify_all();
+    spaceCv_.notify_all();
     for (std::thread& worker : workers_)
         worker.join();
+}
+
+void
+ThreadPool::enqueueLocked(std::function<void()>&& job)
+{
+    queue_.push_back(std::move(job));
+    peakDepth_ = std::max(peakDepth_, queue_.size());
 }
 
 void
@@ -31,11 +42,46 @@ ThreadPool::submit(std::function<void()> job)
 {
     panicIf(!job, "cannot submit an empty job");
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        std::unique_lock<std::mutex> lock(mu_);
         panicIf(stopping_, "submit() on a stopping ThreadPool");
-        queue_.push_back(std::move(job));
+        if (maxQueued_ > 0)
+            spaceCv_.wait(lock, [this] {
+                return stopping_ || queue_.size() < maxQueued_;
+            });
+        panicIf(stopping_,
+                "ThreadPool stopped while submit() awaited queue space");
+        enqueueLocked(std::move(job));
     }
     cv_.notify_one();
+}
+
+bool
+ThreadPool::trySubmit(std::function<void()> job)
+{
+    panicIf(!job, "cannot submit an empty job");
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        panicIf(stopping_, "trySubmit() on a stopping ThreadPool");
+        if (maxQueued_ > 0 && queue_.size() >= maxQueued_)
+            return false;
+        enqueueLocked(std::move(job));
+    }
+    cv_.notify_one();
+    return true;
+}
+
+std::size_t
+ThreadPool::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+std::size_t
+ThreadPool::peakQueueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return peakDepth_;
 }
 
 void
@@ -52,6 +98,8 @@ ThreadPool::workerLoop()
             job = std::move(queue_.front());
             queue_.pop_front();
         }
+        if (maxQueued_ > 0)
+            spaceCv_.notify_one();
         job();
     }
 }

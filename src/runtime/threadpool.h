@@ -8,12 +8,19 @@
  * Destruction drains the queue before joining — a submitted job always
  * runs, which is what lets the service guarantee every issued
  * shared_future resolves.
+ *
+ * Admission control: an optional `max_queued_jobs` bound caps the
+ * FIFO. submit() then blocks the producer until a worker frees a slot
+ * (backpressure — N drivers hammering one pool degrade to the pool's
+ * throughput instead of ballooning memory), while trySubmit() refuses
+ * immediately so callers can surface the rejection.
  */
 
 #ifndef QPC_RUNTIME_THREADPOOL_H
 #define QPC_RUNTIME_THREADPOOL_H
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -26,8 +33,12 @@ namespace qpc {
 class ThreadPool
 {
   public:
-    /** @param num_workers Worker count; 0 = hardware concurrency. */
-    explicit ThreadPool(int num_workers = 0);
+    /**
+     * @param num_workers Worker count; 0 = hardware concurrency.
+     * @param max_queued_jobs Queue bound; 0 = unbounded.
+     */
+    explicit ThreadPool(int num_workers = 0,
+                        std::size_t max_queued_jobs = 0);
 
     /** Drains every queued job, then joins. */
     ~ThreadPool();
@@ -35,17 +46,41 @@ class ThreadPool
     ThreadPool(const ThreadPool&) = delete;
     ThreadPool& operator=(const ThreadPool&) = delete;
 
-    /** Enqueue a job for asynchronous execution. */
+    /**
+     * Enqueue a job for asynchronous execution. With a queue bound,
+     * blocks until a slot frees up — the queue length never exceeds
+     * maxQueuedJobs().
+     */
     void submit(std::function<void()> job);
 
+    /**
+     * Enqueue without blocking: false (job not taken) when the bound
+     * is reached, true otherwise. Always succeeds on an unbounded
+     * pool.
+     */
+    bool trySubmit(std::function<void()> job);
+
     int numWorkers() const { return static_cast<int>(workers_.size()); }
+    std::size_t maxQueuedJobs() const { return maxQueued_; }
+
+    /** Jobs currently waiting (excludes jobs being executed). */
+    std::size_t queueDepth() const;
+
+    /** High-water mark of the queue over the pool's lifetime. */
+    std::size_t peakQueueDepth() const;
 
   private:
     void workerLoop();
+    /** Push under mu_ (already held) and maintain the high-water mark. */
+    void enqueueLocked(std::function<void()>&& job);
 
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable cv_;
+    /** Producers blocked in submit() wait here for a free slot. */
+    std::condition_variable spaceCv_;
     std::deque<std::function<void()>> queue_;
+    std::size_t maxQueued_ = 0;
+    std::size_t peakDepth_ = 0;
     bool stopping_ = false;
     std::vector<std::thread> workers_;
 };

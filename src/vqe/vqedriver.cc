@@ -1,6 +1,7 @@
 #include "vqe/vqedriver.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -19,36 +20,43 @@ runVqe(const Circuit& ansatz, const PauliHamiltonian& hamiltonian,
 
     VqeResult result;
 
+    // A shared service takes precedence; otherwise serviceOptions
+    // spins up a run-owned one, so single-run callers get the full
+    // resource-bounded serve path without managing a service object.
+    std::unique_ptr<CompileService> owned;
+    CompileService* service = options.compileService;
+    if (!service && options.serviceOptions) {
+        owned = std::make_unique<CompileService>(*options.serviceOptions);
+        service = owned.get();
+    }
+
     // With a compile service attached, pay the strict-partial
     // pre-compute once up front (block synthesis and the serving
     // plan's blocking/fingerprints); the hybrid loop below then
     // serves each binding from the warm cache.
     ServingPlan plan;
-    if (options.compileService) {
+    if (service) {
         plan = options.quantization
-                   ? options.compileService->prepareServing(
-                         strictPartition(ansatz), *options.quantization)
-                   : options.compileService->prepareServing(
-                         strictPartition(ansatz));
+                   ? service->prepareServing(strictPartition(ansatz),
+                                             *options.quantization)
+                   : service->prepareServing(strictPartition(ansatz));
         const BatchCompileReport precompute =
-            options.compileService->precompilePlan(plan);
+            service->precompilePlan(plan);
         result.precomputeWallSeconds = precompute.wallSeconds;
         result.precompiledBlocks = precompute.uniqueBlocks;
         if (options.prewarmQuantizedBins) {
             const BatchCompileReport prewarm =
-                options.compileService->prewarmQuantizedBins(plan);
+                service->prewarmQuantizedBins(plan);
             result.precomputeWallSeconds += prewarm.wallSeconds;
         }
     }
-    const bool quantized =
-        options.compileService && plan.quantization().enabled;
+    const bool quantized = service && plan.quantization().enabled;
 
     int evaluations = 0;
     auto objective = [&](const std::vector<double>& theta) {
         ++evaluations;
-        if (options.compileService) {
-            const ServedPulse served =
-                options.compileService->serve(plan, theta);
+        if (service) {
+            const ServedPulse served = service->serve(plan, theta);
             result.servedCacheHits += served.cacheHits;
             result.servedCacheMisses += served.cacheMisses;
             result.quantHits += served.quantHits;

@@ -16,11 +16,10 @@
 #include "cache/quantize.h"
 #include "ir/circuit.h"
 #include "opt/neldermead.h"
+#include "runtime/service.h"
 #include "sim/pauli.h"
 
 namespace qpc {
-
-class CompileService;
 
 /** Configuration of one VQE run. */
 struct VqeRunOptions
@@ -36,6 +35,15 @@ struct VqeRunOptions
      * path. Null keeps the simulator-only behaviour.
      */
     CompileService* compileService = nullptr;
+    /**
+     * Alternative to compileService for single-run callers: when set
+     * (and compileService is null), the driver constructs a private
+     * CompileService with these options for the run — the full knob
+     * surface (worker count, cache capacity/capacityBytes, disk tier
+     * + maxDiskBytes GC, maxQueuedJobs backpressure, quantization)
+     * without managing a service object.
+     */
+    std::optional<CompileServiceOptions> serviceOptions;
     /**
      * Per-run override of the service's angle quantization (see
      * ParamQuantization): unset inherits the service default, set

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 #include <unistd.h>
 
 #include "cache/fingerprint.h"
@@ -50,6 +53,17 @@ samplePulse(uint64_t seed, int channels = 3, int samples = 17)
         for (double& v : pulse.channel(c))
             v = rng.normal();
     return pulse;
+}
+
+PulseCacheOptions
+cacheOptions(std::size_t capacity, int shards,
+             const std::string& disk_dir = "")
+{
+    PulseCacheOptions options;
+    options.capacity = capacity;
+    options.shards = shards;
+    options.diskDir = disk_dir;
+    return options;
 }
 
 // ---------------------------------------------------------------------
@@ -430,7 +444,7 @@ fp(uint64_t n)
 
 TEST(PulseCache, HitMissAndStats)
 {
-    PulseCache cache({16, 2, ""});
+    PulseCache cache(cacheOptions(16, 2));
     EXPECT_FALSE((cache.get(fp(1)) != nullptr));
     cache.put(fp(1), samplePulse(1));
     const auto hit = cache.get(fp(1));
@@ -449,7 +463,7 @@ TEST(PulseCache, HitMissAndStats)
 TEST(PulseCache, EvictsLeastRecentlyUsed)
 {
     // One shard of capacity 4 makes the LRU order fully observable.
-    PulseCache cache({4, 1, ""});
+    PulseCache cache(cacheOptions(4, 1));
     for (uint64_t i = 0; i < 4; ++i)
         cache.put(fp(i), samplePulse(i));
     // Touch 0 so 1 becomes the eviction victim.
@@ -465,7 +479,7 @@ TEST(PulseCache, EvictsLeastRecentlyUsed)
 
 TEST(PulseCache, PutSameKeyRefreshesInPlace)
 {
-    PulseCache cache({4, 1, ""});
+    PulseCache cache(cacheOptions(4, 1));
     cache.put(fp(7), samplePulse(1));
     cache.put(fp(7), samplePulse(2));
     EXPECT_EQ(cache.stats().entries, 1u);
@@ -485,13 +499,13 @@ TEST(PulseCache, DiskRoundTripSurvivesMemoryLoss)
     TempDir dir("qpc_cache_disk");
     const PulseSchedule original = samplePulse(5);
     {
-        PulseCache cache({16, 2, dir.path()});
+        PulseCache cache(cacheOptions(16, 2, dir.path()));
         cache.put(fp(42), original);
         EXPECT_EQ(cache.stats().diskWrites, 1u);
     }
     // A brand-new cache (fresh process, empty memory) finds the pulse
     // on disk and promotes it.
-    PulseCache cold({16, 2, dir.path()});
+    PulseCache cold(cacheOptions(16, 2, dir.path()));
     const auto got = cold.get(fp(42));
     ASSERT_NE(got, nullptr);
     for (int c = 0; c < original.numChannels(); ++c)
@@ -506,7 +520,7 @@ TEST(PulseCache, DiskRoundTripSurvivesMemoryLoss)
 TEST(PulseCache, ClearMemoryKeepsDiskTier)
 {
     TempDir dir("qpc_cache_clear");
-    PulseCache cache({16, 2, dir.path()});
+    PulseCache cache(cacheOptions(16, 2, dir.path()));
     cache.put(fp(8), samplePulse(8));
     cache.clearMemory();
     EXPECT_EQ(cache.stats().entries, 0u);
@@ -517,7 +531,7 @@ TEST(PulseCache, ClearMemoryKeepsDiskTier)
 TEST(PulseCache, CorruptDiskRecordReadsAsMiss)
 {
     TempDir dir("qpc_cache_corrupt");
-    PulseCache cache({16, 2, dir.path()});
+    PulseCache cache(cacheOptions(16, 2, dir.path()));
     cache.put(fp(3), samplePulse(3));
     cache.clearMemory();
 
@@ -528,6 +542,315 @@ TEST(PulseCache, CorruptDiskRecordReadsAsMiss)
 
     EXPECT_FALSE((cache.get(fp(3)) != nullptr));
     EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Capacity distribution across shards
+// ---------------------------------------------------------------------
+
+TEST(PulseCache, CapacityRemainderIsDistributedAcrossShards)
+{
+    // The PR 4 regression: capacity=12 over 8 shards used to truncate
+    // to 1 entry/shard = 8 effective entries. The remainder now goes
+    // to the low shards, so the effective capacity meets the request.
+    PulseCache cache(cacheOptions(12, 8));
+    EXPECT_EQ(cache.effectiveCapacity(), 12u);
+
+    // Saturate every shard: with far more distinct keys than
+    // capacity, the resident count must reach the full request, not
+    // the truncated one.
+    for (uint64_t i = 0; i < 400; ++i)
+        cache.put(fp(i), samplePulse(i, 1, 4));
+    EXPECT_EQ(cache.stats().entries, 12u);
+
+    // Capacity below the shard count still guarantees one entry per
+    // shard (a shard cannot hold half an entry).
+    PulseCache tiny(cacheOptions(3, 8));
+    EXPECT_EQ(tiny.effectiveCapacity(), 8u);
+
+    // And an exact multiple is unchanged.
+    PulseCache even(cacheOptions(16, 8));
+    EXPECT_EQ(even.effectiveCapacity(), 16u);
+}
+
+// ---------------------------------------------------------------------
+// Byte-budgeted eviction
+// ---------------------------------------------------------------------
+
+TEST(PulseCache, ByteBudgetEvictsOnBytesBeforeEntries)
+{
+    // One shard, entry cap far above the byte cap: eviction must run
+    // on bytes. Each pulse is 28 + 1*10*8 = 108 serialized bytes.
+    const PulseSchedule pulse = samplePulse(1, 1, 10);
+    ASSERT_EQ(pulse.serializedBytes(), 108u);
+
+    PulseCacheOptions options = cacheOptions(64, 1);
+    options.capacityBytes = 3 * 108;
+    PulseCache cache(options);
+
+    for (uint64_t i = 0; i < 5; ++i)
+        cache.put(fp(i), samplePulse(i, 1, 10));
+
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 3u);
+    EXPECT_EQ(stats.bytesInUse, 3u * 108u);
+    EXPECT_LE(stats.bytesInUse, options.capacityBytes);
+    EXPECT_EQ(stats.evictions, 2u);
+    EXPECT_EQ(stats.bytesEvicted, 2u * 108u);
+    // LRU order: the two oldest entries went.
+    EXPECT_FALSE((cache.get(fp(0)) != nullptr));
+    EXPECT_FALSE((cache.get(fp(1)) != nullptr));
+    EXPECT_TRUE((cache.get(fp(2)) != nullptr));
+    EXPECT_TRUE((cache.get(fp(4)) != nullptr));
+}
+
+TEST(PulseCache, OversizedPulseIsRefusedNotEvictedThrough)
+{
+    // A pulse bigger than the whole byte budget cannot be cached: the
+    // budget is a hard bound, and the refusal happens up front so the
+    // resident entries are not displaced for a hopeless insert.
+    PulseCacheOptions options = cacheOptions(8, 1);
+    options.capacityBytes = 200;
+    PulseCache cache(options);
+
+    cache.put(fp(1), samplePulse(1, 1, 10)); // 108 bytes: fits.
+    cache.put(fp(2), samplePulse(2, 4, 64)); // 2076 bytes: cannot.
+
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_LE(stats.bytesInUse, options.capacityBytes);
+    EXPECT_EQ(stats.oversized, 1u);
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_TRUE((cache.get(fp(1)) != nullptr));
+    EXPECT_FALSE((cache.get(fp(2)) != nullptr));
+}
+
+TEST(PulseCache, DegenerateByteBudgetStillHoldsTheBound)
+{
+    // capacityBytes smaller than the shard count: the remainder split
+    // would hand trailing shards a 0 budget, which must not read as
+    // "unbounded". Every shard gets a 1-byte floor instead, so the
+    // degenerate budget under-admits (everything refused) rather than
+    // over-committing.
+    PulseCacheOptions options = cacheOptions(64, 8);
+    options.capacityBytes = 5;
+    PulseCache cache(options);
+
+    for (uint64_t i = 0; i < 64; ++i)
+        cache.put(fp(i), samplePulse(i, 1, 4));
+
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.bytesInUse, 0u);
+    EXPECT_LE(stats.bytesInUse, options.capacityBytes);
+    EXPECT_EQ(stats.oversized, 64u);
+}
+
+TEST(PulseCache, RefreshInPlaceTracksByteDelta)
+{
+    PulseCacheOptions options = cacheOptions(8, 1);
+    options.capacityBytes = 4096;
+    PulseCache cache(options);
+
+    cache.put(fp(7), samplePulse(1, 1, 10)); // 108 bytes.
+    EXPECT_EQ(cache.stats().bytesInUse, 108u);
+    cache.put(fp(7), samplePulse(2, 1, 50)); // Re-synthesized: 428.
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.bytesInUse, 428u);
+}
+
+TEST(PulseCache, ByteBudgetHoldsUnderConcurrentPuts)
+{
+    // 8 threads insert pulses of assorted sizes (some larger than a
+    // single shard's slice of the budget) while a sampler thread
+    // watches stats(): bytesInUse must never exceed capacityBytes at
+    // any observable instant — the acceptance bound of the PR.
+    PulseCacheOptions options = cacheOptions(256, 4);
+    options.capacityBytes = 8 * 1024;
+    PulseCache cache(options);
+
+    std::atomic<bool> done{false};
+    std::atomic<bool> violated{false};
+    std::thread sampler([&cache, &options, &done, &violated] {
+        while (!done.load()) {
+            if (cache.stats().bytesInUse > options.capacityBytes)
+                violated.store(true);
+            std::this_thread::yield();
+        }
+    });
+
+    constexpr int kThreads = 8;
+    constexpr int kPutsPerThread = 120;
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        writers.emplace_back([&cache, t] {
+            for (int i = 0; i < kPutsPerThread; ++i) {
+                const uint64_t key =
+                    static_cast<uint64_t>(t) * 1000 + i;
+                // Sizes from 36 to ~3.2 KB: several exceed the
+                // per-shard budget of 2 KB.
+                cache.put(fp(key),
+                          samplePulse(key, 1, 1 + (i % 16) * 25));
+                if (i % 7 == 0)
+                    cache.get(fp(key));
+            }
+        });
+    for (std::thread& w : writers)
+        w.join();
+    done.store(true);
+    sampler.join();
+
+    EXPECT_FALSE(violated.load());
+    const CacheStats stats = cache.stats();
+    EXPECT_LE(stats.bytesInUse, options.capacityBytes);
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_GT(stats.bytesEvicted, 0u);
+    EXPECT_GT(stats.oversized, 0u); // The > 2 KB pulses were refused.
+}
+
+// ---------------------------------------------------------------------
+// Disk-tier garbage collection
+// ---------------------------------------------------------------------
+
+std::size_t
+diskTierBytes(const std::string& dir)
+{
+    std::size_t total = 0;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir))
+        if (entry.is_regular_file())
+            total += static_cast<std::size_t>(entry.file_size());
+    return total;
+}
+
+TEST(PulseCache, DiskGcRemovesOldestKeepsNewest)
+{
+    TempDir dir("qpc_cache_gc");
+    const std::size_t record = samplePulse(0, 1, 10).serializedBytes();
+
+    PulseCacheOptions options = cacheOptions(64, 2, dir.path());
+    options.maxDiskBytes = 3 * record;
+    options.gcOnPut = false; // Sweep explicitly below.
+    PulseCache cache(options);
+
+    for (uint64_t i = 0; i < 6; ++i)
+        cache.put(fp(i), samplePulse(i, 1, 10));
+    ASSERT_EQ(diskTierBytes(dir.path()), 6 * record);
+
+    // Pin mtimes so recency is unambiguous regardless of filesystem
+    // timestamp granularity: record i is i minutes old.
+    const auto now = std::filesystem::file_time_type::clock::now();
+    for (uint64_t i = 0; i < 6; ++i)
+        std::filesystem::last_write_time(
+            dir.path() + "/" + fp(i).hex() + ".qpulse",
+            now - std::chrono::minutes(5 - i));
+
+    // The sweep stops at the low-water mark (cap minus cap/8 = 284
+    // bytes here), one record below the 3-record cap: 4 removals, the
+    // 2 newest survive.
+    const DiskGcReport report = cache.gcDisk();
+    EXPECT_EQ(report.scannedFiles, 6u);
+    EXPECT_EQ(report.removedFiles, 4u);
+    EXPECT_EQ(report.removedBytes, 4 * record);
+    EXPECT_EQ(report.remainingBytes, 2 * record);
+    EXPECT_EQ(diskTierBytes(dir.path()), 2 * record);
+    EXPECT_LE(report.remainingBytes, options.maxDiskBytes);
+
+    // The newest records (largest mtime = 4 and 5) survive.
+    cache.clearMemory();
+    for (uint64_t i = 0; i < 4; ++i)
+        EXPECT_FALSE((cache.get(fp(i)) != nullptr)) << i;
+    for (uint64_t i = 4; i < 6; ++i)
+        EXPECT_TRUE((cache.get(fp(i)) != nullptr)) << i;
+
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.diskGcRuns, 1u);
+    EXPECT_EQ(stats.diskGcRemovals, 4u);
+    EXPECT_EQ(stats.diskGcBytesRemoved, 4 * record);
+    EXPECT_EQ(stats.diskBytesInUse, 2 * record);
+}
+
+TEST(PulseCache, GcOnPutKeepsDiskTierUnderCap)
+{
+    TempDir dir("qpc_cache_gconput");
+    const std::size_t record = samplePulse(0, 1, 10).serializedBytes();
+
+    PulseCacheOptions options = cacheOptions(64, 2, dir.path());
+    options.maxDiskBytes = 4 * record;
+    PulseCache cache(options); // gcOnPut defaults on.
+
+    for (uint64_t i = 0; i < 12; ++i) {
+        cache.put(fp(i), samplePulse(i, 1, 10));
+        EXPECT_LE(diskTierBytes(dir.path()), options.maxDiskBytes)
+            << "after put " << i;
+    }
+    EXPECT_GT(cache.stats().diskGcRuns, 0u);
+    EXPECT_GT(cache.stats().diskGcRemovals, 0u);
+}
+
+TEST(PulseCache, DiskBytesAdoptedAcrossProcesses)
+{
+    TempDir dir("qpc_cache_adopt");
+    {
+        PulseCache writer(cacheOptions(64, 2, dir.path()));
+        for (uint64_t i = 0; i < 5; ++i)
+            writer.put(fp(i), samplePulse(i, 1, 10));
+    }
+    // A fresh cache over the same directory — a new process — knows
+    // the tier's size immediately, so gcOnPut triggers at the right
+    // point rather than only after maxDiskBytes of *new* writes.
+    PulseCache reader(cacheOptions(64, 2, dir.path()));
+    EXPECT_EQ(reader.stats().diskBytesInUse,
+              diskTierBytes(dir.path()));
+}
+
+TEST(PulseCache, ConcurrentGetDuringGcNeverTearsARecord)
+{
+    TempDir dir("qpc_cache_gc_race");
+    PulseCacheOptions options = cacheOptions(64, 2, dir.path());
+    options.maxDiskBytes = 6 * samplePulse(0, 1, 10).serializedBytes();
+    options.gcOnPut = false;
+    PulseCache cache(options);
+
+    constexpr uint64_t kKeys = 24;
+    for (uint64_t i = 0; i < kKeys; ++i)
+        cache.put(fp(i), samplePulse(i, 1, 10));
+
+    // Readers hammer every key straight off disk (memory dropped each
+    // round) while sweeps run: every get must return either the full,
+    // intact pulse or a clean miss — never a corrupt record.
+    std::atomic<bool> stop{false};
+    std::atomic<bool> corrupt{false};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 3; ++t)
+        readers.emplace_back([&cache, &stop, &corrupt] {
+            while (!stop.load()) {
+                cache.clearMemory();
+                for (uint64_t i = 0; i < kKeys; ++i) {
+                    const PulsePtr pulse = cache.get(fp(i));
+                    if (pulse && (pulse->numChannels() != 1 ||
+                                  pulse->numSamples() != 10))
+                        corrupt.store(true);
+                }
+            }
+        });
+    for (int round = 0; round < 30; ++round) {
+        cache.gcDisk();
+        // Refill some of what the sweep removed to keep it busy.
+        for (uint64_t i = 0; i < 8; ++i)
+            cache.put(fp(100 + (round * 8 + i) % kKeys),
+                      samplePulse(i, 1, 10));
+    }
+    stop.store(true);
+    for (std::thread& r : readers)
+        r.join();
+
+    EXPECT_FALSE(corrupt.load());
+    EXPECT_LE(diskTierBytes(dir.path()),
+              options.maxDiskBytes +
+                  8 * samplePulse(0, 1, 10).serializedBytes());
 }
 
 } // namespace

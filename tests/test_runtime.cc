@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <future>
 #include <thread>
 #include <unistd.h>
 #include <vector>
@@ -112,6 +113,64 @@ TEST(ThreadPool, DefaultsToAtLeastOneWorker)
     std::atomic<bool> ran{false};
     pool.submit([&ran] { ran.store(true); });
     while (!ran.load())
+        std::this_thread::yield();
+}
+
+TEST(ThreadPool, BoundedQueueNeverExceedsItsCapAndRunsEverything)
+{
+    constexpr std::size_t kMaxQueued = 4;
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2, kMaxQueued);
+        EXPECT_EQ(pool.maxQueuedJobs(), kMaxQueued);
+        // 4 producers race 60 slow-ish jobs through a 4-slot queue:
+        // submit() must block rather than let the FIFO balloon.
+        std::vector<std::thread> producers;
+        for (int t = 0; t < 4; ++t)
+            producers.emplace_back([&pool, &counter] {
+                for (int i = 0; i < 15; ++i)
+                    pool.submit([&counter] {
+                        std::this_thread::sleep_for(
+                            std::chrono::microseconds(200));
+                        counter.fetch_add(1);
+                    });
+            });
+        for (std::thread& p : producers)
+            p.join();
+        EXPECT_LE(pool.peakQueueDepth(), kMaxQueued);
+    } // Destructor drains the tail.
+    EXPECT_EQ(counter.load(), 60);
+}
+
+TEST(ThreadPool, TrySubmitRefusesWhenFull)
+{
+    ThreadPool pool(1, 1);
+    // Occupy the lone worker...
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    std::atomic<int> ran{0};
+    pool.submit([open, &ran] {
+        open.wait();
+        ran.fetch_add(1);
+    });
+    // ... wait until the worker has actually dequeued it, then fill
+    // the single queue slot.
+    while (pool.queueDepth() > 0)
+        std::this_thread::yield();
+    ASSERT_TRUE(pool.trySubmit([open, &ran] {
+        open.wait();
+        ran.fetch_add(1);
+    }));
+    // Queue is now full: refusal, not blocking.
+    EXPECT_FALSE(pool.trySubmit([] {}));
+    EXPECT_EQ(pool.queueDepth(), 1u);
+
+    gate.set_value();
+    while (ran.load() < 2)
+        std::this_thread::yield();
+    // Space again: accepted.
+    EXPECT_TRUE(pool.trySubmit([&ran] { ran.fetch_add(1); }));
+    while (ran.load() < 3)
         std::this_thread::yield();
 }
 
@@ -389,6 +448,220 @@ TEST(Service, ServeStrictColdCompilesOnDemand)
 }
 
 // ---------------------------------------------------------------------
+// Stats accounting invariants
+// ---------------------------------------------------------------------
+
+TEST(Service, ServeLookupCountsOnceInCacheStats)
+{
+    // The PR 4 bugfix: a cold serve's probe-then-admit used to record
+    // two CacheStats misses for one logical lookup, skewing
+    // hitRate(). One logical lookup must be exactly one CacheStats
+    // lookup — hit or miss.
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.synthesizer = synth.make();
+    CompileService service(options);
+
+    const Circuit templ = twoBlockTemplate();
+    const StrictPartition partition = strictPartition(templ);
+    // Cold serve of two identical blocks: probe-miss + probe-hit.
+    service.serveStrict(partition, {0.1, 0.2});
+    CacheStats cold = service.cacheStats();
+    EXPECT_EQ(cold.lookups, 2u);
+    EXPECT_EQ(cold.misses, 1u);
+    EXPECT_EQ(cold.hits, 1u);
+    EXPECT_NEAR(cold.hitRate(), 0.5, 1e-12);
+
+    // Warm serve: two probe-hits, nothing else.
+    service.serveStrict(partition, {0.3, 0.4});
+    CacheStats warm = service.cacheStats();
+    EXPECT_EQ(warm.lookups, 4u);
+    EXPECT_EQ(warm.misses, 1u);
+    EXPECT_EQ(warm.hits, 3u);
+}
+
+TEST(Service, QuantizedServeLookupCountsOnceInCacheStats)
+{
+    // Same invariant on the quantized bin path.
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.synthesizer = synth.make();
+    options.quantization.enabled = true;
+    options.quantization.bins = 128;
+    options.quantization.fidelityBudget = 0.05;
+    CompileService service(options);
+
+    Circuit templ(1);
+    templ.rz(0, ParamExpr::theta(0));
+    const ServingPlan plan =
+        service.prepareServing(strictPartition(templ));
+
+    service.serve(plan, {0.300}); // Cold bin: one lookup, one miss.
+    EXPECT_EQ(service.cacheStats().lookups, 1u);
+    EXPECT_EQ(service.cacheStats().misses, 1u);
+    service.serve(plan, {0.3001}); // Same bin, warm: one more lookup.
+    EXPECT_EQ(service.cacheStats().lookups, 2u);
+    EXPECT_EQ(service.cacheStats().misses, 1u);
+    EXPECT_EQ(service.cacheStats().hits, 1u);
+}
+
+TEST(Service, WarmServesCountInServiceStats)
+{
+    // The PR 4 bugfix: serve()'s direct warm-path probes used to
+    // bypass ServiceStats entirely, so service-wide hit numbers
+    // disagreed with per-serve ones. Every serve lookup is a request.
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.lookupDt = 0.5;
+    CompileService service(options);
+
+    const Circuit templ = twoBlockTemplate();
+    const StrictPartition partition = strictPartition(templ);
+    service.precompileCircuit(templ);
+    const ServiceStats before = service.stats();
+
+    const ServedPulse served = service.serveStrict(partition, {0.1, 0.2});
+    EXPECT_EQ(served.cacheHits, 2u);
+    EXPECT_EQ(served.cacheMisses, 0u);
+
+    const ServiceStats after = service.stats();
+    EXPECT_EQ(after.requests - before.requests, 2u);
+    EXPECT_EQ(after.cacheHits - before.cacheHits, 2u);
+}
+
+TEST(Service, BatchReportAccountsCoalescedAdmissions)
+{
+    // Two racing batches over the same sweep: admissions that join
+    // the other batch's in-flight synthesis must show up as
+    // `coalesced`, keeping cacheHits + synthRuns + coalesced ==
+    // uniqueBlocks — the invariant that used to fail whenever a
+    // concurrent batch was in flight.
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 4;
+    options.synthesizer = synth.make(/*sleep_ms=*/10);
+    CompileService service(options);
+
+    Rng rng(11);
+    const Graph graph = random3Regular(6, rng);
+    std::vector<Circuit> sweep;
+    for (int p = 1; p <= 3; ++p)
+        sweep.push_back(buildQaoaCircuit(graph, p));
+
+    BatchCompileReport a, b;
+    std::thread ta([&] { a = service.compileBatch(sweep); });
+    std::thread tb([&] { b = service.compileBatch(sweep); });
+    ta.join();
+    tb.join();
+
+    EXPECT_EQ(a.cacheHits + a.synthRuns + a.coalesced,
+              static_cast<uint64_t>(a.uniqueBlocks));
+    EXPECT_EQ(b.cacheHits + b.synthRuns + b.coalesced,
+              static_cast<uint64_t>(b.uniqueBlocks));
+    // Single flight across the race: each unique block synthesized
+    // exactly once service-wide.
+    EXPECT_EQ(a.synthRuns + b.synthRuns,
+              static_cast<uint64_t>(a.uniqueBlocks));
+    EXPECT_EQ(synth.runs.load(), a.uniqueBlocks);
+    // With a 10 ms synthesis, the loser of each admission race truly
+    // coalesces (it cannot find the pulse cached yet) — this is the
+    // regression the `coalesced` field exists for. Both batches
+    // admitting the same fingerprints concurrently makes at least one
+    // coalesce overwhelmingly likely; tolerate the rare perfect
+    // interleave by only requiring consistency above.
+    EXPECT_EQ(service.stats().coalesced, a.coalesced + b.coalesced);
+}
+
+// ---------------------------------------------------------------------
+// Backpressure / admission control
+// ---------------------------------------------------------------------
+
+TEST(Service, RejectPolicySurfacesRejectedAdmissions)
+{
+    // Worker pinned by a gated synthesis, one queue slot: the third
+    // distinct request must be refused — invalid future, Rejected
+    // outcome, stats().rejected — instead of growing the queue.
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    CompileServiceOptions options;
+    options.numWorkers = 1;
+    options.maxQueuedJobs = 1;
+    options.queueFullPolicy = QueueFullPolicy::Reject;
+    BlockSynthesizer inner = analyticBlockSynthesizer(0.5);
+    options.synthesizer = [open, inner](const Circuit& block) {
+        open.wait();
+        return inner(block);
+    };
+    CompileService service(options);
+
+    Circuit b1(1), b2(1), b3(1);
+    b1.rx(0, 0.25);
+    b2.rx(0, 0.50);
+    b3.rx(0, 0.75);
+
+    AdmitOutcome outcome = AdmitOutcome::CacheHit;
+    auto f1 = service.requestBlock(b1, &outcome);
+    EXPECT_EQ(outcome, AdmitOutcome::Started);
+    // Wait for the worker to dequeue b1 (it blocks on the gate), so
+    // b2 deterministically occupies the single queue slot.
+    while (service.queueDepth() > 0)
+        std::this_thread::yield();
+    auto f2 = service.requestBlock(b2, &outcome);
+    EXPECT_EQ(outcome, AdmitOutcome::Started);
+
+    auto f3 = service.requestBlock(b3, &outcome);
+    EXPECT_EQ(outcome, AdmitOutcome::Rejected);
+    EXPECT_FALSE(f3.valid());
+    EXPECT_EQ(service.stats().rejected, 1u);
+
+    gate.set_value();
+    EXPECT_NE(f1.get(), nullptr);
+    EXPECT_NE(f2.get(), nullptr);
+    // With the queue drained, the shed block admits cleanly.
+    auto f4 = service.requestBlock(b3, &outcome);
+    EXPECT_NE(outcome, AdmitOutcome::Rejected);
+    EXPECT_NE(f4.get(), nullptr);
+    EXPECT_LE(service.peakQueueDepth(), options.maxQueuedJobs);
+}
+
+TEST(Service, BackpressureBoundsQueueUnderRacingDrivers)
+{
+    // 8 drivers hammer one bounded service with distinct blocks: the
+    // queue must never exceed maxQueuedJobs (admissions block
+    // instead), and every admitted block still resolves.
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.maxQueuedJobs = 4;
+    options.synthesizer = synth.make();
+    CompileService service(options);
+
+    constexpr int kDrivers = 8;
+    constexpr int kBlocksPerDriver = 24;
+    std::atomic<int> resolved{0};
+    std::vector<std::thread> drivers;
+    drivers.reserve(kDrivers);
+    for (int d = 0; d < kDrivers; ++d)
+        drivers.emplace_back([&service, &resolved, d] {
+            for (int i = 0; i < kBlocksPerDriver; ++i) {
+                Circuit block(1);
+                block.rx(0, 0.01 * (d * kBlocksPerDriver + i) + 0.01);
+                if (service.compileBlock(block).numChannels() > 0)
+                    resolved.fetch_add(1);
+            }
+        });
+    for (std::thread& d : drivers)
+        d.join();
+
+    EXPECT_EQ(resolved.load(), kDrivers * kBlocksPerDriver);
+    EXPECT_LE(service.peakQueueDepth(), options.maxQueuedJobs);
+    EXPECT_EQ(service.stats().rejected, 0u);
+    EXPECT_EQ(synth.runs.load(), kDrivers * kBlocksPerDriver);
+}
+
+// ---------------------------------------------------------------------
 // Quantized parametric serving
 // ---------------------------------------------------------------------
 
@@ -648,6 +921,63 @@ TEST(Service, VqeDriverServesFromWarmCache)
     EXPECT_GT(result.servedCacheHits, 0u);
     // Everything was pre-compiled: the hybrid loop never misses.
     EXPECT_EQ(result.servedCacheMisses, 0u);
+}
+
+TEST(Service, VqeDriverOwnsServiceFromRunOptions)
+{
+    // serviceOptions without a compileService: the driver builds a
+    // run-owned, resource-bounded service — the knob plumb-through
+    // for single-run callers.
+    const MoleculeSpec& h2 = moleculeByName("H2");
+    const Circuit ansatz = buildUccsdAnsatz(h2);
+    const PauliHamiltonian hamiltonian = moleculeHamiltonian(h2);
+
+    VqeRunOptions run;
+    run.optimizer.maxIterations = 6;
+    CompileServiceOptions service;
+    service.numWorkers = 2;
+    service.lookupDt = 0.5;
+    service.maxQueuedJobs = 8;
+    service.cache.capacityBytes = 1 << 20;
+    run.serviceOptions = service;
+    const VqeResult result = runVqe(ansatz, hamiltonian, run);
+
+    EXPECT_GT(result.iterations, 0);
+    EXPECT_GT(result.precompiledBlocks, 0);
+    EXPECT_GT(result.servedCacheHits, 0u);
+    EXPECT_EQ(result.servedCacheMisses, 0u);
+}
+
+TEST(Service, PartialCompilerMakeServicePlumbsKnobs)
+{
+    CompilerOptions copts;
+    copts.quantization.enabled = true;
+    copts.quantization.bins = 32;
+    copts.quantization.fidelityBudget = 0.1;
+    copts.service.numWorkers = 2;
+    copts.service.lookupDt = 0.5;
+    copts.service.synthesizer = analyticBlockSynthesizer(0.5);
+    copts.service.maxQueuedJobs = 16;
+    copts.service.cache.capacity = 512;
+    copts.service.cache.capacityBytes = 1 << 20;
+    PartialCompiler compiler(twoBlockTemplate(), copts);
+
+    auto service = compiler.makeService();
+    ASSERT_NE(service, nullptr);
+    // The facade's quantization is authoritative for the service.
+    EXPECT_TRUE(service->options().quantization.enabled);
+    EXPECT_EQ(service->options().quantization.bins, 32);
+    EXPECT_EQ(service->options().maxQueuedJobs, 16u);
+    EXPECT_EQ(service->options().cache.capacityBytes,
+              static_cast<std::size_t>(1 << 20));
+
+    // And the usual precompute/serve cycle works against it.
+    compiler.precompute(*service);
+    const ServingPlan plan = service->prepareServing(
+        compiler.strictPartition(), copts.quantization);
+    const ServedPulse served = service->serve(plan, {0.5, -0.7});
+    EXPECT_EQ(served.cacheMisses, 0u);
+    EXPECT_EQ(served.quantHits + served.quantMisses, 2u);
 }
 
 TEST(Service, QaoaDriverRunsQuantized)
