@@ -22,6 +22,8 @@
  *   BENCH_service_warm_wall_seconds / _warm_hit_rate
  *   BENCH_service_quant_hit_rate / _quant_fallbacks
  *   BENCH_service_quant_serve_us / _exact_serve_us / _quant_speedup
+ *   BENCH_adaptive_error_bound / _fixed_error_bound / _synth_runs /
+ *     _fixed_synth_runs / _hit_rate / _splits / _refine_rounds
  *   BENCH_service_backpressure_max_queued / _peak_queue /
  *     _wall_seconds / _rejected / _reject_rate
  *   BENCH_cache_bytes_capacity / _in_use / _evicted / _entries /
@@ -46,6 +48,10 @@
 #include "model/timemodel.h"
 #include "partial/strict.h"
 #include "runtime/service.h"
+#include "vqe/hamiltonian.h"
+#include "vqe/molecule.h"
+#include "vqe/uccsd.h"
+#include "vqe/vqedriver.h"
 
 using namespace qpc;
 using namespace qpc::bench;
@@ -290,6 +296,134 @@ main()
         fatalIf(hit_rate < 0.9,
                 "quantized warm hit rate fell below 90% on the QAOA "
                 "sweep");
+    }
+
+    // Adaptive quantization grids on a converging H2 VQE run: the
+    // fixed grid spends its resolution uniformly over the whole
+    // circle, so matching the accuracy a converging optimizer needs
+    // near its optimum means paying fine bins *everywhere it
+    // wandered*. The adaptive grid starts coarse and splits only the
+    // bins the optimizer actually visits (triggered by its shrinking
+    // step norms), so it reaches a *lower* realized error bound at
+    // the optimum on *fewer* total syntheses. Both runs simulate the
+    // snapped angles their pulses realize.
+    {
+        const Circuit ansatz =
+            buildOptimizedUccsd(moleculeByName("H2"));
+        const PauliHamiltonian hamiltonian = h2Hamiltonian();
+        constexpr int kFixedBins = 1024;
+        constexpr int kAdaptiveBins = 64;
+        constexpr int kVqeIterations = 400;
+
+        CompileServiceOptions service_options;
+        service_options.numWorkers = 4;
+        service_options.lookupDt = 0.5;
+        service_options.synthesizer = analyticBlockSynthesizer(0.5);
+        service_options.cache.capacity = 8192;
+
+        auto vqeWith = [&](const ParamQuantization& quantization,
+                           CompileService& service) {
+            VqeRunOptions options;
+            options.optimizer.maxIterations = kVqeIterations;
+            // Run the converged tail out instead of stopping at the
+            // default f-spread: the thousands-of-iterations regime
+            // near the optimum is precisely what the paper's
+            // amortization (and this comparison) is about.
+            options.optimizer.fTolerance = 1e-13;
+            options.compileService = &service;
+            options.quantization = quantization;
+            return runVqe(ansatz, hamiltonian, options);
+        };
+
+        ParamQuantization fixed_grid;
+        fixed_grid.enabled = true;
+        fixed_grid.bins = kFixedBins;
+        fixed_grid.fidelityBudget = 0.05;
+        CompileService fixed_service(service_options);
+        const VqeResult fixed = vqeWith(fixed_grid, fixed_service);
+        // No prewarm on either side: every synthesis is demand-driven
+        // (first touches of a bin, plus refinement child prewarms on
+        // the adaptive side), which is what the comparison meters.
+        const uint64_t fixed_synths = fixed.quantMisses;
+
+        ParamQuantization adaptive_grid = fixed_grid;
+        adaptive_grid.bins = kAdaptiveBins;
+        adaptive_grid.adaptive = true;
+        adaptive_grid.maxRefineDepth = 5; // Finest step: 2pi/2048.
+        adaptive_grid.splitVisitThreshold = 6;
+        adaptive_grid.refineCooldown = 1;
+        adaptive_grid.refineStepNorm = 0.25;
+        CompileService adaptive_service(service_options);
+        const VqeResult adaptive =
+            vqeWith(adaptive_grid, adaptive_service);
+        const uint64_t adaptive_synths =
+            adaptive.quantMisses + adaptive.quantRefineSynths;
+
+        const uint64_t adaptive_serves = adaptive.quantHits +
+                                         adaptive.quantMisses +
+                                         adaptive.quantFallbacks;
+        const double adaptive_hit_rate =
+            adaptive_serves ? static_cast<double>(adaptive.quantHits) /
+                                  adaptive_serves
+                            : 0.0;
+
+        TextTable table("adaptive vs fixed grid, converging H2 VQE");
+        table.addRow({"Grid", "Bins", "Syntheses",
+                      "Error bound @ optimum", "Energy gap"});
+        table.addRow({"fixed", std::to_string(kFixedBins),
+                      std::to_string(fixed_synths),
+                      fmtDouble(fixed.finalQuantErrorBound, 6),
+                      fmtDouble(std::abs(fixed.energy -
+                                         fixed.exactGroundEnergy),
+                                6)});
+        table.addRow(
+            {"adaptive",
+             std::to_string(kAdaptiveBins) + "+" +
+                 std::to_string(adaptive.quantSplits) + " splits",
+             std::to_string(adaptive_synths),
+             fmtDouble(adaptive.finalQuantErrorBound, 6),
+             fmtDouble(std::abs(adaptive.energy -
+                                adaptive.exactGroundEnergy),
+                       6)});
+        table.print();
+        inform("adaptive: ", adaptive.quantRefineRounds,
+               " refinement rounds split ", adaptive.quantSplits,
+               " leaves (", adaptive.quantRefineSynths,
+               " child prewarms, ", adaptive.quantBytesReleased,
+               " stale bytes released), ",
+               fmtDouble(100.0 * adaptive_hit_rate, 1),
+               "% warm hit rate over ", adaptive_serves,
+               " rotation serves");
+
+        std::printf("BENCH_adaptive_error_bound=%.6f\n",
+                    adaptive.finalQuantErrorBound);
+        std::printf("BENCH_adaptive_fixed_error_bound=%.6f\n",
+                    fixed.finalQuantErrorBound);
+        std::printf("BENCH_adaptive_synth_runs=%llu\n",
+                    static_cast<unsigned long long>(adaptive_synths));
+        std::printf("BENCH_adaptive_fixed_synth_runs=%llu\n",
+                    static_cast<unsigned long long>(fixed_synths));
+        std::printf("BENCH_adaptive_hit_rate=%.4f\n",
+                    adaptive_hit_rate);
+        std::printf("BENCH_adaptive_splits=%llu\n",
+                    static_cast<unsigned long long>(
+                        adaptive.quantSplits));
+        std::printf("BENCH_adaptive_refine_rounds=%d\n",
+                    adaptive.quantRefineRounds);
+
+        // The tentpole claim, enforced: strictly lower realized error
+        // at the optimum for equal or fewer total syntheses, served
+        // overwhelmingly warm.
+        fatalIf(adaptive.finalQuantErrorBound >=
+                    fixed.finalQuantErrorBound,
+                "adaptive grid's realized error bound did not beat "
+                "the fixed grid's");
+        fatalIf(adaptive_synths > fixed_synths,
+                "adaptive grid needed more syntheses than the fixed "
+                "grid");
+        fatalIf(adaptive_hit_rate < 0.9,
+                "adaptive warm hit rate fell below 90% on the "
+                "converging H2 VQE run");
     }
 
     // Backpressure: 8 drivers race the whole sweep through one

@@ -54,23 +54,46 @@ for fresh_json in "$FRESH"/bench_*.json; do
     fi
     # Diff machine-readable BENCH_key=value lines, if either side has
     # them (new keys, changed values, and removed keys all show).
+    # BENCH_adaptive_* keys carry a quality direction: error bound and
+    # synthesis count must not grow, hit rate must not fall — a fresh
+    # value past 5% tolerance on the wrong side is flagged as a
+    # regression and fails the compare.
     # (Explicit section markers rather than NR==FNR: that idiom
     # misattributes the second stream when the first is empty.)
-    awk -F= '
+    bench_diff=$(awk -F= '
         $0 == "__SECTION__" { section++; next }
         section == 1 { base[$1] = $2; next }
         { fresh[$1] = 1
           if (!($1 in base))
               printf "   BENCH %s: (new) -> %s\n", $1, $2
-          else if (base[$1] != $2)
-              printf "   BENCH %s: %s -> %s\n", $1, base[$1], $2 }
-        END { for (k in base) if (!(k in fresh))
-                  printf "   BENCH %s: %s -> (removed)\n", k, base[k] }' \
+          else if (base[$1] != $2) {
+              printf "   BENCH %s: %s -> %s\n", $1, base[$1], $2
+              if ($1 ~ /^BENCH_adaptive_(error_bound|synth_runs)$/ &&
+                  $2 + 0 > (base[$1] + 0) * 1.05)
+                  printf "   !! ADAPTIVE REGRESSION %s: %s -> %s\n", \
+                      $1, base[$1], $2
+              if ($1 == "BENCH_adaptive_hit_rate" &&
+                  $2 + 0 < (base[$1] + 0) * 0.95)
+                  printf "   !! ADAPTIVE REGRESSION %s: %s -> %s\n", \
+                      $1, base[$1], $2
+          } }
+        END { for (k in base) if (!(k in fresh)) {
+                  printf "   BENCH %s: %s -> (removed)\n", k, base[k]
+                  # A guarded key vanishing is itself a regression: a
+                  # silently-skipped adaptive section must not pass.
+                  if (k ~ /^BENCH_adaptive_/)
+                      printf "   !! ADAPTIVE REGRESSION %s: %s -> (removed)\n", \
+                          k, base[k]
+              } }' \
         <(echo __SECTION__;
           jq -r '.lines[] | select(startswith("BENCH_"))' "$base_json") \
         <(echo __SECTION__;
           jq -r '.lines[] | select(startswith("BENCH_"))' "$fresh_json") \
-        | sort
+        | sort)
+    [ -n "$bench_diff" ] && printf '%s\n' "$bench_diff"
+    if printf '%s' "$bench_diff" | grep -q 'ADAPTIVE REGRESSION'; then
+        status=1
+    fi
 done
 
 # Benches present in the baseline but absent from the fresh run.

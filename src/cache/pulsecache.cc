@@ -241,6 +241,23 @@ PulseCache::put(const BlockFingerprint& fp, PulseSchedule pulse)
     put(fp, std::make_shared<const PulseSchedule>(std::move(pulse)));
 }
 
+std::size_t
+PulseCache::erase(const BlockFingerprint& fp)
+{
+    Shard& shard = shardFor(fp);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(fp);
+    if (it == shard.index.end())
+        return 0;
+    const std::size_t bytes = it->second->bytes;
+    shard.bytesInUse -= bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    released_.fetch_add(1, std::memory_order_relaxed);
+    bytesReleased_.fetch_add(bytes, std::memory_order_relaxed);
+    return bytes;
+}
+
 DiskGcReport
 PulseCache::gcDisk()
 {
@@ -333,6 +350,8 @@ PulseCache::stats() const
     out.diskWrites = diskWrites_.load(std::memory_order_relaxed);
     out.bytesEvicted = bytesEvicted_.load(std::memory_order_relaxed);
     out.oversized = oversized_.load(std::memory_order_relaxed);
+    out.released = released_.load(std::memory_order_relaxed);
+    out.bytesReleased = bytesReleased_.load(std::memory_order_relaxed);
     out.diskGcRuns = diskGcRuns_.load(std::memory_order_relaxed);
     out.diskGcRemovals =
         diskGcRemovals_.load(std::memory_order_relaxed);

@@ -111,6 +111,8 @@ struct CacheStats
      *  @{ */
     std::size_t bytesInUse = 0;      ///< Resident bytes, all shards.
     std::uint64_t bytesEvicted = 0;  ///< Bytes displaced by eviction.
+    std::uint64_t released = 0;      ///< Entries dropped via erase().
+    std::uint64_t bytesReleased = 0; ///< Bytes returned via erase().
     /** Pulses larger than their shard's byte budget, refused up front
      * (the disk tier still holds them when configured). */
     std::uint64_t oversized = 0;
@@ -165,6 +167,16 @@ class PulseCache
     /** Store a pulse in memory and (when configured) on disk. */
     void put(const BlockFingerprint& fp, PulsePtr pulse);
     void put(const BlockFingerprint& fp, PulseSchedule pulse);
+
+    /**
+     * Drop one entry from the memory tier, returning the serialized
+     * bytes it released against the byte budget (0 when absent). The
+     * disk tier keeps its record, so an erased pulse that is requested
+     * again promotes back instead of re-synthesizing. Used by adaptive
+     * quantization to release stale coarse-bin pulses once their bin
+     * has been split into finer children.
+     */
+    std::size_t erase(const BlockFingerprint& fp);
 
     /**
      * Sweep the disk tier down to options().maxDiskBytes by removing
@@ -223,6 +235,8 @@ class PulseCache
     std::atomic<std::uint64_t> diskWrites_{0};
     std::atomic<std::uint64_t> bytesEvicted_{0};
     std::atomic<std::uint64_t> oversized_{0};
+    std::atomic<std::uint64_t> released_{0};
+    std::atomic<std::uint64_t> bytesReleased_{0};
 
     /** One sweep at a time; put()/get() never take this. */
     std::mutex diskGcMu_;

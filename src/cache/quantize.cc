@@ -1,5 +1,6 @@
 #include "cache/quantize.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -62,11 +63,16 @@ snapAngle(double theta, int bins)
 double
 snapDelta(double theta, int bins)
 {
-    const double snapped = snapAngle(theta, bins);
+    return wrappedAngleDelta(theta, snapAngle(theta, bins));
+}
+
+double
+wrappedAngleDelta(double theta, double representative)
+{
     // Reduce the raw difference by whole periods: theta may sit many
     // turns away from its centered representative, but the rotations
     // only differ by the wrapped remainder (mod a global phase).
-    const double raw = theta - snapped;
+    const double raw = theta - representative;
     return raw - kTau * std::round(raw / kTau);
 }
 
@@ -74,6 +80,121 @@ double
 quantizationErrorBound(double delta)
 {
     return std::abs(delta) / 2.0;
+}
+
+// ---------------------------------------------------------------------
+// Adaptive multi-resolution grid
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Coarse bins must fit the 24-bit field of the packed leaf key. */
+constexpr int kMaxAdaptiveBaseBins = 1 << 24;
+
+std::uint64_t
+packLeafKey(std::int64_t coarseBin, int depth, std::uint64_t path)
+{
+    return (static_cast<std::uint64_t>(depth) << 58) |
+           (static_cast<std::uint64_t>(coarseBin) << 34) | path;
+}
+
+} // namespace
+
+AdaptiveAngleGrid::AdaptiveAngleGrid(int baseBins) : bins_(baseBins)
+{
+    fatalIf(baseBins <= 0,
+            "adaptive grid needs a positive base bin count");
+    fatalIf(baseBins >= kMaxAdaptiveBaseBins,
+            "adaptive grid base bin count exceeds the key space");
+    leaves_ = static_cast<std::size_t>(baseBins);
+}
+
+std::uint64_t
+AdaptiveAngleGrid::leafKey(const Leaf& leaf)
+{
+    return packLeafKey(leaf.coarseBin, leaf.depth, leaf.path);
+}
+
+AdaptiveAngleGrid::Leaf
+AdaptiveAngleGrid::makeLeaf(std::int64_t coarseBin, int depth,
+                            std::uint64_t path) const
+{
+    const double step = kTau / bins_;
+    const double width = step / static_cast<double>(1ull << depth);
+    Leaf leaf;
+    leaf.coarseBin = coarseBin;
+    leaf.depth = depth;
+    leaf.path = path;
+    leaf.halfWidth = width / 2.0;
+    if (depth == 0) {
+        // Bit-for-bit the fixed grid's representative: an unsplit
+        // leaf fingerprints identically to its PR 3 bin, so a warm
+        // coarse grid keeps serving until the leaf actually splits.
+        leaf.representative = binAngle(coarseBin, bins_);
+    } else {
+        const double center = -step / 2.0 +
+                              static_cast<double>(path) * width +
+                              width / 2.0;
+        double rep = std::remainder(binAngle(coarseBin, bins_) + center,
+                                    kTau);
+        if (rep <= -kTau / 2.0)
+            rep += kTau; // Keep the (-pi, pi] contract at the seam.
+        leaf.representative = rep;
+    }
+    return leaf;
+}
+
+AdaptiveAngleGrid::Leaf
+AdaptiveAngleGrid::locate(double theta) const
+{
+    fatalIf(bins_ <= 0, "adaptive grid is not initialized");
+    const double step = kTau / bins_;
+    const std::int64_t coarse = angleBin(theta, bins_);
+    // Offset of theta inside the coarse interval [(b-1/2), (b+1/2))
+    // step, wrap-aware so any spelling of the angle descends the same
+    // path.
+    const double u = wrappedAngleDelta(theta, binAngle(coarse, bins_));
+    int depth = 0;
+    std::uint64_t path = 0;
+    double lo = -step / 2.0;
+    double hi = step / 2.0;
+    while (split_.count(packLeafKey(coarse, depth, path))) {
+        const double mid = 0.5 * (lo + hi);
+        if (u < mid) {
+            hi = mid;
+            path = path * 2;
+        } else {
+            lo = mid;
+            path = path * 2 + 1;
+        }
+        ++depth;
+    }
+    return makeLeaf(coarse, depth, path);
+}
+
+std::pair<AdaptiveAngleGrid::Leaf, AdaptiveAngleGrid::Leaf>
+AdaptiveAngleGrid::childrenOf(const Leaf& leaf) const
+{
+    fatalIf(bins_ <= 0, "adaptive grid is not initialized");
+    panicIf(leaf.depth >= kMaxDepth,
+            "adaptive leaf is already at the maximum depth");
+    return {makeLeaf(leaf.coarseBin, leaf.depth + 1, leaf.path * 2),
+            makeLeaf(leaf.coarseBin, leaf.depth + 1,
+                     leaf.path * 2 + 1)};
+}
+
+std::pair<AdaptiveAngleGrid::Leaf, AdaptiveAngleGrid::Leaf>
+AdaptiveAngleGrid::split(const Leaf& leaf)
+{
+    std::pair<Leaf, Leaf> children = childrenOf(leaf);
+    const std::uint64_t key = leafKey(leaf);
+    panicIf(split_.count(key) != 0,
+            "adaptive leaf is already split (stale handle?)");
+    split_.insert(key);
+    ++splits_;
+    ++leaves_; // One leaf becomes two.
+    maxDepth_ = std::max(maxDepth_, leaf.depth + 1);
+    return children;
 }
 
 QuantizedBlock
@@ -90,20 +211,30 @@ quantizeBlock(const Circuit& symbolic, const std::vector<double>& theta,
         if (gateIsRotation(op.kind)) {
             const double angle = op.angle.bind(theta);
             if (op.angle.isSymbolic()) {
-                const std::int64_t bin =
-                    angleBin(angle, quantization.bins);
-                bound.angle = ParamExpr::constant(
-                    binAngle(bin, quantization.bins));
-                out.bins.push_back(bin);
-                out.errorBound += quantizationErrorBound(
+                // Per-gate budget, identical to serve() and
+                // snapSymbolicRotations(): a rotation whose snap fits
+                // is quantized, one that would overdraw stays exact
+                // (bin -1) — the budget never gates on the block sum.
+                const double bound_here = quantizationErrorBound(
                     snapDelta(angle, quantization.bins));
+                if (bound_here <= quantization.fidelityBudget) {
+                    const std::int64_t bin =
+                        angleBin(angle, quantization.bins);
+                    bound.angle = ParamExpr::constant(
+                        binAngle(bin, quantization.bins));
+                    out.bins.push_back(bin);
+                    out.errorBound += bound_here;
+                } else {
+                    bound.angle = ParamExpr::constant(angle);
+                    out.bins.push_back(-1);
+                    out.withinBudget = false;
+                }
             } else {
                 bound.angle = ParamExpr::constant(angle);
             }
         }
         snapped.add(bound);
     }
-    out.withinBudget = out.errorBound <= quantization.fidelityBudget;
     out.fingerprint = fingerprintBlock(snapped);
     out.snapped = std::move(snapped);
     return out;

@@ -28,6 +28,8 @@
 #define QPC_CACHE_QUANTIZE_H
 
 #include <cstdint>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "cache/fingerprint.h"
@@ -43,16 +45,142 @@ struct ParamQuantization
     /** Grid points per 2*pi period; step = 2*pi / bins. */
     int bins = 1024;
     /**
-     * Per-block budget on the advertised operator-norm error of
-     * snapping (phase-invariant; see quantizationErrorBound). A block
-     * whose summed bound exceeds this is served by exact synthesis.
-     * The default comfortably admits the default grid: one rotation
-     * snaps by at most step/4 ~ 1.5e-3.
+     * *Per-gate* budget on the advertised operator-norm error of
+     * snapping one rotation (phase-invariant; see
+     * quantizationErrorBound). A rotation whose snap would overdraw
+     * this is served/simulated at its exact bound angle instead —
+     * the same semantic everywhere: CompileService::serve(),
+     * snapSymbolicRotations(), and quantizeBlock(). The default
+     * comfortably admits the default grid: one rotation snaps by at
+     * most step/4 ~ 1.5e-3.
      */
     double fidelityBudget = 1e-2;
 
+    /** @name Adaptive multi-resolution refinement
+     * A converging optimizer visits an ever-narrower neighborhood of
+     * the optimum; the adaptive grid hierarchically splits exactly
+     * the bins it visits, so late-iteration serves snap onto finer
+     * representatives (lower error bound) while unvisited regions
+     * never pay for resolution. See AdaptiveAngleGrid and
+     * CompileService::refineQuantizedGrid().
+     *  @{ */
+    /** Enable convergence-aware bin refinement (needs `enabled`). */
+    bool adaptive = false;
+    /**
+     * Cap on splits per coarse bin: a leaf at depth d has width
+     * step / 2^d, so the finest effective grid is bins * 2^maxRefineDepth
+     * points — worst-case snap bound step / 2^(maxRefineDepth + 2).
+     */
+    int maxRefineDepth = 6;
+    /** Serve visits a leaf must accumulate before a refinement round
+     * splits it (children restart at zero). */
+    std::uint64_t splitVisitThreshold = 8;
+    /** Bound on leaves per rotation axis; 0 = 4 * bins. Refinement
+     * stops splitting (hottest leaves first) once reached. */
+    std::size_t maxLeavesPerAxis = 0;
+    /**
+     * Optimizer-movement gate used by the VQE/QAOA drivers: a
+     * refinement round is triggered only when the optimizer's
+     * reported parameter step norm has fallen to or below this (the
+     * converging regime where finer bins pay off). <= 0 refines
+     * whenever the cooldown allows.
+     */
+    double refineStepNorm = 0.25;
+    /** Minimum optimizer iterations between driver-triggered
+     * refinement rounds. */
+    int refineCooldown = 5;
+    /** @} */
+
     /** Grid spacing in radians. */
     double stepRadians() const;
+};
+
+/**
+ * One rotation axis's multi-resolution angle grid.
+ *
+ * Starts as the PR 3 uniform grid: `baseBins` intervals of width
+ * step = 2*pi/baseBins, each centered on a grid point (the interval of
+ * bin b is [(b-1/2)step, (b+1/2)step), representative b*step — the
+ * same representative binAngle() produces, bit-for-bit, so an unsplit
+ * leaf's snapped rotation fingerprints identically to the fixed grid
+ * and dedupes against an already-warm coarse cache). split() replaces
+ * a leaf by its two half-intervals, whose representatives are the
+ * half-interval midpoints: a leaf at depth d has width step/2^d and
+ * its realized snap is bounded by half that width, so every split
+ * halves the worst-case error of the angles that land there.
+ *
+ * Purely geometric: visit counting, fingerprints, and thread safety
+ * live with the owner (see CompileService's serving plans).
+ */
+class AdaptiveAngleGrid
+{
+  public:
+    /** Hard cap on splits below a coarse bin (keeps the packed leaf
+     * key unambiguous and interval arithmetic far from the double
+     * mantissa); split() refuses beyond it, and owners must validate
+     * their refine-depth knobs against it up front. */
+    static constexpr int kMaxDepth = 32;
+
+    AdaptiveAngleGrid() = default;
+    explicit AdaptiveAngleGrid(int baseBins);
+
+    /** One currently-served interval of the grid. */
+    struct Leaf
+    {
+        std::int64_t coarseBin = 0; ///< Level-0 ancestor, [0, baseBins).
+        int depth = 0;              ///< Splits below the coarse bin.
+        std::uint64_t path = 0;     ///< Index among the coarse bin's
+                                    ///< depth-d descendants, [0, 2^d).
+        /** Snap target of the leaf (interval midpoint), wrapped into
+         * (-pi, pi]; equals binAngle(coarseBin) at depth 0. */
+        double representative = 0.0;
+        /** Half the interval width: step / 2^(depth+1). The realized
+         * |snap delta| of any angle in the leaf is at most this. */
+        double halfWidth = 0.0;
+    };
+
+    int baseBins() const { return bins_; }
+    /** Leaves currently served (baseBins before any split). */
+    std::size_t numLeaves() const { return leaves_; }
+    /** Deepest split performed so far (0 = still the uniform grid). */
+    int maxDepthInUse() const { return maxDepth_; }
+    /** Splits performed over the grid's lifetime. */
+    std::uint64_t splits() const { return splits_; }
+
+    /** Stable identity of a leaf (hash/map key for owners). */
+    static std::uint64_t leafKey(const Leaf& leaf);
+
+    /** The unique leaf containing theta (wrap-aware, like angleBin). */
+    Leaf locate(double theta) const;
+
+    /**
+     * The two half-interval children a split of `leaf` would produce
+     * ({low, high}), without mutating the grid. Pure geometry — safe
+     * to call concurrently with locate()/split() on other threads —
+     * so owners can precompute the children's representatives (and
+     * their fingerprints) outside any lock before committing the
+     * split.
+     */
+    std::pair<Leaf, Leaf> childrenOf(const Leaf& leaf) const;
+
+    /**
+     * Split a leaf into its two half-interval children (returned
+     * {low, high}); the leaf stops being served. Panics when the leaf
+     * is already split or stale — owners must pass leaves of the
+     * current topology.
+     */
+    std::pair<Leaf, Leaf> split(const Leaf& leaf);
+
+  private:
+    Leaf makeLeaf(std::int64_t coarseBin, int depth,
+                  std::uint64_t path) const;
+
+    int bins_ = 0;
+    std::size_t leaves_ = 0;
+    int maxDepth_ = 0;
+    std::uint64_t splits_ = 0;
+    /** Internal (split) nodes, by leafKey of the node. */
+    std::unordered_set<std::uint64_t> split_;
 };
 
 /**
@@ -81,6 +209,14 @@ double snapAngle(double theta, int bins);
 double snapDelta(double theta, int bins);
 
 /**
+ * Signed wrapped difference theta - representative, reduced by whole
+ * periods into [-pi, pi]: the substitution delta of serving theta by
+ * an arbitrary representative (adaptive leaves are not on any uniform
+ * grid, so snapDelta's grid form does not apply).
+ */
+double wrappedAngleDelta(double theta, double representative);
+
+/**
  * Advertised operator-norm error of substituting one rotation snapped
  * by delta, up to global phase: |delta| / 2, an upper bound on the
  * exact distance 2*sin(|delta|/4). Per-rotation bounds add across a
@@ -93,31 +229,42 @@ struct QuantizedBlock
 {
     /** Content address of the snapped block (shared by its whole bin). */
     BlockFingerprint fingerprint;
-    /** The bound block with every symbolic rotation snapped. */
+    /** The bound block with every budget-admitted symbolic rotation
+     * snapped (over-budget rotations keep their exact bound angle). */
     Circuit snapped;
-    /** Summed advertised error bound of all substitutions. */
+    /** Summed advertised error bound of the snaps actually applied. */
     double errorBound = 0.0;
-    /** Bin index per snapped rotation, program order. */
+    /** Bin index per symbolic rotation, program order; -1 marks a
+     * rotation kept exact because its per-gate snap would overdraw
+     * the budget. */
     std::vector<std::int64_t> bins;
-    /** errorBound <= quantization.fidelityBudget. */
+    /** Every symbolic rotation fit the per-gate budget (no -1 bins):
+     * the whole block is on the grid. NOTE: the budget is per *gate*
+     * — matching serve() and snapSymbolicRotations(), which check and
+     * fall back one rotation at a time — so a fully-snapped
+     * multi-rotation block's summed errorBound may legitimately
+     * exceed fidelityBudget. (It used to be per-block here, declaring
+     * blocks over-budget that the serve path happily snapped
+     * gate-by-gate.) */
     bool withinBudget = true;
 };
 
 /**
  * Bind a symbolic block against theta, snapping every parametrized
- * rotation onto the grid. Constant angles (and non-rotation gates)
- * pass through exactly — only the per-iteration degrees of freedom are
- * quantized. The fingerprint addresses the snapped block, so every
- * binding inside one bin resolves to the same cache entry.
+ * rotation that fits the *per-gate* budget onto the grid (rotations
+ * past it keep their exact bound angle). Constant angles (and
+ * non-rotation gates) pass through exactly — only the per-iteration
+ * degrees of freedom are quantized. The fingerprint addresses the
+ * snapped block, so every binding inside one bin resolves to the same
+ * cache entry.
  *
  * This is the reference form of the quantized keying;
- * CompileService::serve() inlines the same bind -> bin -> bound
- * sequence against per-axis fingerprint tables precomputed at
+ * CompileService::serve() inlines the same bind -> bin -> budget ->
+ * bound sequence against per-axis fingerprint tables precomputed at
  * prepareServing() time (re-deriving a unitary fingerprint per
- * iteration would cost more than the lookup it replaces). Keep the
- * two in lockstep: for the single-rotation blocks strict partitioning
- * emits, the per-gate budget check there coincides with the
- * per-block sum here.
+ * iteration would cost more than the lookup it replaces), and
+ * snapSymbolicRotations() below is the full-circuit mirror. All
+ * three share the per-gate budget semantic — keep them in lockstep.
  */
 QuantizedBlock quantizeBlock(const Circuit& symbolic,
                              const std::vector<double>& theta,

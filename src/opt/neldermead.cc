@@ -7,6 +7,19 @@
 
 namespace qpc {
 
+namespace {
+
+double
+distance(const std::vector<double>& a, const std::vector<double>& b)
+{
+    double sum = 0.0;
+    for (std::size_t d = 0; d < a.size(); ++d)
+        sum += (a[d] - b[d]) * (a[d] - b[d]);
+    return std::sqrt(sum);
+}
+
+} // namespace
+
 NelderMeadResult
 nelderMead(const std::function<double(const std::vector<double>&)>&
                objective,
@@ -31,8 +44,6 @@ nelderMead(const std::function<double(const std::vector<double>&)>&
 
     std::vector<int> order(n + 1);
     for (int iter = 0; iter < options.maxIterations; ++iter) {
-        ++result.iterations;
-
         // Sort vertex indices by objective value.
         for (int i = 0; i <= n; ++i)
             order[i] = i;
@@ -47,6 +58,10 @@ nelderMead(const std::function<double(const std::vector<double>&)>&
             result.converged = true;
             break;
         }
+        // Counted after the convergence check so `iterations` is
+        // exactly the simplex updates performed — and exactly the
+        // number of onIteration reports.
+        ++result.iterations;
 
         // Centroid of all vertices except the worst.
         std::vector<double> centroid(n, 0.0);
@@ -67,6 +82,29 @@ nelderMead(const std::function<double(const std::vector<double>&)>&
             return point;
         };
 
+        // Movement metrics are only worth their copies when someone
+        // is listening.
+        std::vector<double> displaced;
+        if (options.onIteration)
+            displaced = simplex[worst];
+        auto finishIteration = [&](double step_norm) {
+            if (!options.onIteration)
+                return;
+            int b = 0;
+            for (int i = 1; i <= n; ++i)
+                if (values[i] < values[b])
+                    b = i;
+            NelderMeadIterationInfo info;
+            info.iteration = result.iterations;
+            info.bestValue = values[b];
+            info.stepNorm = step_norm;
+            for (int i = 0; i <= n; ++i)
+                info.simplexDiameter = std::max(
+                    info.simplexDiameter,
+                    distance(simplex[i], simplex[b]));
+            options.onIteration(info);
+        };
+
         // Reflection.
         std::vector<double> reflected = blend(-options.reflection);
         const double f_reflected = objective(reflected);
@@ -85,11 +123,17 @@ nelderMead(const std::function<double(const std::vector<double>&)>&
                 simplex[worst] = std::move(reflected);
                 values[worst] = f_reflected;
             }
+            finishIteration(options.onIteration
+                                ? distance(displaced, simplex[worst])
+                                : 0.0);
             continue;
         }
         if (f_reflected < values[second_worst]) {
             simplex[worst] = std::move(reflected);
             values[worst] = f_reflected;
+            finishIteration(options.onIteration
+                                ? distance(displaced, simplex[worst])
+                                : 0.0);
             continue;
         }
 
@@ -104,10 +148,16 @@ nelderMead(const std::function<double(const std::vector<double>&)>&
         if (f_contracted < f_gate) {
             simplex[worst] = std::move(contracted);
             values[worst] = f_contracted;
+            finishIteration(options.onIteration
+                                ? distance(displaced, simplex[worst])
+                                : 0.0);
             continue;
         }
 
         // Shrink toward the best vertex.
+        std::vector<std::vector<double>> pre_shrink;
+        if (options.onIteration)
+            pre_shrink = simplex;
         for (int i = 0; i <= n; ++i) {
             if (i == best)
                 continue;
@@ -117,6 +167,13 @@ nelderMead(const std::function<double(const std::vector<double>&)>&
                     options.shrink * (simplex[i][d] - simplex[best][d]);
             values[i] = objective(simplex[i]);
             ++result.evaluations;
+        }
+        if (options.onIteration) {
+            double moved = 0.0;
+            for (int i = 0; i <= n; ++i)
+                moved = std::max(moved,
+                                 distance(pre_shrink[i], simplex[i]));
+            finishIteration(moved);
         }
     }
 

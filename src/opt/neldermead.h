@@ -17,6 +17,29 @@
 
 namespace qpc {
 
+/**
+ * Progress of one completed simplex update, reported through
+ * NelderMeadOptions::onIteration. The step norm and simplex diameter
+ * are the optimizer-movement signals consumers use to detect
+ * convergence-in-progress — the adaptive quantization drivers trigger
+ * grid-refinement rounds once the step norm falls below their
+ * threshold (the optimizer has stopped leaping and started homing).
+ */
+struct NelderMeadIterationInfo
+{
+    int iteration = 0;        ///< Simplex updates completed so far.
+    double bestValue = 0.0;   ///< Objective at the current best vertex.
+    /**
+     * Euclidean distance the simplex update moved a vertex: the
+     * replaced worst vertex to its replacement on reflect / expand /
+     * contract, the largest vertex displacement on a shrink. Shrinks
+     * toward zero as the optimizer converges.
+     */
+    double stepNorm = 0.0;
+    /** Largest distance from the best vertex to any other vertex. */
+    double simplexDiameter = 0.0;
+};
+
 /** Termination and shape knobs for Nelder-Mead. */
 struct NelderMeadOptions
 {
@@ -27,6 +50,9 @@ struct NelderMeadOptions
     double expansion = 2.0;
     double contraction = 0.5;
     double shrink = 0.5;
+    /** Called after every completed simplex update (movement metrics
+     * are only computed when set — the bare loop stays free). */
+    std::function<void(const NelderMeadIterationInfo&)> onIteration;
 };
 
 /** Outcome of a Nelder-Mead run. */

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "runtime/refinetrigger.h"
 #include "runtime/service.h"
 #include "sim/statevector.h"
 
@@ -62,23 +63,49 @@ runQaoa(const Graph& graph, const QaoaRunOptions& options)
                 result.maxQuantErrorBound, served.quantErrorBound);
         }
         StateVector state(graph.numNodes);
-        // The served pulses realize snapped angles under quantization;
-        // simulate exactly what they execute (see runVqe).
+        // The served pulses realize snapped angles under quantization
+        // (current adaptive leaf representatives when the plan
+        // refines); simulate exactly what they execute (see runVqe).
         state.applyCircuit(
-            quantized ? snapSymbolicRotations(circuit, theta,
-                                              plan.quantization())
-                      : circuit.bind(theta));
+            quantized
+                ? service->snapServedRotations(plan, circuit, theta)
+                : circuit.bind(theta));
         return cost.expectation(state);
     };
+
+    // Optimizer-movement-gated grid refinement, as in runVqe: small
+    // steps mean the optimizer is converging, so split the bins it
+    // has been visiting and serve finer representatives from here on.
+    NelderMeadOptions optimizer = options.optimizer;
+    RefinementTriggerStats refinement;
+    if (quantized && plan.quantization().adaptive)
+        optimizer = withRefinementTrigger(std::move(optimizer),
+                                          *service, plan, refinement);
 
     Rng rng(options.seed);
     const std::vector<double> start = rng.angles(2 * options.p);
     const NelderMeadResult opt =
-        nelderMead(objective, start, options.optimizer);
+        nelderMead(objective, start, optimizer);
 
+    result.quantRefineRounds = refinement.rounds;
+    result.quantSplits = refinement.splits;
+    result.quantRefineSynths = refinement.prewarmSynths;
+    result.quantBytesReleased = refinement.bytesReleased;
+    double best_cost = opt.bestValue;
+    if (quantized) {
+        // Bound and cost of the answer on the *final* grid topology
+        // (refinement may have split bestParams' leaves after their
+        // last evaluation — see runVqe).
+        result.finalQuantErrorBound =
+            service->serve(plan, opt.best).quantErrorBound;
+        StateVector final_state(graph.numNodes);
+        final_state.applyCircuit(
+            service->snapServedRotations(plan, circuit, opt.best));
+        best_cost = cost.expectation(final_state);
+    }
     result.bestParams = opt.best;
-    result.bestCost = opt.bestValue;
-    result.expectedCutValue = expectedCut(opt.bestValue);
+    result.bestCost = best_cost;
+    result.expectedCutValue = expectedCut(best_cost);
     result.approxRatio =
         result.maxCut > 0 ? result.expectedCutValue / result.maxCut
                           : 0.0;

@@ -78,6 +78,16 @@ struct QaoaResult
     /** Largest per-iteration summed snap error bound observed. */
     double maxQuantErrorBound = 0.0;
     /** @} */
+
+    /** @name Adaptive-grid refinement (zero unless
+     *  quantization.adaptive; see VqeResult for field semantics)
+     *  @{ */
+    int quantRefineRounds = 0;
+    uint64_t quantSplits = 0;
+    uint64_t quantRefineSynths = 0;
+    uint64_t quantBytesReleased = 0;
+    double finalQuantErrorBound = 0.0;
+    /** @} */
 };
 
 /** Run the hybrid QAOA loop on a graph. */

@@ -1,0 +1,41 @@
+#include "runtime/refinetrigger.h"
+
+namespace qpc {
+
+NelderMeadOptions
+withRefinementTrigger(NelderMeadOptions optimizer,
+                      CompileService& service, const ServingPlan& plan,
+                      RefinementTriggerStats& stats)
+{
+    const ParamQuantization quant = plan.quantization();
+    auto chained = optimizer.onIteration;
+    int last_round = -quant.refineCooldown;
+    optimizer.onIteration =
+        [&service, &plan, &stats, quant, chained,
+         last_round](const NelderMeadIterationInfo& info) mutable {
+            if (chained)
+                chained(info);
+            // Gate on convergence-in-progress: big steps mean the
+            // optimizer is still leaping across the landscape, where
+            // finer bins would be wasted on regions it never
+            // revisits.
+            if (quant.refineStepNorm > 0.0 &&
+                info.stepNorm > quant.refineStepNorm)
+                return;
+            if (info.iteration - last_round < quant.refineCooldown)
+                return;
+            last_round = info.iteration;
+            const RefinementReport round =
+                service.refineQuantizedGrid(plan);
+            if (round.leavesSplit == 0)
+                return;
+            ++stats.rounds;
+            stats.splits +=
+                static_cast<std::uint64_t>(round.leavesSplit);
+            stats.prewarmSynths += round.synthRuns;
+            stats.bytesReleased += round.bytesReleased;
+        };
+    return optimizer;
+}
+
+} // namespace qpc

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Optimizer-movement trigger for adaptive grid refinement.
+ *
+ * The VQE and QAOA drivers share one policy for when a hybrid loop
+ * should refine its quantized serving plan: once the optimizer's
+ * per-iteration step norm falls to ParamQuantization::refineStepNorm
+ * (it has stopped leaping and started homing in), run
+ * CompileService::refineQuantizedGrid at most every refineCooldown
+ * iterations. This header is that policy in one place, so the two
+ * drivers cannot drift apart.
+ */
+
+#ifndef QPC_RUNTIME_REFINETRIGGER_H
+#define QPC_RUNTIME_REFINETRIGGER_H
+
+#include <cstdint>
+
+#include "opt/neldermead.h"
+#include "runtime/service.h"
+
+namespace qpc {
+
+/** What a run's driver-triggered refinement rounds did in total
+ * (driver results copy these fields out verbatim). */
+struct RefinementTriggerStats
+{
+    int rounds = 0;              ///< Rounds that split at least one leaf.
+    std::uint64_t splits = 0;    ///< Leaves split across the run.
+    std::uint64_t prewarmSynths = 0; ///< Child pulses synthesized.
+    std::uint64_t bytesReleased = 0; ///< Stale parent bytes released.
+};
+
+/**
+ * Wrap `optimizer` with the convergence-gated refinement trigger for
+ * `plan`, chaining any callback already installed. Rounds accumulate
+ * into `stats`, which must outlive the returned options' use (the
+ * drivers keep it on the stack next to the optimizer run). The plan's
+ * quantization must be adaptive; service and plan must outlive the
+ * optimizer run as well.
+ */
+NelderMeadOptions
+withRefinementTrigger(NelderMeadOptions optimizer,
+                      CompileService& service, const ServingPlan& plan,
+                      RefinementTriggerStats& stats);
+
+} // namespace qpc
+
+#endif // QPC_RUNTIME_REFINETRIGGER_H

@@ -1,5 +1,6 @@
 #include "runtime/service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <thread>
@@ -15,15 +16,22 @@ namespace qpc {
 
 namespace {
 
+/** One strict segment's rotation, rebuilt at a representative angle. */
+Circuit
+rotationAt(const Circuit& gate, double angle)
+{
+    Circuit snapped(gate.numQubits());
+    GateOp op = gate.ops().front();
+    op.angle = ParamExpr::constant(angle);
+    snapped.add(op);
+    return snapped;
+}
+
 /** One strict segment's rotation, rebuilt at a grid bin's angle. */
 Circuit
 snappedRotation(const Circuit& gate, std::int64_t bin, int bins)
 {
-    Circuit snapped(gate.numQubits());
-    GateOp op = gate.ops().front();
-    op.angle = ParamExpr::constant(binAngle(bin, bins));
-    snapped.add(op);
-    return snapped;
+    return rotationAt(gate, binAngle(bin, bins));
 }
 
 /** Analytic library pulse for one local block on a clique device. */
@@ -34,6 +42,26 @@ analyticPulse(const Circuit& block, double dt)
         DeviceModel::gmonClique(std::max(1, block.numQubits()));
     const GatePulseLibrary library(device, dt);
     return library.compileCircuit(block);
+}
+
+/** One validation for every quantization config entry point: the
+ * service-wide default (constructor) and per-plan overrides
+ * (prepareServing) must accept exactly the same configs. */
+void
+validateQuantization(const ParamQuantization& quantization)
+{
+    fatalIf(quantization.enabled &&
+                (quantization.bins <= 0 ||
+                 quantization.fidelityBudget < 0.0),
+            "quantization needs a positive bin count and a "
+            "non-negative fidelity budget");
+    fatalIf(quantization.enabled && quantization.adaptive &&
+                (quantization.maxRefineDepth <= 0 ||
+                 quantization.maxRefineDepth >
+                     AdaptiveAngleGrid::kMaxDepth ||
+                 quantization.splitVisitThreshold == 0),
+            "adaptive quantization needs a refine depth in [1, 32] "
+            "and a positive split-visit threshold");
 }
 
 } // namespace
@@ -86,11 +114,7 @@ CompileService::CompileService(CompileServiceOptions options)
 {
     fatalIf(options_.maxBlockWidth <= 0,
             "block width cap must be positive");
-    fatalIf(options_.quantization.enabled &&
-                (options_.quantization.bins <= 0 ||
-                 options_.quantization.fidelityBudget < 0.0),
-            "quantization needs a positive bin count and a "
-            "non-negative fidelity budget");
+    validateQuantization(options_.quantization);
     if (!options_.synthesizer)
         options_.synthesizer = analyticBlockSynthesizer(options_.lookupDt);
 }
@@ -417,11 +441,7 @@ CompileService::prepareServing(const StrictPartition& partition,
     // Per-plan overrides (driver knobs) get the same validation the
     // constructor applies to the service-wide default, so an invalid
     // config fails here rather than deep inside the first serve().
-    fatalIf(quantization.enabled &&
-                (quantization.bins <= 0 ||
-                 quantization.fidelityBudget < 0.0),
-            "quantization needs a positive bin count and a "
-            "non-negative fidelity budget");
+    validateQuantization(quantization);
     ServingPlan plan;
     plan.quant_ = quantization;
     for (const StrictSegment& segment : partition.segments) {
@@ -462,6 +482,31 @@ CompileService::prepareServing(const StrictPartition& partition,
                 for (int bin = 0; bin < quantization.bins; ++bin)
                     table.push_back(fingerprintBlock(snappedRotation(
                         out.gate, bin, quantization.bins)));
+                // Adaptive refinement state: every coarse bin starts
+                // as one leaf carrying the fixed grid's fingerprint
+                // (representatives coincide bit-for-bit), so an
+                // unsplit leaf serves — and a prewarmed grid warms —
+                // the very same cache entries.
+                if (quantization.adaptive) {
+                    auto axis =
+                        std::make_shared<ServingPlan::AdaptiveAxis>();
+                    axis->grid = AdaptiveAngleGrid(quantization.bins);
+                    axis->gate = out.gate;
+                    axis->leaves.reserve(
+                        static_cast<std::size_t>(quantization.bins));
+                    for (int bin = 0; bin < quantization.bins; ++bin) {
+                        ServingPlan::AdaptiveAxis::LeafState state;
+                        state.leaf = axis->grid.locate(
+                            binAngle(bin, quantization.bins));
+                        state.fingerprint =
+                            table[static_cast<std::size_t>(bin)];
+                        axis->leaves.emplace(
+                            AdaptiveAngleGrid::leafKey(state.leaf),
+                            std::move(state));
+                    }
+                    plan.adaptiveAxes_.emplace(relabeled.kind,
+                                               std::move(axis));
+                }
                 plan.binTables_.emplace(relabeled.kind,
                                         std::move(table));
             }
@@ -502,26 +547,62 @@ CompileService::serve(const ServingPlan& plan,
             }
         } else {
             // A parametrized rotation. Quantized serving snaps the
-            // binding onto the angle grid and resolves the bin through
-            // the content-addressed cache — one synthesis per bin,
-            // ever — falling back to the exact path when the snap
-            // would overdraw the fidelity budget (or quantization is
-            // off): an analytic lookup synthesized per binding, never
-            // cached.
+            // binding onto the angle grid — the current adaptive leaf
+            // when the plan refines, the fixed bin otherwise — and
+            // resolves the representative through the
+            // content-addressed cache: one synthesis per bin, ever.
+            // It falls back to the exact path when the snap would
+            // overdraw the per-gate fidelity budget (or quantization
+            // is off): an analytic lookup synthesized per binding,
+            // never cached.
             if (plan.quant_.enabled) {
                 const GateOp& op = segment.gate.ops().front();
                 const double angle = op.angle.bind(theta);
-                const double bound = quantizationErrorBound(
-                    snapDelta(angle, plan.quant_.bins));
-                if (bound <= plan.quant_.fidelityBudget) {
+                double representative = 0.0;
+                BlockFingerprint fp;
+                if (plan.quant_.adaptive) {
+                    const auto axis_it =
+                        plan.adaptiveAxes_.find(op.kind);
+                    panicIf(axis_it == plan.adaptiveAxes_.end(),
+                            "serving plan is missing an adaptive axis");
+                    ServingPlan::AdaptiveAxis& axis = *axis_it->second;
+                    // Short critical section: locate the leaf, read
+                    // its fingerprint, feed the visit counter that
+                    // drives refinement. Synthesis and cache traffic
+                    // stay outside the lock.
+                    std::lock_guard<std::mutex> lock(axis.mu);
+                    const AdaptiveAngleGrid::Leaf leaf =
+                        axis.grid.locate(angle);
+                    const auto leaf_it = axis.leaves.find(
+                        AdaptiveAngleGrid::leafKey(leaf));
+                    panicIf(leaf_it == axis.leaves.end(),
+                            "adaptive axis lost a grid leaf");
+                    ++leaf_it->second.visits;
+                    representative = leaf.representative;
+                    fp = leaf_it->second.fingerprint;
+                } else {
                     const std::int64_t bin =
                         angleBin(angle, plan.quant_.bins);
                     const auto table = plan.binTables_.find(op.kind);
                     panicIf(table == plan.binTables_.end(),
                             "serving plan is missing a quantized bin "
                             "table");
-                    const BlockFingerprint& fp =
-                        table->second[static_cast<std::size_t>(bin)];
+                    // Fail loudly on a plan whose bin table disagrees
+                    // with its ParamQuantization::bins (a corrupted or
+                    // hand-assembled plan): indexing by a bin computed
+                    // from the wrong grid would read out of bounds.
+                    panicIf(table->second.size() !=
+                                static_cast<std::size_t>(
+                                    plan.quant_.bins),
+                            "quantized bin table size disagrees with "
+                            "ParamQuantization::bins");
+                    representative = binAngle(bin, plan.quant_.bins);
+                    fp = table->second[static_cast<std::size_t>(bin)];
+                }
+                const double bound =
+                    quantizationErrorBound(wrappedAngleDelta(
+                        angle, representative));
+                if (bound <= plan.quant_.fidelityBudget) {
                     served.quantErrorBound += bound;
                     // Same single-probe discipline as the Fixed path:
                     // the bin lookup is one logical request, counted
@@ -540,8 +621,8 @@ CompileService::serve(const ServingPlan& plan,
                             1, std::memory_order_relaxed);
                         pulse = admitAfterMiss(
                                     fp,
-                                    snappedRotation(segment.gate, bin,
-                                                    plan.quant_.bins),
+                                    rotationAt(segment.gate,
+                                               representative),
                                     nullptr, /*force_block=*/true)
                                     .get();
                     }
@@ -556,6 +637,13 @@ CompileService::serve(const ServingPlan& plan,
                 plan.kits_.find(segment.gate.numQubits());
             panicIf(kit == plan.kits_.end(),
                     "serving plan is missing a lookup kit");
+            // Per-binding exact synthesis is still one logical "give
+            // me this block": count it, so hit rates keep an honest
+            // denominator under fallback-heavy workloads (it used to
+            // bypass ServiceStats entirely).
+            requests_.fetch_add(1, std::memory_order_relaxed);
+            exactServes_.fetch_add(1, std::memory_order_relaxed);
+            ++served.exactServes;
             PulsePtr pulse = std::make_shared<const PulseSchedule>(
                 kit->second->library.compileCircuit(
                     segment.gate.bind(theta)));
@@ -574,6 +662,211 @@ CompileService::serveStrict(const StrictPartition& partition,
     return serve(plan, theta);
 }
 
+RefinementReport
+CompileService::refineQuantizedGrid(const ServingPlan& plan)
+{
+    const auto start = std::chrono::steady_clock::now();
+    RefinementReport report;
+    if (!plan.quant_.enabled || !plan.quant_.adaptive)
+        return report;
+    const ParamQuantization& q = plan.quant_;
+    const std::size_t max_leaves =
+        q.maxLeavesPerAxis
+            ? q.maxLeavesPerAxis
+            : static_cast<std::size_t>(q.bins) * 4;
+
+    // Phase 1, per axis: snapshot the hot leaves (enough serve
+    // visits, below the depth cap) under the axis lock, then build
+    // and fingerprint the candidate children *outside* it — circuit
+    // construction and unitary hashing are the expensive part, and
+    // serve() must never stall behind them — and finally re-lock to
+    // commit the splits. A leaf a concurrent round already split is
+    // simply skipped at commit; concurrent serves see either the
+    // parent or both children, never a gap in the topology.
+    std::vector<ServingPlan::FixedEntry> children;
+    std::vector<BlockFingerprint> stale;
+    for (const auto& [kind, axis_ptr] : plan.adaptiveAxes_) {
+        ServingPlan::AdaptiveAxis& axis = *axis_ptr;
+
+        struct Candidate
+        {
+            AdaptiveAngleGrid::Leaf parent;
+            BlockFingerprint parentFingerprint;
+            std::uint64_t visits = 0;
+            ServingPlan::FixedEntry low, high;
+            AdaptiveAngleGrid::Leaf lowLeaf, highLeaf;
+        };
+        std::vector<Candidate> hot;
+        {
+            std::lock_guard<std::mutex> lock(axis.mu);
+            for (const auto& [key, state] : axis.leaves)
+                if (state.visits >= q.splitVisitThreshold &&
+                    state.leaf.depth < q.maxRefineDepth) {
+                    Candidate candidate;
+                    candidate.parent = state.leaf;
+                    candidate.parentFingerprint = state.fingerprint;
+                    candidate.visits = state.visits;
+                    hot.push_back(std::move(candidate));
+                }
+        }
+        if (hot.empty())
+            continue;
+        std::sort(hot.begin(), hot.end(),
+                  [](const Candidate& a, const Candidate& b) {
+                      if (a.visits != b.visits)
+                          return a.visits > b.visits;
+                      return AdaptiveAngleGrid::leafKey(a.parent) <
+                             AdaptiveAngleGrid::leafKey(b.parent);
+                  });
+        // Unlocked: childrenOf is pure geometry, and the axis gate
+        // circuit is immutable after prepareServing.
+        for (Candidate& candidate : hot) {
+            const auto [low, high] =
+                axis.grid.childrenOf(candidate.parent);
+            candidate.lowLeaf = low;
+            candidate.highLeaf = high;
+            candidate.low.local =
+                rotationAt(axis.gate, low.representative);
+            candidate.low.fingerprint =
+                fingerprintBlock(candidate.low.local);
+            candidate.high.local =
+                rotationAt(axis.gate, high.representative);
+            candidate.high.fingerprint =
+                fingerprintBlock(candidate.high.local);
+        }
+        int split_here = 0;
+        {
+            std::lock_guard<std::mutex> lock(axis.mu);
+            for (Candidate& candidate : hot) {
+                if (axis.grid.numLeaves() >= max_leaves)
+                    break;
+                const std::uint64_t parent_key =
+                    AdaptiveAngleGrid::leafKey(candidate.parent);
+                // Gone = a concurrent round split it first; its
+                // children are already installed.
+                if (!axis.leaves.count(parent_key))
+                    continue;
+                axis.grid.split(candidate.parent);
+                axis.leaves.erase(parent_key);
+                ServingPlan::AdaptiveAxis::LeafState low_state;
+                low_state.leaf = candidate.lowLeaf;
+                low_state.fingerprint = candidate.low.fingerprint;
+                axis.leaves.emplace(
+                    AdaptiveAngleGrid::leafKey(candidate.lowLeaf),
+                    std::move(low_state));
+                ServingPlan::AdaptiveAxis::LeafState high_state;
+                high_state.leaf = candidate.highLeaf;
+                high_state.fingerprint = candidate.high.fingerprint;
+                axis.leaves.emplace(
+                    AdaptiveAngleGrid::leafKey(candidate.highLeaf),
+                    std::move(high_state));
+                children.push_back(std::move(candidate.low));
+                children.push_back(std::move(candidate.high));
+                stale.push_back(candidate.parentFingerprint);
+                ++split_here;
+            }
+        }
+        if (split_here > 0) {
+            ++report.axesRefined;
+            report.leavesSplit += split_here;
+        }
+    }
+    if (report.leavesSplit == 0)
+        return report;
+
+    // Phase 2: release the stale parents first — their bytes fund the
+    // children under the cache's byte budget — then pre-warm the
+    // children through the pool so the next serves hit warm. A parent
+    // another axis still references (the shared identity bin) just
+    // re-promotes from disk or re-synthesizes on its next touch.
+    for (const BlockFingerprint& fp : stale) {
+        const std::size_t bytes = cache_.erase(fp);
+        if (bytes > 0) {
+            ++report.staleReleased;
+            report.bytesReleased += bytes;
+        }
+    }
+    const BatchCompileReport prewarm =
+        compileEntries(children, 1, start);
+    report.binsPrewarmed = prewarm.uniqueBlocks;
+    report.synthRuns = prewarm.synthRuns;
+    report.cacheHits = prewarm.cacheHits;
+    report.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    quantRefineRounds_.fetch_add(1, std::memory_order_relaxed);
+    quantSplits_.fetch_add(
+        static_cast<std::uint64_t>(report.leavesSplit),
+        std::memory_order_relaxed);
+    quantStaleReleased_.fetch_add(
+        static_cast<std::uint64_t>(report.staleReleased),
+        std::memory_order_relaxed);
+    quantBytesReleased_.fetch_add(
+        static_cast<std::uint64_t>(report.bytesReleased),
+        std::memory_order_relaxed);
+    return report;
+}
+
+AdaptiveGridStats
+CompileService::quantizedGridStats(const ServingPlan& plan) const
+{
+    AdaptiveGridStats out;
+    for (const auto& [kind, axis_ptr] : plan.adaptiveAxes_) {
+        const ServingPlan::AdaptiveAxis& axis = *axis_ptr;
+        std::lock_guard<std::mutex> lock(axis.mu);
+        ++out.axes;
+        out.leaves += axis.grid.numLeaves();
+        out.maxDepth = std::max(out.maxDepth, axis.grid.maxDepthInUse());
+        out.splits += axis.grid.splits();
+        for (const auto& [key, state] : axis.leaves)
+            out.worstCaseBound = std::max(out.worstCaseBound,
+                                          state.leaf.halfWidth / 2.0);
+    }
+    return out;
+}
+
+Circuit
+CompileService::snapServedRotations(const ServingPlan& plan,
+                                    const Circuit& symbolic,
+                                    const std::vector<double>& theta)
+    const
+{
+    if (!plan.quant_.enabled || !plan.quant_.adaptive)
+        return snapSymbolicRotations(symbolic, theta, plan.quant_);
+    Circuit bound(symbolic.numQubits());
+    for (const GateOp& op : symbolic.ops()) {
+        GateOp next = op;
+        if (gateIsRotation(op.kind)) {
+            const double angle = op.angle.bind(theta);
+            double value = angle;
+            if (op.angle.isSymbolic()) {
+                const auto axis_it = plan.adaptiveAxes_.find(op.kind);
+                panicIf(axis_it == plan.adaptiveAxes_.end(),
+                        "serving plan is missing an adaptive axis");
+                ServingPlan::AdaptiveAxis& axis = *axis_it->second;
+                double representative;
+                {
+                    // Locate only — simulation must not feed the
+                    // visit counters serve() already fed for this
+                    // binding.
+                    std::lock_guard<std::mutex> lock(axis.mu);
+                    representative =
+                        axis.grid.locate(angle).representative;
+                }
+                if (quantizationErrorBound(wrappedAngleDelta(
+                        angle, representative)) <=
+                    plan.quant_.fidelityBudget)
+                    value = representative;
+            }
+            next.angle = ParamExpr::constant(value);
+        }
+        bound.add(next);
+    }
+    return bound;
+}
+
 ServiceStats
 CompileService::stats() const
 {
@@ -587,6 +880,14 @@ CompileService::stats() const
     out.quantMisses = quantMisses_.load(std::memory_order_relaxed);
     out.quantFallbacks =
         quantFallbacks_.load(std::memory_order_relaxed);
+    out.exactServes = exactServes_.load(std::memory_order_relaxed);
+    out.quantRefineRounds =
+        quantRefineRounds_.load(std::memory_order_relaxed);
+    out.quantSplits = quantSplits_.load(std::memory_order_relaxed);
+    out.quantStaleReleased =
+        quantStaleReleased_.load(std::memory_order_relaxed);
+    out.quantBytesReleased =
+        quantBytesReleased_.load(std::memory_order_relaxed);
     return out;
 }
 

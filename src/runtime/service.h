@@ -135,19 +135,36 @@ struct CompileServiceOptions
 /** Service-level counters, snapshotted by CompileService::stats(). */
 struct ServiceStats
 {
-    /** Block lookups: requestBlock()/batch admissions *and* serve()'s
-     * direct warm-path probes — every logical "give me this block". */
+    /** Block lookups: requestBlock()/batch admissions, serve()'s
+     * direct warm-path probes, *and* serve()'s per-binding exact
+     * rotation syntheses (fallbacks / quantization off) — every
+     * logical "give me this block", so hit rates keep an honest
+     * denominator even under fallback-heavy workloads. */
     std::uint64_t requests = 0;
     std::uint64_t cacheHits = 0;  ///< Served straight from the cache.
     std::uint64_t coalesced = 0;  ///< Joined an in-flight synthesis.
     std::uint64_t synthRuns = 0;  ///< Synthesizer invocations.
     std::uint64_t rejected = 0;   ///< Admissions shed by backpressure.
+    /** Parametrized rotations served by per-binding exact synthesis:
+     * budget fallbacks plus quantization-off lookup serving. Counted
+     * in `requests` too (they used to bypass it, skewing hit rates). */
+    std::uint64_t exactServes = 0;
 
     /** @name Quantized parametric serving (zero when disabled)
      *  @{ */
     std::uint64_t quantHits = 0;      ///< Rotation bins served warm.
     std::uint64_t quantMisses = 0;    ///< First touches of a bin.
     std::uint64_t quantFallbacks = 0; ///< Budget-exceeded exact serves.
+    /** @} */
+
+    /** @name Adaptive grid refinement (zero unless adaptive)
+     *  @{ */
+    std::uint64_t quantRefineRounds = 0; ///< refineQuantizedGrid calls
+                                         ///< that did work.
+    std::uint64_t quantSplits = 0;       ///< Leaves split in two.
+    std::uint64_t quantStaleReleased = 0; ///< Parent pulses erased.
+    std::uint64_t quantBytesReleased = 0; ///< Their bytes, returned to
+                                          ///< the cache byte budget.
     /** @} */
 };
 
@@ -196,9 +213,40 @@ struct ServedPulse
     std::uint64_t quantMisses = 0;    ///< Bins synthesized on touch.
     std::uint64_t quantFallbacks = 0; ///< Rotations served exactly
                                       ///< (budget exceeded).
+    /** Rotations served by per-binding exact synthesis: the budget
+     * fallbacks above plus every rotation when quantization is off. */
+    std::uint64_t exactServes = 0;
     /** Summed advertised operator-norm error of every snap served. */
     double quantErrorBound = 0.0;
     /** @} */
+};
+
+/** What one adaptive-grid refinement round split, warmed, released. */
+struct RefinementReport
+{
+    int axesRefined = 0;   ///< Axes with at least one split.
+    int leavesSplit = 0;   ///< Parent leaves split in two.
+    int binsPrewarmed = 0; ///< Unique child representatives admitted
+                           ///< through the pool.
+    std::uint64_t synthRuns = 0;  ///< Fresh child syntheses paid.
+    std::uint64_t cacheHits = 0;  ///< Children already cached (shared
+                                  ///< representatives).
+    int staleReleased = 0;        ///< Parent pulses erased from memory.
+    std::size_t bytesReleased = 0; ///< Their bytes, returned to the
+                                   ///< byte budget.
+    double wallSeconds = 0.0;     ///< End-to-end round wall clock.
+};
+
+/** Snapshot of one plan's adaptive grids (all axes pooled). */
+struct AdaptiveGridStats
+{
+    int axes = 0;             ///< Rotation axes under refinement.
+    std::size_t leaves = 0;   ///< Served leaves across all axes.
+    int maxDepth = 0;         ///< Deepest refinement anywhere.
+    std::uint64_t splits = 0; ///< Lifetime splits across all axes.
+    /** Largest per-rotation snap bound any current leaf can realize
+     * (max over leaves of halfWidth / 2). */
+    double worstCaseBound = 0.0;
 };
 
 /**
@@ -223,6 +271,9 @@ class ServingPlan
 
   private:
     friend class CompileService;
+    /** Test seam: regression tests corrupt plan internals to prove
+     * serve() fails loudly on inconsistent state. */
+    friend struct ServingPlanTestPeer;
 
     /** A device and its pulse library with stable addresses (the
      * library holds a reference to the device). */
@@ -251,6 +302,33 @@ class ServingPlan
         Circuit gate;
     };
 
+    /**
+     * Mutable per-axis half of the *adaptive* quantized path: the
+     * multi-resolution grid topology, plus per-leaf fingerprints and
+     * serve-visit counters. Guarded by `mu` — serve() locates leaves
+     * and bumps visits under it, refineQuantizedGrid() splits hot
+     * leaves under it, so a plan can be refined in place while other
+     * threads serve from it. Held by shared_ptr so the state survives
+     * plan moves and stays mutable behind serve()'s const plan.
+     */
+    struct AdaptiveAxis
+    {
+        /** One leaf's serve state. */
+        struct LeafState
+        {
+            AdaptiveAngleGrid::Leaf leaf;
+            BlockFingerprint fingerprint;
+            std::uint64_t visits = 0;
+        };
+        mutable std::mutex mu;
+        AdaptiveAngleGrid grid;
+        /** The axis's relabeled local rotation (angle rebound per
+         * representative when synthesizing leaves). */
+        Circuit gate;
+        /** Served leaves by AdaptiveAngleGrid::leafKey. */
+        std::unordered_map<std::uint64_t, LeafState> leaves;
+    };
+
     std::vector<PlanSegment> segments_;
     /** One kit per distinct rotation width (stable addresses). */
     std::map<int, std::unique_ptr<LookupKit>> kits_;
@@ -264,6 +342,10 @@ class ServingPlan
      * cost more than the exact analytic lookup it replaces).
      */
     std::map<GateKind, std::vector<BlockFingerprint>> binTables_;
+    /** Adaptive refinement state per axis (empty unless adaptive);
+     * coarse leaves are seeded from binTables_, so an unsplit leaf
+     * serves the very same cache entry as the fixed grid. */
+    std::map<GateKind, std::shared_ptr<AdaptiveAxis>> adaptiveAxes_;
 };
 
 /**
@@ -352,6 +434,39 @@ class CompileService
     ServedPulse serve(const ServingPlan& plan,
                       const std::vector<double>& theta);
 
+    /**
+     * One adaptive-refinement round over a plan prepared with
+     * quantization.adaptive: every leaf whose serve visits reached
+     * splitVisitThreshold (hottest first, bounded by maxRefineDepth
+     * and maxLeavesPerAxis) is split in two, the children's
+     * representatives are pre-warmed through the worker pool, and the
+     * stale parent pulses are erased from the cache's memory tier —
+     * finer resolution exactly where the optimizer is converging,
+     * paid for by the coarse entries it no longer serves. Thread-safe
+     * against concurrent serve() on the same plan; a no-op report
+     * when the plan is not adaptive (or nothing is hot). The VQE/QAOA
+     * drivers call this on optimizer-movement signals; services
+     * embedded elsewhere can call it on any schedule.
+     */
+    RefinementReport refineQuantizedGrid(const ServingPlan& plan);
+
+    /** Snapshot of a plan's adaptive grids (zeros unless adaptive). */
+    AdaptiveGridStats quantizedGridStats(const ServingPlan& plan) const;
+
+    /**
+     * The full-circuit binding the plan's served pulses actually
+     * realize: each symbolic rotation snapped to its current grid
+     * representative when the per-gate budget admits it (adaptive
+     * leaves included), exact otherwise — what a driver must simulate
+     * so reported energies honestly carry the grid error. Mirrors
+     * serve()'s per-gate decisions; falls back to
+     * snapSymbolicRotations() for non-adaptive plans. Does not count
+     * grid visits (only serve() feeds refinement).
+     */
+    Circuit snapServedRotations(const ServingPlan& plan,
+                                const Circuit& symbolic,
+                                const std::vector<double>& theta) const;
+
     /** prepareServing + serve in one shot, for one-off callers. */
     ServedPulse serveStrict(const StrictPartition& partition,
                             const std::vector<double>& theta);
@@ -432,6 +547,11 @@ class CompileService
     std::atomic<std::uint64_t> quantHits_{0};
     std::atomic<std::uint64_t> quantMisses_{0};
     std::atomic<std::uint64_t> quantFallbacks_{0};
+    std::atomic<std::uint64_t> exactServes_{0};
+    std::atomic<std::uint64_t> quantRefineRounds_{0};
+    std::atomic<std::uint64_t> quantSplits_{0};
+    std::atomic<std::uint64_t> quantStaleReleased_{0};
+    std::atomic<std::uint64_t> quantBytesReleased_{0};
 
     /** Last member: destroyed first, so draining workers may still
      * touch the cache and the single-flight map above. */

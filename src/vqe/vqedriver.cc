@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "partial/strict.h"
+#include "runtime/refinetrigger.h"
 #include "runtime/service.h"
 #include "sim/statevector.h"
 
@@ -66,15 +67,27 @@ runVqe(const Circuit& ansatz, const PauliHamiltonian& hamiltonian,
                 result.maxQuantErrorBound, served.quantErrorBound);
         }
         StateVector state(ansatz.numQubits());
-        // Quantized serving delivers pulses for the *snapped* angles,
-        // so that is what the simulated hardware must execute — the
-        // energy honestly carries the grid's substitution error.
+        // Quantized serving delivers pulses for the *snapped* angles
+        // (the current adaptive leaf representatives when the plan
+        // refines), so that is what the simulated hardware must
+        // execute — the energy honestly carries the grid's
+        // substitution error.
         state.applyCircuit(
-            quantized ? snapSymbolicRotations(ansatz, theta,
-                                              plan.quantization())
-                      : ansatz.bind(theta));
+            quantized
+                ? service->snapServedRotations(plan, ansatz, theta)
+                : ansatz.bind(theta));
         return hamiltonian.expectation(state);
     };
+
+    // Convergence-aware refinement: once the optimizer's step norm
+    // falls to the knob's threshold — it has stopped leaping and
+    // started homing in — periodically split the grid bins it has
+    // been visiting, so late iterations serve finer representatives.
+    NelderMeadOptions optimizer = options.optimizer;
+    RefinementTriggerStats refinement;
+    if (quantized && plan.quantization().adaptive)
+        optimizer = withRefinementTrigger(std::move(optimizer),
+                                          *service, plan, refinement);
 
     Rng rng(options.seed);
     std::vector<double> start(ansatz.numParams());
@@ -82,11 +95,28 @@ runVqe(const Circuit& ansatz, const PauliHamiltonian& hamiltonian,
         v = options.initialSpread * rng.normal();
 
     const NelderMeadResult opt =
-        nelderMead(objective, start, options.optimizer);
+        nelderMead(objective, start, optimizer);
 
     result.bestParams = opt.best;
     result.energy = opt.bestValue;
     result.iterations = evaluations;
+    result.quantRefineRounds = refinement.rounds;
+    result.quantSplits = refinement.splits;
+    result.quantRefineSynths = refinement.prewarmSynths;
+    result.quantBytesReleased = refinement.bytesReleased;
+    // The realized accuracy of the answer: what serving the best
+    // parameters costs in snap error on the final grid. Refinement
+    // may have split bestParams' leaves after their last evaluation,
+    // so re-simulate on the final topology too — the reported energy
+    // and error bound must describe the *same* served pulses.
+    if (quantized) {
+        result.finalQuantErrorBound =
+            service->serve(plan, opt.best).quantErrorBound;
+        StateVector final_state(ansatz.numQubits());
+        final_state.applyCircuit(
+            service->snapServedRotations(plan, ansatz, opt.best));
+        result.energy = hamiltonian.expectation(final_state);
+    }
     if (ansatz.numQubits() <= 10)
         result.exactGroundEnergy = hamiltonian.groundStateEnergy();
     return result;

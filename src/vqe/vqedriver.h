@@ -86,6 +86,24 @@ struct VqeResult
     /** Largest per-iteration summed snap error bound observed. */
     double maxQuantErrorBound = 0.0;
     /** @} */
+
+    /** @name Adaptive-grid refinement (zero unless
+     *  quantization.adaptive; see CompileService::refineQuantizedGrid)
+     *  @{ */
+    int quantRefineRounds = 0;    ///< Refinement rounds triggered by
+                                  ///< optimizer-movement signals.
+    uint64_t quantSplits = 0;     ///< Leaves split across the run.
+    uint64_t quantRefineSynths = 0; ///< Child-bin pulses the rounds
+                                    ///< pre-warmed.
+    uint64_t quantBytesReleased = 0; ///< Stale coarse bytes returned
+                                     ///< to the cache byte budget.
+    /**
+     * Realized summed snap-error bound of serving bestParams on the
+     * final grid — the answer's accuracy, which adaptive refinement
+     * drives below the fixed grid's. Zero when quantization is off.
+     */
+    double finalQuantErrorBound = 0.0;
+    /** @} */
 };
 
 /**

@@ -299,6 +299,10 @@ TEST(Quantize, ErrorBoundHoldsAcrossGateLibrary)
         ParamQuantization quantization;
         quantization.enabled = true;
         quantization.bins = bins;
+        // Generous per-gate budget: the coarse grids here can snap by
+        // more than the default budget, and this test is about the
+        // advertised bound, not the fallback gate.
+        quantization.fidelityBudget = 1.0;
 
         Circuit symbolic(1);
         GateOp op;
@@ -336,6 +340,9 @@ TEST(Quantize, MultiRotationBlockBoundIsAdditive)
         ParamQuantization quantization;
         quantization.enabled = true;
         quantization.bins = 32; // Coarse: real error, well above slack.
+        // Admit every per-gate snap so all three rotations land on
+        // the grid and the summed bound is exercised.
+        quantization.fidelityBudget = 1.0;
 
         Circuit symbolic(2);
         symbolic.h(0);
@@ -429,6 +436,221 @@ TEST(Quantize, FidelityBudgetGatesTheSnap)
     EXPECT_EQ(fixed.fingerprint, fingerprintBlock(constant));
 }
 
+TEST(Quantize, PerGateBudgetMatchesServePathSemantics)
+{
+    // Regression: quantizeBlock used to sum per-rotation bounds and
+    // set withinBudget from the *sum*, while serve() and
+    // snapSymbolicRotations() check the budget per gate — a
+    // two-rotation block could read as over-budget while the driver
+    // happily simulated both gates snapped. The budget is per gate
+    // everywhere now.
+    ParamQuantization quantization;
+    quantization.enabled = true;
+    quantization.bins = 32; // Worst per-gate bound: step/4 ~ 0.049.
+    const double step = kTau / 32;
+    // Each gate's snap (~step/4) fits the budget, but the sum of the
+    // two does not.
+    quantization.fidelityBudget = 0.3 * step;
+
+    Circuit symbolic(2);
+    symbolic.rx(0, ParamExpr::theta(0));
+    symbolic.ry(1, ParamExpr::theta(1));
+    // Mid-bin angles: per-gate bound just under step/4 each.
+    const std::vector<double> theta = {5 * step + 0.45 * step,
+                                       -9 * step + 0.45 * step};
+    for (double t : theta)
+        ASSERT_LE(quantizationErrorBound(snapDelta(t, 32)),
+                  quantization.fidelityBudget);
+
+    const QuantizedBlock quantized =
+        quantizeBlock(symbolic, theta, quantization);
+    // Both gates snapped, no fallback — even though the summed bound
+    // exceeds the (per-gate) budget.
+    EXPECT_TRUE(quantized.withinBudget);
+    ASSERT_EQ(quantized.bins.size(), 2u);
+    EXPECT_GE(quantized.bins[0], 0);
+    EXPECT_GE(quantized.bins[1], 0);
+    EXPECT_GT(quantized.errorBound, quantization.fidelityBudget);
+    // Lockstep with the simulation path: the snapped circuit is
+    // exactly what snapSymbolicRotations produces for this binding.
+    const Circuit simulated =
+        snapSymbolicRotations(symbolic, theta, quantization);
+    EXPECT_EQ(fingerprintBlock(quantized.snapped),
+              fingerprintBlock(simulated));
+
+    // A gate past the per-gate budget stays exact (bin -1) in both.
+    ParamQuantization tight = quantization;
+    tight.fidelityBudget = 0.05 * step;
+    const QuantizedBlock gated = quantizeBlock(symbolic, theta, tight);
+    EXPECT_FALSE(gated.withinBudget);
+    ASSERT_EQ(gated.bins.size(), 2u);
+    EXPECT_EQ(gated.bins[0], -1);
+    EXPECT_EQ(gated.bins[1], -1);
+    EXPECT_EQ(gated.errorBound, 0.0);
+    EXPECT_EQ(fingerprintBlock(gated.snapped),
+              fingerprintBlock(
+                  snapSymbolicRotations(symbolic, theta, tight)));
+    EXPECT_EQ(fingerprintBlock(gated.snapped),
+              fingerprintBlock(symbolic.bind(theta)));
+}
+
+// ---------------------------------------------------------------------
+// Adaptive multi-resolution grid
+// ---------------------------------------------------------------------
+
+TEST(AdaptiveGrid, StartsAsTheFixedGridBitForBit)
+{
+    // Every unsplit leaf must carry the fixed grid's representative
+    // *exactly*: that identity is what lets an adaptive plan's coarse
+    // leaves fingerprint-dedupe against an already-warm PR 3 grid.
+    Rng rng(51);
+    for (int bins : {16, 64, 256, 1024}) {
+        const AdaptiveAngleGrid grid(bins);
+        EXPECT_EQ(grid.numLeaves(), static_cast<size_t>(bins));
+        EXPECT_EQ(grid.maxDepthInUse(), 0);
+        for (int trial = 0; trial < 200; ++trial) {
+            const double theta = rng.uniform(-10.0, 10.0);
+            const AdaptiveAngleGrid::Leaf leaf = grid.locate(theta);
+            EXPECT_EQ(leaf.depth, 0);
+            EXPECT_EQ(leaf.coarseBin, angleBin(theta, bins));
+            EXPECT_EQ(leaf.representative, snapAngle(theta, bins));
+            EXPECT_EQ(leaf.halfWidth, kTau / bins / 2.0);
+        }
+    }
+}
+
+TEST(AdaptiveGrid, RefinementHalvesWidthsAndPreservesTheBound)
+{
+    // Random refinement: split the leaf of a random angle, many
+    // times. Invariants: locate() always returns a leaf containing
+    // the angle (|wrapped delta| <= halfWidth), widths halve per
+    // depth, and no leaf is ever wider than a coarse bin — so the
+    // realized snap bound never exceeds the fixed grid's worst case.
+    Rng rng(53);
+    const int bins = 64;
+    const double step = kTau / bins;
+    AdaptiveAngleGrid grid(bins);
+    uint64_t splits = 0;
+    for (int round = 0; round < 400; ++round) {
+        // Cluster the splits: a converging optimizer hammers a small
+        // neighborhood, so drive most refinement into one region.
+        const double theta = round % 4 == 0
+                                 ? rng.uniform(-kPi, kPi)
+                                 : 0.7 + 0.02 * rng.normal();
+        const AdaptiveAngleGrid::Leaf leaf = grid.locate(theta);
+        if (leaf.depth >= 12)
+            continue;
+        const auto [low, high] = grid.split(leaf);
+        ++splits;
+        // The children partition the parent: theta lands in exactly
+        // one of them, and each has half the parent's width.
+        EXPECT_EQ(low.depth, leaf.depth + 1);
+        EXPECT_EQ(high.depth, leaf.depth + 1);
+        EXPECT_EQ(low.halfWidth, leaf.halfWidth / 2.0);
+        EXPECT_EQ(high.halfWidth, leaf.halfWidth / 2.0);
+        const AdaptiveAngleGrid::Leaf relocated = grid.locate(theta);
+        EXPECT_EQ(relocated.depth, leaf.depth + 1);
+        const bool in_low = AdaptiveAngleGrid::leafKey(relocated) ==
+                            AdaptiveAngleGrid::leafKey(low);
+        const bool in_high = AdaptiveAngleGrid::leafKey(relocated) ==
+                             AdaptiveAngleGrid::leafKey(high);
+        EXPECT_TRUE(in_low || in_high);
+    }
+    EXPECT_EQ(grid.splits(), splits);
+    EXPECT_EQ(grid.numLeaves(), static_cast<size_t>(bins) + splits);
+    EXPECT_GT(grid.maxDepthInUse(), 2);
+
+    Rng probe(57);
+    for (int trial = 0; trial < 500; ++trial) {
+        const double theta = probe.uniform(-10.0, 10.0);
+        const AdaptiveAngleGrid::Leaf leaf = grid.locate(theta);
+        const double delta =
+            wrappedAngleDelta(theta, leaf.representative);
+        EXPECT_LE(std::abs(delta), leaf.halfWidth + 1e-12);
+        EXPECT_LE(leaf.halfWidth, step / 2.0 + 1e-15);
+        // The advertised per-gate bound of serving this leaf never
+        // exceeds the fixed grid's worst case.
+        EXPECT_LE(quantizationErrorBound(delta), step / 4.0 + 1e-12);
+    }
+}
+
+TEST(AdaptiveGrid, SnapIsIdempotentAcrossLevelsAndWrapAware)
+{
+    // A leaf's representative locates back to the same leaf (snapping
+    // a snapped angle is the identity, at any depth), and any 2*pi
+    // alias of an angle lands in the same leaf.
+    Rng rng(59);
+    const int bins = 32;
+    AdaptiveAngleGrid grid(bins);
+    for (int round = 0; round < 300; ++round) {
+        const double theta = rng.uniform(-8.0, 8.0);
+        const AdaptiveAngleGrid::Leaf leaf = grid.locate(theta);
+        EXPECT_EQ(AdaptiveAngleGrid::leafKey(grid.locate(theta + kTau)),
+                  AdaptiveAngleGrid::leafKey(leaf));
+        EXPECT_EQ(AdaptiveAngleGrid::leafKey(grid.locate(theta - kTau)),
+                  AdaptiveAngleGrid::leafKey(leaf));
+        const AdaptiveAngleGrid::Leaf again =
+            grid.locate(leaf.representative);
+        EXPECT_EQ(AdaptiveAngleGrid::leafKey(again),
+                  AdaptiveAngleGrid::leafKey(leaf));
+        EXPECT_EQ(again.representative, leaf.representative);
+        // The representative stays centered: (-pi, pi].
+        EXPECT_GT(leaf.representative, -kPi - 1e-12);
+        EXPECT_LE(leaf.representative, kPi + 1e-12);
+        if (leaf.depth < 10 && rng.bernoulli(0.7))
+            grid.split(leaf);
+    }
+}
+
+TEST(AdaptiveGrid, RefinedFingerprintsDedupeAgainstTheCoarseGrid)
+{
+    // Where representatives coincide, fingerprints must too: an
+    // unsplit leaf's snapped rotation is the coarse bin's rotation,
+    // so its pulse address matches the fixed-grid (prewarmed) entry.
+    // A split leaf's children have new representatives — distinct
+    // addresses — and the two children never collide.
+    const int bins = 64;
+    AdaptiveAngleGrid grid(bins);
+    Circuit symbolic(1);
+    symbolic.rx(0, ParamExpr::theta(0));
+
+    auto fingerprintAt = [&](double angle) {
+        Circuit rotation(1);
+        rotation.rx(0, angle);
+        return fingerprintBlock(rotation);
+    };
+
+    Rng rng(61);
+    for (int trial = 0; trial < 120; ++trial) {
+        const double theta = rng.uniform(-kPi, kPi);
+        const AdaptiveAngleGrid::Leaf leaf = grid.locate(theta);
+        if (leaf.depth == 0) {
+            // Coincides with the fixed grid: same address.
+            EXPECT_EQ(fingerprintAt(leaf.representative),
+                      fingerprintAt(snapAngle(theta, bins)));
+        } else {
+            // Refined: a genuinely finer representative.
+            EXPECT_NE(leaf.representative, snapAngle(theta, bins));
+        }
+        if (leaf.depth < 6) {
+            const auto [low, high] = grid.split(leaf);
+            EXPECT_NE(fingerprintAt(low.representative),
+                      fingerprintAt(high.representative));
+            EXPECT_NE(fingerprintAt(low.representative),
+                      fingerprintAt(leaf.representative));
+        }
+    }
+}
+
+TEST(AdaptiveGrid, SplitGuardsAgainstStaleHandlesAndDepthCaps)
+{
+    AdaptiveAngleGrid grid(16);
+    const AdaptiveAngleGrid::Leaf leaf = grid.locate(0.5);
+    grid.split(leaf);
+    // Splitting the same (now internal) leaf again must fail loudly.
+    EXPECT_DEATH(grid.split(leaf), "already split");
+}
+
 // ---------------------------------------------------------------------
 // In-memory LRU tier
 // ---------------------------------------------------------------------
@@ -475,6 +697,34 @@ TEST(PulseCache, EvictsLeastRecentlyUsed)
     EXPECT_FALSE((cache.get(fp(1)) != nullptr));
     EXPECT_TRUE((cache.get(fp(99)) != nullptr));
     EXPECT_EQ(cache.stats().entries, 4u);
+}
+
+TEST(PulseCache, EraseReleasesBytesAndKeepsDiskTier)
+{
+    TempDir dir("qpc_cache_erase");
+    PulseCache cache(cacheOptions(8, 1, dir.path()));
+    cache.put(fp(1), samplePulse(1));
+    cache.put(fp(2), samplePulse(2, /*channels=*/2, /*samples=*/9));
+    const std::size_t before = cache.stats().bytesInUse;
+
+    // Erase returns the entry's serialized bytes and updates the
+    // byte accounting — what refinement releases against the budget.
+    const std::size_t released = cache.erase(fp(1));
+    EXPECT_GT(released, 0u);
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.bytesInUse, before - released);
+    EXPECT_EQ(stats.released, 1u);
+    EXPECT_EQ(stats.bytesReleased, released);
+    // Erasing an absent key is a counted-free no-op.
+    EXPECT_EQ(cache.erase(fp(1)), 0u);
+    EXPECT_EQ(cache.stats().released, 1u);
+
+    // The disk record survives: the erased pulse promotes back on
+    // its next request instead of forcing a re-synthesis.
+    const auto promoted = cache.get(fp(1));
+    ASSERT_NE(promoted, nullptr);
+    EXPECT_EQ(cache.stats().diskHits, 1u);
 }
 
 TEST(PulseCache, PutSameKeyRefreshesInPlace)

@@ -39,6 +39,47 @@ TEST(NelderMead, Rosenbrock2d)
     EXPECT_NEAR(r.best[1], 1.0, 1e-2);
 }
 
+TEST(NelderMead, IterationCallbackReportsShrinkingMovement)
+{
+    // The optimizer-movement signal the adaptive quantization drivers
+    // key refinement on: per-iteration step norms and simplex
+    // diameters, both shrinking to ~zero as the optimizer converges.
+    auto f = [](const std::vector<double>& x) {
+        return (x[0] - 1.0) * (x[0] - 1.0) +
+               (x[1] + 2.0) * (x[1] + 2.0);
+    };
+    std::vector<double> step_norms;
+    std::vector<double> diameters;
+    std::vector<double> best_values;
+    NelderMeadOptions options;
+    options.onIteration = [&](const NelderMeadIterationInfo& info) {
+        EXPECT_EQ(info.iteration,
+                  static_cast<int>(step_norms.size()) + 1);
+        step_norms.push_back(info.stepNorm);
+        diameters.push_back(info.simplexDiameter);
+        best_values.push_back(info.bestValue);
+    };
+    const NelderMeadResult r = nelderMead(f, {4.0, 4.0}, options);
+    EXPECT_TRUE(r.converged);
+    // One report per completed simplex update.
+    ASSERT_EQ(static_cast<int>(step_norms.size()), r.iterations);
+
+    // Every update moved something, and the reported best never got
+    // worse.
+    for (double s : step_norms)
+        EXPECT_GT(s, 0.0);
+    for (size_t i = 1; i < best_values.size(); ++i)
+        EXPECT_LE(best_values[i], best_values[i - 1] + 1e-12);
+    // Convergence is visible in the movement signals: the tail is
+    // orders of magnitude below the head.
+    EXPECT_LT(step_norms.back(), 1e-3);
+    EXPECT_LT(diameters.back(), 1e-3);
+    EXPECT_GT(step_norms.front(), 0.1);
+    EXPECT_GT(diameters.front(), 0.1);
+    // The final best matches the result the caller gets.
+    EXPECT_NEAR(best_values.back(), r.bestValue, 1e-12);
+}
+
 TEST(NelderMead, RespectsIterationCap)
 {
     auto f = [](const std::vector<double>& x) {

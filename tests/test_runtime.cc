@@ -23,6 +23,22 @@
 #include "vqe/molecule.h"
 #include "vqe/uccsd.h"
 
+namespace qpc {
+
+/** Friend seam declared by ServingPlan: regression tests corrupt plan
+ * internals to prove serve() fails loudly instead of reading out of
+ * bounds. */
+struct ServingPlanTestPeer
+{
+    static void
+    setQuantizationBins(ServingPlan& plan, int bins)
+    {
+        plan.quant_.bins = bins;
+    }
+};
+
+} // namespace qpc
+
 namespace {
 
 using namespace qpc;
@@ -527,8 +543,13 @@ TEST(Service, WarmServesCountInServiceStats)
     EXPECT_EQ(served.cacheMisses, 0u);
 
     const ServiceStats after = service.stats();
-    EXPECT_EQ(after.requests - before.requests, 2u);
+    // Four logical requests: two warm Fixed probes plus the two
+    // rotations served by per-binding exact synthesis (counted since
+    // the fallback-accounting fix — see
+    // ExactRotationServesCountInServiceStats).
+    EXPECT_EQ(after.requests - before.requests, 4u);
     EXPECT_EQ(after.cacheHits - before.cacheHits, 2u);
+    EXPECT_EQ(after.exactServes - before.exactServes, 2u);
 }
 
 TEST(Service, BatchReportAccountsCoalescedAdmissions)
@@ -1010,6 +1031,359 @@ TEST(Service, QaoaDriverRunsQuantized)
     EXPECT_EQ(result.servedCacheMisses, 0u);
     // Optimizing over the snapped angles still finds a decent cut.
     EXPECT_GT(result.approxRatio, 0.5);
+}
+
+// ---------------------------------------------------------------------
+// Fallback / exact-serve request accounting (regression)
+// ---------------------------------------------------------------------
+
+TEST(Service, ExactRotationServesCountInServiceStats)
+{
+    // Regression: serve()'s per-binding exact path (quantization off,
+    // or budget-exceeded fallback) used to synthesize without
+    // touching ServiceStats.requests, so hit rates under
+    // fallback-heavy workloads divided by a denominator that ignored
+    // most of the traffic.
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.lookupDt = 0.5;
+    CompileService service(options); // Quantization off.
+
+    const Circuit templ = twoBlockTemplate();
+    const StrictPartition partition = strictPartition(templ);
+    service.precompileCircuit(templ);
+    const ServingPlan plan = service.prepareServing(partition);
+    const ServiceStats before = service.stats();
+
+    constexpr int kServes = 3;
+    for (int i = 0; i < kServes; ++i) {
+        const ServedPulse served =
+            service.serve(plan, {0.1 * i, 0.2 * i});
+        // Per-serve accounting mirrors the service-wide fix.
+        EXPECT_EQ(served.exactServes, 2u);
+        EXPECT_EQ(served.cacheHits, 2u);
+    }
+
+    const ServiceStats after = service.stats();
+    // Each serve: 2 warm Fixed probes + 2 exact rotation serves —
+    // all four are logical requests.
+    EXPECT_EQ(after.requests - before.requests,
+              static_cast<uint64_t>(4 * kServes));
+    EXPECT_EQ(after.cacheHits - before.cacheHits,
+              static_cast<uint64_t>(2 * kServes));
+    EXPECT_EQ(after.exactServes - before.exactServes,
+              static_cast<uint64_t>(2 * kServes));
+
+    // Budget-exceeded fallbacks count the same way.
+    ParamQuantization zero_budget;
+    zero_budget.enabled = true;
+    zero_budget.bins = 64;
+    zero_budget.fidelityBudget = 0.0;
+    const ServingPlan strict_plan =
+        service.prepareServing(partition, zero_budget);
+    const ServiceStats mid = service.stats();
+    const ServedPulse fallback =
+        service.serve(strict_plan, {0.4001, 0.9001});
+    EXPECT_EQ(fallback.quantFallbacks, 2u);
+    EXPECT_EQ(fallback.exactServes, 2u);
+    const ServiceStats final_stats = service.stats();
+    EXPECT_EQ(final_stats.requests - mid.requests, 4u);
+    EXPECT_EQ(final_stats.exactServes - mid.exactServes, 2u);
+    EXPECT_EQ(final_stats.quantFallbacks - mid.quantFallbacks, 2u);
+    // The stats invariant: every request resolves as a cache hit, a
+    // coalesced join, a started synthesis, or an exact serve. With
+    // this single-threaded workload nothing coalesces, so hits +
+    // synthesis admissions + exact serves add up exactly.
+    EXPECT_EQ(final_stats.requests,
+              final_stats.cacheHits + final_stats.coalesced +
+                  final_stats.synthRuns + final_stats.exactServes);
+}
+
+// ---------------------------------------------------------------------
+// Bin-table consistency (regression)
+// ---------------------------------------------------------------------
+
+TEST(ServiceDeathTest, MismatchedBinTablePanics)
+{
+    // Regression: serve() used to index the per-axis bin table with
+    // the bin computed from ParamQuantization::bins without checking
+    // the table's size — a plan whose quantization config disagrees
+    // with its tables read out of bounds instead of failing loudly.
+    CompileServiceOptions options;
+    options.numWorkers = 1;
+    options.lookupDt = 0.5;
+    options.quantization.enabled = true;
+    options.quantization.bins = 64;
+    CompileService service(options);
+
+    Circuit templ(1);
+    templ.rz(0, ParamExpr::theta(0));
+    ServingPlan plan =
+        service.prepareServing(strictPartition(templ));
+    // Corrupt the plan: double the bin count its tables were built
+    // for. Serving must panic on the size mismatch, not read past
+    // the 64-entry table with a bin in [0, 128).
+    ServingPlanTestPeer::setQuantizationBins(plan, 128);
+    EXPECT_DEATH(service.serve(plan, {3.0}),
+                 "disagrees with ParamQuantization::bins");
+}
+
+// ---------------------------------------------------------------------
+// Adaptive grid refinement
+// ---------------------------------------------------------------------
+
+/** Adaptive quantization config the refinement tests share. */
+ParamQuantization
+adaptiveQuantization(int bins, uint64_t visit_threshold,
+                     double budget = 0.05)
+{
+    ParamQuantization quantization;
+    quantization.enabled = true;
+    quantization.adaptive = true;
+    quantization.bins = bins;
+    quantization.splitVisitThreshold = visit_threshold;
+    quantization.fidelityBudget = budget;
+    return quantization;
+}
+
+TEST(ServiceDeathTest, RejectsRefineDepthPastTheGridCap)
+{
+    // A depth knob past AdaptiveAngleGrid::kMaxDepth used to pass
+    // validation and panic deep inside a long converging run when the
+    // hot lineage finally hit the grid's hard cap; it must be
+    // rejected at construction instead.
+    CompileServiceOptions options;
+    options.quantization = adaptiveQuantization(16, 1);
+    options.quantization.maxRefineDepth =
+        AdaptiveAngleGrid::kMaxDepth + 1;
+    EXPECT_DEATH({ CompileService service(options); },
+                 "refine depth");
+}
+
+TEST(Service, AdaptiveRefinementServesFinerRepresentatives)
+{
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.synthesizer = synth.make();
+    options.quantization = adaptiveQuantization(32, 4);
+    CompileService service(options);
+
+    Circuit templ(1);
+    templ.rz(0, ParamExpr::theta(0));
+    const ServingPlan plan =
+        service.prepareServing(strictPartition(templ));
+
+    // Serve one mid-bin angle until its leaf is hot.
+    const double step = options.quantization.stepRadians();
+    const double theta = binAngle(5, 32) + 0.3 * step;
+    double coarse_bound = 0.0;
+    for (int i = 0; i < 4; ++i)
+        coarse_bound = service.serve(plan, {theta}).quantErrorBound;
+    EXPECT_NEAR(coarse_bound, 0.15 * step, 1e-9);
+
+    // One refinement round: the hot leaf splits, its children are
+    // pre-warmed, and the stale coarse pulse is released.
+    const RefinementReport round = service.refineQuantizedGrid(plan);
+    EXPECT_EQ(round.axesRefined, 1);
+    EXPECT_EQ(round.leavesSplit, 1);
+    EXPECT_EQ(round.binsPrewarmed, 2);
+    EXPECT_EQ(round.synthRuns, 2u);
+    EXPECT_EQ(round.staleReleased, 1);
+    EXPECT_GT(round.bytesReleased, 0u);
+
+    // The same angle now serves warm from a leaf half as wide: the
+    // realized error bound strictly drops.
+    const ServedPulse fine = service.serve(plan, {theta});
+    EXPECT_EQ(fine.quantHits, 1u);
+    EXPECT_EQ(fine.quantMisses, 0u);
+    EXPECT_LT(fine.quantErrorBound, coarse_bound);
+    EXPECT_NEAR(fine.quantErrorBound, 0.05 * step / 2.0, 1e-9);
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.quantRefineRounds, 1u);
+    EXPECT_EQ(stats.quantSplits, 1u);
+    EXPECT_EQ(stats.quantStaleReleased, 1u);
+    EXPECT_EQ(stats.quantBytesReleased, round.bytesReleased);
+
+    // Children restart cold on visits: an immediate second round has
+    // nothing hot and does no work.
+    const RefinementReport idle = service.refineQuantizedGrid(plan);
+    EXPECT_EQ(idle.leavesSplit, 0);
+    EXPECT_EQ(service.stats().quantRefineRounds, 1u);
+}
+
+TEST(Service, AdaptiveCoarseLeavesDedupeAgainstPrewarmedGrid)
+{
+    // The dedupe guarantee end to end: unsplit adaptive leaves carry
+    // the fixed grid's representatives bit-for-bit, so a grid
+    // pre-warm (which synthesizes the *fixed* bins) leaves every
+    // coarse adaptive serve warm.
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 4;
+    options.synthesizer = synth.make();
+    options.cache.capacity = 8192;
+    options.quantization = adaptiveQuantization(64, 8);
+    CompileService service(options);
+
+    Circuit templ(1);
+    templ.rx(0, ParamExpr::theta(0));
+    const ServingPlan plan =
+        service.prepareServing(strictPartition(templ));
+    const BatchCompileReport grid = service.prewarmQuantizedBins(plan);
+    EXPECT_EQ(grid.uniqueBlocks, 64);
+    const int warm_runs = synth.runs.load();
+
+    Rng rng(23);
+    for (int i = 0; i < 20; ++i) {
+        const ServedPulse served = service.serve(plan, {rng.angle()});
+        EXPECT_EQ(served.quantMisses, 0u);
+        EXPECT_EQ(served.quantHits, 1u);
+    }
+    EXPECT_EQ(synth.runs.load(), warm_runs);
+}
+
+TEST(Service, AdaptiveRefinementRespectsDepthAndLeafCaps)
+{
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.lookupDt = 0.5;
+    ParamQuantization quantization = adaptiveQuantization(16, 1, 1.0);
+    quantization.maxRefineDepth = 1;
+    quantization.maxLeavesPerAxis = 17;
+    options.quantization = quantization;
+    CompileService service(options);
+
+    Circuit templ(1);
+    templ.ry(0, ParamExpr::theta(0));
+    const ServingPlan plan =
+        service.prepareServing(strictPartition(templ));
+
+    const double theta = 0.8;
+    service.serve(plan, {theta});
+    const RefinementReport first = service.refineQuantizedGrid(plan);
+    EXPECT_EQ(first.leavesSplit, 1);
+
+    // The refined child is hot again, but sits at maxRefineDepth —
+    // and the axis is at its leaf cap — so nothing further splits.
+    service.serve(plan, {theta});
+    service.serve(plan, {0.8 + 2.0}); // A different coarse bin, hot...
+    service.serve(plan, {0.8 + 2.0});
+    const RefinementReport second = service.refineQuantizedGrid(plan);
+    EXPECT_EQ(second.leavesSplit, 0);
+
+    const AdaptiveGridStats stats = service.quantizedGridStats(plan);
+    EXPECT_EQ(stats.axes, 1);
+    EXPECT_EQ(stats.leaves, 17u);
+    EXPECT_EQ(stats.maxDepth, 1);
+    EXPECT_EQ(stats.splits, 1u);
+    // Unsplit leaves still advertise the coarse worst case.
+    EXPECT_NEAR(stats.worstCaseBound,
+                quantization.stepRadians() / 4.0, 1e-12);
+}
+
+TEST(Service, AdaptiveServeDuringRefinementStress)
+{
+    // The TSan-lane stress: drivers hammer serve() on a plan while
+    // another thread refines it in place. Topology handoff must be
+    // race-free and every serve must resolve a complete pulse.
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 4;
+    options.synthesizer = synth.make();
+    options.cache.capacity = 8192;
+    options.quantization = adaptiveQuantization(64, 2, 1.0);
+    CompileService service(options);
+
+    Circuit templ(1);
+    templ.rz(0, ParamExpr::theta(0));
+    const ServingPlan plan =
+        service.prepareServing(strictPartition(templ));
+
+    constexpr int kThreads = 4;
+    constexpr int kServesPerThread = 60;
+    std::atomic<uint64_t> served_rotations{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> drivers;
+    drivers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        drivers.emplace_back([&service, &plan, &served_rotations, t] {
+            Rng rng(400 + t);
+            for (int i = 0; i < kServesPerThread; ++i) {
+                // Cluster around a few centers so leaves go hot and
+                // refinement races the serves that feed it.
+                const double center = 0.9 * (t % 2 ? 1.0 : -1.0);
+                const ServedPulse served = service.serve(
+                    plan, {center + 0.1 * rng.uniform(-1.0, 1.0)});
+                ASSERT_EQ(served.segments.size(), 1u);
+                ASSERT_NE(served.segments.front(), nullptr);
+                served_rotations.fetch_add(served.quantHits +
+                                           served.quantMisses +
+                                           served.quantFallbacks);
+            }
+        });
+    std::thread refiner([&service, &plan, &stop] {
+        while (!stop.load()) {
+            service.refineQuantizedGrid(plan);
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    });
+    for (std::thread& d : drivers)
+        d.join();
+    stop.store(true);
+    refiner.join();
+    // The storm may outrun the refiner's first round entirely; one
+    // deterministic final round guarantees the hot leaves split so
+    // the topology assertions below are meaningful.
+    service.refineQuantizedGrid(plan);
+
+    // Every rotation serve resolved through the quantized path.
+    EXPECT_EQ(served_rotations.load(),
+              static_cast<uint64_t>(kThreads * kServesPerThread));
+    const AdaptiveGridStats grid = service.quantizedGridStats(plan);
+    EXPECT_EQ(grid.leaves, 64u + grid.splits);
+    EXPECT_GT(grid.splits, 0u);
+    // The plan still serves correctly after the storm.
+    const ServedPulse after = service.serve(plan, {0.9});
+    EXPECT_EQ(after.segments.size(), 1u);
+}
+
+TEST(Service, VqeDriverAdaptiveRefinesOnConvergence)
+{
+    // End-to-end: the driver feeds optimizer step norms into
+    // refinement rounds, and the final grid serves the optimum with
+    // a strictly finer bound than the coarse grid could.
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.lookupDt = 0.5;
+    options.cache.capacity = 8192;
+    CompileService service(options);
+
+    const Circuit ansatz = buildOptimizedUccsd(moleculeByName("H2"));
+    ParamQuantization quantization = adaptiveQuantization(64, 6);
+    quantization.refineCooldown = 3;
+    quantization.refineStepNorm = 0.5;
+
+    VqeRunOptions run;
+    run.optimizer.maxIterations = 200;
+    run.compileService = &service;
+    run.quantization = quantization;
+    const VqeResult result = runVqe(ansatz, h2Hamiltonian(), run);
+
+    EXPECT_GT(result.quantRefineRounds, 0);
+    EXPECT_GT(result.quantSplits, 0u);
+    EXPECT_EQ(result.quantSplits, service.stats().quantSplits);
+    EXPECT_GT(result.quantRefineSynths, 0u);
+    EXPECT_GT(result.quantBytesReleased, 0u);
+    // The served optimum sits on refined leaves: its realized bound
+    // beats the coarse grid's worst case for even a single rotation.
+    EXPECT_GT(result.finalQuantErrorBound, 0.0);
+    EXPECT_LT(result.finalQuantErrorBound,
+              quantization.stepRadians() / 4.0);
+    // And the physics stayed honest: the snapped-angle optimum is
+    // near the true ground state.
+    EXPECT_NEAR(result.energy, result.exactGroundEnergy, 2e-2);
 }
 
 } // namespace
