@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Compile-server throughput: serve-path latency percentiles and
+ * cross-tenant block deduplication through the qpc-serverd wire
+ * protocol.
+ *
+ * The paper's deployment story (Section 8.4) is a shared compilation
+ * service: many variational workloads lease pulses from one
+ * content-addressed cache, so a block synthesized for one user is a
+ * lookup for every later one. This bench stands up a real
+ * CompileServer on a unix-domain socket, connects four tenants, and
+ * measures the two properties that make the daemon worth running:
+ *
+ *  - cross-tenant dedup: tenants B-D prepare and prewarm the same
+ *    QAOA template tenant A already warmed; their prewarms should
+ *    synthesize (close to) nothing;
+ *  - interactive serve latency: all four tenants then run a hybrid
+ *    optimizer loop of Serve frames concurrently over a warm
+ *    quantized grid, and we report client-observed round-trip
+ *    percentiles — protocol framing, scheduling, and cache lookup
+ *    included.
+ *
+ * Machine-readable lines (picked up by bench/run_all.sh JSON):
+ *   BENCH_server_p50_serve_us / BENCH_server_p99_serve_us
+ *   BENCH_server_serves_per_sec
+ *   BENCH_server_cross_tenant_dedup
+ *   BENCH_server_cold_synth_runs / BENCH_server_warm_synth_runs
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "bench/benchcommon.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "server/client.h"
+#include "server/server.h"
+
+using namespace qpc;
+using namespace qpc::bench;
+
+namespace {
+
+constexpr int kTenants = 4;
+constexpr int kThetaSet = 8;    ///< Distinct bindings per tenant loop.
+constexpr int kWarmRounds = 1;  ///< Untimed warm-up passes.
+constexpr int kTimedRounds = 8; ///< Timed passes over the theta set.
+
+double
+percentile(std::vector<double> v, double p)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(v.size() - 1) + 0.5);
+    return v[std::min(idx, v.size() - 1)];
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::string socket =
+        "/tmp/qpc-bench-server-" + std::to_string(::getpid()) +
+        ".sock";
+
+    CompileServerOptions options;
+    options.socketPath = socket;
+    options.service.numWorkers = 4;
+    options.service.maxQueuedJobs = 64;
+    options.service.quantization.enabled = true;
+    options.service.quantization.bins = 1024;
+    // The warmed grid (bins x rotation axes) plus the Fixed blocks
+    // must stay resident for the dedup measurement to be about
+    // sharing, not about eviction churn.
+    options.service.cache.capacity = 16384;
+    CompileServer server(std::move(options));
+    server.start();
+
+    // The shared template every tenant uploads: one QAOA benchmark
+    // circuit, so the fixed blocks are identical across tenants.
+    const Circuit circuit =
+        qaoaBenchmarkCircuit(qaoaBenchmarkGraph("3reg", 6, 11), 2);
+
+    // --- Cross-tenant dedup: A pays for synthesis, B-D reuse it. ---
+    std::vector<CompileClient> clients(kTenants);
+    std::vector<std::uint64_t> planIds(kTenants, 0);
+    int numParams = 0;
+    std::uint64_t coldSynth = 0, warmSynth = 0;
+    for (int t = 0; t < kTenants; ++t) {
+        CompileClient& c = clients[static_cast<std::size_t>(t)];
+        fatalIf(!c.connectUnix(socket), "bench: connect failed");
+        fatalIf(!c.hello("tenant-" + std::to_string(t)).has_value(),
+                "bench: hello failed");
+        const auto prep = c.prepareServing(circuit);
+        fatalIf(!prep.has_value(), "bench: prepareServing failed");
+        planIds[static_cast<std::size_t>(t)] = prep->planId;
+        const auto warm = c.prewarm(prep->planId);
+        fatalIf(!warm.has_value(), "bench: prewarm failed");
+        if (t == 0)
+            coldSynth = warm->synthRuns;
+        else
+            warmSynth += warm->synthRuns;
+    }
+    numParams = circuit.numParams();
+    const double dedup =
+        coldSynth == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(warmSynth) /
+                        (static_cast<double>(kTenants - 1) *
+                         static_cast<double>(coldSynth));
+
+    // --- Concurrent serve loop: 4 tenants, warm quantized grid. ---
+    // Every tenant cycles a fixed set of bindings, so after one
+    // untimed pass the timed rounds measure the steady-state hot
+    // path: frame decode, priority gate, quantized cache lookup,
+    // frame encode.
+    std::vector<std::vector<double>> latenciesUs(
+        static_cast<std::size_t>(kTenants));
+    const auto wallStart = std::chrono::steady_clock::now();
+    std::vector<std::thread> loops;
+    loops.reserve(kTenants);
+    for (int t = 0; t < kTenants; ++t) {
+        loops.emplace_back([&, t] {
+            CompileClient& c = clients[static_cast<std::size_t>(t)];
+            Rng rng(101 + static_cast<std::uint64_t>(t));
+            std::vector<std::vector<double>> thetas;
+            thetas.reserve(kThetaSet);
+            for (int i = 0; i < kThetaSet; ++i)
+                thetas.push_back(rng.angles(numParams));
+            auto& lat = latenciesUs[static_cast<std::size_t>(t)];
+            lat.reserve(kTimedRounds * kThetaSet);
+            for (int round = 0; round < kWarmRounds + kTimedRounds;
+                 ++round) {
+                for (const auto& theta : thetas) {
+                    const auto t0 =
+                        std::chrono::steady_clock::now();
+                    const auto reply = c.serve(
+                        planIds[static_cast<std::size_t>(t)], theta);
+                    fatalIf(!reply.has_value(),
+                            "bench: serve failed");
+                    const auto t1 =
+                        std::chrono::steady_clock::now();
+                    if (round >= kWarmRounds)
+                        lat.push_back(
+                            std::chrono::duration<double, std::micro>(
+                                t1 - t0)
+                                .count());
+                }
+            }
+        });
+    }
+    for (auto& th : loops)
+        th.join();
+    const double wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wallStart)
+            .count();
+
+    std::vector<double> all;
+    for (const auto& lat : latenciesUs)
+        all.insert(all.end(), lat.begin(), lat.end());
+    const double p50 = percentile(all, 0.50);
+    const double p99 = percentile(all, 0.99);
+    const double servesPerSec =
+        wallSeconds > 0.0 ? static_cast<double>(all.size()) /
+                                wallSeconds
+                          : 0.0;
+
+    for (auto& c : clients)
+        c.close();
+    server.stop();
+
+    std::printf("\ncompile-server throughput (%d tenants, %zu timed "
+                "serves)\n",
+                kTenants, all.size());
+    std::printf("  cold prewarm synth runs   %llu\n",
+                static_cast<unsigned long long>(coldSynth));
+    std::printf("  warm prewarm synth runs   %llu (tenants B-D "
+                "combined)\n",
+                static_cast<unsigned long long>(warmSynth));
+    std::printf("  cross-tenant dedup        %.4f\n", dedup);
+    std::printf("  serve p50                 %.1f us\n", p50);
+    std::printf("  serve p99                 %.1f us\n", p99);
+    std::printf("  throughput                %.0f serves/s\n",
+                servesPerSec);
+
+    std::printf("BENCH_server_cold_synth_runs=%llu\n",
+                static_cast<unsigned long long>(coldSynth));
+    std::printf("BENCH_server_warm_synth_runs=%llu\n",
+                static_cast<unsigned long long>(warmSynth));
+    std::printf("BENCH_server_cross_tenant_dedup=%.4f\n", dedup);
+    std::printf("BENCH_server_p50_serve_us=%.2f\n", p50);
+    std::printf("BENCH_server_p99_serve_us=%.2f\n", p99);
+    std::printf("BENCH_server_serves_per_sec=%.1f\n", servesPerSec);
+    return 0;
+}

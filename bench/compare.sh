@@ -57,7 +57,10 @@ for fresh_json in "$FRESH"/bench_*.json; do
     # BENCH_adaptive_* keys carry a quality direction: error bound and
     # synthesis count must not grow, hit rate must not fall — a fresh
     # value past 5% tolerance on the wrong side is flagged as a
-    # regression and fails the compare.
+    # regression and fails the compare. BENCH_server_* gates the
+    # compile-server daemon the same way: serve p99 latency may not
+    # grow past 1.5x (it is wall-clock, so it gets the widest band)
+    # and cross-tenant dedup may not fall below 0.95x of baseline.
     # (Explicit section markers rather than NR==FNR: that idiom
     # misattributes the second stream when the first is empty.)
     bench_diff=$(awk -F= '
@@ -76,6 +79,14 @@ for fresh_json in "$FRESH"/bench_*.json; do
                   $2 + 0 < (base[$1] + 0) * 0.95)
                   printf "   !! ADAPTIVE REGRESSION %s: %s -> %s\n", \
                       $1, base[$1], $2
+              if ($1 == "BENCH_server_p99_serve_us" &&
+                  $2 + 0 > (base[$1] + 0) * 1.5)
+                  printf "   !! SERVER REGRESSION %s: %s -> %s\n", \
+                      $1, base[$1], $2
+              if ($1 == "BENCH_server_cross_tenant_dedup" &&
+                  $2 + 0 < (base[$1] + 0) * 0.95)
+                  printf "   !! SERVER REGRESSION %s: %s -> %s\n", \
+                      $1, base[$1], $2
           } }
         END { for (k in base) if (!(k in fresh)) {
                   printf "   BENCH %s: %s -> (removed)\n", k, base[k]
@@ -84,6 +95,9 @@ for fresh_json in "$FRESH"/bench_*.json; do
                   if (k ~ /^BENCH_adaptive_/)
                       printf "   !! ADAPTIVE REGRESSION %s: %s -> (removed)\n", \
                           k, base[k]
+                  if (k ~ /^BENCH_server_(p99_serve_us|cross_tenant_dedup)$/)
+                      printf "   !! SERVER REGRESSION %s: %s -> (removed)\n", \
+                          k, base[k]
               } }' \
         <(echo __SECTION__;
           jq -r '.lines[] | select(startswith("BENCH_"))' "$base_json") \
@@ -91,7 +105,7 @@ for fresh_json in "$FRESH"/bench_*.json; do
           jq -r '.lines[] | select(startswith("BENCH_"))' "$fresh_json") \
         | sort)
     [ -n "$bench_diff" ] && printf '%s\n' "$bench_diff"
-    if printf '%s' "$bench_diff" | grep -q 'ADAPTIVE REGRESSION'; then
+    if printf '%s' "$bench_diff" | grep -q 'REGRESSION'; then
         status=1
     fi
 done

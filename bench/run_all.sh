@@ -25,6 +25,7 @@ BENCHES=(
     bench_fig6_table4_qaoa_speedups
     bench_fig7_latency_reduction
     bench_service_scaling
+    bench_server_throughput
 )
 
 # Built only when Google Benchmark is installed (see bench/CMakeLists);

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * qpc-client: drive one tenant's hybrid loop through a running
+ * qpc-serverd.
+ *
+ *   ./build/examples/qpc_serverd --socket=/tmp/qpc.sock &
+ *   ./build/examples/qpc_client --socket=/tmp/qpc.sock \
+ *       --tenant=alice --serves=32
+ *
+ * Connects, identifies the tenant, uploads a QAOA MAXCUT template,
+ * bulk-prewarms it, then serves a stream of parameter bindings — the
+ * client half of the CI smoke test. --stats prints the server's
+ * health frame afterwards; --shutdown asks the daemon to exit.
+ */
+
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "qaoa/graph.h"
+#include "qaoa/qaoacircuit.h"
+#include "server/client.h"
+#include "transpile/passes.h"
+
+using namespace qpc;
+
+int
+main(int argc, char** argv)
+{
+    CliParser cli("qpc_client");
+    cli.addString("socket", "/tmp/qpc-serverd.sock",
+                  "unix-domain socket of the server");
+    cli.addInt("tcp", 0, "connect to loopback TCP instead (port)");
+    cli.addString("tenant", "default", "tenant name to serve under");
+    cli.addInt("n", 6, "QAOA graph nodes");
+    cli.addInt("p", 2, "QAOA depth");
+    cli.addInt("serves", 16, "parameter bindings to serve");
+    cli.addInt("seed", 7, "angle stream seed");
+    cli.addFlag("pulses", "download the served pulse segments too");
+    cli.addFlag("stats", "print the server stats frame afterwards");
+    cli.addFlag("shutdown", "ask the server to shut down when done");
+    cli.parse(argc, argv);
+
+    CompileClient client;
+    const bool connected =
+        cli.getInt("tcp") > 0 ? client.connectTcp(cli.getInt("tcp"))
+                              : client.connectUnix(cli.getString("socket"));
+    if (!connected) {
+        std::fprintf(stderr, "qpc-client: %s\n",
+                     client.lastError().c_str());
+        return 1;
+    }
+
+    const auto hello = client.hello(cli.getString("tenant"));
+    if (!hello) {
+        std::fprintf(stderr, "qpc-client: Hello failed: %s\n",
+                     client.lastError().c_str());
+        return 1;
+    }
+    std::printf("tenant '%s' (id %u): quotas plans=%llu "
+                "servedBytes=%llu bulk=%llu\n",
+                cli.getString("tenant").c_str(), hello->tenantId,
+                static_cast<unsigned long long>(hello->maxPlans),
+                static_cast<unsigned long long>(hello->maxServedBytes),
+                static_cast<unsigned long long>(
+                    hello->maxConcurrentBulk));
+
+    Circuit circuit =
+        buildQaoaCircuit(cliqueGraph(cli.getInt("n")), cli.getInt("p"));
+    optimizeCircuit(circuit);
+    const int num_params = circuit.numParams();
+
+    const auto prepared = client.prepareServing(circuit);
+    if (!prepared) {
+        std::fprintf(stderr, "qpc-client: PrepareServing failed: %s\n",
+                     client.lastError().c_str());
+        return 1;
+    }
+    std::printf("plan %llu: %u fixed blocks, %u param gates\n",
+                static_cast<unsigned long long>(prepared->planId),
+                prepared->numFixedBlocks, prepared->numParamGates);
+
+    const auto warmed = client.prewarm(prepared->planId);
+    if (!warmed) {
+        std::fprintf(stderr, "qpc-client: Prewarm failed: %s\n",
+                     client.lastError().c_str());
+        return 1;
+    }
+    std::printf("prewarm: %u unique blocks, %llu syntheses, "
+                "%llu cache hits in %.3f s\n",
+                warmed->uniqueBlocks,
+                static_cast<unsigned long long>(warmed->synthRuns),
+                static_cast<unsigned long long>(warmed->cacheHits),
+                warmed->wallSeconds);
+
+    Rng rng(static_cast<uint64_t>(cli.getInt("seed")));
+    std::uint64_t hits = 0, misses = 0;
+    double total_ns = 0.0;
+    const int serves = cli.getInt("serves");
+    for (int i = 0; i < serves; ++i) {
+        const auto served = client.serve(prepared->planId,
+                                         rng.angles(num_params),
+                                         cli.getFlag("pulses"));
+        if (!served) {
+            std::fprintf(stderr, "qpc-client: Serve failed: %s\n",
+                         client.lastError().c_str());
+            return 1;
+        }
+        hits += served->cacheHits + served->quantHits;
+        misses += served->cacheMisses + served->quantMisses +
+                  served->exactServes;
+        total_ns += served->pulseNs;
+    }
+    std::printf("served %d bindings: %llu warm segments, "
+                "%llu synthesized, %.1f ns mean pulse\n",
+                serves, static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                serves ? total_ns / serves : 0.0);
+
+    if (cli.getFlag("stats")) {
+        const auto stats = client.stats();
+        if (!stats) {
+            std::fprintf(stderr, "qpc-client: Stats failed: %s\n",
+                         client.lastError().c_str());
+            return 1;
+        }
+        std::printf("server: %llu requests, %llu cache hits, "
+                    "%llu coalesced, %llu syntheses, "
+                    "%llu cache entries\n",
+                    static_cast<unsigned long long>(stats->requests),
+                    static_cast<unsigned long long>(stats->cacheHits),
+                    static_cast<unsigned long long>(stats->coalesced),
+                    static_cast<unsigned long long>(stats->synthRuns),
+                    static_cast<unsigned long long>(
+                        stats->cacheEntries));
+        for (const WireTenantStats& t : stats->tenants)
+            std::printf("  tenant %-12s plans=%llu serves=%llu "
+                        "hitRate=%.2f servedKiB=%llu "
+                        "quotaRejections=%llu\n",
+                        t.tenant.c_str(),
+                        static_cast<unsigned long long>(t.plans),
+                        static_cast<unsigned long long>(t.serves),
+                        t.hitRate(),
+                        static_cast<unsigned long long>(
+                            t.servedBytes >> 10),
+                        static_cast<unsigned long long>(
+                            t.quotaRejections));
+    }
+
+    if (cli.getFlag("shutdown")) {
+        if (!client.shutdownServer()) {
+            std::fprintf(stderr, "qpc-client: Shutdown failed: %s\n",
+                         client.lastError().c_str());
+            return 1;
+        }
+        std::printf("server acknowledged shutdown\n");
+    }
+    return 0;
+}

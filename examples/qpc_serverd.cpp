@@ -1,0 +1,122 @@
+/**
+ * @file
+ * qpc-serverd: the multi-tenant compile server daemon.
+ *
+ * Binds a unix-domain socket (and optionally loopback TCP), then
+ * serves Hello/PrepareServing/Prewarm/Serve/Stats/Shutdown frames
+ * until a Shutdown frame, SIGTERM, or SIGINT arrives — at which point
+ * it drains every session and exits 0.
+ *
+ *   ./build/examples/qpc_serverd --socket=/tmp/qpc.sock --workers=4
+ *
+ * Clients share one content-addressed pulse cache: identical blocks
+ * across tenants cost one synthesis total. Quota flags bound each
+ * tenant; see the README's "Compile server" section for the protocol.
+ */
+
+#include <cstdio>
+
+#include <csignal>
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/cli.h"
+#include "common/logging.h"
+#include "server/server.h"
+
+using namespace qpc;
+
+namespace {
+
+// Self-pipe: the handler may only do async-signal-safe work, so it
+// writes one byte and the main thread does the actual shutdown.
+int g_signal_pipe[2] = {-1, -1};
+
+void
+onSignal(int)
+{
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    CliParser cli("qpc_serverd");
+    cli.addString("socket", "/tmp/qpc-serverd.sock",
+                  "unix-domain socket path to listen on");
+    cli.addInt("tcp", 0,
+               "loopback TCP port (0 = off, -1 = ephemeral)");
+    cli.addInt("workers", 0, "synthesis workers (0 = hardware)");
+    cli.addInt("max-queued", 64,
+               "bound on queued synthesis jobs (0 = unbounded)");
+    cli.addString("cache-dir", "",
+                  "disk cache tier directory (empty = memory only)");
+    cli.addInt("cache-entries", 4096, "in-memory cache entry cap");
+    cli.addInt("cache-mb", 0,
+               "in-memory cache byte budget, MiB (0 = entries only)");
+    cli.addFlag("quantize",
+                "serve rotations from an angle-quantized grid");
+    cli.addInt("bins", 1024, "quantization grid bins per 2*pi");
+    cli.addInt("quota-plans", 64, "per-tenant serving plan cap");
+    cli.addInt("quota-served-mb", 0,
+               "per-tenant served-bytes budget, MiB (0 = unlimited)");
+    cli.addInt("quota-bulk", 2, "per-tenant concurrent prewarm cap");
+    cli.parse(argc, argv);
+
+    CompileServerOptions options;
+    options.socketPath = cli.getString("socket");
+    options.tcpPort = cli.getInt("tcp");
+    options.service.numWorkers = cli.getInt("workers");
+    options.service.maxQueuedJobs =
+        static_cast<std::size_t>(cli.getInt("max-queued"));
+    options.service.cache.diskDir = cli.getString("cache-dir");
+    options.service.cache.capacity =
+        static_cast<std::size_t>(cli.getInt("cache-entries"));
+    options.service.cache.capacityBytes =
+        static_cast<std::size_t>(cli.getInt("cache-mb")) << 20;
+    options.service.quantization.enabled = cli.getFlag("quantize");
+    options.service.quantization.bins = cli.getInt("bins");
+    options.quota.maxPlans =
+        static_cast<std::uint64_t>(cli.getInt("quota-plans"));
+    options.quota.maxServedBytes =
+        static_cast<std::uint64_t>(cli.getInt("quota-served-mb")) << 20;
+    options.quota.maxConcurrentBulk =
+        static_cast<std::uint64_t>(cli.getInt("quota-bulk"));
+
+    fatalIf(::pipe(g_signal_pipe) != 0, "cannot create signal pipe");
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    CompileServer server(std::move(options));
+    server.start();
+    std::printf("qpc-serverd: listening on %s",
+                server.options().socketPath.c_str());
+    if (server.boundTcpPort() > 0)
+        std::printf(" and tcp:%d", server.boundTcpPort());
+    std::printf(" (%d workers)\n", server.service().numWorkers());
+    std::fflush(stdout);
+
+    // Wait for either a signal byte or a Shutdown frame.
+    while (!server.stopRequested()) {
+        pollfd pfd{g_signal_pipe[0], POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready > 0 && (pfd.revents & POLLIN))
+            break;
+    }
+
+    server.requestStop();
+    server.stop();
+
+    const WireServerStats stats = server.statsSnapshot();
+    std::printf("qpc-serverd: served %llu connections, "
+                "%llu requests, %llu cache hits; clean shutdown\n",
+                static_cast<unsigned long long>(
+                    stats.connectionsAccepted),
+                static_cast<unsigned long long>(stats.requests),
+                static_cast<unsigned long long>(stats.cacheHits));
+    return 0;
+}

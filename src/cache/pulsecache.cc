@@ -283,16 +283,21 @@ PulseCache::gcDisk()
         // full directory rescan on every put.
         const std::size_t target =
             options_.maxDiskBytes - options_.maxDiskBytes / 8;
-        // Oldest mtime first (path as a deterministic tie-break), so
-        // the sweep — and any crash partway through it — only ever
-        // costs the records least likely to be served again; removal
-        // is whole-file unlink, never an in-place truncation, so a
-        // concurrent get() reads a complete record or misses cleanly.
+        // Oldest mtime first, so the sweep — and any crash partway
+        // through it — only ever costs the records least likely to be
+        // served again; removal is whole-file unlink, never an
+        // in-place truncation, so a concurrent get() reads a complete
+        // record or misses cleanly. Records sharing one mtime (coarse
+        // filesystem timestamps round a burst of writes to the same
+        // second) fall back to filename order: without a stable
+        // secondary key the victim set would depend on directory
+        // enumeration order, and two processes sweeping one shared
+        // tier could each evict a different record.
         std::sort(records.begin(), records.end(),
                   [](const DiskRecord& a, const DiskRecord& b) {
                       if (a.mtime != b.mtime)
                           return a.mtime < b.mtime;
-                      return a.path < b.path;
+                      return a.path.filename() < b.path.filename();
                   });
         for (const DiskRecord& record : records) {
             if (total <= target)

@@ -155,12 +155,25 @@ savePulseSchedule(const std::string& path, const PulseSchedule& schedule)
         std::to_string(save_counter.fetch_add(1));
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out)
+        if (!out) {
+            // The open may still have created an empty file (e.g. a
+            // permission change between create and write); removing a
+            // nonexistent path is harmless.
+            std::remove(tmp.c_str());
             return false;
+        }
         out.write(reinterpret_cast<const char*>(bytes.data()),
                   static_cast<std::streamsize>(bytes.size()));
-        if (!out)
+        out.flush();
+        if (!out) {
+            // A failed write (disk full, quota, rlimit) must not leak
+            // the unique temp file: nothing else ever renames or
+            // removes it, so an unremoved temp accumulates forever in
+            // the cache directory.
+            out.close();
+            std::remove(tmp.c_str());
             return false;
+        }
     }
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);

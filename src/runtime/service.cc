@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 
 #include "common/logging.h"
@@ -236,7 +237,28 @@ CompileService::admitAfterMiss(const BlockFingerprint& fp,
         // inflightMu_.
         inflight_.emplace(fp, future);
         lock.unlock();
-        pool_.submit(std::move(job));
+        if (!pool_.submit(std::move(job))) {
+            // The pool stopped (service teardown under load) while
+            // this producer awaited queue space. Withdraw the flight
+            // and poison the future so callers that already coalesced
+            // onto it unblock with an error instead of hanging on a
+            // promise nobody will fulfill.
+            {
+                std::lock_guard<std::mutex> guard(inflightMu_);
+                inflight_.erase(fp);
+            }
+            completion->set_exception(std::make_exception_ptr(
+                std::runtime_error("CompileService stopped before the "
+                                   "synthesis could be queued")));
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            if (outcome)
+                *outcome = AdmitOutcome::Rejected;
+            // Callers that must deliver get the poisoned-but-valid
+            // future (their .get() surfaces the shutdown); shedding
+            // callers get the same invalid future as a queue-full
+            // rejection.
+            return force_block ? future : PulseFuture{};
+        }
     }
     if (outcome)
         *outcome = AdmitOutcome::Started;
@@ -329,7 +351,11 @@ CompileService::compileEntries(
             ++report.coalesced;
             break;
         case AdmitOutcome::Rejected:
-            panic("blocking batch admission cannot be rejected");
+            // Only possible when the pool stopped mid-batch (service
+            // teardown racing a batch): the admission handed back a
+            // poisoned future, so the wait below surfaces the
+            // shutdown as an exception rather than a silent undercount.
+            break;
         }
     }
     for (PulseFuture& future : pending)

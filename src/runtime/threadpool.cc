@@ -37,22 +37,27 @@ ThreadPool::enqueueLocked(std::function<void()>&& job)
     peakDepth_ = std::max(peakDepth_, queue_.size());
 }
 
-void
+bool
 ThreadPool::submit(std::function<void()> job)
 {
     panicIf(!job, "cannot submit an empty job");
     {
         std::unique_lock<std::mutex> lock(mu_);
-        panicIf(stopping_, "submit() on a stopping ThreadPool");
         if (maxQueued_ > 0)
             spaceCv_.wait(lock, [this] {
                 return stopping_ || queue_.size() < maxQueued_;
             });
-        panicIf(stopping_,
-                "ThreadPool stopped while submit() awaited queue space");
+        // Stopped — either before the call or while this producer was
+        // blocked on a full queue. Refuse the job instead of
+        // deadlocking (the destructor's workers only drain, they never
+        // free submit()'s wait) or aborting: the caller surfaces the
+        // refusal as a rejected admission.
+        if (stopping_)
+            return false;
         enqueueLocked(std::move(job));
     }
     cv_.notify_one();
+    return true;
 }
 
 bool
@@ -61,7 +66,8 @@ ThreadPool::trySubmit(std::function<void()> job)
     panicIf(!job, "cannot submit an empty job");
     {
         std::lock_guard<std::mutex> lock(mu_);
-        panicIf(stopping_, "trySubmit() on a stopping ThreadPool");
+        if (stopping_)
+            return false;
         if (maxQueued_ > 0 && queue_.size() >= maxQueued_)
             return false;
         enqueueLocked(std::move(job));

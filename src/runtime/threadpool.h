@@ -14,6 +14,13 @@
  * (backpressure — N drivers hammering one pool degrade to the pool's
  * throughput instead of ballooning memory), while trySubmit() refuses
  * immediately so callers can surface the rejection.
+ *
+ * Shutdown never strands a producer: stopping the pool wakes every
+ * submitter blocked on a full queue and refuses its job (submit()
+ * returns false) instead of deadlocking it — or aborting the process —
+ * which is what lets a daemon embedding the pool honor SIGTERM while
+ * load is still arriving. Jobs accepted before the stop still run to
+ * completion.
  */
 
 #ifndef QPC_RUNTIME_THREADPOOL_H
@@ -49,16 +56,19 @@ class ThreadPool
     /**
      * Enqueue a job for asynchronous execution. With a queue bound,
      * blocks until a slot frees up — the queue length never exceeds
-     * maxQueuedJobs().
+     * maxQueuedJobs(). Returns true when the job was accepted (and
+     * will run exactly once); false when the pool stopped first — a
+     * producer blocked on a full queue is woken by shutdown and its
+     * job refused, never run.
      */
-    void submit(std::function<void()> job);
+    [[nodiscard]] bool submit(std::function<void()> job);
 
     /**
      * Enqueue without blocking: false (job not taken) when the bound
-     * is reached, true otherwise. Always succeeds on an unbounded
-     * pool.
+     * is reached or the pool is stopping, true otherwise. Always
+     * succeeds on a running unbounded pool.
      */
-    bool trySubmit(std::function<void()> job);
+    [[nodiscard]] bool trySubmit(std::function<void()> job);
 
     int numWorkers() const { return static_cast<int>(workers_.size()); }
     std::size_t maxQueuedJobs() const { return maxQueued_; }

@@ -1,0 +1,281 @@
+#include "server/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "pulse/serialize.h"
+
+namespace qpc {
+
+CompileClient::~CompileClient()
+{
+    close();
+}
+
+void
+CompileClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+CompileClient::connectUnix(const std::string& path)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        return fail(WireError::BadRequest, "bad socket path");
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return fail(WireError::Internal, "cannot create socket");
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        close();
+        return fail(WireError::Internal,
+                    "cannot connect to " + path + ": " +
+                        std::strerror(errno));
+    }
+    return true;
+}
+
+bool
+CompileClient::connectTcp(int port)
+{
+    close();
+    if (port <= 0 || port > 65535)
+        return fail(WireError::BadRequest, "bad TCP port");
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return fail(WireError::Internal, "cannot create socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        close();
+        return fail(WireError::Internal,
+                    "cannot connect to loopback port " +
+                        std::to_string(port) + ": " +
+                        std::strerror(errno));
+    }
+    return true;
+}
+
+bool
+CompileClient::fail(WireError code, const std::string& message)
+{
+    lastErrorCode_ = code;
+    lastError_ = message;
+    return false;
+}
+
+std::optional<std::vector<std::uint8_t>>
+CompileClient::roundTrip(const std::vector<std::uint8_t>& payload)
+{
+    if (fd_ < 0) {
+        fail(WireError::Internal, "not connected");
+        return std::nullopt;
+    }
+    if (!writeFrame(fd_, payload)) {
+        close();
+        fail(WireError::Internal, "connection lost writing request");
+        return std::nullopt;
+    }
+    std::optional<std::vector<std::uint8_t>> reply = readFrame(fd_);
+    if (!reply) {
+        close();
+        fail(WireError::Internal, "connection lost reading reply");
+    }
+    return reply;
+}
+
+std::optional<std::vector<std::uint8_t>>
+CompileClient::request(MsgType want,
+                       const std::vector<std::uint8_t>& payload)
+{
+    std::optional<std::vector<std::uint8_t>> reply =
+        roundTrip(payload);
+    if (!reply)
+        return std::nullopt;
+    const std::optional<MsgType> type = peekMessage(*reply);
+    if (!type) {
+        close();
+        fail(WireError::Internal, "unparseable reply");
+        return std::nullopt;
+    }
+    if (*type == MsgType::Error) {
+        WireReader r(*reply);
+        r.u8();
+        r.u8();
+        const auto code = static_cast<WireError>(r.u32());
+        fail(code, r.str());
+        return std::nullopt;
+    }
+    if (*type != want) {
+        close();
+        fail(WireError::Internal, "unexpected reply type");
+        return std::nullopt;
+    }
+    return reply;
+}
+
+std::optional<CompileClient::HelloReply>
+CompileClient::hello(const std::string& tenant)
+{
+    WireWriter w = beginMessage(MsgType::Hello);
+    w.str(tenant);
+    std::optional<std::vector<std::uint8_t>> reply =
+        request(MsgType::HelloOk, w.bytes());
+    if (!reply)
+        return std::nullopt;
+    WireReader r(*reply);
+    r.u8();
+    r.u8();
+    HelloReply out;
+    out.tenantId = r.u32();
+    out.maxPlans = r.u64();
+    out.maxServedBytes = r.u64();
+    out.maxConcurrentBulk = r.u64();
+    if (!r.done()) {
+        fail(WireError::Internal, "malformed HelloOk");
+        return std::nullopt;
+    }
+    return out;
+}
+
+std::optional<CompileClient::PrepareReply>
+CompileClient::prepareServing(const Circuit& circuit)
+{
+    WireWriter w = beginMessage(MsgType::PrepareServing);
+    encodeCircuit(w, circuit);
+    std::optional<std::vector<std::uint8_t>> reply =
+        request(MsgType::PrepareOk, w.bytes());
+    if (!reply)
+        return std::nullopt;
+    WireReader r(*reply);
+    r.u8();
+    r.u8();
+    PrepareReply out;
+    out.planId = r.u64();
+    out.numFixedBlocks = r.u32();
+    out.numParamGates = r.u32();
+    if (!r.done()) {
+        fail(WireError::Internal, "malformed PrepareOk");
+        return std::nullopt;
+    }
+    return out;
+}
+
+std::optional<CompileClient::PrewarmReply>
+CompileClient::prewarm(std::uint64_t plan_id)
+{
+    WireWriter w = beginMessage(MsgType::Prewarm);
+    w.u64(plan_id);
+    std::optional<std::vector<std::uint8_t>> reply =
+        request(MsgType::PrewarmOk, w.bytes());
+    if (!reply)
+        return std::nullopt;
+    WireReader r(*reply);
+    r.u8();
+    r.u8();
+    PrewarmReply out;
+    out.uniqueBlocks = r.u32();
+    out.synthRuns = r.u64();
+    out.cacheHits = r.u64();
+    out.wallSeconds = r.f64();
+    if (!r.done()) {
+        fail(WireError::Internal, "malformed PrewarmOk");
+        return std::nullopt;
+    }
+    return out;
+}
+
+std::optional<CompileClient::ServeReply>
+CompileClient::serve(std::uint64_t plan_id,
+                     const std::vector<double>& theta,
+                     bool want_pulses)
+{
+    WireWriter w = beginMessage(MsgType::Serve);
+    w.u64(plan_id);
+    w.u8(want_pulses ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(theta.size()));
+    for (double t : theta)
+        w.f64(t);
+    std::optional<std::vector<std::uint8_t>> reply =
+        request(MsgType::ServeOk, w.bytes());
+    if (!reply)
+        return std::nullopt;
+    WireReader r(*reply);
+    r.u8();
+    r.u8();
+    ServeReply out;
+    out.pulseNs = r.f64();
+    out.cacheHits = r.u64();
+    out.cacheMisses = r.u64();
+    out.quantHits = r.u64();
+    out.quantMisses = r.u64();
+    out.exactServes = r.u64();
+    out.quantErrorBound = r.f64();
+    out.numSegments = r.u32();
+    if (want_pulses) {
+        out.pulses.reserve(out.numSegments);
+        for (std::uint32_t i = 0; i < out.numSegments && r.ok(); ++i) {
+            const std::vector<std::uint8_t> record = r.blob();
+            std::optional<PulseSchedule> pulse =
+                deserializePulseSchedule(record);
+            if (!pulse) {
+                fail(WireError::Internal,
+                     "malformed pulse record in ServeOk");
+                return std::nullopt;
+            }
+            out.pulses.push_back(std::move(*pulse));
+        }
+    }
+    if (!r.done()) {
+        fail(WireError::Internal, "malformed ServeOk");
+        return std::nullopt;
+    }
+    return out;
+}
+
+std::optional<WireServerStats>
+CompileClient::stats()
+{
+    WireWriter w = beginMessage(MsgType::Stats);
+    std::optional<std::vector<std::uint8_t>> reply =
+        request(MsgType::StatsOk, w.bytes());
+    if (!reply)
+        return std::nullopt;
+    WireReader r(*reply);
+    r.u8();
+    r.u8();
+    std::optional<WireServerStats> stats = decodeServerStats(r);
+    if (!stats || !r.done()) {
+        fail(WireError::Internal, "malformed StatsOk");
+        return std::nullopt;
+    }
+    return stats;
+}
+
+bool
+CompileClient::shutdownServer()
+{
+    WireWriter w = beginMessage(MsgType::Shutdown);
+    std::optional<std::vector<std::uint8_t>> reply =
+        request(MsgType::ShutdownOk, w.bytes());
+    return reply.has_value();
+}
+
+} // namespace qpc

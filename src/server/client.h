@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Client library for the compile server: one blocking connection, one
+ * typed method per protocol request. Drivers embed this to move their
+ * hybrid loop's compilation to a shared daemon without speaking the
+ * wire format themselves; the examples' qpc-client is a thin shell
+ * around it.
+ *
+ * Error model: every method returns nullopt/false on failure and
+ * leaves the reason in lastError()/lastErrorCode(). A transport
+ * failure (peer gone, malformed reply) also drops the connection —
+ * call connected() to distinguish "request refused" from "link dead".
+ */
+
+#ifndef QPC_SERVER_CLIENT_H
+#define QPC_SERVER_CLIENT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pulse/schedule.h"
+#include "server/protocol.h"
+
+namespace qpc {
+
+/** A blocking client connection to one compile server. */
+class CompileClient
+{
+  public:
+    CompileClient() = default;
+    ~CompileClient();
+
+    CompileClient(const CompileClient&) = delete;
+    CompileClient& operator=(const CompileClient&) = delete;
+
+    /** Connect over a unix-domain socket. */
+    bool connectUnix(const std::string& path);
+    /** Connect over loopback TCP. */
+    bool connectTcp(int port);
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /** The server's HelloOk: tenant identity plus its quota terms. */
+    struct HelloReply
+    {
+        std::uint32_t tenantId = 0;
+        std::uint64_t maxPlans = 0;
+        std::uint64_t maxServedBytes = 0;
+        std::uint64_t maxConcurrentBulk = 0;
+    };
+    /** Identify this connection's tenant; required before any
+     * plan-scoped request. */
+    std::optional<HelloReply> hello(const std::string& tenant);
+
+    struct PrepareReply
+    {
+        std::uint64_t planId = 0;
+        std::uint32_t numFixedBlocks = 0;
+        std::uint32_t numParamGates = 0;
+    };
+    /** Upload a variational template; the server partitions and
+     * prepares it for serving. */
+    std::optional<PrepareReply> prepareServing(const Circuit& circuit);
+
+    struct PrewarmReply
+    {
+        std::uint32_t uniqueBlocks = 0;
+        std::uint64_t synthRuns = 0;
+        std::uint64_t cacheHits = 0;
+        double wallSeconds = 0.0;
+    };
+    /** Bulk-warm a plan: Fixed blocks plus its quantized grid. */
+    std::optional<PrewarmReply> prewarm(std::uint64_t plan_id);
+
+    struct ServeReply
+    {
+        double pulseNs = 0.0;
+        std::uint64_t cacheHits = 0;
+        std::uint64_t cacheMisses = 0;
+        std::uint64_t quantHits = 0;
+        std::uint64_t quantMisses = 0;
+        std::uint64_t exactServes = 0;
+        double quantErrorBound = 0.0;
+        std::uint32_t numSegments = 0;
+        /** Decoded pulse segments; empty unless want_pulses. */
+        std::vector<PulseSchedule> pulses;
+    };
+    /** Serve one parameter binding of a prepared plan. */
+    std::optional<ServeReply> serve(std::uint64_t plan_id,
+                                    const std::vector<double>& theta,
+                                    bool want_pulses = false);
+
+    /** Snapshot the server's health/stats frame. */
+    std::optional<WireServerStats> stats();
+
+    /** Ask the server to shut down; true on an acknowledged stop. */
+    bool shutdownServer();
+
+    /**
+     * Raw exchange: send one payload, read one reply payload. The
+     * fuzz tests use this to push hostile bytes through a real
+     * connection; nullopt means the transport died.
+     */
+    std::optional<std::vector<std::uint8_t>>
+    roundTrip(const std::vector<std::uint8_t>& payload);
+
+    /** Human-readable reason for the last failed call. */
+    const std::string& lastError() const { return lastError_; }
+    /** Wire code of the last Error frame (Internal for transport). */
+    WireError lastErrorCode() const { return lastErrorCode_; }
+
+    /** The raw socket (tests inject mid-frame disconnects with it). */
+    int fd() const { return fd_; }
+
+  private:
+    /**
+     * roundTrip + reply validation: nullopt (with lastError set)
+     * unless the reply parses and carries `want`; an Error frame's
+     * code/message land in lastErrorCode()/lastError().
+     */
+    std::optional<std::vector<std::uint8_t>>
+    request(MsgType want, const std::vector<std::uint8_t>& payload);
+
+    bool fail(WireError code, const std::string& message);
+
+    int fd_ = -1;
+    std::string lastError_;
+    WireError lastErrorCode_ = WireError::Internal;
+};
+
+} // namespace qpc
+
+#endif // QPC_SERVER_CLIENT_H

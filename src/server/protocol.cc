@@ -1,0 +1,416 @@
+#include "server/protocol.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace qpc {
+
+namespace {
+
+constexpr char kCircuitMagic[4] = {'Q', 'C', 'I', 'R'};
+
+/** Largest circuit a PrepareServing body may describe. Far above any
+ * variational template this system serves, far below anything that
+ * could stress server memory. */
+constexpr std::uint32_t kMaxWireQubits = 1024;
+constexpr std::uint32_t kMaxWireOps = 1u << 20;
+constexpr std::int32_t kMaxWireParamIndex = 1 << 20;
+
+/** Retry-on-EINTR full read; false on EOF/error before n bytes. */
+bool
+readFull(int fd, void* buffer, std::size_t n)
+{
+    auto* p = static_cast<std::uint8_t*>(buffer);
+    while (n > 0) {
+        const ssize_t got = ::read(fd, p, n);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (got == 0)
+            return false;
+        p += got;
+        n -= static_cast<std::size_t>(got);
+    }
+    return true;
+}
+
+/**
+ * Retry-on-EINTR full write; false on any error. Uses send(2) with
+ * MSG_NOSIGNAL so a peer that hung up mid-reply surfaces as EPIPE on
+ * this connection instead of a process-wide SIGPIPE (write(2) kept as
+ * a fallback for non-socket fds in tests).
+ */
+bool
+writeFull(int fd, const void* buffer, std::size_t n)
+{
+    auto* p = static_cast<const std::uint8_t*>(buffer);
+    while (n > 0) {
+        ssize_t put = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (put < 0 && errno == ENOTSOCK)
+            put = ::write(fd, p, n);
+        if (put < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += put;
+        n -= static_cast<std::size_t>(put);
+    }
+    return true;
+}
+
+} // namespace
+
+void
+WireWriter::u32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+WireWriter::u64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+WireWriter::f64(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+WireWriter::str(const std::string& s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+void
+WireWriter::blob(const std::vector<std::uint8_t>& b)
+{
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b.data(), b.size());
+}
+
+void
+WireWriter::raw(const std::uint8_t* data, std::size_t size)
+{
+    bytes_.insert(bytes_.end(), data, data + size);
+}
+
+const std::uint8_t*
+WireReader::take(std::size_t n)
+{
+    if (!ok_ || n > remaining_) {
+        ok_ = false;
+        return nullptr;
+    }
+    const std::uint8_t* at = p_;
+    p_ += n;
+    remaining_ -= n;
+    return at;
+}
+
+std::uint8_t
+WireReader::u8()
+{
+    const std::uint8_t* p = take(1);
+    return p ? *p : 0;
+}
+
+std::uint32_t
+WireReader::u32()
+{
+    const std::uint8_t* p = take(4);
+    if (!p)
+        return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+WireReader::u64()
+{
+    const std::uint8_t* p = take(8);
+    if (!p)
+        return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+double
+WireReader::f64()
+{
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+WireReader::str()
+{
+    const std::uint32_t n = u32();
+    const std::uint8_t* p = take(n);
+    if (!p)
+        return {};
+    return std::string(reinterpret_cast<const char*>(p), n);
+}
+
+std::vector<std::uint8_t>
+WireReader::blob()
+{
+    const std::uint32_t n = u32();
+    const std::uint8_t* p = take(n);
+    if (!p)
+        return {};
+    return std::vector<std::uint8_t>(p, p + n);
+}
+
+WireWriter
+beginMessage(MsgType type)
+{
+    WireWriter w;
+    w.u8(kServerProtocolVersion);
+    w.u8(static_cast<std::uint8_t>(type));
+    return w;
+}
+
+std::optional<MsgType>
+peekMessage(const std::vector<std::uint8_t>& payload)
+{
+    if (payload.size() < 2)
+        return std::nullopt;
+    if (payload[0] != kServerProtocolVersion)
+        return std::nullopt;
+    switch (static_cast<MsgType>(payload[1])) {
+    case MsgType::Hello:
+    case MsgType::PrepareServing:
+    case MsgType::Prewarm:
+    case MsgType::Serve:
+    case MsgType::Stats:
+    case MsgType::Shutdown:
+    case MsgType::HelloOk:
+    case MsgType::PrepareOk:
+    case MsgType::PrewarmOk:
+    case MsgType::ServeOk:
+    case MsgType::StatsOk:
+    case MsgType::ShutdownOk:
+    case MsgType::Error:
+        return static_cast<MsgType>(payload[1]);
+    }
+    return std::nullopt;
+}
+
+bool
+writeFrame(int fd, const std::vector<std::uint8_t>& payload)
+{
+    if (payload.empty() || payload.size() > kMaxFramePayload)
+        return false;
+    std::uint8_t prefix[4];
+    const auto n = static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        prefix[i] = static_cast<std::uint8_t>(n >> (8 * i));
+    return writeFull(fd, prefix, sizeof(prefix)) &&
+           writeFull(fd, payload.data(), payload.size());
+}
+
+std::optional<std::vector<std::uint8_t>>
+readFrame(int fd)
+{
+    std::uint8_t prefix[4];
+    if (!readFull(fd, prefix, sizeof(prefix)))
+        return std::nullopt;
+    std::uint32_t n = 0;
+    for (int i = 0; i < 4; ++i)
+        n |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+    // A zero or oversized prefix is a protocol violation, not a
+    // request: reject before allocating a byte.
+    if (n == 0 || n > kMaxFramePayload)
+        return std::nullopt;
+    std::vector<std::uint8_t> payload(n);
+    if (!readFull(fd, payload.data(), n))
+        return std::nullopt;
+    return payload;
+}
+
+void
+encodeCircuit(WireWriter& w, const Circuit& circuit)
+{
+    for (char m : kCircuitMagic)
+        w.u8(static_cast<std::uint8_t>(m));
+    w.u32(kCircuitFormatVersion);
+    w.u32(static_cast<std::uint32_t>(circuit.numQubits()));
+    w.u32(static_cast<std::uint32_t>(circuit.size()));
+    for (const GateOp& op : circuit.ops()) {
+        w.u8(static_cast<std::uint8_t>(op.kind));
+        w.i32(op.q0);
+        w.i32(op.q1);
+        w.i32(op.angle.index);
+        w.f64(op.angle.coeff);
+        w.f64(op.angle.offset);
+    }
+}
+
+std::optional<Circuit>
+decodeCircuit(WireReader& r)
+{
+    for (char m : kCircuitMagic)
+        if (r.u8() != static_cast<std::uint8_t>(m))
+            return std::nullopt;
+    if (r.u32() != kCircuitFormatVersion)
+        return std::nullopt;
+    const std::uint32_t qubits = r.u32();
+    const std::uint32_t ops = r.u32();
+    if (!r.ok() || qubits == 0 || qubits > kMaxWireQubits ||
+        ops > kMaxWireOps)
+        return std::nullopt;
+    Circuit circuit(static_cast<int>(qubits));
+    for (std::uint32_t i = 0; i < ops; ++i) {
+        GateOp op;
+        const std::uint8_t kind = r.u8();
+        op.q0 = r.i32();
+        op.q1 = r.i32();
+        op.angle.index = r.i32();
+        op.angle.coeff = r.f64();
+        op.angle.offset = r.f64();
+        if (!r.ok())
+            return std::nullopt;
+        // Validate everything Circuit::add would panic on (plus wire
+        // sanity): hostile bytes must degrade to a decode error.
+        if (kind > static_cast<std::uint8_t>(GateKind::ISwap))
+            return std::nullopt;
+        op.kind = static_cast<GateKind>(kind);
+        const int width = static_cast<int>(qubits);
+        if (op.q0 < 0 || op.q0 >= width)
+            return std::nullopt;
+        if (op.arity() == 2 &&
+            (op.q1 < 0 || op.q1 >= width || op.q1 == op.q0))
+            return std::nullopt;
+        if (op.angle.index < -1 || op.angle.index > kMaxWireParamIndex)
+            return std::nullopt;
+        if (!std::isfinite(op.angle.coeff) ||
+            !std::isfinite(op.angle.offset))
+            return std::nullopt;
+        circuit.add(op);
+    }
+    return circuit;
+}
+
+std::vector<std::uint8_t>
+encodeCircuit(const Circuit& circuit)
+{
+    WireWriter w;
+    encodeCircuit(w, circuit);
+    return w.take();
+}
+
+std::optional<Circuit>
+decodeCircuit(const std::vector<std::uint8_t>& bytes)
+{
+    WireReader r(bytes);
+    std::optional<Circuit> circuit = decodeCircuit(r);
+    if (!circuit || !r.done())
+        return std::nullopt;
+    return circuit;
+}
+
+void
+encodeServerStats(WireWriter& w, const WireServerStats& stats)
+{
+    w.u64(stats.connectionsAccepted);
+    w.u64(stats.connectionsActive);
+    w.u64(stats.protocolErrors);
+    w.u64(stats.bulkYields);
+    w.u64(stats.requests);
+    w.u64(stats.cacheHits);
+    w.u64(stats.coalesced);
+    w.u64(stats.synthRuns);
+    w.u64(stats.rejected);
+    w.u64(stats.exactServes);
+    w.u64(stats.quantHits);
+    w.u64(stats.quantMisses);
+    w.u64(stats.quantFallbacks);
+    w.u64(stats.cacheLookups);
+    w.u64(stats.cacheMemHits);
+    w.u64(stats.cacheDiskHits);
+    w.u64(stats.cacheMisses);
+    w.u64(stats.cacheEntries);
+    w.u64(stats.cacheBytesInUse);
+    w.u32(static_cast<std::uint32_t>(stats.tenants.size()));
+    for (const WireTenantStats& tenant : stats.tenants) {
+        w.str(tenant.tenant);
+        w.u64(tenant.plans);
+        w.u64(tenant.serves);
+        w.u64(tenant.prewarms);
+        w.u64(tenant.serveHits);
+        w.u64(tenant.serveMisses);
+        w.u64(tenant.servedBytes);
+        w.u64(tenant.quotaRejections);
+    }
+}
+
+std::optional<WireServerStats>
+decodeServerStats(WireReader& r)
+{
+    WireServerStats stats;
+    stats.connectionsAccepted = r.u64();
+    stats.connectionsActive = r.u64();
+    stats.protocolErrors = r.u64();
+    stats.bulkYields = r.u64();
+    stats.requests = r.u64();
+    stats.cacheHits = r.u64();
+    stats.coalesced = r.u64();
+    stats.synthRuns = r.u64();
+    stats.rejected = r.u64();
+    stats.exactServes = r.u64();
+    stats.quantHits = r.u64();
+    stats.quantMisses = r.u64();
+    stats.quantFallbacks = r.u64();
+    stats.cacheLookups = r.u64();
+    stats.cacheMemHits = r.u64();
+    stats.cacheDiskHits = r.u64();
+    stats.cacheMisses = r.u64();
+    stats.cacheEntries = r.u64();
+    stats.cacheBytesInUse = r.u64();
+    const std::uint32_t tenants = r.u32();
+    // A tenant count is bounded by what fits in one frame anyway;
+    // reject a lying prefix before the loop allocates against it.
+    if (!r.ok() || tenants > (1u << 16))
+        return std::nullopt;
+    stats.tenants.reserve(tenants);
+    for (std::uint32_t i = 0; i < tenants; ++i) {
+        WireTenantStats tenant;
+        tenant.tenant = r.str();
+        tenant.plans = r.u64();
+        tenant.serves = r.u64();
+        tenant.prewarms = r.u64();
+        tenant.serveHits = r.u64();
+        tenant.serveMisses = r.u64();
+        tenant.servedBytes = r.u64();
+        tenant.quotaRejections = r.u64();
+        if (!r.ok())
+            return std::nullopt;
+        stats.tenants.push_back(std::move(tenant));
+    }
+    if (!r.ok())
+        return std::nullopt;
+    return stats;
+}
+
+} // namespace qpc

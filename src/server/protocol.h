@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Wire protocol of the multi-tenant compile server.
+ *
+ * Transport: length-prefixed binary frames over a stream socket (unix
+ * domain by default, TCP behind a flag):
+ *
+ *   u32   payload length N (little-endian; 0 < N <= kMaxFramePayload)
+ *   u8[N] payload
+ *
+ * Payload: u8 protocol version, u8 message type, then the type's body.
+ * All integers are little-endian; doubles travel as raw IEEE-754 bits
+ * (the same convention as the "QPLS" pulse record, which rides inside
+ * Serve replies unchanged).
+ *
+ * Message bodies (requests):
+ *   Hello           str tenant
+ *   PrepareServing  circuit ("QCIR" record, below)
+ *   Prewarm         u64 planId
+ *   Serve           u64 planId, u8 wantPulses, u32 n, f64 theta[n]
+ *   Stats           (empty)
+ *   Shutdown        (empty)
+ *
+ * Replies:
+ *   HelloOk     u32 tenantId, u64 maxPlans, u64 maxServedBytes,
+ *               u64 maxConcurrentBulk
+ *   PrepareOk   u64 planId, u32 numFixedBlocks, u32 numParamGates
+ *   PrewarmOk   u32 uniqueBlocks, u64 synthRuns, u64 cacheHits,
+ *               f64 wallSeconds
+ *   ServeOk     f64 pulseNs, u64 cacheHits, u64 cacheMisses,
+ *               u64 quantHits, u64 quantMisses, u64 exactServes,
+ *               f64 quantErrorBound, u32 numSegments,
+ *               then when wantPulses: numSegments x (u32 len,
+ *               u8[len] "QPLS" pulse record)
+ *   StatsOk     ServerStatsSnapshot (see decodeStats)
+ *   ShutdownOk  (empty)
+ *   Error       u32 code, str message
+ *
+ * Strings are u32 length + raw bytes. Decoding never trusts its input:
+ * a malformed body reads as an error on that connection only, the
+ * server stays up for every other tenant.
+ *
+ * Circuits travel as a versioned "QCIR" record so a serving template
+ * survives the trip bit-exactly (ParamExpr coefficients included):
+ *
+ *   bytes 0..3  magic "QCIR"
+ *   u32         format version (currently 1)
+ *   u32         numQubits
+ *   u32         numOps
+ *   per op:     u8 kind, i32 q0, i32 q1,
+ *               i32 paramIndex, f64 coeff, f64 offset
+ */
+
+#ifndef QPC_SERVER_PROTOCOL_H
+#define QPC_SERVER_PROTOCOL_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.h"
+
+namespace qpc {
+
+/** Protocol version spoken by this build (frames carry it). */
+inline constexpr std::uint8_t kServerProtocolVersion = 1;
+
+/** Circuit record format version inside PrepareServing bodies. */
+inline constexpr std::uint32_t kCircuitFormatVersion = 1;
+
+/**
+ * Hard ceiling on one frame's payload. A length prefix past this reads
+ * as a malformed frame (connection error), never as an allocation: a
+ * garbage or hostile prefix must not let one tenant balloon server
+ * memory.
+ */
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+/** Every message type on the wire. Requests < 64, replies >= 64. */
+enum class MsgType : std::uint8_t {
+    Hello = 1,
+    PrepareServing = 2,
+    Prewarm = 3,
+    Serve = 4,
+    Stats = 5,
+    Shutdown = 6,
+
+    HelloOk = 65,
+    PrepareOk = 66,
+    PrewarmOk = 67,
+    ServeOk = 68,
+    StatsOk = 69,
+    ShutdownOk = 70,
+    Error = 127,
+};
+
+/** Error frame codes. */
+enum class WireError : std::uint32_t {
+    BadRequest = 1,    ///< Malformed body / unknown type / bad version.
+    QuotaExceeded = 2, ///< Tenant quota (plans, bytes, bulk) exhausted.
+    NotFound = 3,      ///< Unknown plan id.
+    Internal = 4,      ///< Server-side failure serving the request.
+    ShuttingDown = 5,  ///< Server is draining; retry elsewhere.
+};
+
+/** Little-endian serializer for message bodies. */
+class WireWriter
+{
+  public:
+    void u8(std::uint8_t v) { bytes_.push_back(v); }
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void f64(double v);
+    /** u32 length + raw bytes. */
+    void str(const std::string& s);
+    /** u32 length + raw bytes. */
+    void blob(const std::vector<std::uint8_t>& b);
+    /** Raw bytes, no length prefix (self-delimiting sub-records). */
+    void raw(const std::uint8_t* data, std::size_t size);
+
+    const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+    std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/**
+ * Little-endian deserializer. Never reads past the end: the first
+ * short read latches ok() false and every later read returns zeros,
+ * so decoding loops stay simple and a truncated body cannot walk off
+ * the buffer.
+ */
+class WireReader
+{
+  public:
+    WireReader(const std::uint8_t* data, std::size_t size)
+        : p_(data), remaining_(size)
+    {
+    }
+    explicit WireReader(const std::vector<std::uint8_t>& bytes)
+        : WireReader(bytes.data(), bytes.size())
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    double f64();
+    /** u32 length + bytes; empty (and !ok()) on a lying length. */
+    std::string str();
+    std::vector<std::uint8_t> blob();
+
+    /** False once any read ran past the available bytes. */
+    bool ok() const { return ok_; }
+    /** True when every byte was consumed and no read failed. */
+    bool done() const { return ok_ && remaining_ == 0; }
+    std::size_t remaining() const { return remaining_; }
+
+  private:
+    const std::uint8_t* take(std::size_t n);
+
+    const std::uint8_t* p_ = nullptr;
+    std::size_t remaining_ = 0;
+    bool ok_ = true;
+};
+
+/** Start a message payload: version byte + type byte. */
+WireWriter beginMessage(MsgType type);
+
+/**
+ * Parse a payload's two-byte header. nullopt when the payload is too
+ * short, carries the wrong protocol version, or an unknown type.
+ */
+std::optional<MsgType> peekMessage(const std::vector<std::uint8_t>& payload);
+
+/** @name Frame transport over a connected stream socket (blocking)
+ *  @{ */
+
+/** Write one length-prefixed frame; false on any I/O error. */
+bool writeFrame(int fd, const std::vector<std::uint8_t>& payload);
+
+/**
+ * Read one frame. nullopt on clean EOF before a frame starts, a
+ * disconnect mid-frame, an oversized or zero length prefix, or any
+ * I/O error — the caller drops the connection either way.
+ */
+std::optional<std::vector<std::uint8_t>> readFrame(int fd);
+/** @} */
+
+/** @name Versioned circuit record ("QCIR")
+ *  @{ */
+
+/** Append a circuit record to a body under construction. */
+void encodeCircuit(WireWriter& w, const Circuit& circuit);
+
+/**
+ * Decode an in-stream circuit record. nullopt on bad magic, version,
+ * counts, gate kinds, qubit indices, or non-finite coefficients —
+ * validated here so a hostile record can never reach Circuit::add's
+ * panics.
+ */
+std::optional<Circuit> decodeCircuit(WireReader& r);
+
+/** Whole-buffer convenience wrappers (tests, tooling). */
+std::vector<std::uint8_t> encodeCircuit(const Circuit& circuit);
+std::optional<Circuit>
+decodeCircuit(const std::vector<std::uint8_t>& bytes);
+/** @} */
+
+/** @name StatsOk body: a server health/observability snapshot
+ *  @{ */
+
+/** One tenant's counters inside a StatsOk reply. */
+struct WireTenantStats
+{
+    std::string tenant;
+    std::uint64_t plans = 0;      ///< Serving plans currently held.
+    std::uint64_t serves = 0;     ///< Serve requests completed.
+    std::uint64_t prewarms = 0;   ///< Prewarm requests completed.
+    std::uint64_t serveHits = 0;  ///< Served segments found warm.
+    std::uint64_t serveMisses = 0; ///< Segments synthesized on serve.
+    std::uint64_t servedBytes = 0; ///< Serialized pulse bytes served.
+    std::uint64_t quotaRejections = 0; ///< Requests shed by quota.
+
+    /** Warm fraction of this tenant's served segments. */
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = serveHits + serveMisses;
+        return total ? static_cast<double>(serveHits) / total : 0.0;
+    }
+};
+
+/** The whole StatsOk body: server, shared service/cache, per tenant. */
+struct WireServerStats
+{
+    /** @name Server-level counters
+     *  @{ */
+    std::uint64_t connectionsAccepted = 0;
+    std::uint64_t connectionsActive = 0;
+    std::uint64_t protocolErrors = 0; ///< Malformed frames/bodies seen.
+    std::uint64_t bulkYields = 0; ///< Prewarms that waited for serves.
+    /** @} */
+
+    /** @name Shared CompileService counters (ServiceStats mirror)
+     *  @{ */
+    std::uint64_t requests = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t synthRuns = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t exactServes = 0;
+    std::uint64_t quantHits = 0;
+    std::uint64_t quantMisses = 0;
+    std::uint64_t quantFallbacks = 0;
+    /** @} */
+
+    /** @name Shared PulseCache counters (CacheStats mirror)
+     *  @{ */
+    std::uint64_t cacheLookups = 0;
+    std::uint64_t cacheMemHits = 0;
+    std::uint64_t cacheDiskHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheEntries = 0;
+    std::uint64_t cacheBytesInUse = 0;
+    /** @} */
+
+    std::vector<WireTenantStats> tenants;
+};
+
+/** Append a stats snapshot to a StatsOk body under construction. */
+void encodeServerStats(WireWriter& w, const WireServerStats& stats);
+
+/** Decode a StatsOk body; nullopt on malformed bytes. */
+std::optional<WireServerStats> decodeServerStats(WireReader& r);
+/** @} */
+
+} // namespace qpc
+
+#endif // QPC_SERVER_PROTOCOL_H

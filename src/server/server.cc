@@ -1,0 +1,642 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "partial/strict.h"
+#include "pulse/serialize.h"
+
+namespace qpc {
+
+namespace {
+
+/** Longest tenant name a Hello may carry. */
+constexpr std::size_t kMaxTenantName = 256;
+/** Largest theta vector a Serve may carry. */
+constexpr std::uint32_t kMaxThetaLen = 1u << 16;
+/** How often the accept loop re-checks the stop flag. */
+constexpr int kAcceptPollMs = 100;
+
+void
+closeIfOpen(int& fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+} // namespace
+
+void
+PriorityGate::beginServe()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pendingServes_;
+}
+
+void
+PriorityGate::endServe()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    panicIf(pendingServes_ <= 0, "endServe() without beginServe()");
+    if (--pendingServes_ == 0)
+        cv_.notify_all();
+}
+
+bool
+PriorityGate::waitBulkTurn()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (pendingServes_ > 0)
+        ++bulkYields_;
+    cv_.wait(lock,
+             [this] { return stopped_ || pendingServes_ == 0; });
+    return !stopped_;
+}
+
+void
+PriorityGate::stop()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+    cv_.notify_all();
+}
+
+std::uint64_t
+PriorityGate::bulkYields() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return bulkYields_;
+}
+
+int
+PriorityGate::pendingServes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return pendingServes_;
+}
+
+CompileServer::CompileServer(CompileServerOptions options)
+    : options_(std::move(options)), service_(options_.service)
+{
+    fatalIf(options_.socketPath.empty() && options_.tcpPort == 0,
+            "compile server needs a unix socket path or a TCP port");
+}
+
+CompileServer::~CompileServer()
+{
+    stop();
+}
+
+void
+CompileServer::start()
+{
+    panicIf(started_, "start() called twice");
+    started_ = true;
+
+    if (!options_.socketPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        fatalIf(options_.socketPath.size() >= sizeof(addr.sun_path),
+                "unix socket path too long: ", options_.socketPath);
+        std::strncpy(addr.sun_path, options_.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        unixFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        fatalIf(unixFd_ < 0, "cannot create unix socket: ",
+                std::strerror(errno));
+        // A stale path from a crashed predecessor must not block a
+        // restart; a live server on the path will still make bind
+        // fail below.
+        ::unlink(options_.socketPath.c_str());
+        fatalIf(::bind(unixFd_,
+                       reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr)) != 0,
+                "cannot bind ", options_.socketPath, ": ",
+                std::strerror(errno));
+        fatalIf(::listen(unixFd_, options_.listenBacklog) != 0,
+                "cannot listen on ", options_.socketPath, ": ",
+                std::strerror(errno));
+    }
+
+    if (options_.tcpPort != 0) {
+        tcpFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        fatalIf(tcpFd_ < 0, "cannot create TCP socket: ",
+                std::strerror(errno));
+        const int one = 1;
+        ::setsockopt(tcpFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(options_.tcpPort > 0
+                                  ? static_cast<std::uint16_t>(
+                                        options_.tcpPort)
+                                  : 0);
+        fatalIf(::bind(tcpFd_,
+                       reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr)) != 0,
+                "cannot bind TCP port ", options_.tcpPort, ": ",
+                std::strerror(errno));
+        fatalIf(::listen(tcpFd_, options_.listenBacklog) != 0,
+                "cannot listen on TCP port: ", std::strerror(errno));
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(tcpFd_,
+                          reinterpret_cast<sockaddr*>(&bound),
+                          &len) == 0)
+            boundTcpPort_ = ntohs(bound.sin_port);
+    }
+
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+int
+CompileServer::boundTcpPort() const
+{
+    return boundTcpPort_;
+}
+
+void
+CompileServer::requestStop()
+{
+    bool expected = false;
+    if (!stopRequested_.compare_exchange_strong(expected, true))
+        return;
+    {
+        std::lock_guard<std::mutex> lock(stopMu_);
+        stopCv_.notify_all();
+    }
+    gate_.stop();
+    // Wake every blocked read: shutdown (not close — the fds stay
+    // valid until their threads are joined) the listeners and every
+    // live session socket.
+    if (unixFd_ >= 0)
+        ::shutdown(unixFd_, SHUT_RDWR);
+    if (tcpFd_ >= 0)
+        ::shutdown(tcpFd_, SHUT_RDWR);
+    std::lock_guard<std::mutex> lock(registryMu_);
+    for (const auto& session : sessions_)
+        if (session->fd >= 0)
+            ::shutdown(session->fd, SHUT_RDWR);
+}
+
+bool
+CompileServer::stopRequested() const
+{
+    return stopRequested_.load(std::memory_order_relaxed);
+}
+
+void
+CompileServer::waitUntilStopRequested()
+{
+    std::unique_lock<std::mutex> lock(stopMu_);
+    stopCv_.wait(lock, [this] { return stopRequested(); });
+}
+
+void
+CompileServer::stop()
+{
+    if (!started_ || joined_)
+        return;
+    requestStop();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    std::vector<std::unique_ptr<Session>> sessions;
+    {
+        std::lock_guard<std::mutex> lock(registryMu_);
+        sessions.swap(sessions_);
+    }
+    for (const auto& session : sessions) {
+        if (session->thread.joinable())
+            session->thread.join();
+        closeIfOpen(session->fd);
+    }
+    closeIfOpen(unixFd_);
+    closeIfOpen(tcpFd_);
+    if (!options_.socketPath.empty())
+        ::unlink(options_.socketPath.c_str());
+    joined_ = true;
+}
+
+void
+CompileServer::reapFinishedSessionsLocked()
+{
+    auto alive = sessions_.begin();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+        if ((*it)->done.load(std::memory_order_acquire)) {
+            if ((*it)->thread.joinable())
+                (*it)->thread.join();
+            closeIfOpen((*it)->fd);
+        } else {
+            if (alive != it)
+                *alive = std::move(*it);
+            ++alive;
+        }
+    }
+    sessions_.erase(alive, sessions_.end());
+}
+
+void
+CompileServer::acceptLoop()
+{
+    while (!stopRequested()) {
+        pollfd fds[2];
+        nfds_t n = 0;
+        if (unixFd_ >= 0)
+            fds[n++] = pollfd{unixFd_, POLLIN, 0};
+        if (tcpFd_ >= 0)
+            fds[n++] = pollfd{tcpFd_, POLLIN, 0};
+        const int ready = ::poll(fds, n, kAcceptPollMs);
+        if (stopRequested())
+            break;
+        if (ready <= 0)
+            continue;
+        for (nfds_t i = 0; i < n; ++i) {
+            if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            const int fd = ::accept(fds[i].fd, nullptr, nullptr);
+            if (fd < 0)
+                continue;
+            connectionsAccepted_.fetch_add(1,
+                                           std::memory_order_relaxed);
+            connectionsActive_.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(registryMu_);
+            // Reap before growing: a long-lived daemon must not hold
+            // one dead fd + joinable thread per connection it ever
+            // served.
+            reapFinishedSessionsLocked();
+            if (stopRequested()) {
+                // Raced with requestStop() after its fd sweep: this
+                // socket would never be shut down, leaving stop()
+                // joining a session blocked in read. Refuse it.
+                ::close(fd);
+                connectionsActive_.fetch_sub(
+                    1, std::memory_order_relaxed);
+                continue;
+            }
+            sessions_.push_back(std::make_unique<Session>());
+            Session* session = sessions_.back().get();
+            session->fd = fd;
+            session->thread =
+                std::thread([this, session] { sessionLoop(session); });
+        }
+    }
+}
+
+void
+CompileServer::sessionLoop(Session* session)
+{
+    std::shared_ptr<Tenant> tenant;
+    while (!stopRequested()) {
+        std::optional<std::vector<std::uint8_t>> payload =
+            readFrame(session->fd);
+        // EOF, disconnect mid-frame, or a hostile length prefix: the
+        // framing on this connection cannot be trusted any further, so
+        // the session ends — other tenants' sessions are untouched.
+        if (!payload)
+            break;
+        if (!handleFrame(*session, tenant, *payload))
+            break;
+    }
+    // FIN the peer now (it may be blocked on a reply); the fd itself
+    // stays open until the reaper or stop() joins this thread.
+    ::shutdown(session->fd, SHUT_RDWR);
+    connectionsActive_.fetch_sub(1, std::memory_order_relaxed);
+    session->done.store(true, std::memory_order_release);
+}
+
+std::shared_ptr<CompileServer::Tenant>
+CompileServer::internTenant(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(registryMu_);
+    auto it = tenants_.find(name);
+    if (it != tenants_.end())
+        return it->second;
+    auto tenant = std::make_shared<Tenant>();
+    tenant->name = name;
+    tenant->id = nextTenantId_++;
+    tenants_.emplace(name, tenant);
+    return tenant;
+}
+
+bool
+CompileServer::sendError(int fd, WireError code,
+                         const std::string& message)
+{
+    WireWriter w = beginMessage(MsgType::Error);
+    w.u32(static_cast<std::uint32_t>(code));
+    w.str(message);
+    return writeFrame(fd, w.bytes());
+}
+
+bool
+CompileServer::handleFrame(Session& session,
+                           std::shared_ptr<Tenant>& tenant,
+                           const std::vector<std::uint8_t>& payload)
+{
+    const std::optional<MsgType> type = peekMessage(payload);
+    if (!type) {
+        // Unknown version or type: this peer speaks something else;
+        // error and hang up rather than guess at its framing.
+        protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+        sendError(session.fd, WireError::BadRequest,
+                  "unknown protocol version or message type");
+        return false;
+    }
+    WireReader r(payload);
+    r.u8(); // version, validated by peekMessage
+    r.u8(); // type
+
+    // A malformed *body* inside a well-framed payload: report and keep
+    // the connection (framing is still in sync).
+    const auto badBody = [&](const std::string& what) {
+        protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+        return sendError(session.fd, WireError::BadRequest, what);
+    };
+
+    switch (*type) {
+    case MsgType::Hello: {
+        const std::string name = r.str();
+        if (!r.done() || name.empty() || name.size() > kMaxTenantName)
+            return badBody("malformed Hello");
+        tenant = internTenant(name);
+        WireWriter w = beginMessage(MsgType::HelloOk);
+        w.u32(tenant->id);
+        w.u64(options_.quota.maxPlans);
+        w.u64(options_.quota.maxServedBytes);
+        w.u64(options_.quota.maxConcurrentBulk);
+        return writeFrame(session.fd, w.bytes());
+    }
+
+    case MsgType::PrepareServing: {
+        if (!tenant)
+            return sendError(session.fd, WireError::BadRequest,
+                             "Hello required before PrepareServing");
+        std::optional<Circuit> circuit = decodeCircuit(r);
+        if (!circuit || !r.done())
+            return badBody("malformed PrepareServing circuit");
+        {
+            std::lock_guard<std::mutex> lock(tenant->mu);
+            if (tenant->plans.size() >= options_.quota.maxPlans) {
+                tenant->quotaRejections.fetch_add(
+                    1, std::memory_order_relaxed);
+                return sendError(session.fd, WireError::QuotaExceeded,
+                                 "tenant plan quota exhausted");
+            }
+        }
+        // Partition + fingerprint outside the tenant lock: this is
+        // the expensive half, and other sessions of the tenant must
+        // keep serving while it runs.
+        Tenant::PlanEntry entry;
+        entry.numParams = circuit->numParams();
+        try {
+            const StrictPartition partition = strictPartition(*circuit);
+            entry.plan = std::make_shared<const ServingPlan>(
+                service_.prepareServing(partition));
+        } catch (const std::exception& e) {
+            return sendError(session.fd, WireError::Internal,
+                             e.what());
+        }
+        std::uint64_t plan_id = 0;
+        {
+            std::lock_guard<std::mutex> lock(tenant->mu);
+            if (tenant->plans.size() >= options_.quota.maxPlans) {
+                tenant->quotaRejections.fetch_add(
+                    1, std::memory_order_relaxed);
+                return sendError(session.fd, WireError::QuotaExceeded,
+                                 "tenant plan quota exhausted");
+            }
+            plan_id = tenant->nextPlanId++;
+            tenant->plans.emplace(plan_id, entry);
+        }
+        WireWriter w = beginMessage(MsgType::PrepareOk);
+        w.u64(plan_id);
+        w.u32(static_cast<std::uint32_t>(
+            entry.plan->numFixedBlocks()));
+        w.u32(static_cast<std::uint32_t>(entry.plan->numParamGates()));
+        return writeFrame(session.fd, w.bytes());
+    }
+
+    case MsgType::Prewarm: {
+        if (!tenant)
+            return sendError(session.fd, WireError::BadRequest,
+                             "Hello required before Prewarm");
+        const std::uint64_t plan_id = r.u64();
+        if (!r.done())
+            return badBody("malformed Prewarm");
+        std::shared_ptr<const ServingPlan> plan;
+        {
+            std::lock_guard<std::mutex> lock(tenant->mu);
+            auto it = tenant->plans.find(plan_id);
+            if (it != tenant->plans.end())
+                plan = it->second.plan;
+        }
+        if (!plan)
+            return sendError(session.fd, WireError::NotFound,
+                             "unknown plan id");
+        // Bulk class: bounded per tenant, and it yields to every
+        // pending interactive serve before touching the worker pool.
+        const std::uint64_t bulk_before =
+            tenant->activeBulk.fetch_add(1, std::memory_order_relaxed);
+        if (bulk_before >= options_.quota.maxConcurrentBulk) {
+            tenant->activeBulk.fetch_sub(1, std::memory_order_relaxed);
+            tenant->quotaRejections.fetch_add(
+                1, std::memory_order_relaxed);
+            return sendError(session.fd, WireError::QuotaExceeded,
+                             "tenant bulk quota exhausted");
+        }
+        if (!gate_.waitBulkTurn()) {
+            tenant->activeBulk.fetch_sub(1, std::memory_order_relaxed);
+            sendError(session.fd, WireError::ShuttingDown,
+                      "server is shutting down");
+            return false;
+        }
+        BatchCompileReport fixed, bins;
+        try {
+            fixed = service_.precompilePlan(*plan);
+            bins = service_.prewarmQuantizedBins(*plan);
+        } catch (const std::exception& e) {
+            tenant->activeBulk.fetch_sub(1, std::memory_order_relaxed);
+            return sendError(session.fd, WireError::Internal,
+                             e.what());
+        }
+        tenant->activeBulk.fetch_sub(1, std::memory_order_relaxed);
+        tenant->prewarms.fetch_add(1, std::memory_order_relaxed);
+        WireWriter w = beginMessage(MsgType::PrewarmOk);
+        w.u32(static_cast<std::uint32_t>(fixed.uniqueBlocks +
+                                         bins.uniqueBlocks));
+        w.u64(fixed.synthRuns + bins.synthRuns);
+        w.u64(fixed.cacheHits + bins.cacheHits);
+        w.f64(fixed.wallSeconds + bins.wallSeconds);
+        return writeFrame(session.fd, w.bytes());
+    }
+
+    case MsgType::Serve: {
+        if (!tenant)
+            return sendError(session.fd, WireError::BadRequest,
+                             "Hello required before Serve");
+        const std::uint64_t plan_id = r.u64();
+        const bool want_pulses = r.u8() != 0;
+        const std::uint32_t n = r.u32();
+        if (!r.ok() || n > kMaxThetaLen)
+            return badBody("malformed Serve");
+        std::vector<double> theta(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            theta[i] = r.f64();
+        if (!r.done())
+            return badBody("malformed Serve");
+        for (double t : theta)
+            if (!std::isfinite(t))
+                return badBody("non-finite theta");
+        Tenant::PlanEntry entry;
+        {
+            std::lock_guard<std::mutex> lock(tenant->mu);
+            auto it = tenant->plans.find(plan_id);
+            if (it != tenant->plans.end())
+                entry = it->second;
+        }
+        if (!entry.plan)
+            return sendError(session.fd, WireError::NotFound,
+                             "unknown plan id");
+        // Validated here because ParamExpr::bind treats a short theta
+        // as a fatal() — a user error must error this request, not
+        // take the daemon down.
+        if (static_cast<int>(theta.size()) < entry.numParams)
+            return badBody("theta shorter than the plan's parameters");
+        if (options_.quota.maxServedBytes > 0 &&
+            tenant->servedBytes.load(std::memory_order_relaxed) >=
+                options_.quota.maxServedBytes) {
+            tenant->quotaRejections.fetch_add(
+                1, std::memory_order_relaxed);
+            return sendError(session.fd, WireError::QuotaExceeded,
+                             "tenant served-bytes quota exhausted");
+        }
+        ServedPulse served;
+        gate_.beginServe();
+        try {
+            served = service_.serve(*entry.plan, theta);
+        } catch (const std::exception& e) {
+            gate_.endServe();
+            return sendError(session.fd, WireError::Internal,
+                             e.what());
+        }
+        gate_.endServe();
+        std::uint64_t bytes = 0;
+        for (const PulsePtr& segment : served.segments)
+            bytes += segment->serializedBytes();
+        tenant->serves.fetch_add(1, std::memory_order_relaxed);
+        tenant->serveHits.fetch_add(served.cacheHits +
+                                        served.quantHits,
+                                    std::memory_order_relaxed);
+        tenant->serveMisses.fetch_add(served.cacheMisses +
+                                          served.quantMisses +
+                                          served.exactServes,
+                                      std::memory_order_relaxed);
+        tenant->servedBytes.fetch_add(bytes,
+                                      std::memory_order_relaxed);
+        WireWriter w = beginMessage(MsgType::ServeOk);
+        w.f64(served.pulseNs);
+        w.u64(served.cacheHits);
+        w.u64(served.cacheMisses);
+        w.u64(served.quantHits);
+        w.u64(served.quantMisses);
+        w.u64(served.exactServes);
+        w.f64(served.quantErrorBound);
+        w.u32(static_cast<std::uint32_t>(served.segments.size()));
+        if (want_pulses)
+            for (const PulsePtr& segment : served.segments)
+                w.blob(serializePulseSchedule(*segment));
+        return writeFrame(session.fd, w.bytes());
+    }
+
+    case MsgType::Stats: {
+        WireWriter w = beginMessage(MsgType::StatsOk);
+        encodeServerStats(w, statsSnapshot());
+        return writeFrame(session.fd, w.bytes());
+    }
+
+    case MsgType::Shutdown: {
+        WireWriter w = beginMessage(MsgType::ShutdownOk);
+        writeFrame(session.fd, w.bytes());
+        // requestStop() is async-safe from this session thread; the
+        // join happens in stop() on the daemon's main thread.
+        requestStop();
+        return false;
+    }
+
+    default:
+        // A reply type sent as a request.
+        protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+        sendError(session.fd, WireError::BadRequest,
+                  "reply type sent as a request");
+        return false;
+    }
+}
+
+WireServerStats
+CompileServer::statsSnapshot() const
+{
+    WireServerStats out;
+    out.connectionsAccepted =
+        connectionsAccepted_.load(std::memory_order_relaxed);
+    out.connectionsActive =
+        connectionsActive_.load(std::memory_order_relaxed);
+    out.protocolErrors =
+        protocolErrors_.load(std::memory_order_relaxed);
+    out.bulkYields = gate_.bulkYields();
+
+    const ServiceStats service = service_.stats();
+    out.requests = service.requests;
+    out.cacheHits = service.cacheHits;
+    out.coalesced = service.coalesced;
+    out.synthRuns = service.synthRuns;
+    out.rejected = service.rejected;
+    out.exactServes = service.exactServes;
+    out.quantHits = service.quantHits;
+    out.quantMisses = service.quantMisses;
+    out.quantFallbacks = service.quantFallbacks;
+
+    const CacheStats cache = service_.cacheStats();
+    out.cacheLookups = cache.lookups;
+    out.cacheMemHits = cache.hits;
+    out.cacheDiskHits = cache.diskHits;
+    out.cacheMisses = cache.misses;
+    out.cacheEntries = cache.entries;
+    out.cacheBytesInUse = cache.bytesInUse;
+
+    std::lock_guard<std::mutex> lock(registryMu_);
+    out.tenants.reserve(tenants_.size());
+    for (const auto& [name, tenant] : tenants_) {
+        WireTenantStats t;
+        t.tenant = name;
+        {
+            std::lock_guard<std::mutex> plan_lock(tenant->mu);
+            t.plans = tenant->plans.size();
+        }
+        t.serves = tenant->serves.load(std::memory_order_relaxed);
+        t.prewarms = tenant->prewarms.load(std::memory_order_relaxed);
+        t.serveHits =
+            tenant->serveHits.load(std::memory_order_relaxed);
+        t.serveMisses =
+            tenant->serveMisses.load(std::memory_order_relaxed);
+        t.servedBytes =
+            tenant->servedBytes.load(std::memory_order_relaxed);
+        t.quotaRejections =
+            tenant->quotaRejections.load(std::memory_order_relaxed);
+        out.tenants.push_back(std::move(t));
+    }
+    return out;
+}
+
+} // namespace qpc

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The multi-tenant compile server daemon core.
+ *
+ * Promotes the in-process CompileService to a long-running network
+ * service: clients connect over a unix-domain socket (TCP behind a
+ * flag), identify a tenant with Hello, upload a variational template
+ * with PrepareServing, warm it with Prewarm, and then run their hybrid
+ * loop through Serve — every tenant sharing one content-addressed
+ * pulse cache, so identical blocks across tenants cost one synthesis
+ * total.
+ *
+ * Multi-tenant fairness layers on the PR 4 resource bounds:
+ *  - per-tenant quotas: a plan-count cap, a served-bytes (egress)
+ *    budget, and a concurrent-bulk cap, each refused with a
+ *    QuotaExceeded error frame instead of degrading other tenants;
+ *  - two request classes: interactive Serve traffic preempts bulk
+ *    Prewarm work — a prewarm waits at the PriorityGate until no
+ *    serve is pending, so grid warming never sits in front of a
+ *    latency-sensitive optimizer iteration;
+ *  - observability: a Stats frame snapshots the shared
+ *    ServiceStats/CacheStats plus per-tenant counters (hit rates,
+ *    served bytes, quota rejections).
+ *
+ * Failure containment: a malformed frame or body errors that one
+ * connection; every other session keeps serving. Shutdown (frame or
+ * SIGTERM via requestStop()) drains sessions and joins every thread —
+ * the ThreadPool's shutdown-wake submit() semantics make that clean
+ * even with producers blocked on a full synthesis queue.
+ */
+
+#ifndef QPC_SERVER_SERVER_H
+#define QPC_SERVER_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/service.h"
+#include "server/protocol.h"
+
+namespace qpc {
+
+/** Per-tenant fairness bounds (0 = unlimited where noted). */
+struct TenantQuota
+{
+    /** Serving plans a tenant may hold at once. */
+    std::uint64_t maxPlans = 64;
+    /**
+     * Lifetime cap on serialized pulse bytes served to the tenant
+     * (0 = unlimited): the egress half of cache-budget attribution,
+     * so one hot tenant cannot monopolize the shared compile
+     * capacity unmetered.
+     */
+    std::uint64_t maxServedBytes = 0;
+    /** Concurrent bulk (Prewarm) requests a tenant may run. */
+    std::uint64_t maxConcurrentBulk = 2;
+};
+
+/** Configuration of one CompileServer. */
+struct CompileServerOptions
+{
+    /** Unix-domain listen path; empty disables the unix listener. */
+    std::string socketPath;
+    /**
+     * Optional loopback TCP listener: 0 disables, -1 binds an
+     * ephemeral port (read it back via boundTcpPort()), otherwise the
+     * given port.
+     */
+    int tcpPort = 0;
+    /** listen(2) backlog. */
+    int listenBacklog = 64;
+    /** The shared compile service every tenant serves through. */
+    CompileServiceOptions service;
+    /** Quota applied to each tenant. */
+    TenantQuota quota;
+};
+
+/**
+ * Two-class admission: interactive serves preempt bulk prewarms.
+ * Serves never wait here; a bulk request waits until no serve is
+ * pending. Factored out (and exercised directly in tests) because the
+ * ordering argument is easiest to make on the gate alone.
+ */
+class PriorityGate
+{
+  public:
+    /** An interactive request entered the server. Never blocks. */
+    void beginServe();
+    /** It finished; the last one out releases waiting bulk work. */
+    void endServe();
+    /**
+     * Block a bulk request until no interactive request is pending.
+     * Returns false when the gate was stopped instead (shutdown).
+     */
+    bool waitBulkTurn();
+    /** Release every waiter (shutdown path). */
+    void stop();
+
+    /** Bulk requests that had to wait at least once. */
+    std::uint64_t bulkYields() const;
+    /** Interactive requests currently pending. */
+    int pendingServes() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    int pendingServes_ = 0;
+    std::uint64_t bulkYields_ = 0;
+    bool stopped_ = false;
+};
+
+/** A long-running, multi-tenant compile server. */
+class CompileServer
+{
+  public:
+    explicit CompileServer(CompileServerOptions options);
+    /** stop()s if still running. */
+    ~CompileServer();
+
+    CompileServer(const CompileServer&) = delete;
+    CompileServer& operator=(const CompileServer&) = delete;
+
+    /**
+     * Bind the configured listeners and start accepting sessions.
+     * fatal() on bind/listen failure (daemon startup is user-facing
+     * configuration).
+     */
+    void start();
+
+    /**
+     * Initiate shutdown without joining: stops the listeners, wakes
+     * the priority gate, and shuts down every live session socket.
+     * Safe to call from a session thread (the Shutdown frame handler)
+     * or any other; idempotent.
+     */
+    void requestStop();
+
+    /**
+     * Full shutdown: requestStop(), then join the accept loop and
+     * every session thread. Must not be called from a session thread.
+     * Idempotent; the destructor calls it.
+     */
+    void stop();
+
+    /** True once requestStop() has been called. */
+    bool stopRequested() const;
+
+    /** Block until requestStop() is called (frame, signal, or peer). */
+    void waitUntilStopRequested();
+
+    /** Actual TCP port after start() when tcpPort was -1 (else as
+     * configured; 0 when the TCP listener is disabled). */
+    int boundTcpPort() const;
+
+    /** Snapshot everything a StatsOk frame carries. */
+    WireServerStats statsSnapshot() const;
+
+    const CompileServerOptions& options() const { return options_; }
+    CompileService& service() { return service_; }
+
+  private:
+    /** One tenant's registry entry, shared by all its sessions. */
+    struct Tenant
+    {
+        std::string name;
+        std::uint32_t id = 0;
+
+        std::mutex mu; ///< Guards plans / nextPlanId.
+        std::uint64_t nextPlanId = 1;
+        /** Plans are tenant-scoped: every session of the tenant can
+         * serve any plan the tenant prepared. shared_ptr so a serve
+         * outlives a concurrent registry mutation. */
+        struct PlanEntry
+        {
+            std::shared_ptr<const ServingPlan> plan;
+            int numParams = 0; ///< Theta length serve() must receive.
+        };
+        std::map<std::uint64_t, PlanEntry> plans;
+
+        std::atomic<std::uint64_t> serves{0};
+        std::atomic<std::uint64_t> prewarms{0};
+        std::atomic<std::uint64_t> serveHits{0};
+        std::atomic<std::uint64_t> serveMisses{0};
+        std::atomic<std::uint64_t> servedBytes{0};
+        std::atomic<std::uint64_t> quotaRejections{0};
+        std::atomic<std::uint64_t> activeBulk{0};
+    };
+
+    /** One live connection. */
+    struct Session
+    {
+        int fd = -1;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    void acceptLoop();
+    void sessionLoop(Session* session);
+    /** Join and close every finished session (registry lock held by
+     * caller). */
+    void reapFinishedSessionsLocked();
+
+    /** Dispatch one decoded frame; false ends the session. */
+    bool handleFrame(Session& session,
+                     std::shared_ptr<Tenant>& tenant,
+                     const std::vector<std::uint8_t>& payload);
+
+    std::shared_ptr<Tenant> internTenant(const std::string& name);
+
+    bool sendError(int fd, WireError code, const std::string& message);
+
+    CompileServerOptions options_;
+    CompileService service_;
+    PriorityGate gate_;
+
+    int unixFd_ = -1;
+    int tcpFd_ = -1;
+    int boundTcpPort_ = 0;
+    std::thread acceptThread_;
+    bool started_ = false;
+    bool joined_ = false;
+
+    mutable std::mutex stopMu_;
+    std::condition_variable stopCv_;
+    std::atomic<bool> stopRequested_{false};
+
+    mutable std::mutex registryMu_;
+    std::map<std::string, std::shared_ptr<Tenant>> tenants_;
+    std::vector<std::unique_ptr<Session>> sessions_;
+    std::uint32_t nextTenantId_ = 1;
+
+    std::atomic<std::uint64_t> connectionsAccepted_{0};
+    std::atomic<std::uint64_t> connectionsActive_{0};
+    std::atomic<std::uint64_t> protocolErrors_{0};
+};
+
+} // namespace qpc
+
+#endif // QPC_SERVER_SERVER_H

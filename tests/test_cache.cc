@@ -1022,6 +1022,47 @@ TEST(PulseCache, DiskGcRemovesOldestKeepsNewest)
     EXPECT_EQ(stats.diskBytesInUse, 2 * record);
 }
 
+TEST(PulseCache, DiskGcEqualMtimesEvictInFilenameOrder)
+{
+    // Regression: mtime-LRU is nondeterministic when records share a
+    // coarse (same-second) timestamp — two processes sweeping the same
+    // tier could pick different victims. With every mtime equal, the
+    // sweep must fall back to filename order so the outcome is stable.
+    TempDir dir("qpc_cache_gc_ties");
+    const std::size_t record = samplePulse(0, 1, 10).serializedBytes();
+
+    PulseCacheOptions options = cacheOptions(64, 2, dir.path());
+    options.maxDiskBytes = 3 * record;
+    options.gcOnPut = false;
+    PulseCache cache(options);
+
+    std::vector<std::string> names;
+    for (uint64_t i = 0; i < 6; ++i) {
+        cache.put(fp(i), samplePulse(i, 1, 10));
+        names.push_back(fp(i).hex() + ".qpulse");
+    }
+    const auto stamp = std::filesystem::file_time_type::clock::now();
+    for (const std::string& name : names)
+        std::filesystem::last_write_time(dir.path() + "/" + name,
+                                         stamp);
+
+    const DiskGcReport report = cache.gcDisk();
+    EXPECT_EQ(report.scannedFiles, 6u);
+    EXPECT_EQ(report.removedFiles, 4u);
+
+    // Victims are the filename-smallest records, so the two largest
+    // names survive — the exact set any process would keep.
+    std::sort(names.begin(), names.end());
+    std::vector<std::string> kept;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir.path()))
+        kept.push_back(entry.path().filename().string());
+    std::sort(kept.begin(), kept.end());
+    ASSERT_EQ(kept.size(), 2u);
+    EXPECT_EQ(kept[0], names[4]);
+    EXPECT_EQ(kept[1], names[5]);
+}
+
 TEST(PulseCache, GcOnPutKeepsDiskTierUnderCap)
 {
     TempDir dir("qpc_cache_gconput");

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include "linalg/random_unitary.h"
@@ -438,6 +440,64 @@ TEST(SerializeFuzz, CorruptFilesLoadAsErrors)
     EXPECT_FALSE(
         loadPulseSchedule(dir + "/missing.qpulse").has_value());
 
+    fs::remove_all(dir);
+}
+
+TEST(Serialize, FailedSavesLeaveNoTempFiles)
+{
+    // Regression: savePulseSchedule writes through a unique temp file,
+    // so an error path that forgets to remove it leaks one orphan per
+    // failure into the cache directory — forever, since nothing else
+    // ever touches that name. Drive every failure mode and assert the
+    // directory stays clean.
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() /
+         ("qpc_save_fail." + std::to_string(::getpid())))
+            .string();
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    const auto tmp_files = [&dir] {
+        int n = 0;
+        for (const auto& entry : fs::directory_iterator(dir))
+            if (entry.path().filename().string().find(".tmp.") !=
+                std::string::npos)
+                ++n;
+        return n;
+    };
+    const PulseSchedule pulse(2, 64, 0.1);
+
+    // Open failure: the parent directory does not exist.
+    EXPECT_FALSE(
+        savePulseSchedule(dir + "/no-such-dir/p.qpulse", pulse));
+
+    // Rename failure: the target path is an existing directory, so
+    // the temp file is written fine but cannot be published.
+    fs::create_directories(dir + "/taken.qpulse");
+    EXPECT_FALSE(savePulseSchedule(dir + "/taken.qpulse", pulse));
+    EXPECT_EQ(tmp_files(), 0);
+
+    // Write failure: a file-size rlimit below the record size makes
+    // the temp-file write itself fail (SIGXFSZ ignored so it surfaces
+    // as EFBIG on the write instead of killing the process).
+    const PulseSchedule big(4, 8192, 0.1); // ~256 KiB record
+    struct rlimit old_limit;
+    ASSERT_EQ(::getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+    struct rlimit small_limit = old_limit;
+    small_limit.rlim_cur = 4096;
+    auto prev_handler = std::signal(SIGXFSZ, SIG_IGN);
+    ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &small_limit), 0);
+    EXPECT_FALSE(savePulseSchedule(dir + "/big.qpulse", big));
+    ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &old_limit), 0);
+    std::signal(SIGXFSZ, prev_handler);
+
+    EXPECT_FALSE(fs::exists(dir + "/big.qpulse"));
+    EXPECT_EQ(tmp_files(), 0);
+
+    // The path still works once the obstacles are gone.
+    EXPECT_TRUE(savePulseSchedule(dir + "/ok.qpulse", big));
+    EXPECT_TRUE(loadPulseSchedule(dir + "/ok.qpulse").has_value());
     fs::remove_all(dir);
 }
 

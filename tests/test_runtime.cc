@@ -117,7 +117,8 @@ TEST(ThreadPool, RunsEveryJobExactlyOnce)
         ThreadPool pool(4);
         EXPECT_EQ(pool.numWorkers(), 4);
         for (int i = 0; i < 100; ++i)
-            pool.submit([&counter] { counter.fetch_add(1); });
+            EXPECT_TRUE(
+                pool.submit([&counter] { counter.fetch_add(1); }));
     } // Destructor drains.
     EXPECT_EQ(counter.load(), 100);
 }
@@ -127,7 +128,7 @@ TEST(ThreadPool, DefaultsToAtLeastOneWorker)
     ThreadPool pool(0);
     EXPECT_GE(pool.numWorkers(), 1);
     std::atomic<bool> ran{false};
-    pool.submit([&ran] { ran.store(true); });
+    EXPECT_TRUE(pool.submit([&ran] { ran.store(true); }));
     while (!ran.load())
         std::this_thread::yield();
 }
@@ -145,11 +146,11 @@ TEST(ThreadPool, BoundedQueueNeverExceedsItsCapAndRunsEverything)
         for (int t = 0; t < 4; ++t)
             producers.emplace_back([&pool, &counter] {
                 for (int i = 0; i < 15; ++i)
-                    pool.submit([&counter] {
+                    EXPECT_TRUE(pool.submit([&counter] {
                         std::this_thread::sleep_for(
                             std::chrono::microseconds(200));
                         counter.fetch_add(1);
-                    });
+                    }));
             });
         for (std::thread& p : producers)
             p.join();
@@ -165,10 +166,10 @@ TEST(ThreadPool, TrySubmitRefusesWhenFull)
     std::promise<void> gate;
     std::shared_future<void> open = gate.get_future().share();
     std::atomic<int> ran{0};
-    pool.submit([open, &ran] {
+    ASSERT_TRUE(pool.submit([open, &ran] {
         open.wait();
         ran.fetch_add(1);
-    });
+    }));
     // ... wait until the worker has actually dequeued it, then fill
     // the single queue slot.
     while (pool.queueDepth() > 0)
@@ -188,6 +189,59 @@ TEST(ThreadPool, TrySubmitRefusesWhenFull)
     EXPECT_TRUE(pool.trySubmit([&ran] { ran.fetch_add(1); }));
     while (ran.load() < 3)
         std::this_thread::yield();
+}
+
+TEST(ThreadPool, ShutdownWakesBlockedSubmittersAndRefusesTheirJobs)
+{
+    // Regression: destroying a pool while producers were blocked in
+    // submit() on a full queue used to strand them forever (the stop
+    // never notified spaceCv_). Now the stop wakes every blocked
+    // submitter and refuses its job, while already-accepted jobs
+    // still run.
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    std::atomic<int> ran{0};
+    std::atomic<int> refused{0};
+
+    auto* pool = new ThreadPool(1, 1);
+    // Occupy the lone worker, then fill the single queue slot.
+    ASSERT_TRUE(pool->submit([open, &ran] {
+        open.wait();
+        ran.fetch_add(1);
+    }));
+    while (pool->queueDepth() > 0)
+        std::this_thread::yield();
+    ASSERT_TRUE(pool->submit([open, &ran] {
+        open.wait();
+        ran.fetch_add(1);
+    }));
+
+    // Producers that must block: the worker is parked on the gate, so
+    // the queue cannot drain.
+    std::vector<std::thread> producers;
+    std::atomic<int> entered{0};
+    for (int t = 0; t < 3; ++t)
+        producers.emplace_back([&] {
+            entered.fetch_add(1);
+            if (!pool->submit([&ran] { ran.fetch_add(1); }))
+                refused.fetch_add(1);
+        });
+    while (entered.load() < 3)
+        std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    // The destructor stops the pool with the gate still closed: the
+    // blocked producers must be woken and refused *before* the worker
+    // can finish anything.
+    std::thread destroyer([pool] { delete pool; });
+    for (std::thread& p : producers)
+        p.join();
+    EXPECT_EQ(refused.load(), 3);
+
+    gate.set_value();
+    destroyer.join();
+    // Both accepted jobs still ran to completion.
+    EXPECT_EQ(ran.load(), 2);
 }
 
 // ---------------------------------------------------------------------

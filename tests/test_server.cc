@@ -1,0 +1,752 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/rng.h"
+#include "ir/circuit.h"
+#include "ir/param.h"
+#include "runtime/service.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace qpc;
+
+/** Unique scratch directory, removed on destruction. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string& stem)
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 (stem + "." + std::to_string(::getpid())))
+                    .string();
+        std::filesystem::remove_all(path_);
+        std::filesystem::create_directories(path_);
+    }
+    ~TempDir() { std::filesystem::remove_all(path_); }
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** A small variational template: 2 Fixed blocks, 2 rotations. */
+Circuit
+paramTemplate()
+{
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(1, ParamExpr::theta(0));
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(1, ParamExpr::theta(1));
+    return c;
+}
+
+/** A running server on a unique unix socket in a temp dir. */
+class ServerHarness
+{
+  public:
+    explicit ServerHarness(TenantQuota quota = {}, int workers = 2)
+        : dir_("qpc_server")
+    {
+        CompileServerOptions options;
+        options.socketPath = dir_.path() + "/qpc.sock";
+        options.service.numWorkers = workers;
+        options.service.maxQueuedJobs = 16;
+        options.quota = quota;
+        server_ = std::make_unique<CompileServer>(std::move(options));
+        server_->start();
+    }
+
+    const std::string& socket() const
+    {
+        return server_->options().socketPath;
+    }
+    CompileServer& server() { return *server_; }
+
+    /** A fresh connection can still complete a Hello: the liveness
+     * probe after every hostile-input test. */
+    bool
+    alive()
+    {
+        CompileClient probe;
+        return probe.connectUnix(socket()) &&
+               probe.hello("liveness-probe").has_value();
+    }
+
+  private:
+    TempDir dir_;
+    std::unique_ptr<CompileServer> server_;
+};
+
+/** Raw connected socket, bypassing the client library's framing. */
+int
+rawConnect(const std::string& path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendRaw(int fd, const std::vector<std::uint8_t>& bytes)
+{
+    return ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL) ==
+           static_cast<ssize_t>(bytes.size());
+}
+
+std::vector<std::uint8_t>
+framed(const std::vector<std::uint8_t>& payload)
+{
+    std::vector<std::uint8_t> out;
+    const auto n = static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(n >> (8 * i)));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Wire primitives
+// ---------------------------------------------------------------------
+
+TEST(Wire, WriterReaderRoundTrip)
+{
+    WireWriter w;
+    w.u8(7);
+    w.u32(0xDEADBEEFu);
+    w.u64(0x0123456789ABCDEFull);
+    w.i32(-42);
+    w.f64(-0.0);
+    w.str("tenant");
+    w.blob({1, 2, 3});
+
+    WireReader r(w.bytes());
+    EXPECT_EQ(r.u8(), 7);
+    EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(r.i32(), -42);
+    const double z = r.f64();
+    EXPECT_EQ(z, 0.0);
+    EXPECT_TRUE(std::signbit(z));
+    EXPECT_EQ(r.str(), "tenant");
+    EXPECT_EQ(r.blob(), (std::vector<std::uint8_t>{1, 2, 3}));
+    EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, ReaderLatchesOnShortRead)
+{
+    const std::vector<std::uint8_t> two{1, 2};
+    WireReader r(two);
+    r.u64(); // Needs 8 bytes, has 2.
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.done());
+    // Every later read stays zero instead of walking off the buffer.
+    EXPECT_EQ(r.u32(), 0u);
+    EXPECT_EQ(r.str(), "");
+}
+
+TEST(Wire, ReaderRejectsLyingStringLength)
+{
+    WireWriter w;
+    w.u32(1000); // Claims 1000 bytes...
+    w.u8('x');   // ... delivers 1.
+    WireReader r(w.bytes());
+    EXPECT_EQ(r.str(), "");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, CircuitRoundTripIsExact)
+{
+    const Circuit original = paramTemplate();
+    const std::optional<Circuit> back =
+        decodeCircuit(encodeCircuit(original));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->numQubits(), original.numQubits());
+    ASSERT_EQ(back->size(), original.size());
+    for (int i = 0; i < original.size(); ++i) {
+        const GateOp& a = original.ops()[static_cast<size_t>(i)];
+        const GateOp& b = back->ops()[static_cast<size_t>(i)];
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.q0, b.q0);
+        EXPECT_EQ(a.q1, b.q1);
+        EXPECT_EQ(a.angle.index, b.angle.index);
+        EXPECT_EQ(a.angle.coeff, b.angle.coeff);
+        EXPECT_EQ(a.angle.offset, b.angle.offset);
+    }
+}
+
+TEST(Wire, CircuitDecodeRejectsHostileRecords)
+{
+    const std::vector<std::uint8_t> good =
+        encodeCircuit(paramTemplate());
+
+    // Bad magic.
+    auto bad = good;
+    bad[0] ^= 0xFF;
+    EXPECT_FALSE(decodeCircuit(bad).has_value());
+
+    // Unsupported version.
+    bad = good;
+    bad[4] = 99;
+    EXPECT_FALSE(decodeCircuit(bad).has_value());
+
+    // Truncation at every prefix must decode as an error, not a crash.
+    for (std::size_t cut = 0; cut < good.size(); ++cut) {
+        std::vector<std::uint8_t> prefix(good.begin(),
+                                         good.begin() +
+                                             static_cast<long>(cut));
+        EXPECT_FALSE(decodeCircuit(prefix).has_value()) << cut;
+    }
+
+    // Random bit flips: decode either round-trips validly or errors;
+    // it must never panic (Circuit::add would, on bad indices).
+    Rng rng(20260807);
+    for (int round = 0; round < 500; ++round) {
+        bad = good;
+        const int flips = 1 + rng.randint(0, 4);
+        for (int f = 0; f < flips; ++f)
+            bad[static_cast<size_t>(
+                rng.randint(0, static_cast<int>(bad.size()) - 1))] ^=
+                static_cast<std::uint8_t>(1u << rng.randint(0, 7));
+        (void)decodeCircuit(bad);
+    }
+}
+
+TEST(Wire, StatsRoundTrip)
+{
+    WireServerStats stats;
+    stats.connectionsAccepted = 11;
+    stats.requests = 1234;
+    stats.cacheHits = 600;
+    stats.cacheBytesInUse = 1u << 20;
+    WireTenantStats tenant;
+    tenant.tenant = "alice";
+    tenant.serves = 40;
+    tenant.serveHits = 30;
+    tenant.serveMisses = 10;
+    stats.tenants.push_back(tenant);
+
+    WireWriter w;
+    encodeServerStats(w, stats);
+    WireReader r(w.bytes());
+    const std::optional<WireServerStats> back = decodeServerStats(r);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(back->connectionsAccepted, 11u);
+    EXPECT_EQ(back->requests, 1234u);
+    EXPECT_EQ(back->cacheBytesInUse, 1u << 20);
+    ASSERT_EQ(back->tenants.size(), 1u);
+    EXPECT_EQ(back->tenants[0].tenant, "alice");
+    EXPECT_DOUBLE_EQ(back->tenants[0].hitRate(), 0.75);
+}
+
+// ---------------------------------------------------------------------
+// PriorityGate
+// ---------------------------------------------------------------------
+
+TEST(PriorityGate, BulkWaitsForPendingServes)
+{
+    PriorityGate gate;
+    gate.beginServe();
+
+    std::atomic<bool> released{false};
+    std::thread bulk([&] {
+        EXPECT_TRUE(gate.waitBulkTurn());
+        released.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(released.load());
+    EXPECT_EQ(gate.pendingServes(), 1);
+
+    gate.endServe();
+    bulk.join();
+    EXPECT_TRUE(released.load());
+    EXPECT_EQ(gate.bulkYields(), 1u);
+}
+
+TEST(PriorityGate, StopReleasesWaitersWithFalse)
+{
+    PriorityGate gate;
+    gate.beginServe();
+    std::thread bulk([&] { EXPECT_FALSE(gate.waitBulkTurn()); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    gate.stop();
+    bulk.join();
+}
+
+// ---------------------------------------------------------------------
+// End-to-end serving
+// ---------------------------------------------------------------------
+
+TEST(Server, SingleTenantPrepareWarmServe)
+{
+    ServerHarness harness;
+    CompileClient client;
+    ASSERT_TRUE(client.connectUnix(harness.socket()));
+
+    const auto hello = client.hello("alice");
+    ASSERT_TRUE(hello.has_value());
+    EXPECT_GT(hello->maxPlans, 0u);
+
+    const auto prepared = client.prepareServing(paramTemplate());
+    ASSERT_TRUE(prepared.has_value());
+    EXPECT_GT(prepared->numFixedBlocks, 0u);
+    EXPECT_EQ(prepared->numParamGates, 2u);
+
+    const auto warmed = client.prewarm(prepared->planId);
+    ASSERT_TRUE(warmed.has_value());
+    EXPECT_GT(warmed->uniqueBlocks, 0u);
+
+    const auto served =
+        client.serve(prepared->planId, {0.25, -1.5}, true);
+    ASSERT_TRUE(served.has_value());
+    EXPECT_GT(served->pulseNs, 0.0);
+    EXPECT_EQ(served->pulses.size(), served->numSegments);
+    EXPECT_GT(served->cacheHits, 0u); // Prewarmed blocks were warm.
+
+    const auto stats = client.stats();
+    ASSERT_TRUE(stats.has_value());
+    ASSERT_EQ(stats->tenants.size(), 1u);
+    EXPECT_EQ(stats->tenants[0].tenant, "alice");
+    EXPECT_EQ(stats->tenants[0].serves, 1u);
+    EXPECT_EQ(stats->tenants[0].plans, 1u);
+    EXPECT_GT(stats->tenants[0].servedBytes, 0u);
+    EXPECT_GT(stats->tenants[0].hitRate(), 0.0);
+}
+
+TEST(Server, FourConcurrentTenantsShareTheCache)
+{
+    ServerHarness harness({}, 4);
+    constexpr int kTenants = 4;
+    constexpr int kServes = 8;
+    std::atomic<int> failures{0};
+
+    std::vector<std::thread> tenants;
+    for (int t = 0; t < kTenants; ++t)
+        tenants.emplace_back([&, t] {
+            CompileClient client;
+            if (!client.connectUnix(harness.socket())) {
+                failures.fetch_add(1);
+                return;
+            }
+            if (!client.hello("tenant-" + std::to_string(t))) {
+                failures.fetch_add(1);
+                return;
+            }
+            // Every tenant uploads the *same* template: the shared
+            // content-addressed cache should collapse their Fixed
+            // blocks onto one synthesis each.
+            const auto prepared =
+                client.prepareServing(paramTemplate());
+            if (!prepared) {
+                failures.fetch_add(1);
+                return;
+            }
+            if (!client.prewarm(prepared->planId)) {
+                failures.fetch_add(1);
+                return;
+            }
+            Rng rng(static_cast<uint64_t>(1000 + t));
+            for (int i = 0; i < kServes; ++i)
+                if (!client.serve(prepared->planId, rng.angles(2)))
+                    failures.fetch_add(1);
+        });
+    for (std::thread& t : tenants)
+        t.join();
+    ASSERT_EQ(failures.load(), 0);
+
+    const WireServerStats stats = harness.server().statsSnapshot();
+    ASSERT_EQ(stats.tenants.size(), static_cast<size_t>(kTenants));
+    std::uint64_t total_serves = 0;
+    for (const WireTenantStats& tenant : stats.tenants) {
+        EXPECT_EQ(tenant.serves, static_cast<std::uint64_t>(kServes));
+        EXPECT_EQ(tenant.plans, 1u);
+        total_serves += tenant.serves;
+    }
+    EXPECT_EQ(total_serves,
+              static_cast<std::uint64_t>(kTenants * kServes));
+    // Cross-tenant dedup: 4 identical templates cost one synthesis
+    // per unique block (single flight + shared cache), not four.
+    EXPECT_LE(stats.synthRuns, stats.cacheEntries);
+    EXPECT_GT(stats.cacheHits, 0u);
+}
+
+TEST(Server, TcpListenerServesOnEphemeralPort)
+{
+    TempDir dir("qpc_server_tcp");
+    CompileServerOptions options;
+    options.socketPath = dir.path() + "/qpc.sock";
+    options.tcpPort = -1; // Ephemeral.
+    options.service.numWorkers = 2;
+    CompileServer server(std::move(options));
+    server.start();
+    ASSERT_GT(server.boundTcpPort(), 0);
+
+    CompileClient client;
+    ASSERT_TRUE(client.connectTcp(server.boundTcpPort()));
+    ASSERT_TRUE(client.hello("tcp-tenant").has_value());
+    const auto prepared = client.prepareServing(paramTemplate());
+    ASSERT_TRUE(prepared.has_value());
+    EXPECT_TRUE(client.serve(prepared->planId, {0.1, 0.2}).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Quotas and request errors
+// ---------------------------------------------------------------------
+
+TEST(Server, PlanQuotaRejectsWithoutKillingTheSession)
+{
+    TenantQuota quota;
+    quota.maxPlans = 1;
+    ServerHarness harness(quota);
+    CompileClient client;
+    ASSERT_TRUE(client.connectUnix(harness.socket()));
+    ASSERT_TRUE(client.hello("greedy").has_value());
+
+    const auto first = client.prepareServing(paramTemplate());
+    ASSERT_TRUE(first.has_value());
+    EXPECT_FALSE(client.prepareServing(paramTemplate()).has_value());
+    EXPECT_EQ(client.lastErrorCode(), WireError::QuotaExceeded);
+
+    // The session survives the refusal and the held plan still serves.
+    EXPECT_TRUE(client.connected());
+    EXPECT_TRUE(client.serve(first->planId, {0.1, 0.2}).has_value());
+
+    const WireServerStats stats = harness.server().statsSnapshot();
+    ASSERT_EQ(stats.tenants.size(), 1u);
+    EXPECT_EQ(stats.tenants[0].quotaRejections, 1u);
+}
+
+TEST(Server, ServedBytesQuotaCapsEgress)
+{
+    TenantQuota quota;
+    quota.maxServedBytes = 1; // First serve exhausts it.
+    ServerHarness harness(quota);
+    CompileClient client;
+    ASSERT_TRUE(client.connectUnix(harness.socket()));
+    ASSERT_TRUE(client.hello("metered").has_value());
+    const auto prepared = client.prepareServing(paramTemplate());
+    ASSERT_TRUE(prepared.has_value());
+
+    ASSERT_TRUE(client.serve(prepared->planId, {0.1, 0.2}).has_value());
+    EXPECT_FALSE(
+        client.serve(prepared->planId, {0.3, 0.4}).has_value());
+    EXPECT_EQ(client.lastErrorCode(), WireError::QuotaExceeded);
+    EXPECT_TRUE(client.connected());
+}
+
+TEST(Server, RequestErrorsAreSurfacedNotFatal)
+{
+    ServerHarness harness;
+    CompileClient client;
+    ASSERT_TRUE(client.connectUnix(harness.socket()));
+
+    // Plan-scoped requests before Hello.
+    EXPECT_FALSE(client.prewarm(1).has_value());
+    EXPECT_EQ(client.lastErrorCode(), WireError::BadRequest);
+
+    ASSERT_TRUE(client.hello("alice").has_value());
+
+    // Unknown plan.
+    EXPECT_FALSE(client.serve(999, {0.1}).has_value());
+    EXPECT_EQ(client.lastErrorCode(), WireError::NotFound);
+
+    const auto prepared = client.prepareServing(paramTemplate());
+    ASSERT_TRUE(prepared.has_value());
+
+    // Short theta: ParamExpr::bind would fatal() the process on this;
+    // the server must pre-validate and refuse the request instead.
+    EXPECT_FALSE(client.serve(prepared->planId, {0.1}).has_value());
+    EXPECT_EQ(client.lastErrorCode(), WireError::BadRequest);
+
+    // Non-finite theta.
+    EXPECT_FALSE(
+        client.serve(prepared->planId,
+                     {0.1, std::numeric_limits<double>::quiet_NaN()})
+            .has_value());
+    EXPECT_EQ(client.lastErrorCode(), WireError::BadRequest);
+
+    // The session is still healthy after every refusal.
+    EXPECT_TRUE(
+        client.serve(prepared->planId, {0.1, 0.2}).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Protocol fuzzing: hostile bytes error per-connection, never crash
+// ---------------------------------------------------------------------
+
+TEST(ServerFuzz, TruncatedFrameEndsOnlyThatConnection)
+{
+    ServerHarness harness;
+    const int fd = rawConnect(harness.socket());
+    ASSERT_GE(fd, 0);
+    // Prefix promises 100 bytes, delivers 10, hangs up.
+    ASSERT_TRUE(sendRaw(fd, {100, 0, 0, 0}));
+    ASSERT_TRUE(sendRaw(fd, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+    ::close(fd);
+    EXPECT_TRUE(harness.alive());
+}
+
+TEST(ServerFuzz, OversizedLengthPrefixIsRefusedWithoutAllocating)
+{
+    ServerHarness harness;
+    for (const std::uint32_t n :
+         {kMaxFramePayload + 1, 0xFFFFFFFFu, 0u}) {
+        const int fd = rawConnect(harness.socket());
+        ASSERT_GE(fd, 0);
+        std::vector<std::uint8_t> prefix;
+        for (int i = 0; i < 4; ++i)
+            prefix.push_back(static_cast<std::uint8_t>(n >> (8 * i)));
+        ASSERT_TRUE(sendRaw(fd, prefix));
+        // The server must drop the connection (EOF on our read), not
+        // try to read/allocate n bytes.
+        std::uint8_t byte = 0;
+        EXPECT_EQ(::read(fd, &byte, 1), 0);
+        ::close(fd);
+    }
+    EXPECT_TRUE(harness.alive());
+}
+
+TEST(ServerFuzz, WrongVersionByteGetsErrorFrame)
+{
+    ServerHarness harness;
+    const int fd = rawConnect(harness.socket());
+    ASSERT_GE(fd, 0);
+    WireWriter w;
+    w.u8(kServerProtocolVersion + 1);
+    w.u8(static_cast<std::uint8_t>(MsgType::Hello));
+    w.str("alice");
+    ASSERT_TRUE(sendRaw(fd, framed(w.bytes())));
+
+    const std::optional<std::vector<std::uint8_t>> reply =
+        readFrame(fd);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(peekMessage(*reply), MsgType::Error);
+    ::close(fd);
+    EXPECT_TRUE(harness.alive());
+}
+
+TEST(ServerFuzz, GarbageBodyErrorsButKeepsTheConnection)
+{
+    ServerHarness harness;
+    const int fd = rawConnect(harness.socket());
+    ASSERT_GE(fd, 0);
+
+    // Well-framed Hello with a lying string length.
+    WireWriter w = beginMessage(MsgType::Hello);
+    w.u32(10000);
+    w.u8('x');
+    ASSERT_TRUE(sendRaw(fd, framed(w.bytes())));
+    std::optional<std::vector<std::uint8_t>> reply = readFrame(fd);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(peekMessage(*reply), MsgType::Error);
+
+    // Framing stayed in sync: a valid Hello on the same connection
+    // still succeeds.
+    WireWriter ok = beginMessage(MsgType::Hello);
+    ok.str("recovered");
+    ASSERT_TRUE(sendRaw(fd, framed(ok.bytes())));
+    reply = readFrame(fd);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(peekMessage(*reply), MsgType::HelloOk);
+    ::close(fd);
+
+    EXPECT_GT(harness.server().statsSnapshot().protocolErrors, 0u);
+}
+
+TEST(ServerFuzz, HostileCircuitRecordIsRefused)
+{
+    ServerHarness harness;
+    CompileClient client;
+    ASSERT_TRUE(client.connectUnix(harness.socket()));
+    ASSERT_TRUE(client.hello("fuzzer").has_value());
+
+    // A circuit whose qubit indices are out of range: would panic in
+    // Circuit::add if the server trusted the bytes.
+    std::vector<std::uint8_t> record =
+        encodeCircuit(paramTemplate());
+    // q0 of the first op lives right after magic+version+counts+kind.
+    record[4 + 4 + 4 + 4 + 1] = 0x7F;
+    WireWriter w = beginMessage(MsgType::PrepareServing);
+    w.raw(record.data(), record.size());
+    const auto reply = client.roundTrip(w.bytes());
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(peekMessage(*reply), MsgType::Error);
+    EXPECT_TRUE(harness.alive());
+}
+
+TEST(ServerFuzz, ReplyTypeAsRequestClosesTheConnection)
+{
+    ServerHarness harness;
+    const int fd = rawConnect(harness.socket());
+    ASSERT_GE(fd, 0);
+    WireWriter w = beginMessage(MsgType::ServeOk);
+    w.u64(0);
+    ASSERT_TRUE(sendRaw(fd, framed(w.bytes())));
+    const std::optional<std::vector<std::uint8_t>> reply =
+        readFrame(fd);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(peekMessage(*reply), MsgType::Error);
+    // Then EOF: the server hung up on us.
+    std::uint8_t byte = 0;
+    EXPECT_EQ(::read(fd, &byte, 1), 0);
+    ::close(fd);
+    EXPECT_TRUE(harness.alive());
+}
+
+TEST(ServerFuzz, RandomFrameSoupNeverKillsTheServer)
+{
+    ServerHarness harness;
+    Rng rng(987654321);
+
+    // Seed corpus: one valid instance of every request type.
+    std::vector<std::vector<std::uint8_t>> corpus;
+    {
+        WireWriter hello = beginMessage(MsgType::Hello);
+        hello.str("seed");
+        corpus.push_back(hello.take());
+        WireWriter prep = beginMessage(MsgType::PrepareServing);
+        encodeCircuit(prep, paramTemplate());
+        corpus.push_back(prep.take());
+        WireWriter warm = beginMessage(MsgType::Prewarm);
+        warm.u64(1);
+        corpus.push_back(warm.take());
+        WireWriter serve = beginMessage(MsgType::Serve);
+        serve.u64(1);
+        serve.u8(0);
+        serve.u32(2);
+        serve.f64(0.1);
+        serve.f64(0.2);
+        corpus.push_back(serve.take());
+        corpus.push_back(beginMessage(MsgType::Stats).take());
+    }
+
+    for (int round = 0; round < 60; ++round) {
+        const int fd = rawConnect(harness.socket());
+        ASSERT_GE(fd, 0);
+        // A few frames per connection: mutated corpus members or raw
+        // noise, sometimes cut mid-frame.
+        const int frames = 1 + rng.randint(0, 3);
+        for (int f = 0; f < frames; ++f) {
+            std::vector<std::uint8_t> payload;
+            if (rng.bernoulli(0.7)) {
+                payload = corpus[static_cast<size_t>(rng.randint(
+                    0, static_cast<int>(corpus.size()) - 1))];
+                const int flips = 1 + rng.randint(0, 6);
+                for (int i = 0; i < flips; ++i)
+                    payload[static_cast<size_t>(rng.randint(
+                        0,
+                        static_cast<int>(payload.size()) - 1))] ^=
+                        static_cast<std::uint8_t>(
+                            1u << rng.randint(0, 7));
+            } else {
+                payload.resize(
+                    static_cast<size_t>(1 + rng.randint(0, 63)));
+                for (std::uint8_t& b : payload)
+                    b = static_cast<std::uint8_t>(
+                        rng.randint(0, 255));
+            }
+            std::vector<std::uint8_t> wire = framed(payload);
+            const bool cut = rng.bernoulli(0.2);
+            if (cut) // Mid-frame disconnect.
+                wire.resize(static_cast<size_t>(
+                    1 + rng.randint(0,
+                                    static_cast<int>(wire.size()) -
+                                        1)));
+            if (!sendRaw(fd, wire))
+                break; // Server already hung up on this connection.
+            if (cut)
+                break; // The server is owed bytes it will never get:
+                       // hang up (it must cope), don't wait for a
+                       // reply it cannot send.
+            if (rng.bernoulli(0.5)) {
+                // Drain one reply if the server sent one; ignore it.
+                if (!readFrame(fd))
+                    break;
+            }
+        }
+        ::close(fd);
+    }
+
+    // The server survived the soup and still serves real work.
+    EXPECT_TRUE(harness.alive());
+    CompileClient client;
+    ASSERT_TRUE(client.connectUnix(harness.socket()));
+    ASSERT_TRUE(client.hello("survivor").has_value());
+    const auto prepared = client.prepareServing(paramTemplate());
+    ASSERT_TRUE(prepared.has_value());
+    EXPECT_TRUE(
+        client.serve(prepared->planId, {0.5, -0.5}).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Shutdown
+// ---------------------------------------------------------------------
+
+TEST(Server, ShutdownFrameStopsTheServerCleanly)
+{
+    ServerHarness harness;
+    CompileClient client;
+    ASSERT_TRUE(client.connectUnix(harness.socket()));
+    ASSERT_TRUE(client.hello("admin").has_value());
+    EXPECT_FALSE(harness.server().stopRequested());
+
+    EXPECT_TRUE(client.shutdownServer());
+    harness.server().waitUntilStopRequested();
+    EXPECT_TRUE(harness.server().stopRequested());
+    harness.server().stop();
+
+    // A new connection is refused or immediately dropped.
+    CompileClient late;
+    EXPECT_FALSE(late.connectUnix(harness.socket()) &&
+                 late.hello("too-late").has_value());
+}
+
+TEST(Server, StopWithLiveSessionsJoinsEverything)
+{
+    auto harness = std::make_unique<ServerHarness>();
+    // Park a few sessions mid-conversation, then stop the server out
+    // from under them: stop() must unblock their readers and join.
+    std::vector<std::unique_ptr<CompileClient>> clients;
+    for (int i = 0; i < 3; ++i) {
+        auto client = std::make_unique<CompileClient>();
+        ASSERT_TRUE(client->connectUnix(harness->socket()));
+        ASSERT_TRUE(
+            client->hello("idle-" + std::to_string(i)).has_value());
+        clients.push_back(std::move(client));
+    }
+    harness->server().stop();
+    // Destroying the harness after a clean stop must not hang.
+    harness.reset();
+}
+
+} // namespace
