@@ -25,9 +25,10 @@
  *   BENCH_server_serves_per_sec
  *   BENCH_server_cross_tenant_dedup
  *   BENCH_server_cold_synth_runs / BENCH_server_warm_synth_runs
+ *   BENCH_server_queue_wait_p99_us
+ *   BENCH_serve_span_* (server-side serve-path phase p50s)
  */
 
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -40,6 +41,7 @@
 #include "common/rng.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "telemetry/histogram.h"
 
 using namespace qpc;
 using namespace qpc::bench;
@@ -50,17 +52,6 @@ constexpr int kTenants = 4;
 constexpr int kThetaSet = 8;    ///< Distinct bindings per tenant loop.
 constexpr int kWarmRounds = 1;  ///< Untimed warm-up passes.
 constexpr int kTimedRounds = 8; ///< Timed passes over the theta set.
-
-double
-percentile(std::vector<double> v, double p)
-{
-    if (v.empty())
-        return 0.0;
-    std::sort(v.begin(), v.end());
-    const auto idx = static_cast<std::size_t>(
-        p * static_cast<double>(v.size() - 1) + 0.5);
-    return v[std::min(idx, v.size() - 1)];
-}
 
 } // namespace
 
@@ -122,8 +113,10 @@ main()
     // untimed pass the timed rounds measure the steady-state hot
     // path: frame decode, priority gate, quantized cache lookup,
     // frame encode.
-    std::vector<std::vector<double>> latenciesUs(
-        static_cast<std::size_t>(kTenants));
+    // One shared histogram, concurrently recorded by all four tenant
+    // loops — the same lock-light type the server exports, so the
+    // BENCH percentiles and a scraped qpc_serve_us agree on math.
+    LatencyHistogram latencyNs;
     const auto wallStart = std::chrono::steady_clock::now();
     std::vector<std::thread> loops;
     loops.reserve(kTenants);
@@ -135,8 +128,6 @@ main()
             thetas.reserve(kThetaSet);
             for (int i = 0; i < kThetaSet; ++i)
                 thetas.push_back(rng.angles(numParams));
-            auto& lat = latenciesUs[static_cast<std::size_t>(t)];
-            lat.reserve(kTimedRounds * kThetaSet);
             for (int round = 0; round < kWarmRounds + kTimedRounds;
                  ++round) {
                 for (const auto& theta : thetas) {
@@ -149,10 +140,10 @@ main()
                     const auto t1 =
                         std::chrono::steady_clock::now();
                     if (round >= kWarmRounds)
-                        lat.push_back(
-                            std::chrono::duration<double, std::micro>(
-                                t1 - t0)
-                                .count());
+                        latencyNs.record(static_cast<std::uint64_t>(
+                            std::chrono::duration_cast<
+                                std::chrono::nanoseconds>(t1 - t0)
+                                .count()));
                 }
             }
         });
@@ -164,23 +155,26 @@ main()
             std::chrono::steady_clock::now() - wallStart)
             .count();
 
-    std::vector<double> all;
-    for (const auto& lat : latenciesUs)
-        all.insert(all.end(), lat.begin(), lat.end());
-    const double p50 = percentile(all, 0.50);
-    const double p99 = percentile(all, 0.99);
+    const HistogramSnapshot latency = latencyNs.snapshot();
+    const double p50 = latency.percentileNs(50) / 1e3;
+    const double p99 = latency.percentileNs(99) / 1e3;
     const double servesPerSec =
-        wallSeconds > 0.0 ? static_cast<double>(all.size()) /
+        wallSeconds > 0.0 ? static_cast<double>(latency.count) /
                                 wallSeconds
                           : 0.0;
+
+    // Server-side serve-path phase distributions for the same run:
+    // where the round-trip time went once the frame arrived.
+    const ServiceTelemetry telemetry = server.service().telemetry();
 
     for (auto& c : clients)
         c.close();
     server.stop();
 
-    std::printf("\ncompile-server throughput (%d tenants, %zu timed "
+    std::printf("\ncompile-server throughput (%d tenants, %llu timed "
                 "serves)\n",
-                kTenants, all.size());
+                kTenants,
+                static_cast<unsigned long long>(latency.count));
     std::printf("  cold prewarm synth runs   %llu\n",
                 static_cast<unsigned long long>(coldSynth));
     std::printf("  warm prewarm synth runs   %llu (tenants B-D "
@@ -200,5 +194,13 @@ main()
     std::printf("BENCH_server_p50_serve_us=%.2f\n", p50);
     std::printf("BENCH_server_p99_serve_us=%.2f\n", p99);
     std::printf("BENCH_server_serves_per_sec=%.1f\n", servesPerSec);
+    std::printf("BENCH_server_queue_wait_p99_us=%.2f\n",
+                telemetry.queueWaitNs.percentileNs(99) / 1e3);
+    std::printf("BENCH_serve_span_serve_p50_us=%.2f\n",
+                telemetry.serveNs.percentileNs(50) / 1e3);
+    std::printf("BENCH_serve_span_cache_get_p50_us=%.2f\n",
+                telemetry.cacheGetNs.percentileNs(50) / 1e3);
+    std::printf("BENCH_serve_span_synthesis_p50_us=%.2f\n",
+                telemetry.synthNs.percentileNs(50) / 1e3);
     return 0;
 }

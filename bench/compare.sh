@@ -95,7 +95,12 @@ for fresh_json in "$FRESH"/bench_*.json; do
                   if (k ~ /^BENCH_adaptive_/)
                       printf "   !! ADAPTIVE REGRESSION %s: %s -> (removed)\n", \
                           k, base[k]
-                  if (k ~ /^BENCH_server_(p99_serve_us|cross_tenant_dedup)$/)
+                  if (k ~ /^BENCH_server_(p99_serve_us|cross_tenant_dedup|queue_wait_p99_us)$/)
+                      printf "   !! SERVER REGRESSION %s: %s -> (removed)\n", \
+                          k, base[k]
+                  # Telemetry keys vanishing means the serve-path
+                  # instrumentation was silently dropped.
+                  if (k ~ /^BENCH_serve_span_/)
                       printf "   !! SERVER REGRESSION %s: %s -> (removed)\n", \
                           k, base[k]
               } }' \

@@ -9,17 +9,22 @@
  *
  * Connects, identifies the tenant, uploads a QAOA MAXCUT template,
  * bulk-prewarms it, then serves a stream of parameter bindings — the
- * client half of the CI smoke test. --stats prints the server's
- * health frame afterwards; --shutdown asks the daemon to exit.
+ * client half of the CI smoke test. --stats renders the server's
+ * health frame as tables afterwards; --metrics prints the server's
+ * Prometheus exposition plus a latency-percentile table; --shutdown
+ * asks the daemon to exit.
  */
 
 #include <cstdio>
+#include <string>
 
 #include "common/cli.h"
 #include "common/rng.h"
+#include "common/table.h"
 #include "qaoa/graph.h"
 #include "qaoa/qaoacircuit.h"
 #include "server/client.h"
+#include "telemetry/metrics.h"
 #include "transpile/passes.h"
 
 using namespace qpc;
@@ -37,7 +42,11 @@ main(int argc, char** argv)
     cli.addInt("serves", 16, "parameter bindings to serve");
     cli.addInt("seed", 7, "angle stream seed");
     cli.addFlag("pulses", "download the served pulse segments too");
+    cli.addFlag("skip-prewarm",
+                "serve cold (first bindings synthesize on demand)");
     cli.addFlag("stats", "print the server stats frame afterwards");
+    cli.addFlag("metrics", "print the server's Prometheus exposition "
+                           "and latency percentiles");
     cli.addFlag("shutdown", "ask the server to shut down when done");
     cli.parse(argc, argv);
 
@@ -80,18 +89,20 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(prepared->planId),
                 prepared->numFixedBlocks, prepared->numParamGates);
 
-    const auto warmed = client.prewarm(prepared->planId);
-    if (!warmed) {
-        std::fprintf(stderr, "qpc-client: Prewarm failed: %s\n",
-                     client.lastError().c_str());
-        return 1;
+    if (!cli.getFlag("skip-prewarm")) {
+        const auto warmed = client.prewarm(prepared->planId);
+        if (!warmed) {
+            std::fprintf(stderr, "qpc-client: Prewarm failed: %s\n",
+                         client.lastError().c_str());
+            return 1;
+        }
+        std::printf("prewarm: %u unique blocks, %llu syntheses, "
+                    "%llu cache hits in %.3f s\n",
+                    warmed->uniqueBlocks,
+                    static_cast<unsigned long long>(warmed->synthRuns),
+                    static_cast<unsigned long long>(warmed->cacheHits),
+                    warmed->wallSeconds);
     }
-    std::printf("prewarm: %u unique blocks, %llu syntheses, "
-                "%llu cache hits in %.3f s\n",
-                warmed->uniqueBlocks,
-                static_cast<unsigned long long>(warmed->synthRuns),
-                static_cast<unsigned long long>(warmed->cacheHits),
-                warmed->wallSeconds);
 
     Rng rng(static_cast<uint64_t>(cli.getInt("seed")));
     std::uint64_t hits = 0, misses = 0;
@@ -117,6 +128,10 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(misses),
                 serves ? total_ns / serves : 0.0);
 
+    const auto u64cell = [](std::uint64_t v) {
+        return std::to_string(v);
+    };
+
     if (cli.getFlag("stats")) {
         const auto stats = client.stats();
         if (!stats) {
@@ -124,27 +139,56 @@ main(int argc, char** argv)
                          client.lastError().c_str());
             return 1;
         }
-        std::printf("server: %llu requests, %llu cache hits, "
-                    "%llu coalesced, %llu syntheses, "
-                    "%llu cache entries\n",
-                    static_cast<unsigned long long>(stats->requests),
-                    static_cast<unsigned long long>(stats->cacheHits),
-                    static_cast<unsigned long long>(stats->coalesced),
-                    static_cast<unsigned long long>(stats->synthRuns),
-                    static_cast<unsigned long long>(
-                        stats->cacheEntries));
+        TextTable server_table("server");
+        server_table.addRow({"requests", "cacheHits", "coalesced",
+                             "synthRuns", "rejected", "cacheEntries",
+                             "cacheMiB"});
+        server_table.addRow(
+            {u64cell(stats->requests), u64cell(stats->cacheHits),
+             u64cell(stats->coalesced), u64cell(stats->synthRuns),
+             u64cell(stats->rejected), u64cell(stats->cacheEntries),
+             fmtDouble(static_cast<double>(stats->cacheBytesInUse) /
+                           (1024.0 * 1024.0),
+                       2)});
+        server_table.print();
+
+        TextTable tenant_table("tenants");
+        tenant_table.addRow({"tenant", "plans", "serves", "hitRate",
+                             "servedKiB", "quotaRejections"});
         for (const WireTenantStats& t : stats->tenants)
-            std::printf("  tenant %-12s plans=%llu serves=%llu "
-                        "hitRate=%.2f servedKiB=%llu "
-                        "quotaRejections=%llu\n",
-                        t.tenant.c_str(),
-                        static_cast<unsigned long long>(t.plans),
-                        static_cast<unsigned long long>(t.serves),
-                        t.hitRate(),
-                        static_cast<unsigned long long>(
-                            t.servedBytes >> 10),
-                        static_cast<unsigned long long>(
-                            t.quotaRejections));
+            tenant_table.addRow(
+                {t.tenant, u64cell(t.plans), u64cell(t.serves),
+                 fmtDouble(t.hitRate(), 2),
+                 u64cell(t.servedBytes >> 10),
+                 u64cell(t.quotaRejections)});
+        tenant_table.print();
+    }
+
+    if (cli.getFlag("metrics")) {
+        const auto metrics = client.metrics();
+        if (!metrics) {
+            std::fprintf(stderr, "qpc-client: Metrics failed: %s\n",
+                         client.lastError().c_str());
+            return 1;
+        }
+        // The exposition first (scrape-able as-is), then the latency
+        // distributions digested to percentiles for human eyes.
+        std::fputs(renderPrometheus(*metrics).c_str(), stdout);
+        TextTable latency_table("latency (us)");
+        latency_table.addRow(
+            {"histogram", "count", "p50", "p95", "p99", "max"});
+        for (const auto& h : metrics->histograms) {
+            const auto us = [&](double ns) {
+                return fmtDouble(ns / 1e3, 1);
+            };
+            latency_table.addRow(
+                {h.name, u64cell(h.histogram.count),
+                 us(h.histogram.percentileNs(50)),
+                 us(h.histogram.percentileNs(95)),
+                 us(h.histogram.percentileNs(99)),
+                 us(static_cast<double>(h.histogram.maxNs))});
+        }
+        latency_table.print();
     }
 
     if (cli.getFlag("shutdown")) {

@@ -12,9 +12,20 @@
  * Clients share one content-addressed pulse cache: identical blocks
  * across tenants cost one synthesis total. Quota flags bound each
  * tenant; see the README's "Compile server" section for the protocol.
+ *
+ * Observability (see the README's "Observability" section):
+ *   --trace-out=FILE      capture serve-path spans, dump Chrome/
+ *                         Perfetto trace-event JSON at shutdown
+ *   --metrics-file=FILE   rewrite a Prometheus text exposition
+ *                         every --metrics-interval-ms (and once at
+ *                         shutdown)
+ *   --slow-serve-us=N     warn() one structured line per serve
+ *                         slower than N microseconds
+ *   --log-level=LEVEL     silent | warn | info (or QPC_LOG_LEVEL)
  */
 
 #include <cstdio>
+#include <string>
 
 #include <csignal>
 #include <poll.h>
@@ -23,6 +34,7 @@
 #include "common/cli.h"
 #include "common/logging.h"
 #include "server/server.h"
+#include "telemetry/trace.h"
 
 using namespace qpc;
 
@@ -37,6 +49,23 @@ onSignal(int)
 {
     const char byte = 1;
     [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+/** Atomically-ish rewrite the metrics exposition file. */
+void
+dumpMetricsFile(const CompileServer& server, const std::string& path)
+{
+    const std::string text = renderPrometheus(server.metricsSnapshot());
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (!f) {
+        warn("cannot write metrics file: ", tmp);
+        return;
+    }
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        warn("cannot rename metrics file into place: ", path);
 }
 
 } // namespace
@@ -64,6 +93,20 @@ main(int argc, char** argv)
     cli.addInt("quota-served-mb", 0,
                "per-tenant served-bytes budget, MiB (0 = unlimited)");
     cli.addInt("quota-bulk", 2, "per-tenant concurrent prewarm cap");
+    cli.addString("trace-out", "",
+                  "write Chrome/Perfetto trace-event JSON here at "
+                  "shutdown (enables span capture)");
+    cli.addString("metrics-file", "",
+                  "rewrite a Prometheus text exposition here "
+                  "periodically");
+    cli.addInt("metrics-interval-ms", 5000,
+               "metrics-file rewrite period");
+    cli.addInt("slow-serve-us", 0,
+               "log serves slower than this many microseconds "
+               "(0 = off)");
+    cli.addString("log-level", "",
+                  "log verbosity: silent|warn|info (default: "
+                  "QPC_LOG_LEVEL or info)");
     cli.parse(argc, argv);
 
     CompileServerOptions options;
@@ -85,6 +128,20 @@ main(int argc, char** argv)
         static_cast<std::uint64_t>(cli.getInt("quota-served-mb")) << 20;
     options.quota.maxConcurrentBulk =
         static_cast<std::uint64_t>(cli.getInt("quota-bulk"));
+    options.slowServeThresholdUs =
+        static_cast<std::uint64_t>(cli.getInt("slow-serve-us"));
+
+    if (!cli.getString("log-level").empty())
+        setLogLevel(parseLogLevel(cli.getString("log-level")));
+
+    const std::string trace_out = cli.getString("trace-out");
+    if (!trace_out.empty())
+        setTraceEnabled(true);
+    const std::string metrics_file = cli.getString("metrics-file");
+    const int metrics_interval_ms =
+        cli.getInt("metrics-interval-ms") > 0
+            ? cli.getInt("metrics-interval-ms")
+            : 5000;
 
     fatalIf(::pipe(g_signal_pipe) != 0, "cannot create signal pipe");
     std::signal(SIGTERM, onSignal);
@@ -100,16 +157,32 @@ main(int argc, char** argv)
     std::printf(" (%d workers)\n", server.service().numWorkers());
     std::fflush(stdout);
 
-    // Wait for either a signal byte or a Shutdown frame.
+    // Wait for either a signal byte or a Shutdown frame; piggyback the
+    // periodic metrics dump on the 200 ms poll cadence.
+    int ms_since_dump = 0;
     while (!server.stopRequested()) {
         pollfd pfd{g_signal_pipe[0], POLLIN, 0};
         const int ready = ::poll(&pfd, 1, 200);
         if (ready > 0 && (pfd.revents & POLLIN))
             break;
+        if (!metrics_file.empty()) {
+            ms_since_dump += 200;
+            if (ms_since_dump >= metrics_interval_ms) {
+                ms_since_dump = 0;
+                dumpMetricsFile(server, metrics_file);
+            }
+        }
     }
 
     server.requestStop();
     server.stop();
+
+    // Final dumps after the drain so the trace and exposition cover
+    // every request the daemon handled.
+    if (!metrics_file.empty())
+        dumpMetricsFile(server, metrics_file);
+    if (!trace_out.empty())
+        dumpTraceJson(trace_out); // warns on failure itself
 
     const WireServerStats stats = server.statsSnapshot();
     std::printf("qpc-serverd: served %llu connections, "

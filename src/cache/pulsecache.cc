@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "pulse/serialize.h"
+#include "telemetry/trace.h"
 
 namespace qpc {
 
@@ -114,6 +115,25 @@ PulseCache::diskPath(const BlockFingerprint& fp) const
 PulsePtr
 PulseCache::get(const BlockFingerprint& fp)
 {
+    // Sampled 1-in-16: a warm-tier get is ~100 ns, so timing every
+    // one with two ~30 ns clock reads would cost more than the
+    // operation it measures. The sample keeps the histogram
+    // representative (the first get on each thread is always
+    // sampled); disk-tier latencies are timed exactly in getImpl
+    // (diskReadNs_), where the I/O dwarfs the clock reads.
+    thread_local std::uint32_t tick = 0;
+    if ((tick++ & 15u) != 0)
+        return getImpl(fp);
+    const std::uint64_t t0 = traceNowNs();
+    PulsePtr result = getImpl(fp);
+    const std::uint64_t t1 = traceNowNs();
+    getNs_.record(t1 > t0 ? t1 - t0 : 0);
+    return result;
+}
+
+PulsePtr
+PulseCache::getImpl(const BlockFingerprint& fp)
+{
     lookups_.fetch_add(1, std::memory_order_relaxed);
     Shard& shard = shardFor(fp);
     {
@@ -126,8 +146,15 @@ PulseCache::get(const BlockFingerprint& fp)
         }
     }
     if (!options_.diskDir.empty()) {
-        if (std::optional<PulseSchedule> pulse =
-                loadPulseSchedule(diskPath(fp))) {
+        std::optional<PulseSchedule> pulse;
+        {
+            TraceSpan span("disk-read");
+            const std::uint64_t r0 = traceNowNs();
+            pulse = loadPulseSchedule(diskPath(fp));
+            const std::uint64_t r1 = traceNowNs();
+            diskReadNs_.record(r1 > r0 ? r1 - r0 : 0);
+        }
+        if (pulse) {
             diskHits_.fetch_add(1, std::memory_order_relaxed);
             PulsePtr shared =
                 std::make_shared<const PulseSchedule>(std::move(*pulse));
@@ -211,12 +238,29 @@ PulseCache::insertMemory(Shard& shard, const BlockFingerprint& fp,
 void
 PulseCache::put(const BlockFingerprint& fp, PulsePtr pulse)
 {
+    const std::uint64_t t0 = traceNowNs();
+    putImpl(fp, std::move(pulse));
+    const std::uint64_t t1 = traceNowNs();
+    putNs_.record(t1 > t0 ? t1 - t0 : 0);
+}
+
+void
+PulseCache::putImpl(const BlockFingerprint& fp, PulsePtr pulse)
+{
     panicIf(!pulse, "cannot cache a null pulse");
     // Disk first (outside any shard lock: serialization and I/O are
     // the slow part), then memory, so a reader that sees the memory
     // entry evicted later still finds the disk record.
     if (!options_.diskDir.empty()) {
-        if (savePulseSchedule(diskPath(fp), *pulse)) {
+        bool saved;
+        {
+            TraceSpan span("disk-write");
+            const std::uint64_t w0 = traceNowNs();
+            saved = savePulseSchedule(diskPath(fp), *pulse);
+            const std::uint64_t w1 = traceNowNs();
+            diskWriteNs_.record(w1 > w0 ? w1 - w0 : 0);
+        }
+        if (saved) {
             diskWrites_.fetch_add(1, std::memory_order_relaxed);
             // Overwrites count their record twice until the next
             // sweep rescans — the approximation only ever errs toward
@@ -372,6 +416,17 @@ PulseCache::stats() const
     }
     out.entries = entries;
     out.bytesInUse = bytes;
+    return out;
+}
+
+CacheTelemetry
+PulseCache::telemetry() const
+{
+    CacheTelemetry out;
+    out.getNs = getNs_.snapshot();
+    out.putNs = putNs_.snapshot();
+    out.diskReadNs = diskReadNs_.snapshot();
+    out.diskWriteNs = diskWriteNs_.snapshot();
     return out;
 }
 

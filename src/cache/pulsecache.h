@@ -36,6 +36,7 @@
 
 #include "cache/fingerprint.h"
 #include "pulse/schedule.h"
+#include "telemetry/histogram.h"
 
 namespace qpc {
 
@@ -138,6 +139,20 @@ struct CacheStats
     }
 };
 
+/**
+ * Latency distributions for the cache's externally visible
+ * operations, with the disk tier split out: a get() that fell
+ * through to disk pays loadPulseSchedule(), a put() with a disk tier
+ * pays savePulseSchedule(), and these snapshots show how much.
+ */
+struct CacheTelemetry
+{
+    HistogramSnapshot getNs;       ///< Whole get() calls.
+    HistogramSnapshot putNs;       ///< Whole put() calls.
+    HistogramSnapshot diskReadNs;  ///< Disk-tier load attempts.
+    HistogramSnapshot diskWriteNs; ///< Disk-tier persists.
+};
+
 /** Thread-safe two-tier pulse store addressed by block fingerprint. */
 class PulseCache
 {
@@ -193,6 +208,9 @@ class PulseCache
 
     CacheStats stats() const;
 
+    /** Snapshot the get/put and disk-tier latency histograms. */
+    CacheTelemetry telemetry() const;
+
   private:
     struct Entry
     {
@@ -215,6 +233,8 @@ class PulseCache
         std::size_t bytesInUse = 0;
     };
 
+    PulsePtr getImpl(const BlockFingerprint& fp);
+    void putImpl(const BlockFingerprint& fp, PulsePtr pulse);
     Shard& shardFor(const BlockFingerprint& fp);
     /** Insert into one shard, evicting as needed. Caller holds no lock. */
     void insertMemory(Shard& shard, const BlockFingerprint& fp,
@@ -237,6 +257,11 @@ class PulseCache
     std::atomic<std::uint64_t> oversized_{0};
     std::atomic<std::uint64_t> released_{0};
     std::atomic<std::uint64_t> bytesReleased_{0};
+
+    LatencyHistogram getNs_;
+    LatencyHistogram putNs_;
+    LatencyHistogram diskReadNs_;
+    LatencyHistogram diskWriteNs_;
 
     /** One sweep at a time; put()/get() never take this. */
     std::mutex diskGcMu_;

@@ -1,38 +1,102 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace qpc {
+
+namespace {
+
+std::atomic<int>&
+levelStore()
+{
+    // Resolve QPC_LOG_LEVEL exactly once, on first logging call.
+    static std::atomic<int> level{static_cast<int>([] {
+        const char* env = std::getenv("QPC_LOG_LEVEL");
+        return parseLogLevel(env == nullptr ? "" : env);
+    }())};
+    return level;
+}
+
+/**
+ * Emit one fully-formed line with a single stdio call under a
+ * process-wide mutex, so lines from concurrent server sessions never
+ * interleave or tear.
+ */
+void
+emitLine(std::FILE* stream, const char* prefix,
+         const std::string& msg)
+{
+    static std::mutex mu;
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    std::lock_guard<std::mutex> lock(mu);
+    std::fwrite(line.data(), 1, line.size(), stream);
+    std::fflush(stream);
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        levelStore().load(std::memory_order_relaxed));
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelStore().store(static_cast<int>(level),
+                       std::memory_order_relaxed);
+}
+
+LogLevel
+parseLogLevel(const std::string& value)
+{
+    if (value == "silent" || value == "0")
+        return LogLevel::Silent;
+    if (value == "warn" || value == "1")
+        return LogLevel::Warn;
+    if (value == "info" || value == "2")
+        return LogLevel::Info;
+    return LogLevel::Info;
+}
+
 namespace detail {
 
 void
 informStr(const std::string& msg)
 {
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
-    std::fflush(stdout);
+    if (logLevel() < LogLevel::Info)
+        return;
+    emitLine(stdout, "info: ", msg);
 }
 
 void
 warnStr(const std::string& msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
-    std::fflush(stderr);
+    if (logLevel() < LogLevel::Warn)
+        return;
+    emitLine(stderr, "warn: ", msg);
 }
 
 void
 fatalStr(const std::string& msg)
 {
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
-    std::fflush(stderr);
+    emitLine(stderr, "fatal: ", msg);
     std::exit(1);
 }
 
 void
 panicStr(const std::string& msg)
 {
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
-    std::fflush(stderr);
+    emitLine(stderr, "panic: ", msg);
     std::abort();
 }
 

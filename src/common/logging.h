@@ -19,6 +19,31 @@
 
 namespace qpc {
 
+/**
+ * Verbosity gate for the non-terminating levels. fatal()/panic()
+ * always print. Initialized from the QPC_LOG_LEVEL environment
+ * variable ("silent"/"warn"/"info" or 0/1/2; default info) on first
+ * use; setLogLevel() overrides it programmatically.
+ */
+enum class LogLevel
+{
+    Silent = 0, ///< Suppress inform() and warn().
+    Warn = 1,   ///< Suppress inform() only.
+    Info = 2,   ///< Print everything (default).
+};
+
+/** Current verbosity (resolves QPC_LOG_LEVEL on first call). */
+LogLevel logLevel();
+
+/** Override the verbosity for this process. */
+void setLogLevel(LogLevel level);
+
+/**
+ * Parse a QPC_LOG_LEVEL value; returns Info (the default) for an
+ * empty or unrecognized string.
+ */
+LogLevel parseLogLevel(const std::string& value);
+
 namespace detail {
 
 /** Concatenate a pack of streamable values into one string. */

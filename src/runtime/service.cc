@@ -11,6 +11,7 @@
 #include "pulse/device.h"
 #include "pulse/library.h"
 #include "sim/statevector.h"
+#include "telemetry/trace.h"
 #include "transpile/blocking.h"
 
 namespace qpc {
@@ -196,8 +197,14 @@ CompileService::admitAfterMiss(const BlockFingerprint& fp,
         std::exception_ptr failure;
         PulsePtr pulse;
         try {
-            pulse = std::make_shared<const PulseSchedule>(
-                options_.synthesizer(block));
+            {
+                TraceSpan span("synthesis");
+                const std::uint64_t t0 = traceNowNs();
+                pulse = std::make_shared<const PulseSchedule>(
+                    options_.synthesizer(block));
+                const std::uint64_t t1 = traceNowNs();
+                synthNs_.record(t1 > t0 ? t1 - t0 : 0);
+            }
             synthRuns_.fetch_add(1, std::memory_order_relaxed);
             cache_.put(fp, pulse);
         } catch (...) {
@@ -464,6 +471,19 @@ CompileService::prepareServing(const StrictPartition& partition,
                                const ParamQuantization& quantization)
     const
 {
+    TraceSpan span("prepare-serving");
+    const std::uint64_t t0 = traceNowNs();
+    struct RecordOnExit
+    {
+        LatencyHistogram& hist;
+        std::uint64_t start;
+        ~RecordOnExit()
+        {
+            const std::uint64_t end = traceNowNs();
+            hist.record(end > start ? end - start : 0);
+        }
+    } timer{prepareNs_, t0};
+
     // Per-plan overrides (driver knobs) get the same validation the
     // constructor applies to the service-wide default, so an invalid
     // config fails here rather than deep inside the first serve().
@@ -546,6 +566,18 @@ ServedPulse
 CompileService::serve(const ServingPlan& plan,
                       const std::vector<double>& theta)
 {
+    const std::uint64_t serveT0 = traceNowNs();
+    struct RecordOnExit
+    {
+        LatencyHistogram& hist;
+        std::uint64_t start;
+        ~RecordOnExit()
+        {
+            const std::uint64_t end = traceNowNs();
+            hist.record(end > start ? end - start : 0);
+        }
+    } timer{serveNs_, serveT0};
+
     ServedPulse served;
     for (const ServingPlan::PlanSegment& segment : plan.segments_) {
         if (segment.fixed) {
@@ -557,12 +589,17 @@ CompileService::serve(const ServingPlan& plan,
                 // admitAfterMiss rather than re-probing), and the
                 // service-wide request/hit counters see every serve.
                 requests_.fetch_add(1, std::memory_order_relaxed);
-                PulsePtr pulse = cache_.get(entry.fingerprint);
+                PulsePtr pulse;
+                {
+                    TraceSpan probe("cache-probe");
+                    pulse = cache_.get(entry.fingerprint);
+                }
                 if (pulse) {
                     cacheHits_.fetch_add(1, std::memory_order_relaxed);
                     ++served.cacheHits;
                 } else {
                     ++served.cacheMisses;
+                    TraceSpan wait("synthesis-wait");
                     pulse = admitAfterMiss(entry.fingerprint,
                                            entry.local, nullptr,
                                            /*force_block=*/true)
@@ -634,7 +671,11 @@ CompileService::serve(const ServingPlan& plan,
                     // the bin lookup is one logical request, counted
                     // once in CacheStats and in the service counters.
                     requests_.fetch_add(1, std::memory_order_relaxed);
-                    PulsePtr pulse = cache_.get(fp);
+                    PulsePtr pulse;
+                    {
+                        TraceSpan probe("cache-probe");
+                        pulse = cache_.get(fp);
+                    }
                     if (pulse) {
                         cacheHits_.fetch_add(1,
                                              std::memory_order_relaxed);
@@ -645,6 +686,7 @@ CompileService::serve(const ServingPlan& plan,
                         ++served.quantMisses;
                         quantMisses_.fetch_add(
                             1, std::memory_order_relaxed);
+                        TraceSpan wait("synthesis-wait");
                         pulse = admitAfterMiss(
                                     fp,
                                     rotationAt(segment.gate,
@@ -670,6 +712,7 @@ CompileService::serve(const ServingPlan& plan,
             requests_.fetch_add(1, std::memory_order_relaxed);
             exactServes_.fetch_add(1, std::memory_order_relaxed);
             ++served.exactServes;
+            TraceSpan exact("exact-synth");
             PulsePtr pulse = std::make_shared<const PulseSchedule>(
                 kit->second->library.compileCircuit(
                     segment.gate.bind(theta)));
@@ -914,6 +957,23 @@ CompileService::stats() const
         quantStaleReleased_.load(std::memory_order_relaxed);
     out.quantBytesReleased =
         quantBytesReleased_.load(std::memory_order_relaxed);
+    return out;
+}
+
+ServiceTelemetry
+CompileService::telemetry() const
+{
+    ServiceTelemetry out;
+    out.serveNs = serveNs_.snapshot();
+    out.prepareNs = prepareNs_.snapshot();
+    out.synthNs = synthNs_.snapshot();
+    out.queueWaitNs = pool_.queueWaitSnapshot();
+    out.jobRunNs = pool_.jobRunSnapshot();
+    const CacheTelemetry cache = cache_.telemetry();
+    out.cacheGetNs = cache.getNs;
+    out.cachePutNs = cache.putNs;
+    out.diskReadNs = cache.diskReadNs;
+    out.diskWriteNs = cache.diskWriteNs;
     return out;
 }
 

@@ -49,6 +49,7 @@
 #include "pulse/library.h"
 #include "pulse/schedule.h"
 #include "runtime/threadpool.h"
+#include "telemetry/histogram.h"
 
 namespace qpc {
 
@@ -166,6 +167,25 @@ struct ServiceStats
     std::uint64_t quantBytesReleased = 0; ///< Their bytes, returned to
                                           ///< the cache byte budget.
     /** @} */
+};
+
+/**
+ * Latency distributions for the serve path, one histogram per phase.
+ * Snapshotted by CompileService::telemetry(); all values are
+ * nanoseconds. The pool and cache sections are re-exported here so
+ * one call sees the whole path.
+ */
+struct ServiceTelemetry
+{
+    HistogramSnapshot serveNs;     ///< Whole serve() calls.
+    HistogramSnapshot prepareNs;   ///< Whole prepareServing() calls.
+    HistogramSnapshot synthNs;     ///< Individual synthesizer runs.
+    HistogramSnapshot queueWaitNs; ///< Pool FIFO time-in-queue.
+    HistogramSnapshot jobRunNs;    ///< Pool job execution time.
+    HistogramSnapshot cacheGetNs;  ///< PulseCache::get() calls.
+    HistogramSnapshot cachePutNs;  ///< PulseCache::put() calls.
+    HistogramSnapshot diskReadNs;  ///< Disk-tier load attempts.
+    HistogramSnapshot diskWriteNs; ///< Disk-tier persists.
 };
 
 /** What one batch submission cost and deduplicated. */
@@ -476,6 +496,15 @@ class CompileService
     fixedBlocksOf(const Circuit& template_circuit) const;
 
     ServiceStats stats() const;
+
+    /**
+     * Latency distributions across the whole serve path: the
+     * service's own phases plus the pool's queueing and the cache's
+     * disk tier, assembled into one snapshot so a caller (the server,
+     * the bench) reads a consistent picture from a single place.
+     */
+    ServiceTelemetry telemetry() const;
+
     CacheStats cacheStats() const { return cache_.stats(); }
     PulseCache& cache() { return cache_; }
     int numWorkers() const { return pool_.numWorkers(); }
@@ -552,6 +581,13 @@ class CompileService
     std::atomic<std::uint64_t> quantSplits_{0};
     std::atomic<std::uint64_t> quantStaleReleased_{0};
     std::atomic<std::uint64_t> quantBytesReleased_{0};
+
+    /** Whole serve() calls, from plan lookup to ServedPulse. */
+    LatencyHistogram serveNs_;
+    /** Whole prepareServing() calls (blocking + fingerprinting). */
+    mutable LatencyHistogram prepareNs_;
+    /** Individual synthesizer runs, measured on the worker. */
+    LatencyHistogram synthNs_;
 
     /** Last member: destroyed first, so draining workers may still
      * touch the cache and the single-flight map above. */

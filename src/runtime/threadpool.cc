@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "telemetry/trace.h"
 
 namespace qpc {
 
@@ -33,7 +34,11 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::enqueueLocked(std::function<void()>&& job)
 {
-    queue_.push_back(std::move(job));
+    QueuedJob qj;
+    qj.fn = std::move(job);
+    qj.enqueueNs = traceNowNs();
+    qj.traceParent = currentTraceParent();
+    queue_.push_back(std::move(qj));
     peakDepth_ = std::max(peakDepth_, queue_.size());
 }
 
@@ -94,7 +99,7 @@ void
 ThreadPool::workerLoop()
 {
     for (;;) {
-        std::function<void()> job;
+        QueuedJob job;
         {
             std::unique_lock<std::mutex> lock(mu_);
             cv_.wait(lock,
@@ -106,7 +111,22 @@ ThreadPool::workerLoop()
         }
         if (maxQueued_ > 0)
             spaceCv_.notify_one();
-        job();
+        const std::uint64_t dequeueNs = traceNowNs();
+        queueWaitNs_.record(dequeueNs > job.enqueueNs
+                                ? dequeueNs - job.enqueueNs
+                                : 0);
+        // The wait happened between two threads; record it as a
+        // retroactive span chained to the submitter, then run the
+        // job under the same parent so its own spans nest there too.
+        recordSpanEvent("queue-wait", job.enqueueNs, dequeueNs,
+                        job.traceParent);
+        {
+            ScopedTraceParent parent(job.traceParent);
+            job.fn();
+        }
+        const std::uint64_t doneNs = traceNowNs();
+        jobRunNs_.record(doneNs > dequeueNs ? doneNs - dequeueNs
+                                            : 0);
     }
 }
 

@@ -28,11 +28,14 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "telemetry/histogram.h"
 
 namespace qpc {
 
@@ -79,7 +82,32 @@ class ThreadPool
     /** High-water mark of the queue over the pool's lifetime. */
     std::size_t peakQueueDepth() const;
 
+    /** Distribution of time jobs spent waiting in the FIFO (ns). */
+    HistogramSnapshot queueWaitSnapshot() const
+    {
+        return queueWaitNs_.snapshot();
+    }
+
+    /** Distribution of job execution times (ns). */
+    HistogramSnapshot jobRunSnapshot() const
+    {
+        return jobRunNs_.snapshot();
+    }
+
   private:
+    /**
+     * A queued job plus the telemetry that must travel with it: when
+     * it was enqueued (for the queue-wait histogram and retroactive
+     * queue-wait trace span) and the submitter's current span id, so
+     * work executed on a worker nests under the span that caused it.
+     */
+    struct QueuedJob
+    {
+        std::function<void()> fn;
+        std::uint64_t enqueueNs = 0;
+        std::uint64_t traceParent = 0;
+    };
+
     void workerLoop();
     /** Push under mu_ (already held) and maintain the high-water mark. */
     void enqueueLocked(std::function<void()>&& job);
@@ -88,7 +116,9 @@ class ThreadPool
     std::condition_variable cv_;
     /** Producers blocked in submit() wait here for a free slot. */
     std::condition_variable spaceCv_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<QueuedJob> queue_;
+    LatencyHistogram queueWaitNs_;
+    LatencyHistogram jobRunNs_;
     std::size_t maxQueued_ = 0;
     std::size_t peakDepth_ = 0;
     bool stopping_ = false;

@@ -269,6 +269,25 @@ CompileClient::stats()
     return stats;
 }
 
+std::optional<MetricsSnapshot>
+CompileClient::metrics()
+{
+    WireWriter w = beginMessage(MsgType::Metrics);
+    std::optional<std::vector<std::uint8_t>> reply =
+        request(MsgType::MetricsOk, w.bytes());
+    if (!reply)
+        return std::nullopt;
+    WireReader r(*reply);
+    r.u8();
+    r.u8();
+    std::optional<MetricsSnapshot> snap = decodeMetrics(r);
+    if (!snap || !r.done()) {
+        fail(WireError::Internal, "malformed MetricsOk");
+        return std::nullopt;
+    }
+    return snap;
+}
+
 bool
 CompileClient::shutdownServer()
 {

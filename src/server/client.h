@@ -95,6 +95,10 @@ class CompileClient
     /** Snapshot the server's health/stats frame. */
     std::optional<WireServerStats> stats();
 
+    /** Snapshot the server's metric registry (counters, gauges, and
+     * latency histograms) — render with renderPrometheus(). */
+    std::optional<MetricsSnapshot> metrics();
+
     /** Ask the server to shut down; true on an acknowledged stop. */
     bool shutdownServer();
 

@@ -205,12 +205,14 @@ peekMessage(const std::vector<std::uint8_t>& payload)
     case MsgType::Serve:
     case MsgType::Stats:
     case MsgType::Shutdown:
+    case MsgType::Metrics:
     case MsgType::HelloOk:
     case MsgType::PrepareOk:
     case MsgType::PrewarmOk:
     case MsgType::ServeOk:
     case MsgType::StatsOk:
     case MsgType::ShutdownOk:
+    case MsgType::MetricsOk:
     case MsgType::Error:
         return static_cast<MsgType>(payload[1]);
     }
@@ -411,6 +413,131 @@ decodeServerStats(WireReader& r)
     if (!r.ok())
         return std::nullopt;
     return stats;
+}
+
+void
+encodeWireHistogram(WireWriter& w,
+                    const MetricsSnapshot::HistogramSample& h)
+{
+    w.str(h.name);
+    w.u64(h.histogram.count);
+    w.u64(h.histogram.sumNs);
+    w.u64(h.histogram.minNs);
+    w.u64(h.histogram.maxNs);
+    w.u32(static_cast<std::uint32_t>(h.histogram.buckets.size()));
+    for (const auto& [index, count] : h.histogram.buckets) {
+        w.u32(index);
+        w.u64(count);
+    }
+}
+
+std::optional<MetricsSnapshot::HistogramSample>
+decodeWireHistogram(WireReader& r)
+{
+    MetricsSnapshot::HistogramSample h;
+    h.name = r.str();
+    h.histogram.count = r.u64();
+    h.histogram.sumNs = r.u64();
+    h.histogram.minNs = r.u64();
+    h.histogram.maxNs = r.u64();
+    const std::uint32_t buckets = r.u32();
+    if (!r.ok() || h.name.empty() ||
+        h.name.size() > kMaxWireMetricName ||
+        buckets >
+            static_cast<std::uint32_t>(LatencyHistogram::kNumBuckets))
+        return std::nullopt;
+    // Structural invariants every consumer (percentile walks,
+    // exposition rendering, merges) relies on: sorted unique indices
+    // in range, no zero-count buckets, bucket counts summing to the
+    // total, and a coherent min/max. Rejecting here means a decoded
+    // snapshot is always as well-formed as a locally recorded one.
+    std::uint64_t total = 0;
+    std::int64_t prev = -1;
+    for (std::uint32_t i = 0; i < buckets; ++i) {
+        const std::uint32_t index = r.u32();
+        const std::uint64_t count = r.u64();
+        if (!r.ok() ||
+            index >= static_cast<std::uint32_t>(
+                         LatencyHistogram::kNumBuckets) ||
+            static_cast<std::int64_t>(index) <= prev || count == 0)
+            return std::nullopt;
+        prev = static_cast<std::int64_t>(index);
+        total += count;
+        h.histogram.buckets.emplace_back(index, count);
+    }
+    if (total != h.histogram.count)
+        return std::nullopt;
+    if (h.histogram.count == 0) {
+        if (h.histogram.minNs != 0 || h.histogram.maxNs != 0 ||
+            h.histogram.sumNs != 0)
+            return std::nullopt;
+    } else if (h.histogram.minNs > h.histogram.maxNs) {
+        return std::nullopt;
+    }
+    return h;
+}
+
+void
+encodeMetrics(WireWriter& w, const MetricsSnapshot& snap)
+{
+    w.u32(static_cast<std::uint32_t>(snap.counters.size()));
+    for (const auto& c : snap.counters) {
+        w.str(c.name);
+        w.u64(c.value);
+    }
+    w.u32(static_cast<std::uint32_t>(snap.gauges.size()));
+    for (const auto& g : snap.gauges) {
+        w.str(g.name);
+        w.f64(g.value);
+    }
+    w.u32(static_cast<std::uint32_t>(snap.histograms.size()));
+    for (const auto& h : snap.histograms)
+        encodeWireHistogram(w, h);
+}
+
+std::optional<MetricsSnapshot>
+decodeMetrics(WireReader& r)
+{
+    MetricsSnapshot snap;
+    const std::uint32_t counters = r.u32();
+    if (!r.ok() || counters > kMaxWireMetrics)
+        return std::nullopt;
+    snap.counters.reserve(counters);
+    for (std::uint32_t i = 0; i < counters; ++i) {
+        MetricsSnapshot::CounterSample c;
+        c.name = r.str();
+        c.value = r.u64();
+        if (!r.ok() || c.name.empty() ||
+            c.name.size() > kMaxWireMetricName)
+            return std::nullopt;
+        snap.counters.push_back(std::move(c));
+    }
+    const std::uint32_t gauges = r.u32();
+    if (!r.ok() || gauges > kMaxWireMetrics)
+        return std::nullopt;
+    snap.gauges.reserve(gauges);
+    for (std::uint32_t i = 0; i < gauges; ++i) {
+        MetricsSnapshot::GaugeSample g;
+        g.name = r.str();
+        g.value = r.f64();
+        if (!r.ok() || g.name.empty() ||
+            g.name.size() > kMaxWireMetricName)
+            return std::nullopt;
+        snap.gauges.push_back(std::move(g));
+    }
+    const std::uint32_t histograms = r.u32();
+    if (!r.ok() || histograms > kMaxWireMetrics)
+        return std::nullopt;
+    snap.histograms.reserve(histograms);
+    for (std::uint32_t i = 0; i < histograms; ++i) {
+        auto h = decodeWireHistogram(r);
+        if (!h)
+            return std::nullopt;
+        snap.histograms.push_back(std::move(*h));
+    }
+    if (!r.ok())
+        return std::nullopt;
+    return snap;
 }
 
 } // namespace qpc

@@ -20,6 +20,7 @@
  *   Serve           u64 planId, u8 wantPulses, u32 n, f64 theta[n]
  *   Stats           (empty)
  *   Shutdown        (empty)
+ *   Metrics         (empty)
  *
  * Replies:
  *   HelloOk     u32 tenantId, u64 maxPlans, u64 maxServedBytes,
@@ -34,6 +35,10 @@
  *               u8[len] "QPLS" pulse record)
  *   StatsOk     ServerStatsSnapshot (see decodeStats)
  *   ShutdownOk  (empty)
+ *   MetricsOk   MetricsSnapshot (see decodeMetrics): counters,
+ *               gauges, and WireHistogram-encoded latency
+ *               distributions, renderable as Prometheus text on
+ *               either end of the wire
  *   Error       u32 code, str message
  *
  * Strings are u32 length + raw bytes. Decoding never trusts its input:
@@ -60,6 +65,7 @@
 #include <vector>
 
 #include "ir/circuit.h"
+#include "telemetry/metrics.h"
 
 namespace qpc {
 
@@ -85,6 +91,7 @@ enum class MsgType : std::uint8_t {
     Serve = 4,
     Stats = 5,
     Shutdown = 6,
+    Metrics = 7,
 
     HelloOk = 65,
     PrepareOk = 66,
@@ -92,6 +99,7 @@ enum class MsgType : std::uint8_t {
     ServeOk = 68,
     StatsOk = 69,
     ShutdownOk = 70,
+    MetricsOk = 71,
     Error = 127,
 };
 
@@ -277,6 +285,44 @@ void encodeServerStats(WireWriter& w, const WireServerStats& stats);
 
 /** Decode a StatsOk body; nullopt on malformed bytes. */
 std::optional<WireServerStats> decodeServerStats(WireReader& r);
+/** @} */
+
+/** @name MetricsOk body: the server's metric registry on the wire
+ *
+ * Layout:
+ *   u32 numCounters,   per counter:   str name, u64 value
+ *   u32 numGauges,     per gauge:     str name, f64 value
+ *   u32 numHistograms, per histogram: WireHistogram
+ *
+ * WireHistogram:
+ *   str name, u64 count, u64 sumNs, u64 minNs, u64 maxNs,
+ *   u32 numNonzeroBuckets, per bucket: u32 index, u64 count
+ *
+ * Decoding validates every structural invariant a snapshot relies on
+ * (bucket indices in range and strictly increasing, bucket counts
+ * nonzero and summing to `count`, min <= max, section sizes bounded),
+ * so a hostile body can never produce a snapshot whose percentile
+ * walk misbehaves.
+ *  @{ */
+
+/** Ceiling on each metric section's element count on the wire. */
+inline constexpr std::uint32_t kMaxWireMetrics = 1u << 14;
+/** Ceiling on a metric name's length on the wire. */
+inline constexpr std::uint32_t kMaxWireMetricName = 512;
+
+/** Append one named histogram snapshot to a body. */
+void encodeWireHistogram(WireWriter& w,
+                         const MetricsSnapshot::HistogramSample& h);
+
+/** Decode one named histogram; nullopt on malformed bytes. */
+std::optional<MetricsSnapshot::HistogramSample>
+decodeWireHistogram(WireReader& r);
+
+/** Append a whole metrics snapshot to a MetricsOk body. */
+void encodeMetrics(WireWriter& w, const MetricsSnapshot& snap);
+
+/** Decode a MetricsOk body; nullopt on malformed bytes. */
+std::optional<MetricsSnapshot> decodeMetrics(WireReader& r);
 /** @} */
 
 } // namespace qpc

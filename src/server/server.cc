@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cmath>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 
 #include <netinet/in.h>
@@ -15,6 +16,7 @@
 #include "common/logging.h"
 #include "partial/strict.h"
 #include "pulse/serialize.h"
+#include "telemetry/trace.h"
 
 namespace qpc {
 
@@ -92,6 +94,22 @@ CompileServer::CompileServer(CompileServerOptions options)
 {
     fatalIf(options_.socketPath.empty() && options_.tcpPort == 0,
             "compile server needs a unix socket path or a TCP port");
+    // Resolve the per-frame-type handle histograms once, so the
+    // per-frame hot path is an array index, not a registry lookup.
+    const std::pair<MsgType, const char*> kRequestTypes[] = {
+        {MsgType::Hello, "Hello"},
+        {MsgType::PrepareServing, "PrepareServing"},
+        {MsgType::Prewarm, "Prewarm"},
+        {MsgType::Serve, "Serve"},
+        {MsgType::Stats, "Stats"},
+        {MsgType::Shutdown, "Shutdown"},
+        {MsgType::Metrics, "Metrics"},
+    };
+    for (const auto& [type, name] : kRequestTypes)
+        handleNs_[static_cast<std::uint8_t>(type)] =
+            &registry_.histogram(
+                std::string("qpc_server_handle_us{type=\"") + name +
+                "\"}");
 }
 
 CompileServer::~CompileServer()
@@ -326,6 +344,9 @@ CompileServer::internTenant(const std::string& name)
     auto tenant = std::make_shared<Tenant>();
     tenant->name = name;
     tenant->id = nextTenantId_++;
+    tenant->serveNs = &registry_.histogram(
+        "qpc_tenant_serve_us{tenant=\"" + promLabelEscape(name) +
+        "\"}");
     tenants_.emplace(name, tenant);
     return tenant;
 }
@@ -354,6 +375,24 @@ CompileServer::handleFrame(Session& session,
                   "unknown protocol version or message type");
         return false;
     }
+    const std::uint64_t t0 = traceNowNs();
+    const bool keep = handleRequest(session, tenant, *type, payload);
+    const std::uint64_t t1 = traceNowNs();
+    // Reply types sent as requests land in handleRequest's default
+    // arm and have no histogram; every real request type has one.
+    const auto index = static_cast<std::uint8_t>(*type);
+    if (index < sizeof(handleNs_) / sizeof(handleNs_[0]) &&
+        handleNs_[index] != nullptr)
+        handleNs_[index]->record(t1 > t0 ? t1 - t0 : 0);
+    return keep;
+}
+
+bool
+CompileServer::handleRequest(Session& session,
+                             std::shared_ptr<Tenant>& tenant,
+                             MsgType type,
+                             const std::vector<std::uint8_t>& payload)
+{
     WireReader r(payload);
     r.u8(); // version, validated by peekMessage
     r.u8(); // type
@@ -365,7 +404,7 @@ CompileServer::handleFrame(Session& session,
         return sendError(session.fd, WireError::BadRequest, what);
     };
 
-    switch (*type) {
+    switch (type) {
     case MsgType::Hello: {
         const std::string name = r.str();
         if (!r.done() || name.empty() || name.size() > kMaxTenantName)
@@ -523,15 +562,44 @@ CompileServer::handleFrame(Session& session,
                              "tenant served-bytes quota exhausted");
         }
         ServedPulse served;
-        gate_.beginServe();
-        try {
-            served = service_.serve(*entry.plan, theta);
-        } catch (const std::exception& e) {
+        {
+            // The span covers the gate plus the service call, so its
+            // children (cache-probe, synthesis-wait, and — through
+            // the pool's parent chaining — queue-wait and synthesis)
+            // nest under one "serve" per request. The phase capture
+            // collects those same child durations for the slow-serve
+            // log; it only pays its per-span cost when the knob is
+            // actually on.
+            TraceSpan span("serve");
+            if (span.tracing()) {
+                span.arg("tenant", tenant->name);
+                span.arg("plan", std::to_string(plan_id));
+            }
+            std::optional<ScopedPhaseCapture> phases;
+            if (options_.slowServeThresholdUs > 0)
+                phases.emplace();
+            const std::uint64_t t0 = traceNowNs();
+            gate_.beginServe();
+            try {
+                served = service_.serve(*entry.plan, theta);
+            } catch (const std::exception& e) {
+                gate_.endServe();
+                return sendError(session.fd, WireError::Internal,
+                                 e.what());
+            }
             gate_.endServe();
-            return sendError(session.fd, WireError::Internal,
-                             e.what());
+            const std::uint64_t t1 = traceNowNs();
+            const std::uint64_t serve_ns = t1 > t0 ? t1 - t0 : 0;
+            tenant->serveNs->record(serve_ns);
+            if (phases &&
+                serve_ns >= options_.slowServeThresholdUs * 1000) {
+                warn("slow-serve tenant=", tenant->name,
+                     " plan=", plan_id,
+                     " total_us=", serve_ns / 1000,
+                     " segments=", served.segments.size(), " ",
+                     phases->breakdown().summary());
+            }
         }
-        gate_.endServe();
         std::uint64_t bytes = 0;
         for (const PulsePtr& segment : served.segments)
             bytes += segment->serializedBytes();
@@ -563,6 +631,17 @@ CompileServer::handleFrame(Session& session,
     case MsgType::Stats: {
         WireWriter w = beginMessage(MsgType::StatsOk);
         encodeServerStats(w, statsSnapshot());
+        return writeFrame(session.fd, w.bytes());
+    }
+
+    case MsgType::Metrics: {
+        if (!r.done()) {
+            protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+            return sendError(session.fd, WireError::BadRequest,
+                             "malformed Metrics body");
+        }
+        WireWriter w = beginMessage(MsgType::MetricsOk);
+        encodeMetrics(w, metricsSnapshot());
         return writeFrame(session.fd, w.bytes());
     }
 
@@ -636,6 +715,77 @@ CompileServer::statsSnapshot() const
             tenant->quotaRejections.load(std::memory_order_relaxed);
         out.tenants.push_back(std::move(t));
     }
+    return out;
+}
+
+MetricsSnapshot
+CompileServer::metricsSnapshot() const
+{
+    // The registry already holds the per-frame-type handle histograms
+    // and per-tenant serve histograms; everything else is assembled
+    // from the same sources statsSnapshot() reads, under stable names.
+    MetricsSnapshot out = registry_.collect();
+
+    const WireServerStats stats = statsSnapshot();
+    const auto counter = [&](const char* name, std::uint64_t v) {
+        out.counters.push_back({name, v});
+    };
+    const auto gauge = [&](const char* name, double v) {
+        out.gauges.push_back({name, v});
+    };
+    counter("qpc_server_connections_accepted_total",
+            stats.connectionsAccepted);
+    counter("qpc_server_protocol_errors_total", stats.protocolErrors);
+    counter("qpc_server_bulk_yields_total", stats.bulkYields);
+    counter("qpc_service_requests_total", stats.requests);
+    counter("qpc_service_cache_hits_total", stats.cacheHits);
+    counter("qpc_service_coalesced_total", stats.coalesced);
+    counter("qpc_service_synth_runs_total", stats.synthRuns);
+    counter("qpc_service_rejected_total", stats.rejected);
+    counter("qpc_service_exact_serves_total", stats.exactServes);
+    counter("qpc_service_quant_hits_total", stats.quantHits);
+    counter("qpc_service_quant_misses_total", stats.quantMisses);
+    counter("qpc_service_quant_fallbacks_total", stats.quantFallbacks);
+    counter("qpc_cache_lookups_total", stats.cacheLookups);
+    counter("qpc_cache_mem_hits_total", stats.cacheMemHits);
+    counter("qpc_cache_disk_hits_total", stats.cacheDiskHits);
+    counter("qpc_cache_misses_total", stats.cacheMisses);
+    gauge("qpc_server_connections_active",
+          static_cast<double>(stats.connectionsActive));
+    gauge("qpc_cache_entries", static_cast<double>(stats.cacheEntries));
+    gauge("qpc_cache_bytes_in_use",
+          static_cast<double>(stats.cacheBytesInUse));
+
+    for (const WireTenantStats& t : stats.tenants) {
+        const std::string labels =
+            "{tenant=\"" + promLabelEscape(t.tenant) + "\"}";
+        out.counters.push_back(
+            {"qpc_tenant_serves_total" + labels, t.serves});
+        out.counters.push_back(
+            {"qpc_tenant_served_bytes_total" + labels, t.servedBytes});
+        out.counters.push_back(
+            {"qpc_tenant_quota_rejections_total" + labels,
+             t.quotaRejections});
+        out.gauges.push_back(
+            {"qpc_tenant_hit_rate" + labels, t.hitRate()});
+    }
+
+    const ServiceTelemetry telemetry = service_.telemetry();
+    const auto histogram = [&](const char* name,
+                               const HistogramSnapshot& snap) {
+        out.histograms.push_back({name, snap});
+    };
+    histogram("qpc_serve_us", telemetry.serveNs);
+    histogram("qpc_prepare_serving_us", telemetry.prepareNs);
+    histogram("qpc_synthesis_us", telemetry.synthNs);
+    histogram("qpc_queue_wait_us", telemetry.queueWaitNs);
+    histogram("qpc_job_run_us", telemetry.jobRunNs);
+    histogram("qpc_cache_get_us", telemetry.cacheGetNs);
+    histogram("qpc_cache_put_us", telemetry.cachePutNs);
+    histogram("qpc_disk_read_us", telemetry.diskReadNs);
+    histogram("qpc_disk_write_us", telemetry.diskWriteNs);
+
+    out.sortByName();
     return out;
 }
 

@@ -44,6 +44,7 @@
 
 #include "runtime/service.h"
 #include "server/protocol.h"
+#include "telemetry/metrics.h"
 
 namespace qpc {
 
@@ -80,6 +81,13 @@ struct CompileServerOptions
     CompileServiceOptions service;
     /** Quota applied to each tenant. */
     TenantQuota quota;
+    /**
+     * Serve handling slower than this logs one structured
+     * "slow-serve" warn() line with the span breakdown (where the
+     * time went: cache probes, synthesis waits, exact synthesis).
+     * 0 disables the log.
+     */
+    std::uint64_t slowServeThresholdUs = 0;
 };
 
 /**
@@ -162,6 +170,15 @@ class CompileServer
     /** Snapshot everything a StatsOk frame carries. */
     WireServerStats statsSnapshot() const;
 
+    /**
+     * Snapshot everything a MetricsOk frame carries: the registry's
+     * per-frame-type and per-tenant histograms, counters/gauges
+     * mirroring statsSnapshot(), and the shared service's serve-path
+     * latency distributions — ready for renderPrometheus() on either
+     * end of the wire.
+     */
+    MetricsSnapshot metricsSnapshot() const;
+
     const CompileServerOptions& options() const { return options_; }
     CompileService& service() { return service_; }
 
@@ -191,6 +208,10 @@ class CompileServer
         std::atomic<std::uint64_t> servedBytes{0};
         std::atomic<std::uint64_t> quotaRejections{0};
         std::atomic<std::uint64_t> activeBulk{0};
+
+        /** This tenant's serve-latency histogram; owned by the
+         * server's metric registry, resolved at intern time. */
+        LatencyHistogram* serveNs = nullptr;
     };
 
     /** One live connection. */
@@ -207,10 +228,16 @@ class CompileServer
      * caller). */
     void reapFinishedSessionsLocked();
 
-    /** Dispatch one decoded frame; false ends the session. */
+    /** Validate the header, time the dispatch (per-frame-type handle
+     * histograms), and delegate; false ends the session. */
     bool handleFrame(Session& session,
                      std::shared_ptr<Tenant>& tenant,
                      const std::vector<std::uint8_t>& payload);
+
+    /** Dispatch one validated request; false ends the session. */
+    bool handleRequest(Session& session,
+                       std::shared_ptr<Tenant>& tenant, MsgType type,
+                       const std::vector<std::uint8_t>& payload);
 
     std::shared_ptr<Tenant> internTenant(const std::string& name);
 
@@ -219,6 +246,13 @@ class CompileServer
     CompileServerOptions options_;
     CompileService service_;
     PriorityGate gate_;
+
+    /** Named metrics owned by the server: per-frame-type handle
+     * histograms and per-tenant serve histograms. */
+    MetricRegistry registry_;
+    /** Handle-latency histogram per request MsgType (index = type
+     * byte), resolved from the registry at construction. */
+    LatencyHistogram* handleNs_[64] = {};
 
     int unixFd_ = -1;
     int tcpFd_ = -1;

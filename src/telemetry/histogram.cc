@@ -1,0 +1,216 @@
+#include "telemetry/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+namespace {
+
+/** Position of the highest set bit (bit_width - 1); 0 for v == 0. */
+int
+highBit(std::uint64_t v)
+{
+    int bit = 0;
+    while (v >>= 1)
+        ++bit;
+    return bit;
+}
+
+} // namespace
+
+LatencyHistogram::LatencyHistogram()
+{
+    for (auto& c : counts_)
+        c.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sumNs_.store(0, std::memory_order_relaxed);
+    minNs_.store(std::numeric_limits<std::uint64_t>::max(),
+                 std::memory_order_relaxed);
+    maxNs_.store(0, std::memory_order_relaxed);
+}
+
+int
+LatencyHistogram::bucketIndex(std::uint64_t ns)
+{
+    if (ns < static_cast<std::uint64_t>(kSubBuckets))
+        return static_cast<int>(ns);
+    // Octave o >= 1 holds [2^(kSubBits + o - 1) * 2, ...): the value's
+    // top bit is at kSubBits + o - 1 + ... — concretely, octave
+    // o = highBit(ns) - kSubBits + 1, and within the octave the next
+    // log2(kHalfSub) bits below the top bit pick the linear sub-bucket.
+    const int top = highBit(ns);
+    const int octave = top - kSubBits + 1;
+    if (octave >= kOctaves)
+        return kNumBuckets - 1;
+    const int sub = static_cast<int>((ns >> (top - 4)) &
+                                     (kHalfSub - 1));
+    return kSubBuckets + (octave - 1) * kHalfSub + sub;
+}
+
+std::uint64_t
+LatencyHistogram::bucketLowerNs(int index)
+{
+    panicIf(index < 0 || index >= kNumBuckets,
+            "histogram: bucket index out of range: ", index);
+    if (index < kSubBuckets)
+        return static_cast<std::uint64_t>(index);
+    const int rel = index - kSubBuckets;
+    const int octave = rel / kHalfSub + 1;
+    const int sub = rel % kHalfSub;
+    // Octave o spans [2^(kSubBits+o-1)*2, 2^(kSubBits+o)*2): lower
+    // bound is (kHalfSub + sub) << (octave + kSubBits - 4 - 1 + 1).
+    const int shift = octave;
+    return static_cast<std::uint64_t>(kHalfSub + sub) << shift;
+}
+
+std::uint64_t
+LatencyHistogram::bucketUpperNs(int index)
+{
+    if (index == kNumBuckets - 1)
+        return std::numeric_limits<std::uint64_t>::max();
+    return bucketLowerNs(index + 1);
+}
+
+void
+LatencyHistogram::record(std::uint64_t ns)
+{
+    counts_[bucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sumNs_.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t cur = minNs_.load(std::memory_order_relaxed);
+    while (ns < cur &&
+           !minNs_.compare_exchange_weak(cur, ns,
+                                         std::memory_order_relaxed)) {
+    }
+    cur = maxNs_.load(std::memory_order_relaxed);
+    while (ns > cur &&
+           !maxNs_.compare_exchange_weak(cur, ns,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+HistogramSnapshot
+LatencyHistogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    snap.count = count_.load(std::memory_order_relaxed);
+    snap.sumNs = sumNs_.load(std::memory_order_relaxed);
+    const std::uint64_t mn = minNs_.load(std::memory_order_relaxed);
+    snap.minNs =
+        mn == std::numeric_limits<std::uint64_t>::max() ? 0 : mn;
+    snap.maxNs = maxNs_.load(std::memory_order_relaxed);
+    for (int i = 0; i < kNumBuckets; ++i) {
+        const std::uint64_t c =
+            counts_[i].load(std::memory_order_relaxed);
+        if (c != 0)
+            snap.buckets.emplace_back(static_cast<std::uint32_t>(i),
+                                      c);
+    }
+    return snap;
+}
+
+void
+LatencyHistogram::reset()
+{
+    for (auto& c : counts_)
+        c.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sumNs_.store(0, std::memory_order_relaxed);
+    minNs_.store(std::numeric_limits<std::uint64_t>::max(),
+                 std::memory_order_relaxed);
+    maxNs_.store(0, std::memory_order_relaxed);
+}
+
+double
+HistogramSnapshot::percentileNs(double p) const
+{
+    if (count == 0)
+        return 0.0;
+    p = std::min(100.0, std::max(0.0, p));
+    // Rank of the target observation, 1-based.
+    const double exact = p / 100.0 * static_cast<double>(count);
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(exact)));
+    std::uint64_t seen = 0;
+    for (const auto& [index, c] : buckets) {
+        if (seen + c < rank) {
+            seen += c;
+            continue;
+        }
+        const double lower = static_cast<double>(
+            LatencyHistogram::bucketLowerNs(
+                static_cast<int>(index)));
+        // The overflow bucket has no meaningful upper edge; report
+        // the recorded max instead of interpolating toward 2^64.
+        double upper;
+        if (static_cast<int>(index) ==
+            LatencyHistogram::kNumBuckets - 1) {
+            upper = static_cast<double>(maxNs);
+        } else {
+            upper = static_cast<double>(
+                LatencyHistogram::bucketUpperNs(
+                    static_cast<int>(index)));
+        }
+        // Interpolate by rank position within the bucket, then clamp
+        // into the recorded range so p0 -> minNs and p100 -> maxNs.
+        const double frac =
+            (static_cast<double>(rank - seen) - 0.5) /
+            static_cast<double>(c);
+        double value = lower + (upper - lower) * frac;
+        value = std::max(value, static_cast<double>(minNs));
+        value = std::min(value, static_cast<double>(maxNs));
+        if (p >= 100.0)
+            value = static_cast<double>(maxNs);
+        return value;
+    }
+    return static_cast<double>(maxNs);
+}
+
+double
+HistogramSnapshot::meanNs() const
+{
+    if (count == 0)
+        return 0.0;
+    return static_cast<double>(sumNs) / static_cast<double>(count);
+}
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot& other)
+{
+    if (other.count == 0)
+        return;
+    if (count == 0) {
+        *this = other;
+        return;
+    }
+    count += other.count;
+    sumNs += other.sumNs;
+    minNs = std::min(minNs, other.minNs);
+    maxNs = std::max(maxNs, other.maxNs);
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> merged;
+    merged.reserve(buckets.size() + other.buckets.size());
+    std::size_t i = 0, j = 0;
+    while (i < buckets.size() || j < other.buckets.size()) {
+        if (j == other.buckets.size() ||
+            (i < buckets.size() &&
+             buckets[i].first < other.buckets[j].first)) {
+            merged.push_back(buckets[i++]);
+        } else if (i == buckets.size() ||
+                   other.buckets[j].first < buckets[i].first) {
+            merged.push_back(other.buckets[j++]);
+        } else {
+            merged.emplace_back(buckets[i].first,
+                                buckets[i].second +
+                                    other.buckets[j].second);
+            ++i;
+            ++j;
+        }
+    }
+    buckets = std::move(merged);
+}
+
+} // namespace qpc

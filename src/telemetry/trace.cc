@@ -1,0 +1,410 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace qpc {
+
+namespace {
+
+/** One finished span, as stored in a thread's ring. */
+struct TraceEvent
+{
+    const char* name;
+    std::uint64_t id;
+    std::uint64_t parent;
+    std::uint64_t startNs;
+    std::uint64_t durNs;
+    const char* argKey[2];
+    std::string argVal[2];
+};
+
+/**
+ * Fixed-capacity overwrite-oldest event buffer. One per recording
+ * thread; the ring's own mutex only contends with trace dumps, never
+ * with other recording threads.
+ */
+struct ThreadRing
+{
+    static constexpr std::size_t kCapacity = 16384;
+
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+    std::size_t next = 0;
+    bool wrapped = false;
+    int tid = 0;
+
+    void
+    push(TraceEvent ev)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (events.size() < kCapacity) {
+            events.push_back(std::move(ev));
+        } else {
+            events[next] = std::move(ev);
+            wrapped = true;
+        }
+        next = (next + 1) % kCapacity;
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        events.clear();
+        next = 0;
+        wrapped = false;
+    }
+};
+
+struct Recorder
+{
+    std::atomic<bool> enabled{false};
+    std::atomic<std::uint64_t> nextSpanId{1};
+    std::atomic<int> nextTid{1};
+    std::mutex ringsMu;
+    std::vector<std::shared_ptr<ThreadRing>> rings;
+};
+
+Recorder&
+recorder()
+{
+    // Leaked on purpose: worker threads may record during static
+    // destruction of other objects.
+    static Recorder* r = new Recorder();
+    return *r;
+}
+
+struct TlState
+{
+    std::shared_ptr<ThreadRing> ring;
+    std::uint64_t currentParent = 0;
+    PhaseBreakdown* collector = nullptr;
+};
+
+TlState&
+tlState()
+{
+    thread_local TlState state;
+    return state;
+}
+
+ThreadRing&
+tlRing()
+{
+    TlState& tl = tlState();
+    if (!tl.ring) {
+        tl.ring = std::make_shared<ThreadRing>();
+        Recorder& r = recorder();
+        tl.ring->tid =
+            r.nextTid.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(r.ringsMu);
+        r.rings.push_back(tl.ring);
+    }
+    return *tl.ring;
+}
+
+std::uint64_t
+traceEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+/** Minimal JSON string escaping for span argument values. */
+void
+appendJsonEscaped(std::string& out, const std::string& raw)
+{
+    for (const char c : raw) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::uint64_t
+traceNowNs()
+{
+    return traceEpoch();
+}
+
+bool
+traceEnabled()
+{
+    return recorder().enabled.load(std::memory_order_relaxed);
+}
+
+void
+setTraceEnabled(bool on)
+{
+    // Touch the epoch before the first span so timestamps are
+    // relative to (roughly) trace start, not racing its init.
+    traceEpoch();
+    recorder().enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+clearTrace()
+{
+    Recorder& r = recorder();
+    std::lock_guard<std::mutex> lock(r.ringsMu);
+    for (const auto& ring : r.rings)
+        ring->clear();
+}
+
+std::uint64_t
+currentTraceParent()
+{
+    return tlState().currentParent;
+}
+
+void
+recordSpanEvent(const char* name, std::uint64_t startNs,
+                std::uint64_t endNs, std::uint64_t parent)
+{
+    if (!traceEnabled())
+        return;
+    TraceEvent ev;
+    ev.name = name;
+    ev.id =
+        recorder().nextSpanId.fetch_add(1, std::memory_order_relaxed);
+    ev.parent = parent;
+    ev.startNs = startNs;
+    ev.durNs = endNs > startNs ? endNs - startNs : 0;
+    ev.argKey[0] = ev.argKey[1] = nullptr;
+    tlRing().push(std::move(ev));
+}
+
+TraceSpan::TraceSpan(const char* name)
+    : name_(name)
+{
+    TlState& tl = tlState();
+    phases_ = tl.collector;
+    tracing_ = traceEnabled();
+    if (!tracing_ && phases_ == nullptr)
+        return;
+    startNs_ = traceNowNs();
+    if (tracing_) {
+        id_ = recorder().nextSpanId.fetch_add(
+            1, std::memory_order_relaxed);
+        parent_ = tl.currentParent;
+        tl.currentParent = id_;
+    }
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!tracing_ && phases_ == nullptr)
+        return;
+    const std::uint64_t end = traceNowNs();
+    const std::uint64_t dur =
+        end > startNs_ ? end - startNs_ : 0;
+    if (phases_ != nullptr)
+        phases_->add(name_, dur);
+    if (tracing_) {
+        TlState& tl = tlState();
+        tl.currentParent = parent_;
+        TraceEvent ev;
+        ev.name = name_;
+        ev.id = id_;
+        ev.parent = parent_;
+        ev.startNs = startNs_;
+        ev.durNs = dur;
+        ev.argKey[0] = argKey_[0];
+        ev.argKey[1] = argKey_[1];
+        ev.argVal[0] = std::move(argVal_[0]);
+        ev.argVal[1] = std::move(argVal_[1]);
+        tlRing().push(std::move(ev));
+    }
+}
+
+void
+TraceSpan::arg(const char* key, std::string value)
+{
+    if (!tracing_)
+        return;
+    for (int i = 0; i < 2; ++i) {
+        if (argKey_[i] == nullptr) {
+            argKey_[i] = key;
+            argVal_[i] = std::move(value);
+            return;
+        }
+    }
+}
+
+ScopedTraceParent::ScopedTraceParent(std::uint64_t parent)
+    : prev_(tlState().currentParent)
+{
+    tlState().currentParent = parent;
+}
+
+ScopedTraceParent::~ScopedTraceParent()
+{
+    tlState().currentParent = prev_;
+}
+
+ScopedPhaseCapture::ScopedPhaseCapture()
+    : prev_(tlState().collector)
+{
+    tlState().collector = &breakdown_;
+}
+
+ScopedPhaseCapture::~ScopedPhaseCapture()
+{
+    tlState().collector = prev_;
+}
+
+void
+PhaseBreakdown::add(const char* name, std::uint64_t ns)
+{
+    for (auto& p : phases_) {
+        if (p.name == name || std::strcmp(p.name, name) == 0) {
+            p.ns += ns;
+            ++p.count;
+            return;
+        }
+    }
+    phases_.push_back({name, ns, 1});
+}
+
+std::uint64_t
+PhaseBreakdown::totalNsFor(const char* name) const
+{
+    for (const auto& p : phases_)
+        if (p.name == name || std::strcmp(p.name, name) == 0)
+            return p.ns;
+    return 0;
+}
+
+std::string
+PhaseBreakdown::summary() const
+{
+    std::string out;
+    for (const auto& p : phases_) {
+        if (!out.empty())
+            out += ' ';
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%s=%.1fus x%llu", p.name,
+                      static_cast<double>(p.ns) / 1e3,
+                      static_cast<unsigned long long>(p.count));
+        out += buf;
+    }
+    return out;
+}
+
+std::string
+traceJson()
+{
+    // Snapshot every ring, then render outside the locks.
+    std::vector<std::pair<int, std::vector<TraceEvent>>> snapshots;
+    {
+        Recorder& r = recorder();
+        std::lock_guard<std::mutex> lock(r.ringsMu);
+        snapshots.reserve(r.rings.size());
+        for (const auto& ring : r.rings) {
+            std::lock_guard<std::mutex> rlock(ring->mu);
+            if (ring->events.empty())
+                continue;
+            std::vector<TraceEvent> events;
+            events.reserve(ring->events.size());
+            // Oldest-first: on a wrapped ring, `next` points at the
+            // oldest surviving event.
+            const std::size_t start =
+                ring->wrapped ? ring->next : 0;
+            for (std::size_t i = 0; i < ring->events.size(); ++i)
+                events.push_back(
+                    ring->events[(start + i) %
+                                 ring->events.size()]);
+            snapshots.emplace_back(ring->tid, std::move(events));
+        }
+    }
+
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    char buf[192];
+    for (const auto& [tid, events] : snapshots) {
+        for (const auto& ev : events) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += "{\"name\":\"";
+            appendJsonEscaped(out, ev.name);
+            std::snprintf(
+                buf, sizeof(buf),
+                "\",\"cat\":\"qpc\",\"ph\":\"X\",\"ts\":%.3f,"
+                "\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{"
+                "\"id\":%llu,\"parent\":%llu",
+                static_cast<double>(ev.startNs) / 1e3,
+                static_cast<double>(ev.durNs) / 1e3, tid,
+                static_cast<unsigned long long>(ev.id),
+                static_cast<unsigned long long>(ev.parent));
+            out += buf;
+            for (int i = 0; i < 2; ++i) {
+                if (ev.argKey[i] == nullptr)
+                    continue;
+                out += ",\"";
+                appendJsonEscaped(out, ev.argKey[i]);
+                out += "\":\"";
+                appendJsonEscaped(out, ev.argVal[i]);
+                out += '"';
+            }
+            out += "}}";
+        }
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+dumpTraceJson(const std::string& path)
+{
+    const std::string json = traceJson();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        warn("trace: cannot open ", path, " for writing");
+        return false;
+    }
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    std::fclose(f);
+    if (!ok)
+        warn("trace: short write to ", path);
+    return ok;
+}
+
+} // namespace qpc

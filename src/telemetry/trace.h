@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Serve-path trace spans: scoped RAII timers with parent IDs,
+ * recorded into per-thread ring buffers and dumpable as
+ * Chrome/Perfetto trace-event JSON.
+ *
+ * Two consumers share the span machinery:
+ *
+ *  - the global trace recorder (off by default; `qpc_serverd
+ *    --trace-out=FILE` turns it on) keeps every span in per-thread
+ *    rings and serializes them as trace-event JSON for
+ *    chrome://tracing / ui.perfetto.dev;
+ *  - a thread-local *phase capture* (see ScopedPhaseCapture) sums
+ *    span durations by name within one request, independent of the
+ *    global switch — it powers the slow-serve structured log line.
+ *
+ * Parent chaining crosses the ThreadPool: submit() snapshots the
+ * submitting thread's current span id, the worker records the
+ * queue-wait interval against it, and runs the job under
+ * ScopedTraceParent so synthesis / disk-I/O spans nest beneath the
+ * serve (or prewarm) span that caused them.
+ *
+ * When tracing is disabled and no phase capture is installed, a
+ * TraceSpan costs two thread-local loads — cheap enough to leave in
+ * the hot path permanently.
+ */
+
+#ifndef QPC_TELEMETRY_TRACE_H
+#define QPC_TELEMETRY_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qpc {
+
+/** Monotonic nanoseconds since the process trace epoch. */
+std::uint64_t traceNowNs();
+
+/** Is the global trace recorder collecting spans? */
+bool traceEnabled();
+
+/** Flip the global recorder; enabling does not clear old events. */
+void setTraceEnabled(bool on);
+
+/** Drop every recorded event (all threads). */
+void clearTrace();
+
+/**
+ * The span id the current thread would hand to a child span, or 0
+ * at top level. ThreadPool::submit() snapshots this to chain work
+ * executed on another thread back to its originating span.
+ */
+std::uint64_t currentTraceParent();
+
+/**
+ * Record a completed interval directly, without a live TraceSpan —
+ * used for retroactive spans like queue-wait, whose start (enqueue)
+ * happened on a different thread than its end (dequeue).
+ */
+void recordSpanEvent(const char* name, std::uint64_t startNs,
+                     std::uint64_t endNs, std::uint64_t parent);
+
+/** Serialize all recorded events as Chrome trace-event JSON. */
+std::string traceJson();
+
+/** Write traceJson() to a file; warns and returns false on error. */
+bool dumpTraceJson(const std::string& path);
+
+/**
+ * Per-request accumulation of span durations by name. Fed by
+ * TraceSpan destructors on the thread that installed it (via
+ * ScopedPhaseCapture), regardless of the global trace switch.
+ */
+class PhaseBreakdown
+{
+  public:
+    struct Phase
+    {
+        const char* name;
+        std::uint64_t ns = 0;
+        std::uint64_t count = 0;
+    };
+
+    void add(const char* name, std::uint64_t ns);
+
+    const std::vector<Phase>& phases() const { return phases_; }
+
+    /** Total ns attributed to a named phase (0 if never seen). */
+    std::uint64_t totalNsFor(const char* name) const;
+
+    /**
+     * One-line rendering for structured logs:
+     * "cache-probe=12.3us x2 synthesis-wait=840.0us x1".
+     */
+    std::string summary() const;
+
+  private:
+    std::vector<Phase> phases_;
+};
+
+/**
+ * Install a PhaseBreakdown as the current thread's span collector
+ * for the lifetime of this object (nests; the previous collector is
+ * restored on destruction). Spans *opened* while installed report
+ * their duration into breakdown() when they close.
+ */
+class ScopedPhaseCapture
+{
+  public:
+    ScopedPhaseCapture();
+    ~ScopedPhaseCapture();
+
+    ScopedPhaseCapture(const ScopedPhaseCapture&) = delete;
+    ScopedPhaseCapture& operator=(const ScopedPhaseCapture&) = delete;
+
+    const PhaseBreakdown& breakdown() const { return breakdown_; }
+
+  private:
+    PhaseBreakdown breakdown_;
+    PhaseBreakdown* prev_;
+};
+
+/**
+ * Adopt a parent span id on the current thread (workers use this so
+ * spans opened inside a pool job nest under the submitting span).
+ * Restores the previous parent on destruction.
+ */
+class ScopedTraceParent
+{
+  public:
+    explicit ScopedTraceParent(std::uint64_t parent);
+    ~ScopedTraceParent();
+
+    ScopedTraceParent(const ScopedTraceParent&) = delete;
+    ScopedTraceParent& operator=(const ScopedTraceParent&) = delete;
+
+  private:
+    std::uint64_t prev_;
+};
+
+/**
+ * RAII timed span. `name` must outlive the recorder (pass a string
+ * literal). Records into the global trace when enabled, and into the
+ * installed phase capture (if any) always.
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char* name);
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+    /**
+     * Attach a key/value argument shown in the trace viewer (at most
+     * two; extras are dropped). No-op when not globally tracing.
+     */
+    void arg(const char* key, std::string value);
+
+    /** This span's id (0 when not globally tracing). */
+    std::uint64_t id() const { return id_; }
+
+    /** True when the global recorder is collecting this span —
+     * callers use it to skip building argument strings. */
+    bool tracing() const { return tracing_; }
+
+  private:
+    const char* name_;
+    std::uint64_t id_ = 0;
+    std::uint64_t parent_ = 0;
+    std::uint64_t startNs_ = 0;
+    const char* argKey_[2] = {nullptr, nullptr};
+    std::string argVal_[2];
+    PhaseBreakdown* phases_ = nullptr;
+    bool tracing_ = false;
+};
+
+} // namespace qpc
+
+#endif // QPC_TELEMETRY_TRACE_H

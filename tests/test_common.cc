@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/table.h"
 
@@ -100,6 +104,101 @@ TEST(Table, Formatters)
     EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
     EXPECT_EQ(fmtRatio(2.5, 1), "2.5x");
     EXPECT_EQ(fmtNs(5308.31, 1), "5308.3");
+}
+
+// Restores the process log level on scope exit so a failing assert
+// can't leave the rest of the suite muted.
+struct LogLevelGuard
+{
+    LogLevel saved = logLevel();
+    ~LogLevelGuard() { setLogLevel(saved); }
+};
+
+TEST(Logging, ParseLogLevel)
+{
+    EXPECT_EQ(parseLogLevel("silent"), LogLevel::Silent);
+    EXPECT_EQ(parseLogLevel("0"), LogLevel::Silent);
+    EXPECT_EQ(parseLogLevel("warn"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("1"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("info"), LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("2"), LogLevel::Info);
+    // Empty / unrecognized values fall back to the default.
+    EXPECT_EQ(parseLogLevel(""), LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("debug"), LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("3"), LogLevel::Info);
+}
+
+TEST(Logging, LevelGatesInformAndWarn)
+{
+    LogLevelGuard guard;
+
+    setLogLevel(LogLevel::Silent);
+    testing::internal::CaptureStdout();
+    testing::internal::CaptureStderr();
+    inform("hidden");
+    warn("hidden");
+    EXPECT_EQ(testing::internal::GetCapturedStdout(), "");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+
+    setLogLevel(LogLevel::Warn);
+    testing::internal::CaptureStdout();
+    testing::internal::CaptureStderr();
+    inform("hidden");
+    warn("shown");
+    EXPECT_EQ(testing::internal::GetCapturedStdout(), "");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "warn: shown\n");
+
+    setLogLevel(LogLevel::Info);
+    testing::internal::CaptureStdout();
+    testing::internal::CaptureStderr();
+    inform("shown ", 42);
+    warn("also ", "shown");
+    EXPECT_EQ(testing::internal::GetCapturedStdout(), "info: shown 42\n");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "warn: also shown\n");
+}
+
+// Regression test for torn log lines: each warn() must reach the
+// stream as a single write, so concurrent writers can interleave
+// whole lines but never fragments of one another's lines.
+TEST(Logging, ConcurrentWarnsDoNotTear)
+{
+    LogLevelGuard guard;
+    setLogLevel(LogLevel::Warn);
+
+    constexpr int kThreads = 8;
+    constexpr int kLines = 200;
+
+    testing::internal::CaptureStderr();
+    {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([t] {
+                for (int i = 0; i < kLines; ++i)
+                    warn("t", t, " line ", i, " payload-payload-payload");
+            });
+        }
+        for (auto& th : threads)
+            th.join();
+    }
+    const std::string captured = testing::internal::GetCapturedStderr();
+
+    int lines = 0;
+    std::size_t pos = 0;
+    while (pos < captured.size()) {
+        std::size_t nl = captured.find('\n', pos);
+        ASSERT_NE(nl, std::string::npos) << "output must end with newline";
+        const std::string line = captured.substr(pos, nl - pos);
+        pos = nl + 1;
+        ++lines;
+        // Every line is exactly one warn() payload — prefix at the
+        // front, payload marker at the end, no embedded fragments.
+        ASSERT_EQ(line.rfind("warn: t", 0), 0) << "torn line: " << line;
+        ASSERT_NE(line.find(" payload-payload-payload"), std::string::npos)
+            << "torn line: " << line;
+        ASSERT_EQ(line.find("warn:", 5), std::string::npos)
+            << "two lines fused: " << line;
+    }
+    EXPECT_EQ(lines, kThreads * kLines);
 }
 
 } // namespace

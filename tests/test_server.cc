@@ -22,6 +22,8 @@
 #include "server/client.h"
 #include "server/protocol.h"
 #include "server/server.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -267,6 +269,164 @@ TEST(Wire, StatsRoundTrip)
     ASSERT_EQ(back->tenants.size(), 1u);
     EXPECT_EQ(back->tenants[0].tenant, "alice");
     EXPECT_DOUBLE_EQ(back->tenants[0].hitRate(), 0.75);
+}
+
+/** A snapshot with every section populated, histogram from real
+ * recordings so its bucket invariants hold by construction. */
+MetricsSnapshot
+sampleMetrics()
+{
+    MetricsSnapshot snap;
+    snap.counters.push_back({"qpc_test_requests_total", 1234});
+    snap.counters.push_back({"qpc_test_errors_total", 0});
+    snap.gauges.push_back({"qpc_test_entries", 17.5});
+    LatencyHistogram hist;
+    hist.record(10);
+    hist.record(900);
+    hist.record(48000);
+    hist.record(48000);
+    snap.histograms.push_back({"qpc_test_latency_us", hist.snapshot()});
+    return snap;
+}
+
+TEST(Wire, MetricsRoundTrip)
+{
+    const MetricsSnapshot snap = sampleMetrics();
+    WireWriter w;
+    encodeMetrics(w, snap);
+    WireReader r(w.bytes());
+    const std::optional<MetricsSnapshot> back = decodeMetrics(r);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(r.done());
+    ASSERT_EQ(back->counters.size(), 2u);
+    EXPECT_EQ(back->counters[0].name, "qpc_test_requests_total");
+    EXPECT_EQ(back->counters[0].value, 1234u);
+    ASSERT_EQ(back->gauges.size(), 1u);
+    EXPECT_DOUBLE_EQ(back->gauges[0].value, 17.5);
+    ASSERT_EQ(back->histograms.size(), 1u);
+    EXPECT_EQ(back->histograms[0].name, "qpc_test_latency_us");
+    EXPECT_TRUE(back->histograms[0].histogram ==
+                snap.histograms[0].histogram);
+    // The decoded copy renders and interpolates like the original.
+    EXPECT_DOUBLE_EQ(back->histograms[0].histogram.percentileNs(100),
+                     48000.0);
+}
+
+TEST(Wire, MetricsDecodeRejectsHostileHistograms)
+{
+    // Each lambda writes one WireHistogram body that violates a
+    // structural invariant decodeWireHistogram must enforce.
+    struct Hostile
+    {
+        const char* what;
+        void (*write)(WireWriter&);
+    };
+    const Hostile cases[] = {
+        {"bucket index out of range",
+         [](WireWriter& w) {
+             w.str("h");
+             w.u64(1); // count
+             w.u64(5); // sum
+             w.u64(5); // min
+             w.u64(5); // max
+             w.u32(1);
+             w.u32(LatencyHistogram::kNumBuckets); // one past the end
+             w.u64(1);
+         }},
+        {"bucket indices not strictly increasing",
+         [](WireWriter& w) {
+             w.str("h");
+             w.u64(2);
+             w.u64(10);
+             w.u64(5);
+             w.u64(5);
+             w.u32(2);
+             w.u32(5);
+             w.u64(1);
+             w.u32(5); // duplicate index
+             w.u64(1);
+         }},
+        {"zero-count bucket",
+         [](WireWriter& w) {
+             w.str("h");
+             w.u64(0);
+             w.u64(0);
+             w.u64(0);
+             w.u64(0);
+             w.u32(1);
+             w.u32(3);
+             w.u64(0);
+         }},
+        {"bucket counts disagree with total",
+         [](WireWriter& w) {
+             w.str("h");
+             w.u64(10); // claims 10...
+             w.u64(50);
+             w.u64(5);
+             w.u64(5);
+             w.u32(1);
+             w.u32(5);
+             w.u64(3); // ...buckets hold 3
+         }},
+        {"min above max",
+         [](WireWriter& w) {
+             w.str("h");
+             w.u64(1);
+             w.u64(9);
+             w.u64(9); // min
+             w.u64(5); // max < min
+             w.u32(1);
+             w.u32(9);
+             w.u64(1);
+         }},
+        {"nonzero stats on an empty histogram",
+         [](WireWriter& w) {
+             w.str("h");
+             w.u64(0);
+             w.u64(99); // sum must be 0 when count is 0
+             w.u64(0);
+             w.u64(0);
+             w.u32(0);
+         }},
+    };
+    for (const Hostile& hostile : cases) {
+        WireWriter w;
+        hostile.write(w);
+        WireReader r(w.bytes());
+        EXPECT_FALSE(decodeWireHistogram(r).has_value())
+            << "accepted: " << hostile.what;
+    }
+}
+
+TEST(Wire, MetricsDecodeSurvivesBitFlipFuzz)
+{
+    WireWriter w;
+    encodeMetrics(w, sampleMetrics());
+    const std::vector<std::uint8_t> golden = w.bytes();
+
+    Rng rng(20260808);
+    for (int round = 0; round < 2000; ++round) {
+        std::vector<std::uint8_t> body = golden;
+        const int flips = 1 + rng.randint(0, 7);
+        for (int i = 0; i < flips; ++i)
+            body[static_cast<size_t>(rng.randint(
+                0, static_cast<int>(body.size()) - 1))] ^=
+                static_cast<std::uint8_t>(1u << rng.randint(0, 7));
+        if (rng.bernoulli(0.25)) // Truncation, too.
+            body.resize(static_cast<size_t>(
+                rng.randint(0, static_cast<int>(body.size()))));
+        WireReader r(body);
+        const std::optional<MetricsSnapshot> snap = decodeMetrics(r);
+        if (!snap.has_value())
+            continue;
+        // Whatever survives the flips must still be internally
+        // consistent: a re-encode of it decodes cleanly.
+        WireWriter again;
+        encodeMetrics(again, *snap);
+        WireReader r2(again.bytes());
+        EXPECT_TRUE(decodeMetrics(r2).has_value());
+        EXPECT_TRUE(r2.done());
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -648,6 +808,7 @@ TEST(ServerFuzz, RandomFrameSoupNeverKillsTheServer)
         serve.f64(0.2);
         corpus.push_back(serve.take());
         corpus.push_back(beginMessage(MsgType::Stats).take());
+        corpus.push_back(beginMessage(MsgType::Metrics).take());
     }
 
     for (int round = 0; round < 60; ++round) {
@@ -706,6 +867,156 @@ TEST(ServerFuzz, RandomFrameSoupNeverKillsTheServer)
     ASSERT_TRUE(prepared.has_value());
     EXPECT_TRUE(
         client.serve(prepared->planId, {0.5, -0.5}).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------
+
+const std::uint64_t*
+findCounter(const MetricsSnapshot& snap, const std::string& name)
+{
+    for (const auto& c : snap.counters)
+        if (c.name == name)
+            return &c.value;
+    return nullptr;
+}
+
+const HistogramSnapshot*
+findHistogram(const MetricsSnapshot& snap, const std::string& name)
+{
+    for (const auto& h : snap.histograms)
+        if (h.name == name)
+            return &h.histogram;
+    return nullptr;
+}
+
+TEST(Server, MetricsFrameMatchesServedWork)
+{
+    ServerHarness harness;
+    CompileClient client;
+    ASSERT_TRUE(client.connectUnix(harness.socket()));
+    ASSERT_TRUE(client.hello("alice").has_value());
+    const auto prepared = client.prepareServing(paramTemplate());
+    ASSERT_TRUE(prepared.has_value());
+    ASSERT_TRUE(client.serve(prepared->planId, {0.5, -0.5}).has_value());
+    ASSERT_TRUE(client.serve(prepared->planId, {0.5, -0.5}).has_value());
+
+    const std::optional<MetricsSnapshot> metrics = client.metrics();
+    ASSERT_TRUE(metrics.has_value());
+
+    // The frame agrees with the Stats frame on shared quantities.
+    const WireServerStats stats = harness.server().statsSnapshot();
+    const std::uint64_t* requests =
+        findCounter(*metrics, "qpc_service_requests_total");
+    ASSERT_NE(requests, nullptr);
+    EXPECT_EQ(*requests, stats.requests);
+    const std::uint64_t* serves =
+        findCounter(*metrics, "qpc_tenant_serves_total{tenant=\"alice\"}");
+    ASSERT_NE(serves, nullptr);
+    EXPECT_EQ(*serves, 2u);
+
+    // Serve latencies land in both the global and the per-tenant
+    // histograms, already converted to wire-safe snapshots.
+    const HistogramSnapshot* serveUs =
+        findHistogram(*metrics, "qpc_serve_us");
+    ASSERT_NE(serveUs, nullptr);
+    EXPECT_GE(serveUs->count, 2u);
+    const HistogramSnapshot* tenantUs = findHistogram(
+        *metrics, "qpc_tenant_serve_us{tenant=\"alice\"}");
+    ASSERT_NE(tenantUs, nullptr);
+    EXPECT_EQ(tenantUs->count, 2u);
+    EXPECT_GT(tenantUs->maxNs, 0u);
+
+    // The snapshot arrives sorted, so exposition is deterministic.
+    for (size_t i = 1; i < metrics->counters.size(); ++i)
+        EXPECT_LT(metrics->counters[i - 1].name,
+                  metrics->counters[i].name);
+
+    // And it renders: every advertised family gets a TYPE header.
+    const std::string text = renderPrometheus(*metrics);
+    EXPECT_NE(text.find("# TYPE qpc_service_requests_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE qpc_serve_us histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("qpc_serve_us_bucket{le=\"+Inf\"}"),
+              std::string::npos);
+}
+
+TEST(Server, MalformedMetricsBodyIsRefused)
+{
+    ServerHarness harness;
+    const int fd = rawConnect(harness.socket());
+    ASSERT_GE(fd, 0);
+    WireWriter w = beginMessage(MsgType::Metrics);
+    w.u8(0xAB); // Trailing junk: the request body must be empty.
+    ASSERT_TRUE(sendRaw(fd, framed(w.bytes())));
+    const std::optional<std::vector<std::uint8_t>> reply =
+        readFrame(fd);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(peekMessage(*reply), MsgType::Error);
+    ::close(fd);
+    EXPECT_TRUE(harness.alive());
+}
+
+TEST(Server, ColdServeTraceNestsCacheProbeAndQueueWait)
+{
+    clearTrace();
+    setTraceEnabled(true);
+    {
+        ServerHarness harness;
+        CompileClient client;
+        ASSERT_TRUE(client.connectUnix(harness.socket()));
+        ASSERT_TRUE(client.hello("tracer").has_value());
+        const auto prepared = client.prepareServing(paramTemplate());
+        ASSERT_TRUE(prepared.has_value());
+        // No prewarm: the serve must miss, synthesize through the
+        // pool, and therefore leave queue-wait spans behind.
+        ASSERT_TRUE(
+            client.serve(prepared->planId, {0.25, -0.75}).has_value());
+    }
+    setTraceEnabled(false);
+    const std::string json = traceJson();
+    clearTrace();
+
+    EXPECT_NE(json.find("\"name\":\"serve\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"cache-probe\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"queue-wait\""), std::string::npos);
+    // The serve span carries its tenant as a viewer-visible arg.
+    EXPECT_NE(json.find("\"tenant\":\"tracer\""), std::string::npos);
+}
+
+TEST(Server, SlowServeThresholdEmitsStructuredWarn)
+{
+    TempDir dir("qpc_slowserve");
+    CompileServerOptions options;
+    options.socketPath = dir.path() + "/qpc.sock";
+    options.service.numWorkers = 2;
+    options.service.maxQueuedJobs = 16;
+    options.slowServeThresholdUs = 1; // Every serve is "slow".
+    CompileServer server(std::move(options));
+    server.start();
+
+    CompileClient client;
+    ASSERT_TRUE(client.connectUnix(server.options().socketPath));
+    ASSERT_TRUE(client.hello("slowpoke").has_value());
+    const auto prepared = client.prepareServing(paramTemplate());
+    ASSERT_TRUE(prepared.has_value());
+
+    testing::internal::CaptureStderr();
+    const bool served =
+        client.serve(prepared->planId, {0.3, 0.7}).has_value();
+    const std::string log = testing::internal::GetCapturedStderr();
+    ASSERT_TRUE(served);
+
+    const std::size_t at = log.find("slow-serve tenant=slowpoke");
+    ASSERT_NE(at, std::string::npos) << log;
+    const std::string line = log.substr(at, log.find('\n', at) - at);
+    // Structured fields a log scraper keys on.
+    EXPECT_NE(line.find(" plan="), std::string::npos) << line;
+    EXPECT_NE(line.find(" total_us="), std::string::npos) << line;
+    EXPECT_NE(line.find(" segments="), std::string::npos) << line;
+    server.stop();
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,496 @@
+/**
+ * @file
+ * Telemetry unit tests: log-bucketed latency histograms (bucket
+ * boundaries, concurrent-record exactness, percentile monotonicity,
+ * merge), the named-metric registry, Prometheus text rendering, trace
+ * spans (nesting, phase capture, multi-thread recording), and the
+ * Chrome trace-event JSON dump.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/histogram.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace {
+
+using namespace qpc;
+
+// --------------------------------------------------------------------
+// LatencyHistogram bucket math
+// --------------------------------------------------------------------
+
+TEST(Histogram, SmallValuesExact)
+{
+    // Values below 2^5 land in their own unit-wide bucket.
+    for (std::uint64_t ns = 0; ns < 32; ++ns) {
+        const int idx = LatencyHistogram::bucketIndex(ns);
+        EXPECT_EQ(idx, static_cast<int>(ns));
+        EXPECT_EQ(LatencyHistogram::bucketLowerNs(idx), ns);
+        EXPECT_EQ(LatencyHistogram::bucketUpperNs(idx), ns + 1);
+    }
+}
+
+TEST(Histogram, BucketBoundsConsistent)
+{
+    // Property: every probed value falls inside [lower, upper) of its
+    // own bucket, and indices are monotone in the value.
+    std::vector<std::uint64_t> probes;
+    for (int shift = 0; shift < 44; ++shift)
+        for (std::uint64_t off : {0ull, 1ull, 3ull})
+            probes.push_back((1ull << shift) + off);
+    std::sort(probes.begin(), probes.end());
+    int prevIdx = -1;
+    for (const std::uint64_t ns : probes) {
+        const int idx = LatencyHistogram::bucketIndex(ns);
+        ASSERT_GE(idx, 0);
+        ASSERT_LT(idx, LatencyHistogram::kNumBuckets);
+        ASSERT_GE(idx, prevIdx) << "ns=" << ns;
+        prevIdx = idx;
+        if (idx < LatencyHistogram::kNumBuckets - 1) {
+            EXPECT_GE(ns, LatencyHistogram::bucketLowerNs(idx))
+                << "ns=" << ns;
+            EXPECT_LT(ns, LatencyHistogram::bucketUpperNs(idx))
+                << "ns=" << ns;
+        }
+    }
+}
+
+TEST(Histogram, BucketRelativeErrorBounded)
+{
+    // The log-bucketing promise: bucket width / lower bound <= 1/16
+    // for every non-overflow bucket past the exact range.
+    for (int idx = 32; idx < LatencyHistogram::kNumBuckets - 1; ++idx) {
+        const std::uint64_t lo = LatencyHistogram::bucketLowerNs(idx);
+        const std::uint64_t hi = LatencyHistogram::bucketUpperNs(idx);
+        ASSERT_LT(lo, hi);
+        EXPECT_LE(static_cast<double>(hi - lo) / static_cast<double>(lo),
+                  1.0 / 16.0 + 1e-12)
+            << "bucket " << idx;
+    }
+}
+
+TEST(Histogram, OverflowClampsToLastBucket)
+{
+    const std::uint64_t huge =
+        std::numeric_limits<std::uint64_t>::max();
+    EXPECT_EQ(LatencyHistogram::bucketIndex(huge),
+              LatencyHistogram::kNumBuckets - 1);
+    LatencyHistogram h;
+    h.record(huge);
+    const HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 1u);
+    EXPECT_EQ(snap.maxNs, huge);
+    // The percentile walk must not run off the top.
+    EXPECT_EQ(snap.percentileNs(100), static_cast<double>(huge));
+}
+
+TEST(Histogram, EmptySnapshot)
+{
+    LatencyHistogram h;
+    const HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_EQ(snap.percentileNs(50), 0.0);
+    EXPECT_EQ(snap.meanNs(), 0.0);
+    EXPECT_TRUE(snap.buckets.empty());
+}
+
+TEST(Histogram, PercentilesMonotonicAndClamped)
+{
+    LatencyHistogram h;
+    for (std::uint64_t ns = 1; ns <= 10000; ++ns)
+        h.record(ns * 17);
+    const HistogramSnapshot snap = h.snapshot();
+    double prev = 0.0;
+    for (double p = 0; p <= 100.0; p += 0.5) {
+        const double v = snap.percentileNs(p);
+        EXPECT_GE(v, prev) << "p=" << p;
+        EXPECT_GE(v, static_cast<double>(snap.minNs));
+        EXPECT_LE(v, static_cast<double>(snap.maxNs));
+        prev = v;
+    }
+    EXPECT_EQ(snap.percentileNs(100), static_cast<double>(snap.maxNs));
+    // p50 of a uniform 17..170000 stream should be near the middle,
+    // within the 1/16 bucket error.
+    EXPECT_NEAR(snap.percentileNs(50), 5000 * 17.0, 5000 * 17.0 / 8);
+}
+
+TEST(Histogram, ConcurrentRecordExact)
+{
+    // N threads record a known multiset; totals must be exact (no
+    // lost updates), min/max must be the true extremes.
+    LatencyHistogram h;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 20000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                h.record(static_cast<std::uint64_t>(t * kPerThread + i));
+        });
+    }
+    for (auto& th : threads)
+        th.join();
+    const HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count,
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(snap.minNs, 0u);
+    EXPECT_EQ(snap.maxNs,
+              static_cast<std::uint64_t>(kThreads) * kPerThread - 1);
+    std::uint64_t bucketTotal = 0, sum = 0;
+    for (const auto& [idx, count] : snap.buckets)
+        bucketTotal += count;
+    EXPECT_EQ(bucketTotal, snap.count);
+    for (int t = 0; t < kThreads; ++t)
+        for (int i = 0; i < kPerThread; ++i)
+            sum += static_cast<std::uint64_t>(t * kPerThread + i);
+    EXPECT_EQ(snap.sumNs, sum);
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording)
+{
+    LatencyHistogram a, b, both;
+    for (std::uint64_t ns : {1ull, 40ull, 40ull, 999ull, 123456ull}) {
+        a.record(ns);
+        both.record(ns);
+    }
+    for (std::uint64_t ns : {2ull, 40ull, 7777777ull}) {
+        b.record(ns);
+        both.record(ns);
+    }
+    HistogramSnapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    EXPECT_EQ(merged, both.snapshot());
+}
+
+TEST(Histogram, ResetClears)
+{
+    LatencyHistogram h;
+    h.record(123);
+    h.reset();
+    EXPECT_EQ(h.snapshot().count, 0u);
+    h.record(7);
+    const HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 1u);
+    EXPECT_EQ(snap.minNs, 7u);
+    EXPECT_EQ(snap.maxNs, 7u);
+}
+
+// --------------------------------------------------------------------
+// MetricRegistry
+// --------------------------------------------------------------------
+
+TEST(Registry, StableReferencesAndValues)
+{
+    MetricRegistry reg;
+    auto& c = reg.counter("qpc_test_total");
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(reg.counter("qpc_test_total").value(), 42u);
+    reg.gauge("qpc_test_gauge").set(2.5);
+    EXPECT_EQ(reg.gauge("qpc_test_gauge").value(), 2.5);
+    reg.histogram("qpc_test_us").record(1000);
+    EXPECT_EQ(reg.histogram("qpc_test_us").count(), 1u);
+
+    const MetricsSnapshot snap = reg.collect();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].name, "qpc_test_total");
+    EXPECT_EQ(snap.counters[0].value, 42u);
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].histogram.count, 1u);
+}
+
+TEST(Registry, LabeledNamesAccepted)
+{
+    MetricRegistry reg;
+    reg.histogram("qpc_x_us{tenant=\"a b\",type=\"Serve\"}").record(1);
+    const MetricsSnapshot snap = reg.collect();
+    ASSERT_EQ(snap.histograms.size(), 1u);
+}
+
+TEST(Registry, MalformedNamePanics)
+{
+    MetricRegistry reg;
+    EXPECT_DEATH(reg.counter("7bad"), "malformed");
+    EXPECT_DEATH(reg.counter("bad{unclosed"), "malformed");
+    EXPECT_DEATH(reg.counter("bad name"), "malformed");
+}
+
+TEST(Registry, PromLabelEscapeNeutralizesHostileValues)
+{
+    EXPECT_EQ(promLabelEscape("plain"), "plain");
+    EXPECT_EQ(promLabelEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(promLabelEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(promLabelEscape("a\nb"), "a\\nb");
+    // Braces would make the name-embedded label block unparseable.
+    EXPECT_EQ(promLabelEscape("a{}b"), "a__b");
+}
+
+// --------------------------------------------------------------------
+// Prometheus rendering
+// --------------------------------------------------------------------
+
+TEST(Prometheus, GoldenOutput)
+{
+    MetricsSnapshot snap;
+    snap.counters.push_back({"qpc_requests_total", 7});
+    snap.gauges.push_back({"qpc_queue_depth", 3.0});
+    LatencyHistogram h;
+    h.record(10);    // exact bucket: [10, 11) ns
+    h.record(10);
+    h.record(48000); // ns -> us bucketing below
+    snap.histograms.push_back({"qpc_serve_us", h.snapshot()});
+
+    const std::string text = renderPrometheus(snap);
+    const std::string expected =
+        "# TYPE qpc_requests_total counter\n"
+        "qpc_requests_total 7\n"
+        "# TYPE qpc_queue_depth gauge\n"
+        "qpc_queue_depth 3\n"
+        "# TYPE qpc_serve_us histogram\n"
+        "qpc_serve_us_bucket{le=\"0.011\"} 2\n"
+        "qpc_serve_us_bucket{le=\"49.152\"} 3\n"
+        "qpc_serve_us_bucket{le=\"+Inf\"} 3\n"
+        "qpc_serve_us_sum 48.02\n"
+        "qpc_serve_us_count 3\n";
+    EXPECT_EQ(text, expected);
+}
+
+TEST(Prometheus, LabeledFamiliesShareOneTypeHeader)
+{
+    MetricsSnapshot snap;
+    snap.counters.push_back({"qpc_t_total{tenant=\"a\"}", 1});
+    snap.counters.push_back({"qpc_t_total{tenant=\"b\"}", 2});
+    const std::string text = renderPrometheus(snap);
+    EXPECT_EQ(text,
+              "# TYPE qpc_t_total counter\n"
+              "qpc_t_total{tenant=\"a\"} 1\n"
+              "qpc_t_total{tenant=\"b\"} 2\n");
+}
+
+TEST(Prometheus, MergeAccumulatesCountersAndHistograms)
+{
+    MetricsSnapshot a, b;
+    a.counters.push_back({"qpc_c_total", 1});
+    b.counters.push_back({"qpc_c_total", 2});
+    b.counters.push_back({"qpc_d_total", 5});
+    LatencyHistogram h1, h2;
+    h1.record(100);
+    h2.record(200);
+    a.histograms.push_back({"qpc_h_us", h1.snapshot()});
+    b.histograms.push_back({"qpc_h_us", h2.snapshot()});
+    a.merge(b);
+    ASSERT_EQ(a.counters.size(), 2u);
+    EXPECT_EQ(a.counters[0].value, 3u);
+    ASSERT_EQ(a.histograms.size(), 1u);
+    EXPECT_EQ(a.histograms[0].histogram.count, 2u);
+    EXPECT_EQ(a.histograms[0].histogram.maxNs, 200u);
+}
+
+// --------------------------------------------------------------------
+// Trace spans
+// --------------------------------------------------------------------
+
+/** Serialize trace tests: they share the global recorder. */
+class Trace : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        clearTrace();
+        setTraceEnabled(true);
+    }
+    void
+    TearDown() override
+    {
+        setTraceEnabled(false);
+        clearTrace();
+    }
+};
+
+TEST_F(Trace, SpanNestingRecordsParentChain)
+{
+    std::uint64_t outerId = 0, innerParent = 0;
+    {
+        TraceSpan outer("outer");
+        outerId = outer.id();
+        EXPECT_TRUE(outer.tracing());
+        EXPECT_EQ(currentTraceParent(), outerId);
+        {
+            TraceSpan inner("inner");
+            innerParent = currentTraceParent();
+            EXPECT_EQ(innerParent, inner.id());
+        }
+        EXPECT_EQ(currentTraceParent(), outerId);
+    }
+    EXPECT_EQ(currentTraceParent(), 0u);
+
+    const std::string json = traceJson();
+    EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+    // The inner span's parent is the outer span's id.
+    const std::string parentRef =
+        "\"parent\":" + std::to_string(outerId);
+    EXPECT_NE(json.find(parentRef), std::string::npos);
+}
+
+TEST_F(Trace, DisabledSpansRecordNothing)
+{
+    setTraceEnabled(false);
+    {
+        TraceSpan span("ghost");
+        EXPECT_FALSE(span.tracing());
+        EXPECT_EQ(span.id(), 0u);
+    }
+    EXPECT_EQ(traceJson().find("ghost"), std::string::npos);
+}
+
+TEST_F(Trace, ArgsAppearEscapedInJson)
+{
+    {
+        TraceSpan span("argspan");
+        span.arg("tenant", "quote\"brace");
+    }
+    const std::string json = traceJson();
+    EXPECT_NE(json.find("\"tenant\":\"quote\\\"brace\""),
+              std::string::npos);
+}
+
+TEST_F(Trace, EightThreadsRecordConcurrently)
+{
+    // TSan lane coverage: concurrent span recording across rings plus
+    // a dump racing the recorders must stay clean; every thread's
+    // spans must land.
+    constexpr int kThreads = 8;
+    constexpr int kSpans = 200;
+    std::atomic<int> started{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&started] {
+            started.fetch_add(1);
+            while (started.load() < kThreads) {
+            }
+            for (int i = 0; i < kSpans; ++i) {
+                TraceSpan outer("mt-outer");
+                TraceSpan inner("mt-inner");
+            }
+        });
+    }
+    (void)traceJson(); // dump while recorders are live
+    for (auto& th : threads)
+        th.join();
+    const std::string json = traceJson();
+    std::size_t count = 0;
+    for (std::size_t pos = json.find("mt-inner");
+         pos != std::string::npos;
+         pos = json.find("mt-inner", pos + 1))
+        ++count;
+    EXPECT_EQ(count, static_cast<std::size_t>(kThreads) * kSpans);
+}
+
+TEST_F(Trace, RecordSpanEventAttachesToGivenParent)
+{
+    recordSpanEvent("retro", 100, 250, 42);
+    const std::string json = traceJson();
+    EXPECT_NE(json.find("\"name\":\"retro\""), std::string::npos);
+    EXPECT_NE(json.find("\"parent\":42"), std::string::npos);
+}
+
+TEST_F(Trace, JsonParsesStructurally)
+{
+    {
+        TraceSpan a("alpha");
+        TraceSpan b("beta");
+    }
+    const std::string json = traceJson();
+    // Shape check without a JSON library: object with traceEvents
+    // array, balanced braces/brackets.
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    std::int64_t braces = 0, brackets = 0;
+    bool inString = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        const char c = json[i];
+        if (inString) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        if (c == '"')
+            inString = true;
+        else if (c == '{')
+            ++braces;
+        else if (c == '}')
+            --braces;
+        else if (c == '[')
+            ++brackets;
+        else if (c == ']')
+            --brackets;
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
+// --------------------------------------------------------------------
+// Phase capture
+// --------------------------------------------------------------------
+
+TEST(PhaseCapture, CollectsSpansIndependentOfGlobalSwitch)
+{
+    setTraceEnabled(false);
+    ScopedPhaseCapture capture;
+    {
+        TraceSpan a("phase-a");
+        TraceSpan b("phase-b");
+    }
+    {
+        TraceSpan a("phase-a");
+    }
+    const PhaseBreakdown& bd = capture.breakdown();
+    ASSERT_EQ(bd.phases().size(), 2u);
+    std::uint64_t countA = 0;
+    for (const auto& p : bd.phases())
+        if (std::string(p.name) == "phase-a")
+            countA = p.count;
+    EXPECT_EQ(countA, 2u);
+    const std::string summary = bd.summary();
+    EXPECT_NE(summary.find("phase-a"), std::string::npos);
+    EXPECT_NE(summary.find("x2"), std::string::npos);
+}
+
+TEST(PhaseCapture, NestsAndRestoresPreviousCollector)
+{
+    ScopedPhaseCapture outer;
+    {
+        ScopedPhaseCapture inner;
+        {
+            TraceSpan s("inner-only");
+        }
+        EXPECT_EQ(inner.breakdown().phases().size(), 1u);
+    }
+    {
+        TraceSpan s("outer-only");
+    }
+    ASSERT_EQ(outer.breakdown().phases().size(), 1u);
+    EXPECT_EQ(std::string(outer.breakdown().phases()[0].name),
+              "outer-only");
+}
+
+} // namespace
