@@ -26,6 +26,8 @@
  *   BENCH_server_cross_tenant_dedup
  *   BENCH_server_cold_synth_runs / BENCH_server_warm_synth_runs
  *   BENCH_server_queue_wait_p99_us
+ *   BENCH_server_tcp_p50_serve_us / BENCH_server_tcp_p99_serve_us
+ *   BENCH_server_reconnect_p50_ms / BENCH_server_reconnect_retries
  *   BENCH_serve_span_* (server-side serve-path phase p50s)
  */
 
@@ -62,18 +64,24 @@ main()
         "/tmp/qpc-bench-server-" + std::to_string(::getpid()) +
         ".sock";
 
-    CompileServerOptions options;
-    options.socketPath = socket;
-    options.service.numWorkers = 4;
-    options.service.maxQueuedJobs = 64;
-    options.service.quantization.enabled = true;
-    options.service.quantization.bins = 1024;
-    // The warmed grid (bins x rotation axes) plus the Fixed blocks
-    // must stay resident for the dedup measurement to be about
-    // sharing, not about eviction churn.
-    options.service.cache.capacity = 16384;
-    CompileServer server(std::move(options));
-    server.start();
+    const auto makeOptions = [&socket] {
+        CompileServerOptions options;
+        options.socketPath = socket;
+        options.tcpPort = -1; // ephemeral, for the TCP section
+        options.service.numWorkers = 4;
+        options.service.maxQueuedJobs = 64;
+        options.service.quantization.enabled = true;
+        options.service.quantization.bins = 1024;
+        // The warmed grid (bins x rotation axes) plus the Fixed
+        // blocks must stay resident for the dedup measurement to be
+        // about sharing, not about eviction churn.
+        options.service.cache.capacity = 16384;
+        return options;
+    };
+    // unique_ptr so the reconnect section below can kill and restart
+    // the daemon on the same socket path.
+    auto server = std::make_unique<CompileServer>(makeOptions());
+    server->start();
 
     // The shared template every tenant uploads: one QAOA benchmark
     // circuit, so the fixed blocks are identical across tenants.
@@ -165,11 +173,73 @@ main()
 
     // Server-side serve-path phase distributions for the same run:
     // where the round-trip time went once the frame arrived.
-    const ServiceTelemetry telemetry = server.service().telemetry();
+    const ServiceTelemetry telemetry = server->service().telemetry();
+
+    // --- TCP section: the same warm serve loop over loopback TCP ---
+    // with TCP_NODELAY on both ends. Without it, Nagle + delayed-ACK
+    // adds ~40 ms to every small request/reply pair and this
+    // percentile gives it away instantly.
+    LatencyHistogram tcpNs;
+    {
+        CompileClient c;
+        fatalIf(!c.connectTcp(server->boundTcpPort()),
+                "bench: TCP connect failed");
+        fatalIf(!c.hello("tenant-0").has_value(),
+                "bench: TCP hello failed");
+        Rng rng(211);
+        std::vector<std::vector<double>> thetas;
+        for (int i = 0; i < kThetaSet; ++i)
+            thetas.push_back(rng.angles(numParams));
+        for (int round = 0; round < kWarmRounds + kTimedRounds;
+             ++round) {
+            for (const auto& theta : thetas) {
+                const auto t0 = std::chrono::steady_clock::now();
+                const auto reply = c.serve(planIds[0], theta);
+                fatalIf(!reply.has_value(), "bench: TCP serve failed");
+                const auto t1 = std::chrono::steady_clock::now();
+                if (round >= kWarmRounds)
+                    tcpNs.record(static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::nanoseconds>(t1 - t0)
+                            .count()));
+            }
+        }
+    }
+    const HistogramSnapshot tcpLatency = tcpNs.snapshot();
 
     for (auto& c : clients)
         c.close();
-    server.stop();
+
+    // --- Reconnect section: kill the daemon mid-loop, restart it on
+    // the same socket, and measure the client's transparent session
+    // re-establishment (re-dial + re-Hello + plan re-prepare).
+    ClientOptions ropts;
+    ropts.deadlineMs = 10000;
+    ropts.maxRetries = 50;
+    ropts.backoffBaseMs = 5;
+    ropts.backoffMaxMs = 50;
+    CompileClient resilient(ropts);
+    fatalIf(!resilient.connectUnix(socket),
+            "bench: reconnect-section connect failed");
+    fatalIf(!resilient.hello("tenant-reconnect").has_value(),
+            "bench: reconnect-section hello failed");
+    const auto rprep = resilient.prepareServing(circuit);
+    fatalIf(!rprep.has_value(),
+            "bench: reconnect-section prepare failed");
+    Rng rrng(307);
+    fatalIf(!resilient.serve(rprep->planId, rrng.angles(numParams))
+                 .has_value(),
+            "bench: reconnect-section serve failed");
+    server->stop();
+    server = std::make_unique<CompileServer>(makeOptions());
+    server->start();
+    fatalIf(!resilient.serve(rprep->planId, rrng.angles(numParams))
+                 .has_value(),
+            "bench: serve through restart failed");
+    const ClientStats rstats = resilient.clientStats();
+    resilient.close();
+
+    server->stop();
 
     std::printf("\ncompile-server throughput (%d tenants, %llu timed "
                 "serves)\n",
@@ -185,6 +255,13 @@ main()
     std::printf("  serve p99                 %.1f us\n", p99);
     std::printf("  throughput                %.0f serves/s\n",
                 servesPerSec);
+    std::printf("  tcp serve p50             %.1f us\n",
+                tcpLatency.percentileNs(50) / 1e3);
+    std::printf("  tcp serve p99             %.1f us\n",
+                tcpLatency.percentileNs(99) / 1e3);
+    std::printf("  reconnect p50             %.2f ms (%llu retries)\n",
+                rstats.reconnectNs.percentileNs(50) / 1e6,
+                static_cast<unsigned long long>(rstats.retries));
 
     std::printf("BENCH_server_cold_synth_runs=%llu\n",
                 static_cast<unsigned long long>(coldSynth));
@@ -196,6 +273,14 @@ main()
     std::printf("BENCH_server_serves_per_sec=%.1f\n", servesPerSec);
     std::printf("BENCH_server_queue_wait_p99_us=%.2f\n",
                 telemetry.queueWaitNs.percentileNs(99) / 1e3);
+    std::printf("BENCH_server_tcp_p50_serve_us=%.2f\n",
+                tcpLatency.percentileNs(50) / 1e3);
+    std::printf("BENCH_server_tcp_p99_serve_us=%.2f\n",
+                tcpLatency.percentileNs(99) / 1e3);
+    std::printf("BENCH_server_reconnect_p50_ms=%.3f\n",
+                rstats.reconnectNs.percentileNs(50) / 1e6);
+    std::printf("BENCH_server_reconnect_retries=%llu\n",
+                static_cast<unsigned long long>(rstats.retries));
     std::printf("BENCH_serve_span_serve_p50_us=%.2f\n",
                 telemetry.serveNs.percentileNs(50) / 1e3);
     std::printf("BENCH_serve_span_cache_get_p50_us=%.2f\n",

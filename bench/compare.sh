@@ -83,6 +83,10 @@ for fresh_json in "$FRESH"/bench_*.json; do
                   $2 + 0 > (base[$1] + 0) * 1.5)
                   printf "   !! SERVER REGRESSION %s: %s -> %s\n", \
                       $1, base[$1], $2
+              if ($1 == "BENCH_server_tcp_p99_serve_us" &&
+                  $2 + 0 > (base[$1] + 0) * 1.5)
+                  printf "   !! SERVER REGRESSION %s: %s -> %s\n", \
+                      $1, base[$1], $2
               if ($1 == "BENCH_server_cross_tenant_dedup" &&
                   $2 + 0 < (base[$1] + 0) * 0.95)
                   printf "   !! SERVER REGRESSION %s: %s -> %s\n", \
@@ -95,7 +99,7 @@ for fresh_json in "$FRESH"/bench_*.json; do
                   if (k ~ /^BENCH_adaptive_/)
                       printf "   !! ADAPTIVE REGRESSION %s: %s -> (removed)\n", \
                           k, base[k]
-                  if (k ~ /^BENCH_server_(p99_serve_us|cross_tenant_dedup|queue_wait_p99_us)$/)
+                  if (k ~ /^BENCH_server_(p99_serve_us|cross_tenant_dedup|queue_wait_p99_us|tcp_p99_serve_us|reconnect_p50_ms)$/)
                       printf "   !! SERVER REGRESSION %s: %s -> (removed)\n", \
                           k, base[k]
                   # Telemetry keys vanishing means the serve-path

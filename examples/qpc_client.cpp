@@ -15,8 +15,10 @@
  * asks the daemon to exit.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "common/cli.h"
 #include "common/rng.h"
@@ -48,9 +50,20 @@ main(int argc, char** argv)
     cli.addFlag("metrics", "print the server's Prometheus exposition "
                            "and latency percentiles");
     cli.addFlag("shutdown", "ask the server to shut down when done");
+    cli.addInt("deadline-ms", 0,
+               "per-request I/O deadline (0 = block forever)");
+    cli.addInt("retries", 0,
+               "reconnect-and-retry budget per request (0 = fail "
+               "fast)");
+    cli.addInt("serve-interval-ms", 0,
+               "sleep between serves (paces the loop so a restarted "
+               "server can be ridden through)");
     cli.parse(argc, argv);
 
-    CompileClient client;
+    ClientOptions client_options;
+    client_options.deadlineMs = cli.getInt("deadline-ms");
+    client_options.maxRetries = cli.getInt("retries");
+    CompileClient client(client_options);
     const bool connected =
         cli.getInt("tcp") > 0 ? client.connectTcp(cli.getInt("tcp"))
                               : client.connectUnix(cli.getString("socket"));
@@ -108,7 +121,11 @@ main(int argc, char** argv)
     std::uint64_t hits = 0, misses = 0;
     double total_ns = 0.0;
     const int serves = cli.getInt("serves");
+    const int serve_interval_ms = cli.getInt("serve-interval-ms");
     for (int i = 0; i < serves; ++i) {
+        if (serve_interval_ms > 0 && i > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(serve_interval_ms));
         const auto served = client.serve(prepared->planId,
                                          rng.angles(num_params),
                                          cli.getFlag("pulses"));
@@ -127,6 +144,20 @@ main(int argc, char** argv)
                 serves, static_cast<unsigned long long>(hits),
                 static_cast<unsigned long long>(misses),
                 serves ? total_ns / serves : 0.0);
+
+    // One grep-able line for the CI kill-and-reconnect smoke.
+    const ClientStats resilience = client.clientStats();
+    std::printf("client-resilience: retries=%llu timeouts=%llu "
+                "reconnects=%llu plans_remapped=%llu "
+                "busy_rejections=%llu reconnect_p50_ms=%.2f\n",
+                static_cast<unsigned long long>(resilience.retries),
+                static_cast<unsigned long long>(resilience.timeouts),
+                static_cast<unsigned long long>(resilience.reconnects),
+                static_cast<unsigned long long>(
+                    resilience.plansRemapped),
+                static_cast<unsigned long long>(
+                    resilience.busyRejections),
+                resilience.reconnectNs.percentileNs(50) / 1e6);
 
     const auto u64cell = [](std::uint64_t v) {
         return std::to_string(v);
@@ -151,6 +182,17 @@ main(int argc, char** argv)
                            (1024.0 * 1024.0),
                        2)});
         server_table.print();
+
+        TextTable edge_table("server edge");
+        edge_table.addRow({"protocolErrors", "acceptFailures",
+                           "busyRejections", "sessionsReapedIdle",
+                           "bulkYields"});
+        edge_table.addRow({u64cell(stats->protocolErrors),
+                           u64cell(stats->acceptFailures),
+                           u64cell(stats->busyRejections),
+                           u64cell(stats->sessionsReapedIdle),
+                           u64cell(stats->bulkYields)});
+        edge_table.print();
 
         TextTable tenant_table("tenants");
         tenant_table.addRow({"tenant", "plans", "serves", "hitRate",

@@ -104,6 +104,11 @@ main(int argc, char** argv)
     cli.addInt("slow-serve-us", 0,
                "log serves slower than this many microseconds "
                "(0 = off)");
+    cli.addInt("idle-timeout-ms", 300000,
+               "reap sessions silent for this long (0 = never)");
+    cli.addInt("max-sessions", 0,
+               "shed connections past this many live sessions with "
+               "a Busy frame (0 = unlimited)");
     cli.addString("log-level", "",
                   "log verbosity: silent|warn|info (default: "
                   "QPC_LOG_LEVEL or info)");
@@ -130,6 +135,8 @@ main(int argc, char** argv)
         static_cast<std::uint64_t>(cli.getInt("quota-bulk"));
     options.slowServeThresholdUs =
         static_cast<std::uint64_t>(cli.getInt("slow-serve-us"));
+    options.idleTimeoutMs = cli.getInt("idle-timeout-ms");
+    options.maxSessions = cli.getInt("max-sessions");
 
     if (!cli.getString("log-level").empty())
         setLogLevel(parseLogLevel(cli.getString("log-level")));

@@ -1,7 +1,9 @@
 #include "server/client.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -11,6 +13,14 @@
 #include "pulse/serialize.h"
 
 namespace qpc {
+
+CompileClient::CompileClient(ClientOptions options)
+    : options_(options),
+      jitter_(0x51ab5e1fULL ^
+              static_cast<std::uint64_t>(
+                  reinterpret_cast<std::uintptr_t>(this)))
+{
+}
 
 CompileClient::~CompileClient()
 {
@@ -26,26 +36,79 @@ CompileClient::close()
     }
 }
 
+void
+CompileClient::clearError()
+{
+    lastError_.clear();
+    lastErrorCode_ = WireError::None;
+}
+
+void
+CompileClient::resetSession()
+{
+    tenant_.clear();
+    haveTenant_ = false;
+    plans_.clear();
+}
+
+bool
+CompileClient::dial()
+{
+    close();
+    if (endpoint_ == Endpoint::Unix) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, unixPath_.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            return fail(WireError::Internal, "cannot create socket");
+        if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) != 0) {
+            close();
+            return fail(WireError::Internal,
+                        "cannot connect to " + unixPath_ + ": " +
+                            std::strerror(errno));
+        }
+        return true;
+    }
+    if (endpoint_ == Endpoint::Tcp) {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            return fail(WireError::Internal, "cannot create socket");
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(static_cast<std::uint16_t>(tcpPort_));
+        if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)) != 0) {
+            close();
+            return fail(WireError::Internal,
+                        "cannot connect to loopback port " +
+                            std::to_string(tcpPort_) + ": " +
+                            std::strerror(errno));
+        }
+        setTcpNoDelay(fd_);
+        return true;
+    }
+    return fail(WireError::Internal, "not connected");
+}
+
 bool
 CompileClient::connectUnix(const std::string& path)
 {
     close();
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+    resetSession();
+    sockaddr_un probe{};
+    if (path.empty() || path.size() >= sizeof(probe.sun_path)) {
+        endpoint_ = Endpoint::None;
         return fail(WireError::BadRequest, "bad socket path");
-    std::strncpy(addr.sun_path, path.c_str(),
-                 sizeof(addr.sun_path) - 1);
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd_ < 0)
-        return fail(WireError::Internal, "cannot create socket");
-    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) != 0) {
-        close();
-        return fail(WireError::Internal,
-                    "cannot connect to " + path + ": " +
-                        std::strerror(errno));
     }
+    endpoint_ = Endpoint::Unix;
+    unixPath_ = path;
+    if (!dial())
+        return false;
+    clearError();
     return true;
 }
 
@@ -53,23 +116,16 @@ bool
 CompileClient::connectTcp(int port)
 {
     close();
-    if (port <= 0 || port > 65535)
+    resetSession();
+    if (port <= 0 || port > 65535) {
+        endpoint_ = Endpoint::None;
         return fail(WireError::BadRequest, "bad TCP port");
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0)
-        return fail(WireError::Internal, "cannot create socket");
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(port));
-    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) != 0) {
-        close();
-        return fail(WireError::Internal,
-                    "cannot connect to loopback port " +
-                        std::to_string(port) + ": " +
-                        std::strerror(errno));
     }
+    endpoint_ = Endpoint::Tcp;
+    tcpPort_ = port;
+    if (!dial())
+        return false;
+    clearError();
     return true;
 }
 
@@ -81,37 +137,87 @@ CompileClient::fail(WireError code, const std::string& message)
     return false;
 }
 
-std::optional<std::vector<std::uint8_t>>
-CompileClient::roundTrip(const std::vector<std::uint8_t>& payload)
+std::uint64_t
+CompileClient::mappedPlanId(std::uint64_t plan_id) const
 {
+    const auto it = plans_.find(plan_id);
+    return it == plans_.end() ? plan_id : it->second.serverPlanId;
+}
+
+void
+CompileClient::backoffSleep(int attempt)
+{
+    const int shift = attempt > 20 ? 20 : (attempt < 1 ? 0 : attempt - 1);
+    double delay_ms =
+        static_cast<double>(options_.backoffBaseMs) *
+        static_cast<double>(1u << shift);
+    if (delay_ms > options_.backoffMaxMs)
+        delay_ms = static_cast<double>(options_.backoffMaxMs);
+    // Half-fixed, half-uniform jitter desynchronizes a fleet of
+    // clients all retrying against the same restarted server.
+    delay_ms *= 0.5 + 0.5 * jitter_.uniform();
+    if (delay_ms > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(static_cast<long>(delay_ms * 1000.0)));
+}
+
+std::optional<std::vector<std::uint8_t>>
+CompileClient::exchangeOnce(const std::vector<std::uint8_t>& payload)
+{
+    retryableFailure_ = true;
     if (fd_ < 0) {
         fail(WireError::Internal, "not connected");
         return std::nullopt;
     }
-    if (!writeFrame(fd_, payload)) {
+    FrameError why = FrameError::None;
+    if (!writeFrame(fd_, payload, options_.deadlineMs, &why)) {
+        if (why != FrameError::Timeout) {
+            // A peer that hung up may have left a final Error frame
+            // (Busy shedding does exactly this) already buffered;
+            // salvage it so the caller sees the reason, not EPIPE.
+            FrameError salvage_why = FrameError::None;
+            std::optional<std::vector<std::uint8_t>> salvaged =
+                readFrame(fd_, 50, &salvage_why);
+            if (salvaged) {
+                close();
+                return salvaged;
+            }
+        }
         close();
-        fail(WireError::Internal, "connection lost writing request");
+        if (why == FrameError::Timeout) {
+            ++stats_.timeouts;
+            fail(WireError::Internal, "deadline expired writing request");
+        } else {
+            fail(WireError::Internal, "connection lost writing request");
+        }
         return std::nullopt;
     }
-    std::optional<std::vector<std::uint8_t>> reply = readFrame(fd_);
+    std::optional<std::vector<std::uint8_t>> reply =
+        readFrame(fd_, options_.deadlineMs, &why);
     if (!reply) {
         close();
-        fail(WireError::Internal, "connection lost reading reply");
+        if (why == FrameError::Timeout) {
+            ++stats_.timeouts;
+            fail(WireError::Internal, "deadline expired reading reply");
+        } else {
+            fail(WireError::Internal, "connection lost reading reply");
+        }
     }
     return reply;
 }
 
 std::optional<std::vector<std::uint8_t>>
-CompileClient::request(MsgType want,
-                       const std::vector<std::uint8_t>& payload)
+CompileClient::exchangeExpect(MsgType want,
+                              const std::vector<std::uint8_t>& payload)
 {
     std::optional<std::vector<std::uint8_t>> reply =
-        roundTrip(payload);
+        exchangeOnce(payload);
     if (!reply)
         return std::nullopt;
     const std::optional<MsgType> type = peekMessage(*reply);
     if (!type) {
         close();
+        retryableFailure_ = true;
         fail(WireError::Internal, "unparseable reply");
         return std::nullopt;
     }
@@ -120,24 +226,139 @@ CompileClient::request(MsgType want,
         r.u8();
         r.u8();
         const auto code = static_cast<WireError>(r.u32());
+        if (code == WireError::Busy) {
+            // The server sheds and closes; this connection is done.
+            ++stats_.busyRejections;
+            retryableFailure_ = true;
+            close();
+        } else {
+            // A definitive refusal: retrying cannot change the answer.
+            retryableFailure_ = false;
+        }
         fail(code, r.str());
         return std::nullopt;
     }
     if (*type != want) {
         close();
+        retryableFailure_ = true;
         fail(WireError::Internal, "unexpected reply type");
         return std::nullopt;
     }
     return reply;
 }
 
+bool
+CompileClient::reestablish()
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
+    if (!dial()) {
+        ++stats_.reconnectFailures;
+        retryableFailure_ = true;
+        return false;
+    }
+    if (haveTenant_) {
+        WireWriter w = beginMessage(MsgType::Hello);
+        w.str(tenant_);
+        if (!exchangeExpect(MsgType::HelloOk, w.take())) {
+            ++stats_.reconnectFailures;
+            close();
+            return false;
+        }
+    }
+    for (auto& [caller_id, plan] : plans_) {
+        (void)caller_id;
+        WireWriter w = beginMessage(MsgType::PrepareServing);
+        encodeCircuit(w, plan.circuit);
+        std::optional<std::vector<std::uint8_t>> reply =
+            exchangeExpect(MsgType::PrepareOk, w.take());
+        if (!reply) {
+            ++stats_.reconnectFailures;
+            close();
+            return false;
+        }
+        WireReader r(*reply);
+        r.u8();
+        r.u8();
+        const std::uint64_t server_id = r.u64();
+        r.u32();
+        r.u32();
+        if (!r.done()) {
+            ++stats_.reconnectFailures;
+            retryableFailure_ = true;
+            close();
+            return fail(WireError::Internal,
+                        "malformed PrepareOk during reconnect");
+        }
+        plan.serverPlanId = server_id;
+        ++stats_.plansRemapped;
+    }
+    ++stats_.reconnects;
+    reconnectNs_.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - start)
+            .count()));
+    return true;
+}
+
+std::optional<std::vector<std::uint8_t>>
+CompileClient::request(
+    MsgType want,
+    const std::function<std::vector<std::uint8_t>()>& build,
+    bool retryable)
+{
+    const int attempts =
+        1 + (retryable && options_.maxRetries > 0 ? options_.maxRetries
+                                                  : 0);
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            ++stats_.retries;
+            backoffSleep(attempt);
+        }
+        if (fd_ < 0) {
+            if (!retryable || !options_.reconnect ||
+                endpoint_ == Endpoint::None) {
+                fail(WireError::Internal, "not connected");
+                return std::nullopt;
+            }
+            if (!reestablish()) {
+                if (!retryableFailure_)
+                    return std::nullopt;
+                continue;
+            }
+        }
+        std::optional<std::vector<std::uint8_t>> reply =
+            exchangeExpect(want, build());
+        if (reply) {
+            clearError();
+            return reply;
+        }
+        if (!retryable || !retryableFailure_)
+            return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+std::optional<std::vector<std::uint8_t>>
+CompileClient::roundTrip(const std::vector<std::uint8_t>& payload)
+{
+    std::optional<std::vector<std::uint8_t>> reply =
+        exchangeOnce(payload);
+    if (reply)
+        clearError();
+    return reply;
+}
+
 std::optional<CompileClient::HelloReply>
 CompileClient::hello(const std::string& tenant)
 {
-    WireWriter w = beginMessage(MsgType::Hello);
-    w.str(tenant);
+    const auto build = [&tenant] {
+        WireWriter w = beginMessage(MsgType::Hello);
+        w.str(tenant);
+        return w.take();
+    };
     std::optional<std::vector<std::uint8_t>> reply =
-        request(MsgType::HelloOk, w.bytes());
+        request(MsgType::HelloOk, build);
     if (!reply)
         return std::nullopt;
     WireReader r(*reply);
@@ -152,16 +373,21 @@ CompileClient::hello(const std::string& tenant)
         fail(WireError::Internal, "malformed HelloOk");
         return std::nullopt;
     }
+    tenant_ = tenant;
+    haveTenant_ = true;
     return out;
 }
 
 std::optional<CompileClient::PrepareReply>
 CompileClient::prepareServing(const Circuit& circuit)
 {
-    WireWriter w = beginMessage(MsgType::PrepareServing);
-    encodeCircuit(w, circuit);
+    const auto build = [&circuit] {
+        WireWriter w = beginMessage(MsgType::PrepareServing);
+        encodeCircuit(w, circuit);
+        return w.take();
+    };
     std::optional<std::vector<std::uint8_t>> reply =
-        request(MsgType::PrepareOk, w.bytes());
+        request(MsgType::PrepareOk, build);
     if (!reply)
         return std::nullopt;
     WireReader r(*reply);
@@ -175,16 +401,26 @@ CompileClient::prepareServing(const Circuit& circuit)
         fail(WireError::Internal, "malformed PrepareOk");
         return std::nullopt;
     }
+    // The caller-visible id survives reconnects; pick the server's id
+    // unless a remapped older plan already claimed that key.
+    std::uint64_t caller_id = out.planId;
+    if (plans_.count(caller_id) != 0)
+        caller_id = plans_.rbegin()->first + 1;
+    plans_[caller_id] = CachedPlan{circuit, out.planId};
+    out.planId = caller_id;
     return out;
 }
 
 std::optional<CompileClient::PrewarmReply>
 CompileClient::prewarm(std::uint64_t plan_id)
 {
-    WireWriter w = beginMessage(MsgType::Prewarm);
-    w.u64(plan_id);
+    const auto build = [this, plan_id] {
+        WireWriter w = beginMessage(MsgType::Prewarm);
+        w.u64(mappedPlanId(plan_id));
+        return w.take();
+    };
     std::optional<std::vector<std::uint8_t>> reply =
-        request(MsgType::PrewarmOk, w.bytes());
+        request(MsgType::PrewarmOk, build);
     if (!reply)
         return std::nullopt;
     WireReader r(*reply);
@@ -207,14 +443,17 @@ CompileClient::serve(std::uint64_t plan_id,
                      const std::vector<double>& theta,
                      bool want_pulses)
 {
-    WireWriter w = beginMessage(MsgType::Serve);
-    w.u64(plan_id);
-    w.u8(want_pulses ? 1 : 0);
-    w.u32(static_cast<std::uint32_t>(theta.size()));
-    for (double t : theta)
-        w.f64(t);
+    const auto build = [this, plan_id, &theta, want_pulses] {
+        WireWriter w = beginMessage(MsgType::Serve);
+        w.u64(mappedPlanId(plan_id));
+        w.u8(want_pulses ? 1 : 0);
+        w.u32(static_cast<std::uint32_t>(theta.size()));
+        for (double t : theta)
+            w.f64(t);
+        return w.take();
+    };
     std::optional<std::vector<std::uint8_t>> reply =
-        request(MsgType::ServeOk, w.bytes());
+        request(MsgType::ServeOk, build);
     if (!reply)
         return std::nullopt;
     WireReader r(*reply);
@@ -230,6 +469,16 @@ CompileClient::serve(std::uint64_t plan_id,
     out.quantErrorBound = r.f64();
     out.numSegments = r.u32();
     if (want_pulses) {
+        // Each pulse record is a length-prefixed blob, so it occupies
+        // at least 4 bytes of payload: a segment count larger than
+        // remaining/4 is lying, and trusting it for reserve() would
+        // let a hostile server force a multi-GB allocation.
+        if (!r.ok() ||
+            out.numSegments > r.remaining() / sizeof(std::uint32_t)) {
+            fail(WireError::Internal,
+                 "ServeOk segment count exceeds payload");
+            return std::nullopt;
+        }
         out.pulses.reserve(out.numSegments);
         for (std::uint32_t i = 0; i < out.numSegments && r.ok(); ++i) {
             const std::vector<std::uint8_t> record = r.blob();
@@ -253,9 +502,12 @@ CompileClient::serve(std::uint64_t plan_id,
 std::optional<WireServerStats>
 CompileClient::stats()
 {
-    WireWriter w = beginMessage(MsgType::Stats);
+    const auto build = [] {
+        WireWriter w = beginMessage(MsgType::Stats);
+        return w.take();
+    };
     std::optional<std::vector<std::uint8_t>> reply =
-        request(MsgType::StatsOk, w.bytes());
+        request(MsgType::StatsOk, build);
     if (!reply)
         return std::nullopt;
     WireReader r(*reply);
@@ -272,9 +524,12 @@ CompileClient::stats()
 std::optional<MetricsSnapshot>
 CompileClient::metrics()
 {
-    WireWriter w = beginMessage(MsgType::Metrics);
+    const auto build = [] {
+        WireWriter w = beginMessage(MsgType::Metrics);
+        return w.take();
+    };
     std::optional<std::vector<std::uint8_t>> reply =
-        request(MsgType::MetricsOk, w.bytes());
+        request(MsgType::MetricsOk, build);
     if (!reply)
         return std::nullopt;
     WireReader r(*reply);
@@ -291,10 +546,21 @@ CompileClient::metrics()
 bool
 CompileClient::shutdownServer()
 {
-    WireWriter w = beginMessage(MsgType::Shutdown);
+    const auto build = [] {
+        WireWriter w = beginMessage(MsgType::Shutdown);
+        return w.take();
+    };
     std::optional<std::vector<std::uint8_t>> reply =
-        request(MsgType::ShutdownOk, w.bytes());
+        request(MsgType::ShutdownOk, build, /*retryable=*/false);
     return reply.has_value();
+}
+
+ClientStats
+CompileClient::clientStats() const
+{
+    ClientStats out = stats_;
+    out.reconnectNs = reconnectNs_.snapshot();
+    return out;
 }
 
 } // namespace qpc

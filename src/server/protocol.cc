@@ -1,8 +1,13 @@
 #include "server/protocol.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <limits>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -56,6 +61,97 @@ writeFull(int fd, const void* buffer, std::size_t n)
         if (put < 0) {
             if (errno == EINTR)
                 continue;
+            return false;
+        }
+        p += put;
+        n -= static_cast<std::size_t>(put);
+    }
+    return true;
+}
+
+using DeadlineClock = std::chrono::steady_clock;
+
+/** Milliseconds left before `deadline`, clamped to [0, INT_MAX]. */
+int
+remainingMs(DeadlineClock::time_point deadline)
+{
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - DeadlineClock::now())
+            .count();
+    if (left <= 0)
+        return 0;
+    if (left > std::numeric_limits<int>::max())
+        return std::numeric_limits<int>::max();
+    return static_cast<int>(left);
+}
+
+/**
+ * Deadline-aware full read: non-blocking recv, polling for
+ * readability with whatever time is left. The budget covers the
+ * whole n bytes, so a peer trickling one byte per poll still hits
+ * the deadline instead of resetting it.
+ */
+bool
+readFullDeadline(int fd, void* buffer, std::size_t n,
+                 DeadlineClock::time_point deadline, FrameError& why)
+{
+    auto* p = static_cast<std::uint8_t*>(buffer);
+    while (n > 0) {
+        ssize_t got = ::recv(fd, p, n, MSG_DONTWAIT);
+        if (got < 0 && errno == ENOTSOCK) // Plain fd: no deadline.
+            got = ::read(fd, p, n);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                const int ms = remainingMs(deadline);
+                if (ms <= 0) {
+                    why = FrameError::Timeout;
+                    return false;
+                }
+                pollfd pfd{fd, POLLIN, 0};
+                ::poll(&pfd, 1, ms);
+                continue; // recv again; remaining time recomputed.
+            }
+            why = FrameError::Closed;
+            return false;
+        }
+        if (got == 0) {
+            why = FrameError::Closed;
+            return false;
+        }
+        p += got;
+        n -= static_cast<std::size_t>(got);
+    }
+    return true;
+}
+
+/** Deadline-aware full write (MSG_NOSIGNAL, poll on POLLOUT). */
+bool
+writeFullDeadline(int fd, const void* buffer, std::size_t n,
+                  DeadlineClock::time_point deadline, FrameError& why)
+{
+    auto* p = static_cast<const std::uint8_t*>(buffer);
+    while (n > 0) {
+        ssize_t put =
+            ::send(fd, p, n, MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (put < 0 && errno == ENOTSOCK)
+            put = ::write(fd, p, n);
+        if (put < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                const int ms = remainingMs(deadline);
+                if (ms <= 0) {
+                    why = FrameError::Timeout;
+                    return false;
+                }
+                pollfd pfd{fd, POLLOUT, 0};
+                ::poll(&pfd, 1, ms);
+                continue;
+            }
+            why = FrameError::Closed;
             return false;
         }
         p += put;
@@ -222,33 +318,97 @@ peekMessage(const std::vector<std::uint8_t>& payload)
 bool
 writeFrame(int fd, const std::vector<std::uint8_t>& payload)
 {
-    if (payload.empty() || payload.size() > kMaxFramePayload)
+    return writeFrame(fd, payload, 0, nullptr);
+}
+
+bool
+writeFrame(int fd, const std::vector<std::uint8_t>& payload,
+           int timeout_ms, FrameError* why)
+{
+    FrameError reason = FrameError::None;
+    if (why != nullptr)
+        *why = FrameError::None;
+    if (payload.empty() || payload.size() > kMaxFramePayload) {
+        if (why != nullptr)
+            *why = FrameError::Closed;
         return false;
+    }
     std::uint8_t prefix[4];
     const auto n = static_cast<std::uint32_t>(payload.size());
     for (int i = 0; i < 4; ++i)
         prefix[i] = static_cast<std::uint8_t>(n >> (8 * i));
-    return writeFull(fd, prefix, sizeof(prefix)) &&
-           writeFull(fd, payload.data(), payload.size());
+    bool ok;
+    if (timeout_ms <= 0) {
+        ok = writeFull(fd, prefix, sizeof(prefix)) &&
+             writeFull(fd, payload.data(), payload.size());
+        reason = ok ? FrameError::None : FrameError::Closed;
+    } else {
+        const auto deadline = DeadlineClock::now() +
+                              std::chrono::milliseconds(timeout_ms);
+        ok = writeFullDeadline(fd, prefix, sizeof(prefix), deadline,
+                               reason) &&
+             writeFullDeadline(fd, payload.data(), payload.size(),
+                               deadline, reason);
+    }
+    if (why != nullptr)
+        *why = reason;
+    return ok;
 }
 
 std::optional<std::vector<std::uint8_t>>
 readFrame(int fd)
 {
+    return readFrame(fd, 0, nullptr);
+}
+
+std::optional<std::vector<std::uint8_t>>
+readFrame(int fd, int timeout_ms, FrameError* why)
+{
+    FrameError reason = FrameError::None;
+    if (why != nullptr)
+        *why = FrameError::None;
+    const auto deadline =
+        DeadlineClock::now() + std::chrono::milliseconds(
+                                   timeout_ms > 0 ? timeout_ms : 0);
+    const auto read_full = [&](void* buffer, std::size_t n) {
+        if (timeout_ms <= 0) {
+            const bool ok = readFull(fd, buffer, n);
+            reason = ok ? FrameError::None : FrameError::Closed;
+            return ok;
+        }
+        return readFullDeadline(fd, buffer, n, deadline, reason);
+    };
     std::uint8_t prefix[4];
-    if (!readFull(fd, prefix, sizeof(prefix)))
+    if (!read_full(prefix, sizeof(prefix))) {
+        if (why != nullptr)
+            *why = reason;
         return std::nullopt;
+    }
     std::uint32_t n = 0;
     for (int i = 0; i < 4; ++i)
         n |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
     // A zero or oversized prefix is a protocol violation, not a
     // request: reject before allocating a byte.
-    if (n == 0 || n > kMaxFramePayload)
+    if (n == 0 || n > kMaxFramePayload) {
+        if (why != nullptr)
+            *why = FrameError::Closed;
         return std::nullopt;
+    }
     std::vector<std::uint8_t> payload(n);
-    if (!readFull(fd, payload.data(), n))
+    if (!read_full(payload.data(), n)) {
+        if (why != nullptr)
+            *why = reason;
         return std::nullopt;
+    }
     return payload;
+}
+
+bool
+setTcpNoDelay(int fd)
+{
+    const int one = 1;
+    return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                        sizeof(one)) == 0;
 }
 
 void
@@ -339,6 +499,9 @@ encodeServerStats(WireWriter& w, const WireServerStats& stats)
     w.u64(stats.connectionsActive);
     w.u64(stats.protocolErrors);
     w.u64(stats.bulkYields);
+    w.u64(stats.acceptFailures);
+    w.u64(stats.busyRejections);
+    w.u64(stats.sessionsReapedIdle);
     w.u64(stats.requests);
     w.u64(stats.cacheHits);
     w.u64(stats.coalesced);
@@ -375,6 +538,9 @@ decodeServerStats(WireReader& r)
     stats.connectionsActive = r.u64();
     stats.protocolErrors = r.u64();
     stats.bulkYields = r.u64();
+    stats.acceptFailures = r.u64();
+    stats.busyRejections = r.u64();
+    stats.sessionsReapedIdle = r.u64();
     stats.requests = r.u64();
     stats.cacheHits = r.u64();
     stats.coalesced = r.u64();

@@ -105,11 +105,14 @@ enum class MsgType : std::uint8_t {
 
 /** Error frame codes. */
 enum class WireError : std::uint32_t {
+    None = 0,          ///< Never sent on the wire: a client whose last
+                       ///< call succeeded reports this cleared state.
     BadRequest = 1,    ///< Malformed body / unknown type / bad version.
     QuotaExceeded = 2, ///< Tenant quota (plans, bytes, bulk) exhausted.
     NotFound = 3,      ///< Unknown plan id.
     Internal = 4,      ///< Server-side failure serving the request.
     ShuttingDown = 5,  ///< Server is draining; retry elsewhere.
+    Busy = 6,          ///< Server at session capacity; back off + retry.
 };
 
 /** Little-endian serializer for message bodies. */
@@ -185,11 +188,28 @@ WireWriter beginMessage(MsgType type);
  */
 std::optional<MsgType> peekMessage(const std::vector<std::uint8_t>& payload);
 
-/** @name Frame transport over a connected stream socket (blocking)
+/** @name Frame transport over a connected stream socket
  *  @{ */
+
+/** Why a deadline-aware frame operation produced no frame. */
+enum class FrameError {
+    None = 0, ///< Success (or the call has not failed yet).
+    Closed,   ///< EOF, reset, or any other terminal I/O failure.
+    Timeout,  ///< The deadline expired before the frame completed.
+};
 
 /** Write one length-prefixed frame; false on any I/O error. */
 bool writeFrame(int fd, const std::vector<std::uint8_t>& payload);
+
+/**
+ * Deadline-aware writeFrame: the whole frame (prefix + payload) must
+ * drain within timeout_ms, measured from the call — a peer that
+ * stops reading cannot pin the writer past the deadline. timeout_ms
+ * <= 0 waits forever (the blocking overload). `why`, when non-null,
+ * distinguishes a dead peer from an expired deadline.
+ */
+bool writeFrame(int fd, const std::vector<std::uint8_t>& payload,
+                int timeout_ms, FrameError* why);
 
 /**
  * Read one frame. nullopt on clean EOF before a frame starts, a
@@ -197,6 +217,23 @@ bool writeFrame(int fd, const std::vector<std::uint8_t>& payload);
  * I/O error — the caller drops the connection either way.
  */
 std::optional<std::vector<std::uint8_t>> readFrame(int fd);
+
+/**
+ * Deadline-aware readFrame: the whole frame must arrive within
+ * timeout_ms of the call, so both a silent peer and a byte-trickling
+ * one hit the deadline. timeout_ms <= 0 waits forever. `why`, when
+ * non-null, distinguishes EOF/error (Closed) from an expired
+ * deadline (Timeout) — the server reaps idle sessions on the latter.
+ */
+std::optional<std::vector<std::uint8_t>>
+readFrame(int fd, int timeout_ms, FrameError* why);
+
+/**
+ * Disable Nagle on a TCP socket. The serve loop is a stream of small
+ * request/reply frames; Nagle + delayed ACK can add ~40 ms per
+ * round-trip. No-op (false) on non-TCP fds.
+ */
+bool setTcpNoDelay(int fd);
 /** @} */
 
 /** @name Versioned circuit record ("QCIR")
@@ -252,6 +289,9 @@ struct WireServerStats
     std::uint64_t connectionsActive = 0;
     std::uint64_t protocolErrors = 0; ///< Malformed frames/bodies seen.
     std::uint64_t bulkYields = 0; ///< Prewarms that waited for serves.
+    std::uint64_t acceptFailures = 0; ///< accept(2) errors (EMFILE...).
+    std::uint64_t busyRejections = 0; ///< Connections shed at capacity.
+    std::uint64_t sessionsReapedIdle = 0; ///< Idle-timeout reaps.
     /** @} */
 
     /** @name Shared CompileService counters (ServiceStats mirror)

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 
 #include <netinet/in.h>
 #include <poll.h>
@@ -28,6 +30,12 @@ constexpr std::size_t kMaxTenantName = 256;
 constexpr std::uint32_t kMaxThetaLen = 1u << 16;
 /** How often the accept loop re-checks the stop flag. */
 constexpr int kAcceptPollMs = 100;
+/** First accept-failure backoff; doubles per consecutive failure. */
+constexpr int kAcceptBackoffMinMs = 10;
+/** Accept-failure backoff ceiling. */
+constexpr int kAcceptBackoffMaxMs = 1000;
+/** Write budget for the Busy frame sent to a shed connection. */
+constexpr int kShedWriteMs = 100;
 
 void
 closeIfOpen(int& fd)
@@ -204,9 +212,12 @@ CompileServer::requestStop()
     if (tcpFd_ >= 0)
         ::shutdown(tcpFd_, SHUT_RDWR);
     std::lock_guard<std::mutex> lock(registryMu_);
+    // Read side only: blocked readers wake with EOF, but a reply
+    // already being written still flushes — stop() force-closes
+    // whatever is left after the drain window.
     for (const auto& session : sessions_)
         if (session->fd >= 0)
-            ::shutdown(session->fd, SHUT_RDWR);
+            ::shutdown(session->fd, SHUT_RD);
 }
 
 bool
@@ -235,6 +246,29 @@ CompileServer::stop()
         std::lock_guard<std::mutex> lock(registryMu_);
         sessions.swap(sessions_);
     }
+    // Graceful drain: requestStop() only shut the read side, so
+    // sessions finish flushing in-flight replies. Give them a bounded
+    // window, then force-close writers stuck on a peer that stopped
+    // reading — joins below must never hang on one.
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline =
+        Clock::now() +
+        std::chrono::milliseconds(
+            options_.drainTimeoutMs > 0 ? options_.drainTimeoutMs : 0);
+    for (;;) {
+        bool draining = false;
+        for (const auto& session : sessions)
+            if (session->thread.joinable() &&
+                !session->done.load(std::memory_order_acquire))
+                draining = true;
+        if (!draining || Clock::now() >= deadline)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    for (const auto& session : sessions)
+        if (!session->done.load(std::memory_order_acquire) &&
+            session->fd >= 0)
+            ::shutdown(session->fd, SHUT_RDWR);
     for (const auto& session : sessions) {
         if (session->thread.joinable())
             session->thread.join();
@@ -268,6 +302,9 @@ CompileServer::reapFinishedSessionsLocked()
 void
 CompileServer::acceptLoop()
 {
+    using Clock = std::chrono::steady_clock;
+    int backoff_ms = 0;
+    Clock::time_point last_warn{};
     while (!stopRequested()) {
         pollfd fds[2];
         nfds_t n = 0;
@@ -284,8 +321,41 @@ CompileServer::acceptLoop()
             if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
                 continue;
             const int fd = ::accept(fds[i].fd, nullptr, nullptr);
-            if (fd < 0)
-                continue;
+            if (fd < 0) {
+                const int err = errno;
+                // A connection that vanished between poll and accept
+                // (or a signal) is routine, not a failure.
+                if (err == EINTR || err == EAGAIN ||
+                    err == EWOULDBLOCK || err == ECONNABORTED)
+                    continue;
+                // Persistent failure (EMFILE/ENFILE...): the listener
+                // stays readable, so without a backoff this loop
+                // busy-polls at 100% CPU until fds free up.
+                acceptFailures_.fetch_add(1, std::memory_order_relaxed);
+                const Clock::time_point now = Clock::now();
+                if (now - last_warn >= std::chrono::seconds(1)) {
+                    last_warn = now;
+                    warn("accept failed: ", std::strerror(err),
+                         " (backing off ",
+                         backoff_ms > 0 ? backoff_ms
+                                        : kAcceptBackoffMinMs,
+                         " ms)");
+                }
+                backoff_ms = backoff_ms == 0
+                                 ? kAcceptBackoffMinMs
+                                 : std::min(backoff_ms * 2,
+                                            kAcceptBackoffMaxMs);
+                // Sleep in slices so shutdown stays responsive.
+                for (int slept = 0;
+                     slept < backoff_ms && !stopRequested();
+                     slept += kAcceptBackoffMinMs)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(kAcceptBackoffMinMs));
+                break;
+            }
+            backoff_ms = 0;
+            if (fds[i].fd == tcpFd_)
+                setTcpNoDelay(fd);
             connectionsAccepted_.fetch_add(1,
                                            std::memory_order_relaxed);
             connectionsActive_.fetch_add(1, std::memory_order_relaxed);
@@ -303,6 +373,12 @@ CompileServer::acceptLoop()
                     1, std::memory_order_relaxed);
                 continue;
             }
+            if (options_.maxSessions > 0 &&
+                sessions_.size() >=
+                    static_cast<std::size_t>(options_.maxSessions)) {
+                shedConnection(fd);
+                continue;
+            }
             sessions_.push_back(std::make_unique<Session>());
             Session* session = sessions_.back().get();
             session->fd = fd;
@@ -313,17 +389,44 @@ CompileServer::acceptLoop()
 }
 
 void
+CompileServer::shedConnection(int fd)
+{
+    busyRejections_.fetch_add(1, std::memory_order_relaxed);
+    WireWriter w = beginMessage(MsgType::Error);
+    w.u32(static_cast<std::uint32_t>(WireError::Busy));
+    w.str("server at session capacity");
+    FrameError why = FrameError::None;
+    writeFrame(fd, w.bytes(), kShedWriteMs, &why);
+    // Drain whatever the peer already sent (its Hello, typically):
+    // closing a TCP socket with unread data sends RST, which would
+    // destroy the Busy frame before the client reads it.
+    std::uint8_t sink[512];
+    while (::recv(fd, sink, sizeof(sink), MSG_DONTWAIT) > 0) {
+    }
+    ::close(fd);
+    connectionsActive_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
 CompileServer::sessionLoop(Session* session)
 {
     std::shared_ptr<Tenant> tenant;
     while (!stopRequested()) {
+        FrameError why = FrameError::None;
         std::optional<std::vector<std::uint8_t>> payload =
-            readFrame(session->fd);
+            readFrame(session->fd, options_.idleTimeoutMs, &why);
         // EOF, disconnect mid-frame, or a hostile length prefix: the
         // framing on this connection cannot be trusted any further, so
         // the session ends — other tenants' sessions are untouched.
-        if (!payload)
+        // A deadline expiry is the idle reap: a half-open peer (or
+        // one that trickles a partial frame and goes silent) must not
+        // hold this thread + fd forever.
+        if (!payload) {
+            if (why == FrameError::Timeout)
+                sessionsReapedIdle_.fetch_add(
+                    1, std::memory_order_relaxed);
             break;
+        }
         if (!handleFrame(*session, tenant, *payload))
             break;
     }
@@ -352,13 +455,20 @@ CompileServer::internTenant(const std::string& name)
 }
 
 bool
+CompileServer::sendFrame(int fd, const std::vector<std::uint8_t>& payload)
+{
+    FrameError why = FrameError::None;
+    return writeFrame(fd, payload, options_.idleTimeoutMs, &why);
+}
+
+bool
 CompileServer::sendError(int fd, WireError code,
                          const std::string& message)
 {
     WireWriter w = beginMessage(MsgType::Error);
     w.u32(static_cast<std::uint32_t>(code));
     w.str(message);
-    return writeFrame(fd, w.bytes());
+    return sendFrame(fd, w.bytes());
 }
 
 bool
@@ -415,7 +525,7 @@ CompileServer::handleRequest(Session& session,
         w.u64(options_.quota.maxPlans);
         w.u64(options_.quota.maxServedBytes);
         w.u64(options_.quota.maxConcurrentBulk);
-        return writeFrame(session.fd, w.bytes());
+        return sendFrame(session.fd, w.bytes());
     }
 
     case MsgType::PrepareServing: {
@@ -464,7 +574,7 @@ CompileServer::handleRequest(Session& session,
         w.u32(static_cast<std::uint32_t>(
             entry.plan->numFixedBlocks()));
         w.u32(static_cast<std::uint32_t>(entry.plan->numParamGates()));
-        return writeFrame(session.fd, w.bytes());
+        return sendFrame(session.fd, w.bytes());
     }
 
     case MsgType::Prewarm: {
@@ -518,7 +628,7 @@ CompileServer::handleRequest(Session& session,
         w.u64(fixed.synthRuns + bins.synthRuns);
         w.u64(fixed.cacheHits + bins.cacheHits);
         w.f64(fixed.wallSeconds + bins.wallSeconds);
-        return writeFrame(session.fd, w.bytes());
+        return sendFrame(session.fd, w.bytes());
     }
 
     case MsgType::Serve: {
@@ -625,13 +735,13 @@ CompileServer::handleRequest(Session& session,
         if (want_pulses)
             for (const PulsePtr& segment : served.segments)
                 w.blob(serializePulseSchedule(*segment));
-        return writeFrame(session.fd, w.bytes());
+        return sendFrame(session.fd, w.bytes());
     }
 
     case MsgType::Stats: {
         WireWriter w = beginMessage(MsgType::StatsOk);
         encodeServerStats(w, statsSnapshot());
-        return writeFrame(session.fd, w.bytes());
+        return sendFrame(session.fd, w.bytes());
     }
 
     case MsgType::Metrics: {
@@ -642,12 +752,12 @@ CompileServer::handleRequest(Session& session,
         }
         WireWriter w = beginMessage(MsgType::MetricsOk);
         encodeMetrics(w, metricsSnapshot());
-        return writeFrame(session.fd, w.bytes());
+        return sendFrame(session.fd, w.bytes());
     }
 
     case MsgType::Shutdown: {
         WireWriter w = beginMessage(MsgType::ShutdownOk);
-        writeFrame(session.fd, w.bytes());
+        sendFrame(session.fd, w.bytes());
         // requestStop() is async-safe from this session thread; the
         // join happens in stop() on the daemon's main thread.
         requestStop();
@@ -674,6 +784,12 @@ CompileServer::statsSnapshot() const
     out.protocolErrors =
         protocolErrors_.load(std::memory_order_relaxed);
     out.bulkYields = gate_.bulkYields();
+    out.acceptFailures =
+        acceptFailures_.load(std::memory_order_relaxed);
+    out.busyRejections =
+        busyRejections_.load(std::memory_order_relaxed);
+    out.sessionsReapedIdle =
+        sessionsReapedIdle_.load(std::memory_order_relaxed);
 
     const ServiceStats service = service_.stats();
     out.requests = service.requests;
@@ -737,6 +853,10 @@ CompileServer::metricsSnapshot() const
             stats.connectionsAccepted);
     counter("qpc_server_protocol_errors_total", stats.protocolErrors);
     counter("qpc_server_bulk_yields_total", stats.bulkYields);
+    counter("qpc_server_accept_failures_total", stats.acceptFailures);
+    counter("qpc_server_busy_rejections_total", stats.busyRejections);
+    counter("qpc_server_sessions_reaped_idle_total",
+            stats.sessionsReapedIdle);
     counter("qpc_service_requests_total", stats.requests);
     counter("qpc_service_cache_hits_total", stats.cacheHits);
     counter("qpc_service_coalesced_total", stats.coalesced);

@@ -88,6 +88,25 @@ struct CompileServerOptions
      * 0 disables the log.
      */
     std::uint64_t slowServeThresholdUs = 0;
+    /**
+     * Reap a session whose peer sends nothing for this long (and
+     * bound every reply write by the same budget), so a half-open or
+     * stalled connection cannot pin a thread + fd forever. 0 = never
+     * (legacy blocking reads).
+     */
+    int idleTimeoutMs = 0;
+    /**
+     * Live-session cap: a connection past it is shed with a Busy
+     * error frame instead of accepted unboundedly (thread-per-
+     * connection makes each session a real thread). 0 = unlimited.
+     */
+    int maxSessions = 0;
+    /**
+     * stop() grace window for in-flight replies after requestStop()'s
+     * read-side shutdown, before remaining session sockets are
+     * force-closed.
+     */
+    int drainTimeoutMs = 5000;
 };
 
 /**
@@ -241,7 +260,15 @@ class CompileServer
 
     std::shared_ptr<Tenant> internTenant(const std::string& name);
 
+    /** Reply write bounded by idleTimeoutMs: a peer that stops
+     * reading cannot pin a session thread forever. */
+    bool sendFrame(int fd, const std::vector<std::uint8_t>& payload);
+
     bool sendError(int fd, WireError code, const std::string& message);
+
+    /** Shed one just-accepted connection with a Busy frame
+     * (registry lock held by caller). */
+    void shedConnection(int fd);
 
     CompileServerOptions options_;
     CompileService service_;
@@ -273,6 +300,9 @@ class CompileServer
     std::atomic<std::uint64_t> connectionsAccepted_{0};
     std::atomic<std::uint64_t> connectionsActive_{0};
     std::atomic<std::uint64_t> protocolErrors_{0};
+    std::atomic<std::uint64_t> acceptFailures_{0};
+    std::atomic<std::uint64_t> busyRejections_{0};
+    std::atomic<std::uint64_t> sessionsReapedIdle_{0};
 };
 
 } // namespace qpc
