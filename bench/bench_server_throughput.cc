@@ -29,10 +29,14 @@
  *   BENCH_server_tcp_p50_serve_us / BENCH_server_tcp_p99_serve_us
  *   BENCH_server_reconnect_p50_ms / BENCH_server_reconnect_retries
  *   BENCH_serve_span_* (server-side serve-path phase p50s)
+ *   BENCH_server_warm_boot_ms (snapshot restore on a shared tier)
+ *   BENCH_server_post_bump_recovery_serves
+ *   BENCH_server_post_bump_hit_rate
  */
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <unistd.h>
@@ -241,6 +245,95 @@ main()
 
     server->stop();
 
+    // --- Fleet section: warm replica boot + calibration-epoch bump.
+    // One daemon prewarms a plan into a shared disk tier and
+    // snapshots; a cold replica restores from the snapshot against
+    // the same tier (warm boot), then rides through a BumpEpoch: how
+    // many serves until the re-keyed, re-prewarmed grid is fully warm
+    // again, and what fraction of post-bump serves hit.
+    const std::string tier =
+        "/tmp/qpc-bench-tier-" + std::to_string(::getpid());
+    std::filesystem::remove_all(tier);
+    std::filesystem::create_directories(tier);
+    const auto fleetOptions = [&] {
+        CompileServerOptions options = makeOptions();
+        options.service.cache.diskDir = tier;
+        return options;
+    };
+
+    ServingSnapshot snapshot;
+    {
+        CompileServer seeder(fleetOptions());
+        seeder.start();
+        CompileClient c;
+        fatalIf(!c.connectUnix(socket), "bench: fleet connect failed");
+        fatalIf(!c.hello("fleet").has_value(),
+                "bench: fleet hello failed");
+        const auto prep = c.prepareServing(circuit);
+        fatalIf(!prep.has_value(), "bench: fleet prepare failed");
+        fatalIf(!c.prewarm(prep->planId).has_value(),
+                "bench: fleet prewarm failed");
+        snapshot = seeder.snapshotServing();
+        seeder.stop();
+    }
+
+    CompileServer replica(fleetOptions());
+    const auto bootStart = std::chrono::steady_clock::now();
+    const SnapshotRestoreReport restore =
+        replica.restoreServing(snapshot);
+    const double warmBootMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - bootStart)
+            .count();
+    fatalIf(restore.plans == 0, "bench: snapshot restore was empty");
+    replica.start();
+
+    constexpr int kPostBumpServes = 48;
+    int recoveryServes = kPostBumpServes;
+    double postBumpHitRate = 0.0;
+    {
+        CompileClient c;
+        fatalIf(!c.connectUnix(socket),
+                "bench: replica connect failed");
+        fatalIf(!c.hello("fleet").has_value(),
+                "bench: replica hello failed");
+        const auto prep = c.prepareServing(circuit);
+        fatalIf(!prep.has_value(), "bench: replica prepare failed");
+        Rng rng(401);
+        fatalIf(!c.serve(prep->planId, rng.angles(numParams))
+                     .has_value(),
+                "bench: replica serve failed");
+        fatalIf(!c.bumpEpoch().has_value(), "bench: bump failed");
+        std::uint64_t hits = 0, misses = 0;
+        bool recovered = false;
+        for (int i = 0; i < kPostBumpServes; ++i) {
+            // Paced like an optimizer iteration (circuit execution
+            // between serves), so the rolling re-prewarm has the same
+            // window to win the race it gets in production.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(2));
+            const auto reply =
+                c.serve(prep->planId, rng.angles(numParams));
+            fatalIf(!reply.has_value(),
+                    "bench: post-bump serve failed");
+            hits += reply->cacheHits + reply->quantHits;
+            misses += reply->cacheMisses + reply->quantMisses +
+                      reply->exactServes;
+            if (!recovered && reply->cacheMisses == 0 &&
+                reply->quantMisses == 0) {
+                recoveryServes = i + 1;
+                recovered = true;
+            }
+        }
+        postBumpHitRate =
+            hits + misses
+                ? static_cast<double>(hits) /
+                      static_cast<double>(hits + misses)
+                : 0.0;
+    }
+    replica.stop();
+    std::filesystem::remove_all(tier);
+
     std::printf("\ncompile-server throughput (%d tenants, %llu timed "
                 "serves)\n",
                 kTenants,
@@ -262,6 +355,14 @@ main()
     std::printf("  reconnect p50             %.2f ms (%llu retries)\n",
                 rstats.reconnectNs.percentileNs(50) / 1e6,
                 static_cast<unsigned long long>(rstats.retries));
+    std::printf("  warm replica boot         %.2f ms (%llu blocks, "
+                "hit rate %.3f)\n",
+                warmBootMs,
+                static_cast<unsigned long long>(restore.uniqueBlocks),
+                restore.hitRate());
+    std::printf("  post-bump recovery        %d serves (hit rate "
+                "%.3f over %d)\n",
+                recoveryServes, postBumpHitRate, kPostBumpServes);
 
     std::printf("BENCH_server_cold_synth_runs=%llu\n",
                 static_cast<unsigned long long>(coldSynth));
@@ -287,5 +388,12 @@ main()
                 telemetry.cacheGetNs.percentileNs(50) / 1e3);
     std::printf("BENCH_serve_span_synthesis_p50_us=%.2f\n",
                 telemetry.synthNs.percentileNs(50) / 1e3);
+    std::printf("BENCH_server_warm_boot_ms=%.2f\n", warmBootMs);
+    std::printf("BENCH_server_warm_boot_hit_rate=%.4f\n",
+                restore.hitRate());
+    std::printf("BENCH_server_post_bump_recovery_serves=%d\n",
+                recoveryServes);
+    std::printf("BENCH_server_post_bump_hit_rate=%.4f\n",
+                postBumpHitRate);
     return 0;
 }

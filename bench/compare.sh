@@ -99,7 +99,7 @@ for fresh_json in "$FRESH"/bench_*.json; do
                   if (k ~ /^BENCH_adaptive_/)
                       printf "   !! ADAPTIVE REGRESSION %s: %s -> (removed)\n", \
                           k, base[k]
-                  if (k ~ /^BENCH_server_(p99_serve_us|cross_tenant_dedup|queue_wait_p99_us|tcp_p99_serve_us|reconnect_p50_ms)$/)
+                  if (k ~ /^BENCH_server_(p99_serve_us|cross_tenant_dedup|queue_wait_p99_us|tcp_p99_serve_us|reconnect_p50_ms|warm_boot_ms|post_bump_recovery_serves|post_bump_hit_rate)$/)
                       printf "   !! SERVER REGRESSION %s: %s -> (removed)\n", \
                           k, base[k]
                   # Telemetry keys vanishing means the serve-path

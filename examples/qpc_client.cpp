@@ -50,6 +50,9 @@ main(int argc, char** argv)
     cli.addFlag("metrics", "print the server's Prometheus exposition "
                            "and latency percentiles");
     cli.addFlag("shutdown", "ask the server to shut down when done");
+    cli.addFlag("bump-epoch",
+                "advance the server's calibration epoch before "
+                "serving (re-keys and re-prewarms every plan)");
     cli.addInt("deadline-ms", 0,
                "per-request I/O deadline (0 = block forever)");
     cli.addInt("retries", 0,
@@ -80,12 +83,26 @@ main(int argc, char** argv)
         return 1;
     }
     std::printf("tenant '%s' (id %u): quotas plans=%llu "
-                "servedBytes=%llu bulk=%llu\n",
+                "servedBytes=%llu bulk=%llu epoch=%llu\n",
                 cli.getString("tenant").c_str(), hello->tenantId,
                 static_cast<unsigned long long>(hello->maxPlans),
                 static_cast<unsigned long long>(hello->maxServedBytes),
                 static_cast<unsigned long long>(
-                    hello->maxConcurrentBulk));
+                    hello->maxConcurrentBulk),
+                static_cast<unsigned long long>(hello->epochCounter));
+
+    if (cli.getFlag("bump-epoch")) {
+        const auto bumped = client.bumpEpoch();
+        if (!bumped) {
+            std::fprintf(stderr, "qpc-client: BumpEpoch failed: %s\n",
+                         client.lastError().c_str());
+            return 1;
+        }
+        // Grep-able by the CI fleet smoke.
+        std::printf("epoch-bump: counter=%llu plans_rekeyed=%u\n",
+                    static_cast<unsigned long long>(bumped->newCounter),
+                    bumped->plansRekeyed);
+    }
 
     Circuit circuit =
         buildQaoaCircuit(cliqueGraph(cli.getInt("n")), cli.getInt("p"));

@@ -83,6 +83,19 @@ main(int argc, char** argv)
                "bound on queued synthesis jobs (0 = unbounded)");
     cli.addString("cache-dir", "",
                   "disk cache tier directory (empty = memory only)");
+    cli.addString("shared-cache-dir", "",
+                  "fleet-shared disk cache directory (wins over "
+                  "--cache-dir; GC is flock-guarded, safe across "
+                  "daemons)");
+    cli.addInt("epoch", 0,
+               "starting calibration epoch counter (records of other "
+               "epochs in the disk tier are never adopted or served)");
+    cli.addString("snapshot-in", "",
+                  "serving snapshot to restore before accepting "
+                  "connections (adopts its epoch, re-prepares and "
+                  "prewarms its plans: a warm replica boot)");
+    cli.addString("snapshot-out", "",
+                  "write a serving snapshot here at shutdown");
     cli.addInt("cache-entries", 4096, "in-memory cache entry cap");
     cli.addInt("cache-mb", 0,
                "in-memory cache byte budget, MiB (0 = entries only)");
@@ -120,7 +133,12 @@ main(int argc, char** argv)
     options.service.numWorkers = cli.getInt("workers");
     options.service.maxQueuedJobs =
         static_cast<std::size_t>(cli.getInt("max-queued"));
-    options.service.cache.diskDir = cli.getString("cache-dir");
+    options.service.cache.diskDir =
+        !cli.getString("shared-cache-dir").empty()
+            ? cli.getString("shared-cache-dir")
+            : cli.getString("cache-dir");
+    options.service.epoch.counter =
+        static_cast<std::uint64_t>(cli.getInt("epoch"));
     options.service.cache.capacity =
         static_cast<std::size_t>(cli.getInt("cache-entries"));
     options.service.cache.capacityBytes =
@@ -156,6 +174,28 @@ main(int argc, char** argv)
     std::signal(SIGPIPE, SIG_IGN);
 
     CompileServer server(std::move(options));
+
+    // Restore before start(): the boot must be warm before the first
+    // connection lands. The grep-able line is what the fleet smoke
+    // (and an operator) checks for warm-boot health.
+    const std::string snapshot_in = cli.getString("snapshot-in");
+    if (!snapshot_in.empty()) {
+        std::optional<ServingSnapshot> snapshot =
+            loadServingSnapshot(snapshot_in);
+        fatalIf(!snapshot, "cannot load serving snapshot: ",
+                snapshot_in);
+        const SnapshotRestoreReport report =
+            server.restoreServing(*snapshot);
+        std::printf("snapshot-restore: plans=%llu uniqueBlocks=%llu "
+                    "warm_hits=%llu hit_rate=%.3f wall_s=%.3f\n",
+                    static_cast<unsigned long long>(report.plans),
+                    static_cast<unsigned long long>(
+                        report.uniqueBlocks),
+                    static_cast<unsigned long long>(report.cacheHits),
+                    report.hitRate(), report.wallSeconds);
+        std::fflush(stdout);
+    }
+
     server.start();
     std::printf("qpc-serverd: listening on %s",
                 server.options().socketPath.c_str());
@@ -182,6 +222,21 @@ main(int argc, char** argv)
     }
 
     server.requestStop();
+    // Snapshot before stop(): the registry is still fully intact, and
+    // no new plans can arrive (the listeners are down).
+    const std::string snapshot_out = cli.getString("snapshot-out");
+    if (!snapshot_out.empty()) {
+        const ServingSnapshot snapshot = server.snapshotServing();
+        if (saveServingSnapshot(snapshot_out, snapshot))
+            std::printf("snapshot-save: plans=%llu epoch=%llu -> %s\n",
+                        static_cast<unsigned long long>(
+                            snapshot.plans.size()),
+                        static_cast<unsigned long long>(
+                            snapshot.epoch.counter),
+                        snapshot_out.c_str());
+        else
+            warn("cannot write serving snapshot: ", snapshot_out);
+    }
     server.stop();
 
     // Final dumps after the drain so the trace and exposition cover

@@ -42,10 +42,17 @@ quantize(double v, double grid)
 std::string
 BlockFingerprint::hex() const
 {
-    char buf[18];
-    std::snprintf(buf, sizeof(buf), "%c%016llx",
-                  unitaryHash ? 'u' : 's',
-                  static_cast<unsigned long long>(canonical()));
+    char buf[36];
+    if (epoch.zero()) {
+        std::snprintf(buf, sizeof(buf), "%c%016llx",
+                      unitaryHash ? 'u' : 's',
+                      static_cast<unsigned long long>(canonical()));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%c%016llx-e%016llx",
+                      unitaryHash ? 'u' : 's',
+                      static_cast<unsigned long long>(canonical()),
+                      static_cast<unsigned long long>(epoch.key()));
+    }
     return buf;
 }
 

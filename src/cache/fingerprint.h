@@ -34,6 +34,7 @@
 
 #include "ir/circuit.h"
 #include "linalg/matrix.h"
+#include "model/calibration.h"
 
 namespace qpc {
 
@@ -45,6 +46,12 @@ struct BlockFingerprint
 {
     std::uint64_t structureHash = 0;
     std::uint64_t unitaryHash = 0;
+    /**
+     * Calibration the pulse must have been synthesized against. The
+     * zero epoch (epochs not in use) preserves legacy keying: hash,
+     * equality, and hex() are unchanged from the pre-epoch format.
+     */
+    CalibrationEpoch epoch;
 
     /** The address the cache actually keys on: phase-invariant
      * unitary content when available, gate structure otherwise. */
@@ -58,11 +65,15 @@ struct BlockFingerprint
      * Canonical equality: two fingerprints with unitary content match
      * iff the unitaries match (regardless of gate spelling); a
      * unitary-bearing fingerprint never equals a structure-only one
-     * (different widths by construction).
+     * (different widths by construction). Fingerprints from different
+     * calibration epochs never match — a stale pulse is wrong physics
+     * even for an identical circuit.
      */
     bool
     operator==(const BlockFingerprint& other) const
     {
+        if (epoch != other.epoch)
+            return false;
         if (unitaryHash || other.unitaryHash)
             return unitaryHash == other.unitaryHash;
         return structureHash == other.structureHash;
@@ -77,6 +88,8 @@ struct BlockFingerprint
      * On-disk file stem, derived from the canonical component only so
      * phase-equivalent spellings share one record: "u<16 hex>" for
      * unitary-addressed blocks, "s<16 hex>" for structure-addressed.
+     * A non-zero epoch appends "-e<16 hex>" of its key so records
+     * from different calibrations occupy distinct files.
      */
     std::string hex() const;
 };
@@ -88,8 +101,10 @@ struct BlockFingerprintHash
     operator()(const BlockFingerprint& fp) const
     {
         // Consistent with canonical equality; remix for good measure.
-        return static_cast<std::size_t>(fp.canonical() *
-                                        0x9e3779b97f4a7c15ull);
+        // The zero epoch keys to 0, so legacy hashes are unchanged.
+        return static_cast<std::size_t>(
+            (fp.canonical() * 0x9e3779b97f4a7c15ull) ^
+            (fp.epoch.key() * 0xff51afd7ed558ccdull));
     }
 };
 

@@ -4,6 +4,10 @@
 #include <filesystem>
 #include <vector>
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include "common/logging.h"
 #include "pulse/serialize.h"
 #include "telemetry/trace.h"
@@ -82,12 +86,45 @@ PulseCache::PulseCache(PulseCacheOptions options)
         fatalIf(static_cast<bool>(ec), "cannot create cache directory ",
                 options_.diskDir, ": ", ec.message());
         // Adopt whatever a previous process left behind, so gcOnPut
-        // triggers at the right point from the first write on.
+        // triggers at the right point from the first write on — but
+        // only records this cache can actually serve. A record from a
+        // different calibration epoch (or an unreadable header) will
+        // never satisfy a get(), so adopting its bytes would just
+        // inflate the tracker and trigger premature sweeps; count it
+        // instead so the operator can see the stale tier.
         std::size_t existing = 0;
-        for (const DiskRecord& record : scanDiskTier(options_.diskDir))
-            existing += static_cast<std::size_t>(record.bytes);
+        for (const DiskRecord& record :
+             scanDiskTier(options_.diskDir)) {
+            const std::optional<CalibrationEpoch> meta =
+                peekPulseRecordEpoch(record.path.string());
+            if (meta && *meta == options_.epoch) {
+                existing += static_cast<std::size_t>(record.bytes);
+            } else {
+                adoptionSkipped_.fetch_add(1,
+                                           std::memory_order_relaxed);
+                adoptionSkippedBytes_.fetch_add(
+                    record.bytes, std::memory_order_relaxed);
+            }
+        }
         diskBytes_.store(existing, std::memory_order_relaxed);
+        // The lockfile's extension is not .qpulse, so the scan and the
+        // GC victim list never see it. O_CREAT is racy-safe: every
+        // process opens the same inode, and flock on distinct open
+        // file descriptions excludes even within one process.
+        const std::string lockPath =
+            options_.diskDir + "/.qpc-gc.lock";
+        diskGcLockFd_ = ::open(lockPath.c_str(), O_CREAT | O_RDWR,
+                               0644);
+        if (diskGcLockFd_ < 0)
+            warn("pulse cache: cannot open GC lockfile ", lockPath,
+                 " (sweeps fall back to in-process exclusion)");
     }
+}
+
+PulseCache::~PulseCache()
+{
+    if (diskGcLockFd_ >= 0)
+        ::close(diskGcLockFd_);
 }
 
 std::size_t
@@ -147,12 +184,23 @@ PulseCache::getImpl(const BlockFingerprint& fp)
     }
     if (!options_.diskDir.empty()) {
         std::optional<PulseSchedule> pulse;
+        CalibrationEpoch meta;
         {
             TraceSpan span("disk-read");
             const std::uint64_t r0 = traceNowNs();
-            pulse = loadPulseSchedule(diskPath(fp));
+            pulse = loadPulseSchedule(diskPath(fp), &meta);
             const std::uint64_t r1 = traceNowNs();
             diskReadNs_.record(r1 > r0 ? r1 - r0 : 0);
+        }
+        if (pulse && meta != fp.epoch) {
+            // The filename matched but the stamped epoch does not:
+            // the record was synthesized against a different device
+            // calibration, so serving it would be wrong physics.
+            // Treat it as a miss; the re-synthesized pulse will
+            // overwrite the record with the right stamp.
+            diskEpochMismatches_.fetch_add(1,
+                                           std::memory_order_relaxed);
+            pulse.reset();
         }
         if (pulse) {
             diskHits_.fetch_add(1, std::memory_order_relaxed);
@@ -256,7 +304,12 @@ PulseCache::putImpl(const BlockFingerprint& fp, PulsePtr pulse)
         {
             TraceSpan span("disk-write");
             const std::uint64_t w0 = traceNowNs();
-            saved = savePulseSchedule(diskPath(fp), *pulse);
+            // Stamp the record with the *fingerprint's* epoch, not the
+            // cache's: after a bump, plans still serving the old epoch
+            // keep re-persisting old-epoch pulses under old-epoch
+            // names, and a mismatch here would turn every one of their
+            // disk hits into a re-synthesis loop.
+            saved = savePulseSchedule(diskPath(fp), *pulse, fp.epoch);
             const std::uint64_t w1 = traceNowNs();
             diskWriteNs_.record(w1 > w0 ? w1 - w0 : 0);
         }
@@ -311,6 +364,19 @@ PulseCache::gcDisk()
     // One sweep at a time; readers and writers are never blocked by
     // this lock (they don't take it), only concurrent sweeps are.
     std::lock_guard<std::mutex> lock(diskGcMu_);
+
+    // Cross-process exclusion: two daemons sweeping one shared tier
+    // would race the same mtime-ordered victim list and double-unlink.
+    // Non-blocking — if another process is mid-sweep it is already
+    // enforcing the cap, so skip rather than queue behind it.
+    const bool flocked =
+        diskGcLockFd_ >= 0 &&
+        ::flock(diskGcLockFd_, LOCK_EX | LOCK_NB) == 0;
+    if (diskGcLockFd_ >= 0 && !flocked) {
+        diskGcLockBusy_.fetch_add(1, std::memory_order_relaxed);
+        report.lockBusy = true;
+        return report;
+    }
 
     const std::size_t tracked_before =
         diskBytes_.load(std::memory_order_relaxed);
@@ -372,6 +438,8 @@ PulseCache::gcDisk()
                               std::memory_order_relaxed);
     diskGcBytesRemoved_.fetch_add(report.removedBytes,
                                   std::memory_order_relaxed);
+    if (flocked)
+        ::flock(diskGcLockFd_, LOCK_UN);
     return report;
 }
 
@@ -401,6 +469,14 @@ PulseCache::stats() const
     out.oversized = oversized_.load(std::memory_order_relaxed);
     out.released = released_.load(std::memory_order_relaxed);
     out.bytesReleased = bytesReleased_.load(std::memory_order_relaxed);
+    out.adoptionSkipped =
+        adoptionSkipped_.load(std::memory_order_relaxed);
+    out.adoptionSkippedBytes =
+        adoptionSkippedBytes_.load(std::memory_order_relaxed);
+    out.diskEpochMismatches =
+        diskEpochMismatches_.load(std::memory_order_relaxed);
+    out.diskGcLockBusy =
+        diskGcLockBusy_.load(std::memory_order_relaxed);
     out.diskGcRuns = diskGcRuns_.load(std::memory_order_relaxed);
     out.diskGcRemovals =
         diskGcRemovals_.load(std::memory_order_relaxed);

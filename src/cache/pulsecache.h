@@ -85,6 +85,14 @@ struct PulseCacheOptions
     std::size_t maxDiskBytes = 0;
     /** Sweep the disk tier automatically when a put() overflows it. */
     bool gcOnPut = true;
+    /**
+     * Calibration epoch this cache serves. Disk records stamped with a
+     * different epoch are never adopted at construction and never
+     * served from get() — they read as misses. The zero epoch (the
+     * default) matches pre-epoch version-1 records, preserving old
+     * disk tiers.
+     */
+    CalibrationEpoch epoch;
 };
 
 /** What one disk-tier garbage-collection sweep saw and removed. */
@@ -94,6 +102,9 @@ struct DiskGcReport
     std::uint64_t removedFiles = 0; ///< Records unlinked (oldest first).
     std::uint64_t removedBytes = 0; ///< Bytes those records held.
     std::size_t remainingBytes = 0; ///< Tier size after the sweep.
+    /** Another process held the tier's flock: the sweep was skipped
+     * (that sweeper enforces the cap for everyone). */
+    bool lockBusy = false;
 };
 
 /** Monotonic counters, snapshotted by PulseCache::stats(). */
@@ -119,11 +130,24 @@ struct CacheStats
     std::uint64_t oversized = 0;
     /** @} */
 
+    /** @name Calibration-epoch keying
+     *  @{ */
+    /** Existing disk records skipped at construction because their
+     * stamped epoch (or format version) did not match the cache's. */
+    std::uint64_t adoptionSkipped = 0;
+    std::uint64_t adoptionSkippedBytes = 0; ///< Bytes those held.
+    /** Disk reads discarded because the record's stamped epoch did not
+     * match the requested fingerprint's (served as misses). */
+    std::uint64_t diskEpochMismatches = 0;
+    /** @} */
+
     /** @name Disk-tier garbage collection
      *  @{ */
     std::uint64_t diskGcRuns = 0;         ///< Sweeps performed.
     std::uint64_t diskGcRemovals = 0;     ///< Records unlinked.
     std::uint64_t diskGcBytesRemoved = 0; ///< Bytes reclaimed.
+    /** Sweeps skipped because another process held the tier's flock. */
+    std::uint64_t diskGcLockBusy = 0;
     /** Disk-tier size as tracked by the cache (exact after a sweep;
      * between sweeps, an upper bound that counts re-written records
      * twice until the next rescan). */
@@ -158,6 +182,7 @@ class PulseCache
 {
   public:
     explicit PulseCache(PulseCacheOptions options = {});
+    ~PulseCache();
 
     const PulseCacheOptions& options() const { return options_; }
 
@@ -199,7 +224,12 @@ class PulseCache
      * time, from any thread, concurrently with get()/put(): removal is
      * whole-file unlink, so a concurrent reader observes either the
      * intact record or a clean miss. A no-op report when the cache has
-     * no disk tier (or is already under the cap).
+     * no disk tier (or is already under the cap). When several
+     * processes share the directory, an advisory flock on
+     * `.qpc-gc.lock` serializes their sweeps: a contended sweep is
+     * skipped (lockBusy in the report) rather than queued, since the
+     * holder is already enforcing the cap — and two sweepers racing
+     * the same victim list would double-unlink each other's records.
      */
     DiskGcReport gcDisk();
 
@@ -257,19 +287,28 @@ class PulseCache
     std::atomic<std::uint64_t> oversized_{0};
     std::atomic<std::uint64_t> released_{0};
     std::atomic<std::uint64_t> bytesReleased_{0};
+    std::atomic<std::uint64_t> adoptionSkipped_{0};
+    std::atomic<std::uint64_t> adoptionSkippedBytes_{0};
+    std::atomic<std::uint64_t> diskEpochMismatches_{0};
 
     LatencyHistogram getNs_;
     LatencyHistogram putNs_;
     LatencyHistogram diskReadNs_;
     LatencyHistogram diskWriteNs_;
 
-    /** One sweep at a time; put()/get() never take this. */
+    /** One sweep at a time in-process; put()/get() never take this. */
     std::mutex diskGcMu_;
+    /** Cross-process sweep exclusion: an fd on `.qpc-gc.lock` in the
+     * tier directory, flock'd for the duration of a sweep. -1 when
+     * the cache has no disk tier or the lockfile could not be opened
+     * (sweeps then proceed with in-process exclusion only). */
+    int diskGcLockFd_ = -1;
     /** Tracked tier size: exact after a sweep, upper bound between. */
     std::atomic<std::size_t> diskBytes_{0};
     std::atomic<std::uint64_t> diskGcRuns_{0};
     std::atomic<std::uint64_t> diskGcRemovals_{0};
     std::atomic<std::uint64_t> diskGcBytesRemoved_{0};
+    std::atomic<std::uint64_t> diskGcLockBusy_{0};
 };
 
 } // namespace qpc

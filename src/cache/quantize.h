@@ -89,6 +89,17 @@ struct ParamQuantization
     /** Minimum optimizer iterations between driver-triggered
      * refinement rounds. */
     int refineCooldown = 5;
+    /**
+     * Multiplicative decay applied to every leaf's serve-visit counter
+     * at the end of each refinement round, in [0, 1]. 1 (default)
+     * keeps the legacy accumulate-forever behaviour; below 1, a region
+     * the optimizer has moved away from — or whose heat predates an
+     * epoch bump — cools off instead of attracting splits forever on
+     * stale history. Decay runs after the round's hot-leaf snapshot,
+     * so a leaf that just crossed splitVisitThreshold still splits in
+     * that round.
+     */
+    double visitDecay = 1.0;
     /** @} */
 
     /** Grid spacing in radians. */

@@ -1,0 +1,51 @@
+#include "model/calibration.h"
+
+#include <cstring>
+
+#include "pulse/device.h"
+
+namespace qpc {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void
+mixU64(std::uint64_t& h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= kFnvPrime;
+    }
+}
+
+void
+mixF64(std::uint64_t& h, double v)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mixU64(h, bits);
+}
+
+} // namespace
+
+std::uint64_t
+deviceModelHash(const DeviceModel& model)
+{
+    std::uint64_t h = kFnvOffset;
+    mixU64(h, static_cast<std::uint64_t>(model.numQubits()));
+    mixU64(h, static_cast<std::uint64_t>(model.levels()));
+    for (const auto& [a, b] : model.couplings()) {
+        mixU64(h, static_cast<std::uint64_t>(a));
+        mixU64(h, static_cast<std::uint64_t>(b));
+    }
+    const GmonLimits& limits = model.limits();
+    mixF64(h, limits.chargeMax);
+    mixF64(h, limits.fluxMax);
+    mixF64(h, limits.couplerMax);
+    mixF64(h, limits.anharmonicity);
+    return h;
+}
+
+} // namespace qpc

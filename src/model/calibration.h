@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Calibration epochs: the staleness key for every cached pulse.
+ *
+ * A real device's Hamiltonian drifts between calibrations, so a pulse
+ * synthesized against last epoch's device model is silently wrong
+ * physics even though its circuit fingerprint still matches. The
+ * CalibrationEpoch pairs a monotonic counter (bumped each time the
+ * control stack recalibrates) with a hash of the device model the
+ * pulses were synthesized against. Every layer that names a pulse —
+ * BlockFingerprint, the PulseCache disk records, ServingPlan, the
+ * wire protocol — carries it, so an epoch bump invalidates the whole
+ * tier by construction rather than by sweep.
+ *
+ * The zero epoch {0, 0} means "epochs not in use" and preserves the
+ * legacy keying: fingerprints hash, compare, and render exactly as
+ * they did before epochs existed, and pre-epoch disk records load as
+ * epoch zero.
+ */
+
+#ifndef QPC_MODEL_CALIBRATION_H
+#define QPC_MODEL_CALIBRATION_H
+
+#include <cstdint>
+
+namespace qpc {
+
+class DeviceModel;
+
+/** Identity of one calibration of the target device. */
+struct CalibrationEpoch
+{
+    /** Monotonic calibration counter; 0 = epochs not in use. */
+    std::uint64_t counter = 0;
+    /** Hash of the device model pulses are synthesized against. */
+    std::uint64_t modelHash = 0;
+
+    bool zero() const { return counter == 0 && modelHash == 0; }
+
+    /**
+     * One mixed word for hashing. The zero epoch keys to 0 so legacy
+     * fingerprint hashes are unchanged.
+     */
+    std::uint64_t key() const
+    {
+        if (zero())
+            return 0;
+        std::uint64_t h = counter * 0x9e3779b97f4a7c15ull;
+        h ^= modelHash + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        return h | 1; // Never 0 for a non-zero epoch.
+    }
+};
+
+inline bool
+operator==(const CalibrationEpoch& a, const CalibrationEpoch& b)
+{
+    return a.counter == b.counter && a.modelHash == b.modelHash;
+}
+
+inline bool
+operator!=(const CalibrationEpoch& a, const CalibrationEpoch& b)
+{
+    return !(a == b);
+}
+
+/**
+ * Hash the parameters of a device model that affect synthesized
+ * pulses: qubit count, level truncation, coupling graph, and the gmon
+ * amplitude limits. Two models with equal hashes produce
+ * interchangeable pulses for the same block.
+ */
+std::uint64_t deviceModelHash(const DeviceModel& model);
+
+} // namespace qpc
+
+#endif // QPC_MODEL_CALIBRATION_H

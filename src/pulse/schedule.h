@@ -19,10 +19,12 @@ namespace qpc {
 
 /**
  * Header bytes of the on-disk "QPLS" record (magic + version + dt +
- * channel count + sample count); pulse/serialize.cc asserts this stays
- * in sync with the actual format.
+ * channel count + sample count + calibration epoch counter + device
+ * model hash); pulse/serialize.cc asserts this stays in sync with the
+ * actual format.
  */
-inline constexpr std::size_t kPulseRecordHeaderBytes = 4 + 4 + 8 + 4 + 8;
+inline constexpr std::size_t kPulseRecordHeaderBytes =
+    4 + 4 + 8 + 4 + 8 + 8 + 8;
 
 /** Sampled control amplitudes for every channel of a device. */
 class PulseSchedule

@@ -64,7 +64,11 @@ getF64(const std::uint8_t* p)
     return v;
 }
 
-constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4 + 8;
+// Version 2 appends the calibration epoch (counter + model hash) to
+// the version-1 header; everything before it is layout-identical so
+// v1 records parse with the same offsets.
+constexpr std::size_t kHeaderBytesV1 = 4 + 4 + 8 + 4 + 8;
+constexpr std::size_t kHeaderBytes = kHeaderBytesV1 + 8 + 8;
 static_assert(kHeaderBytes == kPulseRecordHeaderBytes,
               "PulseSchedule::serializedBytes() must track the record "
               "header size");
@@ -72,7 +76,8 @@ static_assert(kHeaderBytes == kPulseRecordHeaderBytes,
 } // namespace
 
 std::vector<std::uint8_t>
-serializePulseSchedule(const PulseSchedule& schedule)
+serializePulseSchedule(const PulseSchedule& schedule,
+                       const CalibrationEpoch& epoch)
 {
     const int channels = schedule.numChannels();
     const int samples = schedule.numSamples();
@@ -86,6 +91,8 @@ serializePulseSchedule(const PulseSchedule& schedule)
     putF64(out, schedule.dt());
     putU32(out, static_cast<std::uint32_t>(channels));
     putU64(out, static_cast<std::uint64_t>(samples));
+    putU64(out, epoch.counter);
+    putU64(out, epoch.modelHash);
     for (int c = 0; c < channels; ++c)
         for (double v : schedule.channel(c))
             putF64(out, v);
@@ -93,17 +100,28 @@ serializePulseSchedule(const PulseSchedule& schedule)
 }
 
 std::optional<PulseSchedule>
-deserializePulseSchedule(const std::uint8_t* data, std::size_t size)
+deserializePulseSchedule(const std::uint8_t* data, std::size_t size,
+                         CalibrationEpoch* epoch)
 {
-    if (data == nullptr || size < kHeaderBytes)
+    if (data == nullptr || size < kHeaderBytesV1)
         return std::nullopt;
     if (std::memcmp(data, kMagic, 4) != 0)
         return std::nullopt;
-    if (getU32(data + 4) != kPulseFormatVersion)
+    const std::uint32_t version = getU32(data + 4);
+    if (version != 1 && version != kPulseFormatVersion)
+        return std::nullopt;
+    const std::size_t header =
+        version == 1 ? kHeaderBytesV1 : kHeaderBytes;
+    if (size < header)
         return std::nullopt;
     const double dt = getF64(data + 8);
     const std::uint64_t channels = getU32(data + 16);
     const std::uint64_t samples = getU64(data + 20);
+    CalibrationEpoch meta;
+    if (version != 1) {
+        meta.counter = getU64(data + 28);
+        meta.modelHash = getU64(data + 36);
+    }
 
     // Guard the multiplication, and both int casts below: a record
     // whose counts overflow int must read as malformed, not abort in
@@ -112,39 +130,46 @@ deserializePulseSchedule(const std::uint8_t* data, std::size_t size)
         samples > static_cast<std::uint64_t>(INT32_MAX))
         return std::nullopt;
     const std::uint64_t payload = channels * samples * 8;
-    if (size != kHeaderBytes + payload)
+    if (size != header + payload)
         return std::nullopt;
 
     if (channels == 0) {
         // The empty schedule round-trips to the default object.
-        return dt == 0.0 ? std::optional<PulseSchedule>(PulseSchedule())
-                         : std::nullopt;
+        if (dt != 0.0)
+            return std::nullopt;
+        if (epoch != nullptr)
+            *epoch = meta;
+        return PulseSchedule();
     }
     if (!(dt > 0.0))
         return std::nullopt;
 
     PulseSchedule schedule(static_cast<int>(channels),
                            static_cast<int>(samples), dt);
-    const std::uint8_t* p = data + kHeaderBytes;
+    const std::uint8_t* p = data + header;
     for (std::uint64_t c = 0; c < channels; ++c) {
         std::vector<double>& ch = schedule.channel(static_cast<int>(c));
         for (std::uint64_t s = 0; s < samples; ++s, p += 8)
             ch[s] = getF64(p);
     }
+    if (epoch != nullptr)
+        *epoch = meta;
     return schedule;
 }
 
 std::optional<PulseSchedule>
-deserializePulseSchedule(const std::vector<std::uint8_t>& bytes)
+deserializePulseSchedule(const std::vector<std::uint8_t>& bytes,
+                         CalibrationEpoch* epoch)
 {
-    return deserializePulseSchedule(bytes.data(), bytes.size());
+    return deserializePulseSchedule(bytes.data(), bytes.size(), epoch);
 }
 
 bool
-savePulseSchedule(const std::string& path, const PulseSchedule& schedule)
+savePulseSchedule(const std::string& path, const PulseSchedule& schedule,
+                  const CalibrationEpoch& epoch)
 {
     const std::vector<std::uint8_t> bytes =
-        serializePulseSchedule(schedule);
+        serializePulseSchedule(schedule, epoch);
     // Unique temp name per writer: concurrent savers of the same path
     // (two processes sharing a cache directory, or two threads racing
     // past the single-flight map) must never interleave into one temp
@@ -185,7 +210,7 @@ savePulseSchedule(const std::string& path, const PulseSchedule& schedule)
 }
 
 std::optional<PulseSchedule>
-loadPulseSchedule(const std::string& path)
+loadPulseSchedule(const std::string& path, CalibrationEpoch* epoch)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
@@ -195,7 +220,31 @@ loadPulseSchedule(const std::string& path)
         std::istreambuf_iterator<char>());
     if (!in.good() && !in.eof())
         return std::nullopt;
-    return deserializePulseSchedule(bytes);
+    return deserializePulseSchedule(bytes, epoch);
+}
+
+std::optional<CalibrationEpoch>
+peekPulseRecordEpoch(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::uint8_t header[kHeaderBytes];
+    in.read(reinterpret_cast<char*>(header), sizeof(header));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    if (got < kHeaderBytesV1)
+        return std::nullopt;
+    if (std::memcmp(header, kMagic, 4) != 0)
+        return std::nullopt;
+    const std::uint32_t version = getU32(header + 4);
+    if (version == 1)
+        return CalibrationEpoch{};
+    if (version != kPulseFormatVersion || got < kHeaderBytes)
+        return std::nullopt;
+    CalibrationEpoch epoch;
+    epoch.counter = getU64(header + 28);
+    epoch.modelHash = getU64(header + 36);
+    return epoch;
 }
 
 } // namespace qpc

@@ -64,6 +64,20 @@ validateQuantization(const ParamQuantization& quantization)
                  quantization.splitVisitThreshold == 0),
             "adaptive quantization needs a refine depth in [1, 32] "
             "and a positive split-visit threshold");
+    fatalIf(quantization.enabled && quantization.adaptive &&
+                (quantization.visitDecay < 0.0 ||
+                 quantization.visitDecay > 1.0),
+            "adaptive visit decay must lie in [0, 1]");
+}
+
+/** Cache options with the service's starting epoch folded in, so the
+ * disk tier adopts (and serves) only records of that calibration. */
+PulseCacheOptions
+cacheOptionsWithEpoch(PulseCacheOptions cache,
+                      const CalibrationEpoch& epoch)
+{
+    cache.epoch = epoch;
+    return cache;
 }
 
 } // namespace
@@ -111,7 +125,9 @@ modeledLatencySynthesizer(double time_scale, double dt,
 }
 
 CompileService::CompileService(CompileServiceOptions options)
-    : options_(std::move(options)), cache_(options_.cache),
+    : options_(std::move(options)),
+      cache_(cacheOptionsWithEpoch(options_.cache, options_.epoch)),
+      epoch_(options_.epoch),
       pool_(options_.numWorkers, options_.maxQueuedJobs)
 {
     fatalIf(options_.maxBlockWidth <= 0,
@@ -123,10 +139,42 @@ CompileService::CompileService(CompileServiceOptions options)
 
 CompileService::~CompileService() = default;
 
+CalibrationEpoch
+CompileService::epoch() const
+{
+    std::lock_guard<std::mutex> lock(epochMu_);
+    return epoch_;
+}
+
+CalibrationEpoch
+CompileService::bumpEpoch(std::uint64_t model_hash)
+{
+    std::lock_guard<std::mutex> lock(epochMu_);
+    epoch_.counter += 1;
+    if (model_hash != 0)
+        epoch_.modelHash = model_hash;
+    return epoch_;
+}
+
+void
+CompileService::setEpoch(const CalibrationEpoch& epoch)
+{
+    std::lock_guard<std::mutex> lock(epochMu_);
+    epoch_ = epoch;
+}
+
+BlockFingerprint
+CompileService::fingerprintStamped(const Circuit& block) const
+{
+    BlockFingerprint fp = fingerprintBlock(block);
+    fp.epoch = epoch();
+    return fp;
+}
+
 CompileService::PulseFuture
 CompileService::requestBlock(const Circuit& block, AdmitOutcome* outcome)
 {
-    return admit(fingerprintBlock(block), block, outcome,
+    return admit(fingerprintStamped(block), block, outcome,
                  /*force_block=*/false);
 }
 
@@ -275,7 +323,7 @@ CompileService::admitAfterMiss(const BlockFingerprint& fp,
 PulseSchedule
 CompileService::compileBlock(const Circuit& block)
 {
-    return *admit(fingerprintBlock(block), block, nullptr,
+    return *admit(fingerprintStamped(block), block, nullptr,
                   /*force_block=*/true)
                 .get();
 }
@@ -290,7 +338,7 @@ CompileService::appendFixedEntries(
     for (const CircuitBlock& block : blocking.blocks) {
         ServingPlan::FixedEntry entry;
         entry.local = block.asCircuit(segment_circuit);
-        entry.fingerprint = fingerprintBlock(entry.local);
+        entry.fingerprint = fingerprintStamped(entry.local);
         out.push_back(std::move(entry));
     }
 }
@@ -490,6 +538,11 @@ CompileService::prepareServing(const StrictPartition& partition,
     validateQuantization(quantization);
     ServingPlan plan;
     plan.quant_ = quantization;
+    // One epoch snapshot for the whole plan: every fingerprint minted
+    // below carries it (fingerprintStamped re-reads the live epoch,
+    // but a bump mid-prepare only ever advances it, and the plan is
+    // keyed by the epoch it records here for drift detection).
+    plan.epoch_ = epoch();
     for (const StrictSegment& segment : partition.segments) {
         if (segment.fixed) {
             if (segment.circuit.empty())
@@ -526,7 +579,7 @@ CompileService::prepareServing(const StrictPartition& partition,
                 std::vector<BlockFingerprint> table;
                 table.reserve(quantization.bins);
                 for (int bin = 0; bin < quantization.bins; ++bin)
-                    table.push_back(fingerprintBlock(snappedRotation(
+                    table.push_back(fingerprintStamped(snappedRotation(
                         out.gate, bin, quantization.bins)));
                 // Adaptive refinement state: every coarse bin starts
                 // as one leaf carrying the fixed grid's fingerprint
@@ -777,6 +830,16 @@ CompileService::refineQuantizedGrid(const ServingPlan& plan)
                     candidate.visits = state.visits;
                     hot.push_back(std::move(candidate));
                 }
+            // Cool every leaf *after* the hot snapshot: a leaf that
+            // just crossed the threshold still splits this round, but
+            // heat the optimizer abandoned stops compounding toward a
+            // split it no longer deserves. Runs even when nothing is
+            // hot — cooling is about rounds elapsing, not splits.
+            if (q.visitDecay < 1.0)
+                for (auto& [key, state] : axis.leaves)
+                    state.visits = static_cast<std::uint64_t>(
+                        static_cast<double>(state.visits) *
+                        q.visitDecay);
         }
         if (hot.empty())
             continue;
@@ -797,11 +860,11 @@ CompileService::refineQuantizedGrid(const ServingPlan& plan)
             candidate.low.local =
                 rotationAt(axis.gate, low.representative);
             candidate.low.fingerprint =
-                fingerprintBlock(candidate.low.local);
+                fingerprintStamped(candidate.low.local);
             candidate.high.local =
                 rotationAt(axis.gate, high.representative);
             candidate.high.fingerprint =
-                fingerprintBlock(candidate.high.local);
+                fingerprintStamped(candidate.high.local);
         }
         int split_here = 0;
         {

@@ -43,6 +43,7 @@
 #include "cache/quantize.h"
 #include "grape/grape.h"
 #include "ir/circuit.h"
+#include "model/calibration.h"
 #include "model/latencymodel.h"
 #include "partial/strict.h"
 #include "pulse/device.h"
@@ -131,6 +132,15 @@ struct CompileServiceOptions
      * per-iteration hot path into pure lookups.
      */
     ParamQuantization quantization;
+    /**
+     * Calibration epoch the service starts in. Every fingerprint the
+     * service mints is stamped with the *current* epoch (see
+     * bumpEpoch()), so cached pulses are keyed to the device
+     * calibration they were synthesized against. The zero epoch (the
+     * default) keeps legacy keying. Also forwarded into the cache's
+     * options so disk-tier adoption honours it.
+     */
+    CalibrationEpoch epoch;
 };
 
 /** Service-level counters, snapshotted by CompileService::stats(). */
@@ -288,6 +298,10 @@ class ServingPlan
     int numParamGates() const;
     /** Effective quantization config this plan serves under. */
     const ParamQuantization& quantization() const { return quant_; }
+    /** Calibration epoch captured at prepareServing(): every
+     * fingerprint in this plan is stamped with it, so the plan keeps
+     * serving its own epoch's pulses even after the service bumps. */
+    const CalibrationEpoch& epoch() const { return epoch_; }
 
   private:
     friend class CompileService;
@@ -354,6 +368,8 @@ class ServingPlan
     std::map<int, std::unique_ptr<LookupKit>> kits_;
     /** Quantization config captured at prepareServing() time. */
     ParamQuantization quant_;
+    /** Calibration epoch captured at prepareServing() time. */
+    CalibrationEpoch epoch_;
     /**
      * Iteration-invariant half of the quantized path: the content
      * address of every grid bin's snapped rotation, per axis, computed
@@ -495,6 +511,30 @@ class CompileService
     std::vector<Circuit>
     fixedBlocksOf(const Circuit& template_circuit) const;
 
+    /** The calibration epoch fingerprints are currently minted in. */
+    CalibrationEpoch epoch() const;
+
+    /**
+     * Advance to a new calibration epoch: increments the monotonic
+     * counter and (when `model_hash` is nonzero) adopts the new device
+     * model hash. Every fingerprint minted afterwards — prepareServing
+     * bin tables, batch precompute, serve-path probes — carries the
+     * new epoch, so no pre-bump pulse can ever be served through a
+     * post-bump plan. Plans prepared before the bump keep serving
+     * their captured epoch until their owner re-prepares them (the
+     * compile server does this for every live plan on a BumpEpoch
+     * frame). Returns the new epoch.
+     */
+    CalibrationEpoch bumpEpoch(std::uint64_t model_hash = 0);
+
+    /**
+     * Adopt an externally determined epoch wholesale — a replica
+     * restoring a serving snapshot must mint fingerprints in the
+     * snapshot's epoch or its warm disk tier would read as stale.
+     * Intended for boot-time use, before plans are prepared.
+     */
+    void setEpoch(const CalibrationEpoch& epoch);
+
     ServiceStats stats() const;
 
     /**
@@ -553,6 +593,10 @@ class CompileService
     std::vector<ServingPlan::FixedEntry>
     collectFixedEntries(const Circuit& template_circuit) const;
 
+    /** fingerprintBlock() stamped with the current epoch — the only
+     * way this service mints fingerprints. */
+    BlockFingerprint fingerprintStamped(const Circuit& block) const;
+
     /** Dedupe entries by fingerprint, fan out, wait, and report.
      * wallSeconds is measured from `start`. */
     BatchCompileReport
@@ -562,6 +606,11 @@ class CompileService
 
     CompileServiceOptions options_;
     PulseCache cache_;
+
+    /** Guards epoch_ (read on every fingerprint mint, written only by
+     * bumpEpoch/setEpoch). */
+    mutable std::mutex epochMu_;
+    CalibrationEpoch epoch_;
 
     std::mutex inflightMu_;
     std::unordered_map<BlockFingerprint, PulseFuture,

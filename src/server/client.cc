@@ -369,6 +369,8 @@ CompileClient::hello(const std::string& tenant)
     out.maxPlans = r.u64();
     out.maxServedBytes = r.u64();
     out.maxConcurrentBulk = r.u64();
+    out.epochCounter = r.u64();
+    out.epochModelHash = r.u64();
     if (!r.done()) {
         fail(WireError::Internal, "malformed HelloOk");
         return std::nullopt;
@@ -467,6 +469,7 @@ CompileClient::serve(std::uint64_t plan_id,
     out.quantMisses = r.u64();
     out.exactServes = r.u64();
     out.quantErrorBound = r.f64();
+    out.epochCounter = r.u64();
     out.numSegments = r.u32();
     if (want_pulses) {
         // Each pulse record is a length-prefixed blob, so it occupies
@@ -553,6 +556,34 @@ CompileClient::shutdownServer()
     std::optional<std::vector<std::uint8_t>> reply =
         request(MsgType::ShutdownOk, build, /*retryable=*/false);
     return reply.has_value();
+}
+
+std::optional<CompileClient::BumpEpochReply>
+CompileClient::bumpEpoch(std::uint64_t model_hash)
+{
+    const auto build = [model_hash] {
+        WireWriter w = beginMessage(MsgType::BumpEpoch);
+        w.u64(model_hash);
+        return w.take();
+    };
+    // Non-retryable like Shutdown: a reply lost after the server
+    // applied the bump must not advance the epoch twice.
+    std::optional<std::vector<std::uint8_t>> reply =
+        request(MsgType::BumpEpochOk, build, /*retryable=*/false);
+    if (!reply)
+        return std::nullopt;
+    WireReader r(*reply);
+    r.u8();
+    r.u8();
+    BumpEpochReply out;
+    out.newCounter = r.u64();
+    out.modelHash = r.u64();
+    out.plansRekeyed = r.u32();
+    if (!r.done()) {
+        fail(WireError::Internal, "malformed BumpEpochOk");
+        return std::nullopt;
+    }
+    return out;
 }
 
 ClientStats

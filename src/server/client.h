@@ -112,6 +112,9 @@ class CompileClient
         std::uint64_t maxPlans = 0;
         std::uint64_t maxServedBytes = 0;
         std::uint64_t maxConcurrentBulk = 0;
+        /** The server's calibration epoch at connect. */
+        std::uint64_t epochCounter = 0;
+        std::uint64_t epochModelHash = 0;
     };
     /** Identify this connection's tenant; required before any
      * plan-scoped request. The name is cached for reconnection. */
@@ -150,6 +153,11 @@ class CompileClient
         std::uint64_t quantMisses = 0;
         std::uint64_t exactServes = 0;
         double quantErrorBound = 0.0;
+        /** Epoch the serving plan is keyed to. Lags the server epoch
+         * between a BumpEpoch and that plan's re-key; comparing it to
+         * HelloReply::epochCounter detects mid-flight calibration
+         * drift. */
+        std::uint64_t epochCounter = 0;
         std::uint32_t numSegments = 0;
         /** Decoded pulse segments; empty unless want_pulses. */
         std::vector<PulseSchedule> pulses;
@@ -169,6 +177,21 @@ class CompileClient
     /** Ask the server to shut down; true on an acknowledged stop.
      * Never retried (a lost ack must not re-kill a fresh server). */
     bool shutdownServer();
+
+    struct BumpEpochReply
+    {
+        std::uint64_t newCounter = 0;
+        std::uint64_t modelHash = 0;
+        std::uint32_t plansRekeyed = 0;
+    };
+    /**
+     * Advance the server's calibration epoch (recalibration landed):
+     * every plan is re-keyed and re-prewarmed server-side while serves
+     * continue. model_hash 0 keeps the current device-model hash.
+     * Never retried — a lost ack must not double-bump.
+     */
+    std::optional<BumpEpochReply>
+    bumpEpoch(std::uint64_t model_hash = 0);
 
     /**
      * Raw exchange: send one payload, read one reply payload. The

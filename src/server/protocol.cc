@@ -302,6 +302,7 @@ peekMessage(const std::vector<std::uint8_t>& payload)
     case MsgType::Stats:
     case MsgType::Shutdown:
     case MsgType::Metrics:
+    case MsgType::BumpEpoch:
     case MsgType::HelloOk:
     case MsgType::PrepareOk:
     case MsgType::PrewarmOk:
@@ -309,6 +310,7 @@ peekMessage(const std::vector<std::uint8_t>& payload)
     case MsgType::StatsOk:
     case MsgType::ShutdownOk:
     case MsgType::MetricsOk:
+    case MsgType::BumpEpochOk:
     case MsgType::Error:
         return static_cast<MsgType>(payload[1]);
     }

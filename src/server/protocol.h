@@ -21,18 +21,27 @@
  *   Stats           (empty)
  *   Shutdown        (empty)
  *   Metrics         (empty)
+ *   BumpEpoch       u64 modelHash (0 = keep the current device-model
+ *                   hash; the counter always advances)
  *
  * Replies:
  *   HelloOk     u32 tenantId, u64 maxPlans, u64 maxServedBytes,
- *               u64 maxConcurrentBulk
+ *               u64 maxConcurrentBulk, u64 epochCounter,
+ *               u64 epochModelHash (the server's calibration epoch at
+ *               connect, so a fleet client knows which calibration it
+ *               is about to serve against)
  *   PrepareOk   u64 planId, u32 numFixedBlocks, u32 numParamGates
  *   PrewarmOk   u32 uniqueBlocks, u64 synthRuns, u64 cacheHits,
  *               f64 wallSeconds
  *   ServeOk     f64 pulseNs, u64 cacheHits, u64 cacheMisses,
  *               u64 quantHits, u64 quantMisses, u64 exactServes,
- *               f64 quantErrorBound, u32 numSegments,
+ *               f64 quantErrorBound, u64 epochCounter (the epoch the
+ *               serving plan is keyed to — lags the server epoch
+ *               until the plan is re-keyed after a bump, so clients
+ *               detect mid-flight calibration drift), u32 numSegments,
  *               then when wantPulses: numSegments x (u32 len,
  *               u8[len] "QPLS" pulse record)
+ *   BumpEpochOk u64 newCounter, u64 modelHash, u32 plansRekeyed
  *   StatsOk     ServerStatsSnapshot (see decodeStats)
  *   ShutdownOk  (empty)
  *   MetricsOk   MetricsSnapshot (see decodeMetrics): counters,
@@ -69,8 +78,10 @@
 
 namespace qpc {
 
-/** Protocol version spoken by this build (frames carry it). */
-inline constexpr std::uint8_t kServerProtocolVersion = 1;
+/** Protocol version spoken by this build (frames carry it). Version 2
+ * added calibration epochs: HelloOk/ServeOk epoch fields and the
+ * BumpEpoch admin request. */
+inline constexpr std::uint8_t kServerProtocolVersion = 2;
 
 /** Circuit record format version inside PrepareServing bodies. */
 inline constexpr std::uint32_t kCircuitFormatVersion = 1;
@@ -92,6 +103,7 @@ enum class MsgType : std::uint8_t {
     Stats = 5,
     Shutdown = 6,
     Metrics = 7,
+    BumpEpoch = 8,
 
     HelloOk = 65,
     PrepareOk = 66,
@@ -100,6 +112,7 @@ enum class MsgType : std::uint8_t {
     StatsOk = 69,
     ShutdownOk = 70,
     MetricsOk = 71,
+    BumpEpochOk = 72,
     Error = 127,
 };
 

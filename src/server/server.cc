@@ -112,12 +112,14 @@ CompileServer::CompileServer(CompileServerOptions options)
         {MsgType::Stats, "Stats"},
         {MsgType::Shutdown, "Shutdown"},
         {MsgType::Metrics, "Metrics"},
+        {MsgType::BumpEpoch, "BumpEpoch"},
     };
     for (const auto& [type, name] : kRequestTypes)
         handleNs_[static_cast<std::uint8_t>(type)] =
             &registry_.histogram(
                 std::string("qpc_server_handle_us{type=\"") + name +
                 "\"}");
+    epochRecoveryNs_ = &registry_.histogram("qpc_epoch_recovery_us");
 }
 
 CompileServer::~CompileServer()
@@ -274,6 +276,17 @@ CompileServer::stop()
             session->thread.join();
         closeIfOpen(session->fd);
     }
+    // Rewarm threads last: only session handlers spawn them, so none
+    // can appear once every session is joined — and the stopped gate
+    // unblocks any still waiting at waitBulkTurn().
+    std::vector<std::thread> rewarm;
+    {
+        std::lock_guard<std::mutex> lock(rewarmMu_);
+        rewarm.swap(rewarmThreads_);
+    }
+    for (std::thread& thread : rewarm)
+        if (thread.joinable())
+            thread.join();
     closeIfOpen(unixFd_);
     closeIfOpen(tcpFd_);
     if (!options_.socketPath.empty())
@@ -525,6 +538,9 @@ CompileServer::handleRequest(Session& session,
         w.u64(options_.quota.maxPlans);
         w.u64(options_.quota.maxServedBytes);
         w.u64(options_.quota.maxConcurrentBulk);
+        const CalibrationEpoch epoch = service_.epoch();
+        w.u64(epoch.counter);
+        w.u64(epoch.modelHash);
         return sendFrame(session.fd, w.bytes());
     }
 
@@ -549,6 +565,7 @@ CompileServer::handleRequest(Session& session,
         // keep serving while it runs.
         Tenant::PlanEntry entry;
         entry.numParams = circuit->numParams();
+        entry.circuit = std::make_shared<const Circuit>(*circuit);
         try {
             const StrictPartition partition = strictPartition(*circuit);
             entry.plan = std::make_shared<const ServingPlan>(
@@ -731,6 +748,10 @@ CompileServer::handleRequest(Session& session,
         w.u64(served.quantMisses);
         w.u64(served.exactServes);
         w.f64(served.quantErrorBound);
+        // The *plan's* epoch, not the server's: after a bump it lags
+        // until rekeyPlansForEpoch swaps the plan, which is exactly
+        // the drift a fleet client wants to observe.
+        w.u64(entry.plan->epoch().counter);
         w.u32(static_cast<std::uint32_t>(served.segments.size()));
         if (want_pulses)
             for (const PulsePtr& segment : served.segments)
@@ -764,6 +785,25 @@ CompileServer::handleRequest(Session& session,
         return false;
     }
 
+    case MsgType::BumpEpoch: {
+        const std::uint64_t model_hash = r.u64();
+        if (!r.done())
+            return badBody("malformed BumpEpoch");
+        // Advance the epoch first: every fingerprint minted from here
+        // on carries it. Old plans keep serving their old-epoch
+        // records (put() stamps by fingerprint epoch) until swapped.
+        const CalibrationEpoch epoch = service_.bumpEpoch(model_hash);
+        epochBumps_.fetch_add(1, std::memory_order_relaxed);
+        std::vector<std::shared_ptr<const ServingPlan>> rekeyed;
+        const std::uint32_t plans_rekeyed = rekeyPlansForEpoch(rekeyed);
+        rewarmPlansAsync(std::move(rekeyed));
+        WireWriter w = beginMessage(MsgType::BumpEpochOk);
+        w.u64(epoch.counter);
+        w.u64(epoch.modelHash);
+        w.u32(plans_rekeyed);
+        return sendFrame(session.fd, w.bytes());
+    }
+
     default:
         // A reply type sent as a request.
         protocolErrors_.fetch_add(1, std::memory_order_relaxed);
@@ -771,6 +811,148 @@ CompileServer::handleRequest(Session& session,
                   "reply type sent as a request");
         return false;
     }
+}
+
+std::uint32_t
+CompileServer::rekeyPlansForEpoch(
+    std::vector<std::shared_ptr<const ServingPlan>>& rekeyed)
+{
+    // Snapshot the work list under the locks, prepare outside them:
+    // re-preparing fingerprints every block of every plan, and serves
+    // must keep flowing while that runs.
+    struct Item
+    {
+        std::shared_ptr<Tenant> tenant;
+        std::uint64_t planId = 0;
+        std::shared_ptr<const Circuit> circuit;
+    };
+    std::vector<Item> items;
+    {
+        std::lock_guard<std::mutex> lock(registryMu_);
+        for (const auto& [name, tenant] : tenants_) {
+            std::lock_guard<std::mutex> plan_lock(tenant->mu);
+            for (const auto& [id, entry] : tenant->plans)
+                if (entry.circuit)
+                    items.push_back({tenant, id, entry.circuit});
+        }
+    }
+    std::uint32_t swapped = 0;
+    for (Item& item : items) {
+        std::shared_ptr<const ServingPlan> plan;
+        try {
+            const StrictPartition partition =
+                strictPartition(*item.circuit);
+            plan = std::make_shared<const ServingPlan>(
+                service_.prepareServing(partition));
+        } catch (const std::exception& e) {
+            warn("epoch rekey failed for tenant=", item.tenant->name,
+                 " plan=", item.planId, ": ", e.what());
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> plan_lock(item.tenant->mu);
+            auto it = item.tenant->plans.find(item.planId);
+            // Dropped meanwhile (tenant quota churn): nothing to swap.
+            if (it == item.tenant->plans.end())
+                continue;
+            it->second.plan = plan;
+        }
+        rekeyed.push_back(std::move(plan));
+        ++swapped;
+    }
+    return swapped;
+}
+
+void
+CompileServer::rewarmPlansAsync(
+    std::vector<std::shared_ptr<const ServingPlan>> plans)
+{
+    if (plans.empty())
+        return;
+    const std::uint64_t t0 = traceNowNs();
+    std::thread thread([this, plans = std::move(plans), t0] {
+        for (const std::shared_ptr<const ServingPlan>& plan : plans) {
+            // Bulk class, exactly like a wire Prewarm: every pending
+            // interactive serve goes first, and a stopped gate means
+            // shutdown — bins left cold just synthesize on demand.
+            if (!gate_.waitBulkTurn())
+                return;
+            try {
+                service_.precompilePlan(*plan);
+                service_.prewarmQuantizedBins(*plan);
+            } catch (const std::exception& e) {
+                warn("epoch rewarm failed: ", e.what());
+                return;
+            }
+        }
+        const std::uint64_t t1 = traceNowNs();
+        epochRecoveryNs_->record(t1 > t0 ? t1 - t0 : 0);
+    });
+    std::lock_guard<std::mutex> lock(rewarmMu_);
+    rewarmThreads_.push_back(std::move(thread));
+}
+
+ServingSnapshot
+CompileServer::snapshotServing() const
+{
+    ServingSnapshot snapshot;
+    snapshot.epoch = service_.epoch();
+    std::lock_guard<std::mutex> lock(registryMu_);
+    for (const auto& [name, tenant] : tenants_) {
+        std::lock_guard<std::mutex> plan_lock(tenant->mu);
+        for (const auto& [id, entry] : tenant->plans)
+            if (entry.circuit)
+                snapshot.plans.push_back(
+                    SnapshotPlan{name, *entry.circuit});
+    }
+    return snapshot;
+}
+
+SnapshotRestoreReport
+CompileServer::restoreServing(const ServingSnapshot& snapshot)
+{
+    SnapshotRestoreReport report;
+    const auto start = std::chrono::steady_clock::now();
+    // Epoch first: the whole point is that plans prepared below mint
+    // the same fingerprints — hence the same disk-tier filenames — as
+    // the fleet that wrote the snapshot.
+    service_.setEpoch(snapshot.epoch);
+    for (const SnapshotPlan& snap_plan : snapshot.plans) {
+        std::shared_ptr<Tenant> tenant = internTenant(snap_plan.tenant);
+        Tenant::PlanEntry entry;
+        entry.numParams = snap_plan.circuit.numParams();
+        entry.circuit =
+            std::make_shared<const Circuit>(snap_plan.circuit);
+        try {
+            const StrictPartition partition =
+                strictPartition(snap_plan.circuit);
+            entry.plan = std::make_shared<const ServingPlan>(
+                service_.prepareServing(partition));
+            const BatchCompileReport fixed =
+                service_.precompilePlan(*entry.plan);
+            const BatchCompileReport bins =
+                service_.prewarmQuantizedBins(*entry.plan);
+            report.uniqueBlocks += fixed.uniqueBlocks +
+                                   bins.uniqueBlocks;
+            report.cacheHits += fixed.cacheHits + bins.cacheHits;
+            report.synthRuns += fixed.synthRuns + bins.synthRuns;
+        } catch (const std::exception& e) {
+            warn("snapshot restore failed for tenant=",
+                 snap_plan.tenant, ": ", e.what());
+            continue;
+        }
+        {
+            std::lock_guard<std::mutex> plan_lock(tenant->mu);
+            tenant->plans.emplace(tenant->nextPlanId++,
+                                  std::move(entry));
+        }
+        ++report.plans;
+    }
+    report.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return report;
 }
 
 WireServerStats
@@ -870,6 +1052,10 @@ CompileServer::metricsSnapshot() const
     counter("qpc_cache_mem_hits_total", stats.cacheMemHits);
     counter("qpc_cache_disk_hits_total", stats.cacheDiskHits);
     counter("qpc_cache_misses_total", stats.cacheMisses);
+    counter("qpc_epoch_bumps_total",
+            epochBumps_.load(std::memory_order_relaxed));
+    gauge("qpc_calibration_epoch",
+          static_cast<double>(service_.epoch().counter));
     gauge("qpc_server_connections_active",
           static_cast<double>(stats.connectionsActive));
     gauge("qpc_cache_entries", static_cast<double>(stats.cacheEntries));

@@ -44,6 +44,7 @@
 
 #include "runtime/service.h"
 #include "server/protocol.h"
+#include "server/snapshot.h"
 #include "telemetry/metrics.h"
 
 namespace qpc {
@@ -143,6 +144,28 @@ class PriorityGate
     bool stopped_ = false;
 };
 
+/** What restoring a serving snapshot accomplished. */
+struct SnapshotRestoreReport
+{
+    std::size_t plans = 0;          ///< Plans re-prepared.
+    std::uint64_t uniqueBlocks = 0; ///< Blocks prewarmed across plans.
+    std::uint64_t cacheHits = 0;    ///< Blocks found warm (disk tier).
+    std::uint64_t synthRuns = 0;    ///< Blocks synthesized cold.
+    double wallSeconds = 0.0;
+
+    /** Warm fraction of the restore's prewarm: ~1.0 when the replica
+     * shares (or copied) the fleet's disk tier under the snapshot's
+     * epoch; ~0.0 on a cold boot. */
+    double
+    hitRate() const
+    {
+        return uniqueBlocks
+                   ? static_cast<double>(cacheHits) /
+                         static_cast<double>(uniqueBlocks)
+                   : 0.0;
+    }
+};
+
 /** A long-running, multi-tenant compile server. */
 class CompileServer
 {
@@ -201,6 +224,22 @@ class CompileServer
     const CompileServerOptions& options() const { return options_; }
     CompileService& service() { return service_; }
 
+    /**
+     * Capture the serving state a warm replica boot needs: the
+     * calibration epoch plus every tenant's plan circuits. Callable on
+     * a live server (tenant registry locked per tenant).
+     */
+    ServingSnapshot snapshotServing() const;
+
+    /**
+     * Re-prepare and prewarm a snapshot's plans, adopting its epoch
+     * *first* so the minted fingerprints match the disk records the
+     * snapshotting fleet wrote. Meant for the window between
+     * construction and start(), but safe on a live server too (plans
+     * land under their tenants as if prepared over the wire).
+     */
+    SnapshotRestoreReport restoreServing(const ServingSnapshot& snapshot);
+
   private:
     /** One tenant's registry entry, shared by all its sessions. */
     struct Tenant
@@ -217,6 +256,11 @@ class CompileServer
         {
             std::shared_ptr<const ServingPlan> plan;
             int numParams = 0; ///< Theta length serve() must receive.
+            /** The template the plan was prepared from, kept so an
+             * epoch bump (and snapshotServing) can re-prepare the
+             * plan under the new epoch without a client round-trip.
+             * shared_ptr: PlanEntry is copied per serve. */
+            std::shared_ptr<const Circuit> circuit;
         };
         std::map<std::uint64_t, PlanEntry> plans;
 
@@ -260,6 +304,26 @@ class CompileServer
 
     std::shared_ptr<Tenant> internTenant(const std::string& name);
 
+    /**
+     * Re-prepare every tenant's plans under the service's current
+     * epoch and swap them in (pointer swap under the tenant lock;
+     * in-flight serves finish against the old plan through their
+     * shared_ptr, so serves never fail mid-bump). Returns the number
+     * of plans re-keyed and appends the new entries to `rekeyed` for
+     * the caller's background rewarm.
+     */
+    std::uint32_t rekeyPlansForEpoch(
+        std::vector<std::shared_ptr<const ServingPlan>>& rekeyed);
+
+    /**
+     * Prewarm re-keyed plans on a tracked background thread (bulk
+     * class: each plan yields at the priority gate), recording the
+     * bump-to-warm recovery latency; serves keep succeeding meanwhile
+     * — a missing bin just synthesizes on demand.
+     */
+    void rewarmPlansAsync(
+        std::vector<std::shared_ptr<const ServingPlan>> plans);
+
     /** Reply write bounded by idleTimeoutMs: a peer that stops
      * reading cannot pin a session thread forever. */
     bool sendFrame(int fd, const std::vector<std::uint8_t>& payload);
@@ -296,6 +360,16 @@ class CompileServer
     std::map<std::string, std::shared_ptr<Tenant>> tenants_;
     std::vector<std::unique_ptr<Session>> sessions_;
     std::uint32_t nextTenantId_ = 1;
+
+    /** Calibration-epoch bumps served (BumpEpoch frames honored). */
+    std::atomic<std::uint64_t> epochBumps_{0};
+    /** Bump-to-rewarmed recovery latency; registry-owned, resolved at
+     * construction like the handle histograms. */
+    LatencyHistogram* epochRecoveryNs_ = nullptr;
+    /** Background rewarm threads started by BumpEpoch; joined in
+     * stop() (the gate's stop() unblocks any still waiting). */
+    std::mutex rewarmMu_;
+    std::vector<std::thread> rewarmThreads_;
 
     std::atomic<std::uint64_t> connectionsAccepted_{0};
     std::atomic<std::uint64_t> connectionsActive_{0};

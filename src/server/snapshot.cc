@@ -1,0 +1,127 @@
+#include "server/snapshot.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include <unistd.h>
+
+#include "server/protocol.h"
+
+namespace qpc {
+
+namespace {
+
+constexpr char kMagic[4] = {'Q', 'S', 'N', 'P'};
+
+/** Ceiling on plans in one snapshot: a lying count in a hostile file
+ * must bound allocation, mirroring kMaxWireMetrics' reasoning. */
+constexpr std::uint32_t kMaxSnapshotPlans = 1u << 16;
+
+} // namespace
+
+std::vector<std::uint8_t>
+serializeServingSnapshot(const ServingSnapshot& snapshot)
+{
+    WireWriter w;
+    w.raw(reinterpret_cast<const std::uint8_t*>(kMagic), 4);
+    w.u32(kSnapshotFormatVersion);
+    w.u64(snapshot.epoch.counter);
+    w.u64(snapshot.epoch.modelHash);
+    w.u32(static_cast<std::uint32_t>(snapshot.plans.size()));
+    for (const SnapshotPlan& plan : snapshot.plans) {
+        w.str(plan.tenant);
+        encodeCircuit(w, plan.circuit);
+    }
+    return w.take();
+}
+
+std::optional<ServingSnapshot>
+deserializeServingSnapshot(const std::vector<std::uint8_t>& bytes)
+{
+    if (bytes.size() < 4 || std::memcmp(bytes.data(), kMagic, 4) != 0)
+        return std::nullopt;
+    WireReader r(bytes.data() + 4, bytes.size() - 4);
+    if (r.u32() != kSnapshotFormatVersion)
+        return std::nullopt;
+    ServingSnapshot snapshot;
+    snapshot.epoch.counter = r.u64();
+    snapshot.epoch.modelHash = r.u64();
+    const std::uint32_t num_plans = r.u32();
+    if (!r.ok() || num_plans > kMaxSnapshotPlans)
+        return std::nullopt;
+    snapshot.plans.reserve(num_plans);
+    for (std::uint32_t i = 0; i < num_plans; ++i) {
+        SnapshotPlan plan;
+        plan.tenant = r.str();
+        if (!r.ok() || plan.tenant.empty())
+            return std::nullopt;
+        std::optional<Circuit> circuit = decodeCircuit(r);
+        if (!circuit)
+            return std::nullopt;
+        plan.circuit = std::move(*circuit);
+        snapshot.plans.push_back(std::move(plan));
+    }
+    if (!r.done())
+        return std::nullopt;
+    return snapshot;
+}
+
+bool
+saveServingSnapshot(const std::string& path,
+                    const ServingSnapshot& snapshot)
+{
+    const std::vector<std::uint8_t> bytes =
+        serializeServingSnapshot(snapshot);
+    // Same atomic-publish discipline as savePulseSchedule: a unique
+    // temp per writer, then rename, so a crash or a racing writer can
+    // never leave a torn snapshot at `path`.
+    static std::atomic<std::uint64_t> save_counter{0};
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(save_counter.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::remove(tmp.c_str());
+            return false;
+        }
+        out.write(reinterpret_cast<const char*>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out) {
+            out.close();
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::optional<ServingSnapshot>
+loadServingSnapshot(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        return std::nullopt;
+    const std::streamsize size = in.tellg();
+    if (size < 0)
+        return std::nullopt;
+    in.seekg(0);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    if (size > 0 &&
+        !in.read(reinterpret_cast<char*>(bytes.data()), size))
+        return std::nullopt;
+    return deserializeServingSnapshot(bytes);
+}
+
+} // namespace qpc

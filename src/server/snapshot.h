@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Serving-state snapshots for warm replica boots.
+ *
+ * A compile server's working set is reconstructible — every pulse is
+ * re-derivable from its circuit — but reconstruction is exactly the
+ * latency the server exists to hide. When a fleet adds a replica (or
+ * restarts one), the new daemon should not pay a cold cache against
+ * tenants whose plans the fleet has served for hours. A snapshot
+ * captures what is *cheap to carry and expensive to rediscover*: the
+ * calibration epoch and every tenant's serving-plan circuits. The
+ * restoring daemon re-prepares those plans under the snapshot's epoch
+ * — identical epoch => identical fingerprints => identical disk-tier
+ * filenames — so a replica sharing the fleet's cache directory (or
+ * one that rsync'ed it) boots with a warm hit rate instead of a
+ * synthesis storm.
+ *
+ * On-disk format ("QSNP", little-endian):
+ *
+ *   bytes 0..3  magic "QSNP"
+ *   u32         format version (currently 1)
+ *   u64         epoch counter
+ *   u64         epoch device-model hash
+ *   u32         numPlans
+ *   per plan:   u32 tenantLen, tenant bytes,
+ *               "QCIR" circuit record (protocol.h)
+ *
+ * Writes are atomic (temp file + rename) so a crash mid-snapshot
+ * leaves the previous snapshot intact.
+ */
+
+#ifndef QPC_SERVER_SNAPSHOT_H
+#define QPC_SERVER_SNAPSHOT_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.h"
+#include "model/calibration.h"
+
+namespace qpc {
+
+/** Snapshot record format version. */
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/** One serving plan worth re-preparing at boot. */
+struct SnapshotPlan
+{
+    std::string tenant; ///< Tenant name the plan belongs to.
+    Circuit circuit;    ///< The serving template, bit-exact.
+};
+
+/** Everything a replica needs to boot warm. */
+struct ServingSnapshot
+{
+    /** Calibration epoch the fleet was serving under. Restoring
+     * daemons adopt it *before* preparing plans, so the re-keyed
+     * fingerprints match the shared disk tier's records. */
+    CalibrationEpoch epoch;
+    std::vector<SnapshotPlan> plans;
+};
+
+/** Serialize a snapshot to bytes ("QSNP" record). */
+std::vector<std::uint8_t>
+serializeServingSnapshot(const ServingSnapshot& snapshot);
+
+/**
+ * Parse a "QSNP" record. nullopt on bad magic, version, counts, or a
+ * malformed embedded circuit — a truncated or hostile snapshot must
+ * fail the boot cleanly, never half-restore.
+ */
+std::optional<ServingSnapshot>
+deserializeServingSnapshot(const std::vector<std::uint8_t>& bytes);
+
+/**
+ * Write a snapshot to `path` atomically (temp + rename). False on any
+ * I/O failure; the previous file at `path`, if any, is untouched.
+ */
+bool saveServingSnapshot(const std::string& path,
+                         const ServingSnapshot& snapshot);
+
+/** Read and parse a snapshot file; nullopt on I/O or parse failure. */
+std::optional<ServingSnapshot>
+loadServingSnapshot(const std::string& path);
+
+} // namespace qpc
+
+#endif // QPC_SERVER_SNAPSHOT_H

@@ -5,8 +5,10 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fcntl.h>
 #include <filesystem>
 #include <fstream>
+#include <sys/file.h>
 #include <thread>
 #include <unistd.h>
 
@@ -830,12 +832,12 @@ TEST(PulseCache, CapacityRemainderIsDistributedAcrossShards)
 TEST(PulseCache, ByteBudgetEvictsOnBytesBeforeEntries)
 {
     // One shard, entry cap far above the byte cap: eviction must run
-    // on bytes. Each pulse is 28 + 1*10*8 = 108 serialized bytes.
+    // on bytes. Each pulse is 44 + 1*10*8 = 124 serialized bytes.
     const PulseSchedule pulse = samplePulse(1, 1, 10);
-    ASSERT_EQ(pulse.serializedBytes(), 108u);
+    ASSERT_EQ(pulse.serializedBytes(), 124u);
 
     PulseCacheOptions options = cacheOptions(64, 1);
-    options.capacityBytes = 3 * 108;
+    options.capacityBytes = 3 * 124;
     PulseCache cache(options);
 
     for (uint64_t i = 0; i < 5; ++i)
@@ -843,10 +845,10 @@ TEST(PulseCache, ByteBudgetEvictsOnBytesBeforeEntries)
 
     const CacheStats stats = cache.stats();
     EXPECT_EQ(stats.entries, 3u);
-    EXPECT_EQ(stats.bytesInUse, 3u * 108u);
+    EXPECT_EQ(stats.bytesInUse, 3u * 124u);
     EXPECT_LE(stats.bytesInUse, options.capacityBytes);
     EXPECT_EQ(stats.evictions, 2u);
-    EXPECT_EQ(stats.bytesEvicted, 2u * 108u);
+    EXPECT_EQ(stats.bytesEvicted, 2u * 124u);
     // LRU order: the two oldest entries went.
     EXPECT_FALSE((cache.get(fp(0)) != nullptr));
     EXPECT_FALSE((cache.get(fp(1)) != nullptr));
@@ -902,12 +904,12 @@ TEST(PulseCache, RefreshInPlaceTracksByteDelta)
     options.capacityBytes = 4096;
     PulseCache cache(options);
 
-    cache.put(fp(7), samplePulse(1, 1, 10)); // 108 bytes.
-    EXPECT_EQ(cache.stats().bytesInUse, 108u);
-    cache.put(fp(7), samplePulse(2, 1, 50)); // Re-synthesized: 428.
+    cache.put(fp(7), samplePulse(1, 1, 10)); // 124 bytes.
+    EXPECT_EQ(cache.stats().bytesInUse, 124u);
+    cache.put(fp(7), samplePulse(2, 1, 50)); // Re-synthesized: 444.
     const CacheStats stats = cache.stats();
     EXPECT_EQ(stats.entries, 1u);
-    EXPECT_EQ(stats.bytesInUse, 428u);
+    EXPECT_EQ(stats.bytesInUse, 444u);
 }
 
 TEST(PulseCache, ByteBudgetHoldsUnderConcurrentPuts)
@@ -1056,7 +1058,8 @@ TEST(PulseCache, DiskGcEqualMtimesEvictInFilenameOrder)
     std::vector<std::string> kept;
     for (const auto& entry :
          std::filesystem::directory_iterator(dir.path()))
-        kept.push_back(entry.path().filename().string());
+        if (entry.path().extension() == ".qpulse")
+            kept.push_back(entry.path().filename().string());
     std::sort(kept.begin(), kept.end());
     ASSERT_EQ(kept.size(), 2u);
     EXPECT_EQ(kept[0], names[4]);
@@ -1142,6 +1145,227 @@ TEST(PulseCache, ConcurrentGetDuringGcNeverTearsARecord)
     EXPECT_LE(diskTierBytes(dir.path()),
               options.maxDiskBytes +
                   8 * samplePulse(0, 1, 10).serializedBytes());
+}
+
+// ---------------------------------------------------------------------
+// Calibration-epoch keying
+// ---------------------------------------------------------------------
+
+/** Count of .qpulse records in a disk tier (ignores the lockfile). */
+std::size_t
+diskTierCount(const std::string& dir)
+{
+    std::size_t count = 0;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir))
+        if (entry.path().extension() == ".qpulse")
+            ++count;
+    return count;
+}
+
+/** fp(n) stamped with a calibration epoch. */
+BlockFingerprint
+fpe(uint64_t n, const CalibrationEpoch& epoch)
+{
+    BlockFingerprint f = fp(n);
+    f.epoch = epoch;
+    return f;
+}
+
+TEST(Fingerprint, EpochSeparatesOtherwiseIdenticalBlocks)
+{
+    const CalibrationEpoch e1{1, 7};
+    const CalibrationEpoch e2{2, 7};
+    const BlockFingerprint a = fpe(5, e1);
+    const BlockFingerprint b = fpe(5, e2);
+    const BlockFingerprint legacy = fp(5);
+
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, legacy);
+    EXPECT_EQ(a, fpe(5, CalibrationEpoch{1, 7}));
+
+    const BlockFingerprintHash hash;
+    EXPECT_NE(hash(a), hash(b));
+    EXPECT_NE(hash(a), hash(legacy));
+
+    // Distinct hex => distinct disk-tier filenames: epochs can never
+    // collide on disk. The zero epoch keeps the legacy spelling, so
+    // pre-epoch cache directories stay addressable.
+    EXPECT_NE(a.hex(), b.hex());
+    EXPECT_NE(a.hex(), legacy.hex());
+    EXPECT_EQ(legacy.hex().find("-e"), std::string::npos);
+    EXPECT_NE(a.hex().find("-e"), std::string::npos);
+}
+
+TEST(CalibrationEpoch, KeyNeverZeroForLiveEpochs)
+{
+    EXPECT_EQ(CalibrationEpoch{}.key(), 0u);
+    EXPECT_NE((CalibrationEpoch{1, 0}).key(), 0u);
+    EXPECT_NE((CalibrationEpoch{0, 1}).key(), 0u);
+    EXPECT_NE((CalibrationEpoch{1, 0}).key(),
+              (CalibrationEpoch{2, 0}).key());
+}
+
+TEST(PulseCache, AdoptionSkipsForeignEpochRecords)
+{
+    // Regression: construction used to adopt (and byte-track) every
+    // .qpulse record in the directory, regardless of the epoch stamped
+    // in its header — a recalibrated daemon would then GC-account and
+    // serve pulses synthesized under a stale device model.
+    TempDir dir("qpc_cache_epoch_adopt");
+    const CalibrationEpoch live{3, 11};
+    const CalibrationEpoch stale{2, 11};
+
+    {
+        PulseCache writer(cacheOptions(64, 2, dir.path()));
+        // Two stale-epoch records and one live: put() stamps each
+        // record with its fingerprint's epoch.
+        writer.put(fpe(1, stale), samplePulse(1, 1, 10));
+        writer.put(fpe(2, stale), samplePulse(2, 1, 10));
+        writer.put(fpe(3, live), samplePulse(3, 1, 10));
+    }
+
+    PulseCacheOptions options = cacheOptions(64, 2, dir.path());
+    options.epoch = live;
+    PulseCache cache(options);
+
+    const std::size_t record =
+        samplePulse(0, 1, 10).serializedBytes();
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.adoptionSkipped, 2u);
+    EXPECT_EQ(stats.adoptionSkippedBytes, 2u * record);
+    EXPECT_EQ(stats.diskBytesInUse, record);
+
+    // The live record serves from disk; the stale ones are not this
+    // cache's to serve (their fingerprints carry the stale epoch and
+    // resolve to different filenames anyway).
+    EXPECT_TRUE(cache.get(fpe(3, live)) != nullptr);
+    EXPECT_EQ(cache.stats().diskHits, 1u);
+}
+
+TEST(PulseCache, DiskEpochMismatchServesAsAMiss)
+{
+    // A record whose stamped epoch disagrees with the requested
+    // fingerprint's (a torn rsync, a hand-copied cache dir) must read
+    // as a miss, never as a wrong-calibration pulse.
+    TempDir dir("qpc_cache_epoch_mismatch");
+    const CalibrationEpoch live{4, 9};
+    PulseCacheOptions options = cacheOptions(64, 2, dir.path());
+    options.epoch = live;
+    PulseCache cache(options);
+
+    const BlockFingerprint f = fpe(1, live);
+    const std::string path = dir.path() + "/" + f.hex() + ".qpulse";
+    ASSERT_TRUE(savePulseSchedule(path, samplePulse(1, 1, 10),
+                                  CalibrationEpoch{9, 9}));
+
+    EXPECT_TRUE(cache.get(f) == nullptr);
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.diskEpochMismatches, 1u);
+    EXPECT_EQ(stats.diskHits, 0u);
+    EXPECT_EQ(stats.misses, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Fleet-shared disk tier
+// ---------------------------------------------------------------------
+
+TEST(PulseCache, GcSkipsWhileAnotherSweeperHoldsTheLock)
+{
+    TempDir dir("qpc_cache_gc_flock");
+    PulseCacheOptions options = cacheOptions(64, 2, dir.path());
+    // Low-water mark is cap - cap/8: a 2-record cap sweeps 4 records
+    // down to 1.
+    options.maxDiskBytes =
+        2 * samplePulse(0, 1, 10).serializedBytes();
+    options.gcOnPut = false;
+    PulseCache cache(options);
+    for (uint64_t i = 0; i < 4; ++i)
+        cache.put(fp(i), samplePulse(i, 1, 10));
+
+    // Impersonate a sibling daemon mid-sweep: hold the tier's flock
+    // from a separate file description.
+    const int lock_fd =
+        ::open((dir.path() + "/.qpc-gc.lock").c_str(),
+               O_CREAT | O_RDWR, 0644);
+    ASSERT_GE(lock_fd, 0);
+    ASSERT_EQ(::flock(lock_fd, LOCK_EX), 0);
+
+    const DiskGcReport busy = cache.gcDisk();
+    EXPECT_TRUE(busy.lockBusy);
+    EXPECT_EQ(busy.removedFiles, 0u);
+    EXPECT_EQ(cache.stats().diskGcLockBusy, 1u);
+    EXPECT_EQ(diskTierCount(dir.path()), 4u);
+
+    ASSERT_EQ(::flock(lock_fd, LOCK_UN), 0);
+    ::close(lock_fd);
+
+    const DiskGcReport swept = cache.gcDisk();
+    EXPECT_FALSE(swept.lockBusy);
+    EXPECT_EQ(swept.removedFiles, 3u);
+    EXPECT_LE(diskTierBytes(dir.path()), options.maxDiskBytes);
+}
+
+TEST(PulseCache, TwoCachesShareOneDiskTierWithoutTornState)
+{
+    // Two PulseCache instances on one directory stand in for two
+    // daemons sharing a fleet cache dir (flock is per open file
+    // description, so the exclusion is identical in-process). Both
+    // put, get, and sweep concurrently; afterwards no record may be
+    // torn and the tier must respect the cap.
+    TempDir dir("qpc_cache_shared_tier");
+    const std::size_t record =
+        samplePulse(0, 1, 10).serializedBytes();
+    PulseCacheOptions options = cacheOptions(16, 2, dir.path());
+    options.capacityBytes = 4 * record; // Evict: force disk reads.
+    options.maxDiskBytes = 24 * record;
+    options.gcOnPut = false;
+    PulseCache a(options);
+    PulseCache b(options);
+
+    std::atomic<bool> corrupt{false};
+    std::atomic<uint64_t> sweeps{0};
+    const auto worker = [&](PulseCache& cache, uint64_t salt) {
+        Rng rng(salt);
+        for (int i = 0; i < 200; ++i) {
+            const uint64_t n =
+                static_cast<uint64_t>(rng.randint(0, 47));
+            cache.put(fp(n), samplePulse(n, 1, 10));
+            const PulsePtr got = cache.get(
+                fp(static_cast<uint64_t>(rng.randint(0, 47))));
+            if (got && got->serializedBytes() != record)
+                corrupt.store(true);
+            if (i % 16 == 0) {
+                const DiskGcReport report = cache.gcDisk();
+                if (!report.lockBusy)
+                    sweeps.fetch_add(1);
+            }
+        }
+    };
+    std::thread ta(worker, std::ref(a), 101);
+    std::thread tb(worker, std::ref(b), 202);
+    ta.join();
+    tb.join();
+
+    EXPECT_FALSE(corrupt.load());
+    EXPECT_GT(sweeps.load(), 0u);
+
+    // Final sweep reconciles the byte tracker against a full rescan
+    // (each cache only tracked its own writes while racing): the
+    // reported remainder must equal what is actually on disk, under
+    // the cap, and every surviving record must load cleanly.
+    const DiskGcReport final_sweep = a.gcDisk();
+    EXPECT_FALSE(final_sweep.lockBusy);
+    EXPECT_EQ(final_sweep.remainingBytes, diskTierBytes(dir.path()));
+    EXPECT_LE(final_sweep.remainingBytes, options.maxDiskBytes);
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir.path())) {
+        if (entry.path().extension() != ".qpulse")
+            continue;
+        EXPECT_TRUE(
+            loadPulseSchedule(entry.path().string()).has_value())
+            << "torn record: " << entry.path();
+    }
 }
 
 } // namespace

@@ -298,6 +298,115 @@ TEST(Serialize, RejectsMalformedBytes)
     EXPECT_TRUE(deserializePulseSchedule(bytes).has_value());
 }
 
+TEST(Serialize, EpochMetadataRoundTrips)
+{
+    const PulseSchedule pulse(2, 8, 0.05);
+    const CalibrationEpoch stamped{42, 0xfeedULL};
+    const std::vector<uint8_t> bytes =
+        serializePulseSchedule(pulse, stamped);
+
+    CalibrationEpoch back;
+    const auto decoded = deserializePulseSchedule(bytes, &back);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(back, stamped);
+
+    // Default stamp is the zero epoch.
+    CalibrationEpoch zero{9, 9};
+    ASSERT_TRUE(deserializePulseSchedule(serializePulseSchedule(pulse),
+                                         &zero)
+                    .has_value());
+    EXPECT_EQ(zero, CalibrationEpoch{});
+}
+
+/** A version-1 record for `pulse`: the v2 header truncated to the
+ * pre-epoch fields with the version field rewritten, then the
+ * payload. Stands in for a record written before epoch keying. */
+std::vector<uint8_t>
+craftV1Record(const PulseSchedule& pulse)
+{
+    const std::vector<uint8_t> v2 = serializePulseSchedule(pulse);
+    std::vector<uint8_t> v1;
+    v1.reserve(v2.size() - 16);
+    for (size_t i = 0; i < v2.size(); ++i)
+        if (i < 28 || i >= 44) // Drop the epoch fields (28..43).
+            v1.push_back(v2[i]);
+    v1[4] = 1; // Version field (little-endian u32).
+    return v1;
+}
+
+TEST(Serialize, VersionOneRecordsStillDeserialize)
+{
+    PulseSchedule pulse(2, 8, 0.05);
+    pulse.channel(0)[3] = 1.0 / 3.0;
+    const std::vector<uint8_t> v1 = craftV1Record(pulse);
+
+    CalibrationEpoch epoch{7, 7};
+    const auto back = deserializePulseSchedule(v1, &epoch);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->numChannels(), 2);
+    EXPECT_EQ(back->numSamples(), 8);
+    EXPECT_EQ(back->channel(0)[3], 1.0 / 3.0);
+    // Pre-epoch records carry the zero epoch.
+    EXPECT_EQ(epoch, CalibrationEpoch{});
+
+    // Truncation rules hold for v1 exactly as for v2.
+    std::vector<uint8_t> truncated(v1.begin(), v1.end() - 1);
+    EXPECT_FALSE(deserializePulseSchedule(truncated).has_value());
+}
+
+TEST(Serialize, PeekEpochReadsOnlyTheHeader)
+{
+    namespace fs = std::filesystem;
+    const std::string dir =
+        (fs::temp_directory_path() / "qpc_peek_epoch").string();
+    fs::create_directories(dir);
+
+    const PulseSchedule pulse(1, 10, 0.05);
+    const CalibrationEpoch stamped{5, 77};
+    ASSERT_TRUE(
+        savePulseSchedule(dir + "/v2.qpulse", pulse, stamped));
+    const auto peeked = peekPulseRecordEpoch(dir + "/v2.qpulse");
+    ASSERT_TRUE(peeked.has_value());
+    EXPECT_EQ(*peeked, stamped);
+
+    // v1 records peek as the zero epoch.
+    const std::vector<uint8_t> v1 = craftV1Record(pulse);
+    {
+        std::ofstream out(dir + "/v1.qpulse", std::ios::binary);
+        out.write(reinterpret_cast<const char*>(v1.data()),
+                  static_cast<std::streamsize>(v1.size()));
+    }
+    const auto legacy = peekPulseRecordEpoch(dir + "/v1.qpulse");
+    ASSERT_TRUE(legacy.has_value());
+    EXPECT_EQ(*legacy, CalibrationEpoch{});
+
+    // Hostile headers peek as nullopt: truncated, bad magic, and a
+    // v2 header cut off before its epoch fields.
+    {
+        std::ofstream out(dir + "/short.qpulse", std::ios::binary);
+        out.write("QPL", 3);
+    }
+    EXPECT_FALSE(peekPulseRecordEpoch(dir + "/short.qpulse"));
+    {
+        const std::vector<uint8_t> v2 =
+            serializePulseSchedule(pulse, stamped);
+        std::ofstream out(dir + "/cut.qpulse", std::ios::binary);
+        out.write(reinterpret_cast<const char*>(v2.data()), 30);
+    }
+    EXPECT_FALSE(peekPulseRecordEpoch(dir + "/cut.qpulse"));
+    {
+        std::vector<uint8_t> bad = craftV1Record(pulse);
+        bad[0] ^= 0xff;
+        std::ofstream out(dir + "/magic.qpulse", std::ios::binary);
+        out.write(reinterpret_cast<const char*>(bad.data()),
+                  static_cast<std::streamsize>(bad.size()));
+    }
+    EXPECT_FALSE(peekPulseRecordEpoch(dir + "/magic.qpulse"));
+    EXPECT_FALSE(peekPulseRecordEpoch(dir + "/absent.qpulse"));
+
+    fs::remove_all(dir);
+}
+
 // ---------------------------------------------------------------------
 // Fuzz-style corruption: malformed bytes must read as errors, never
 // crash, and never produce a partially-loaded schedule — a corrupt
@@ -333,8 +442,10 @@ TEST(SerializeFuzz, FlippedVersionBytesAreRejected)
     const std::vector<uint8_t> bytes =
         serializePulseSchedule(fuzzSeedPulse());
     Rng rng(29);
-    // Any disturbance of the 4 version bytes (offsets 4..7) makes the
-    // version != 1 and must be rejected, whichever byte and bit.
+    // Any single-bit disturbance of the 4 version bytes (offsets
+    // 4..7) yields a version that is neither 1 nor 2 (flips of 2 give
+    // {0, 3, 6, 10, ...}) and must be rejected, whichever byte and
+    // bit.
     for (int offset = 4; offset < 8; ++offset)
         for (int bit = 0; bit < 8; ++bit) {
             std::vector<uint8_t> flipped = bytes;

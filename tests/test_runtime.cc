@@ -1337,6 +1337,99 @@ TEST(Service, AdaptiveRefinementRespectsDepthAndLeafCaps)
                 quantization.stepRadians() / 4.0, 1e-12);
 }
 
+TEST(ServiceDeathTest, RejectsVisitDecayOutsideUnitInterval)
+{
+    CompileServiceOptions options;
+    options.quantization = adaptiveQuantization(16, 4);
+    options.quantization.visitDecay = 1.5;
+    EXPECT_DEATH({ CompileService service(options); },
+                 "visit decay");
+}
+
+TEST(Service, VisitDecayCoolsAbandonedLeaves)
+{
+    // An optimizer that wanders away from a region must not leave its
+    // old hot leaves compounding toward a split forever. Same serve
+    // pattern twice — 7 serves, a refine round, 6 more serves — once
+    // with decay and once without: only the undecayed grid still
+    // splits on the accumulated (stale) heat.
+    const auto splitsAfterPattern = [](double visit_decay) {
+        CompileServiceOptions options;
+        options.numWorkers = 2;
+        ParamQuantization quantization = adaptiveQuantization(32, 8);
+        quantization.visitDecay = visit_decay;
+        options.quantization = quantization;
+        CompileService service(options);
+
+        Circuit templ(1);
+        templ.rz(0, ParamExpr::theta(0));
+        const ServingPlan plan =
+            service.prepareServing(strictPartition(templ));
+
+        const double theta = binAngle(5, 32);
+        for (int i = 0; i < 7; ++i) // 7 < threshold 8: not yet hot.
+            service.serve(plan, {theta});
+        const RefinementReport mid = service.refineQuantizedGrid(plan);
+        EXPECT_EQ(mid.leavesSplit, 0);
+        for (int i = 0; i < 6; ++i)
+            service.serve(plan, {theta});
+        return service.refineQuantizedGrid(plan).leavesSplit;
+    };
+
+    // Undecayed: 7 + 6 = 13 visits >= 8, the leaf splits.
+    EXPECT_EQ(splitsAfterPattern(1.0), 1);
+    // Decayed: the refine round cools 7 visits to 1; 1 + 6 = 7 < 8,
+    // the leaf stays whole.
+    EXPECT_EQ(splitsAfterPattern(0.25), 0);
+}
+
+TEST(Service, EpochBumpInvalidatesCachedPulses)
+{
+    CountingSynth synth;
+    CompileServiceOptions options;
+    options.numWorkers = 2;
+    options.synthesizer = synth.make();
+    options.quantization.enabled = true;
+    options.quantization.bins = 16;
+    CompileService service(options);
+    EXPECT_EQ(service.epoch(), CalibrationEpoch{});
+
+    Circuit templ(1);
+    templ.rz(0, ParamExpr::theta(0));
+    const ServingPlan before =
+        service.prepareServing(strictPartition(templ));
+    EXPECT_EQ(before.epoch().counter, 0u);
+    service.prewarmQuantizedBins(before);
+    const int warm_runs = synth.runs.load();
+    EXPECT_EQ(warm_runs, 16);
+
+    const CalibrationEpoch bumped = service.bumpEpoch(0xabcdULL);
+    EXPECT_EQ(bumped.counter, 1u);
+    EXPECT_EQ(bumped.modelHash, 0xabcdULL);
+    EXPECT_EQ(service.epoch(), bumped);
+
+    // The pre-bump plan captured its epoch: it keeps serving its own
+    // warm pulses, untouched by the bump.
+    const ServedPulse old_serve = service.serve(before, {0.8});
+    EXPECT_EQ(old_serve.quantHits, 1u);
+    EXPECT_EQ(old_serve.quantMisses, 0u);
+    EXPECT_EQ(synth.runs.load(), warm_runs);
+
+    // A plan prepared after the bump mints new-epoch fingerprints:
+    // nothing synthesized before the bump is reachable through it, so
+    // the full grid re-synthesizes — the invalidation the bump is for.
+    const ServingPlan after =
+        service.prepareServing(strictPartition(templ));
+    EXPECT_EQ(after.epoch(), bumped);
+    service.prewarmQuantizedBins(after);
+    EXPECT_EQ(synth.runs.load(), 2 * warm_runs);
+
+    // Warm within its own epoch thereafter.
+    const ServedPulse new_serve = service.serve(after, {0.8});
+    EXPECT_EQ(new_serve.quantHits, 1u);
+    EXPECT_EQ(synth.runs.load(), 2 * warm_runs);
+}
+
 TEST(Service, AdaptiveServeDuringRefinementStress)
 {
     // The TSan-lane stress: drivers hammer serve() on a plan while

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <limits>
@@ -1058,6 +1059,192 @@ TEST(Server, StopWithLiveSessionsJoinsEverything)
     harness->server().stop();
     // Destroying the harness after a clean stop must not hang.
     harness.reset();
+}
+
+// ---------------------------------------------------------------------
+// Calibration epochs over the wire
+// ---------------------------------------------------------------------
+
+const double*
+findGauge(const MetricsSnapshot& snap, const std::string& name)
+{
+    for (const auto& g : snap.gauges)
+        if (g.name == name)
+            return &g.value;
+    return nullptr;
+}
+
+TEST(Server, EpochBumpRekeysPlansWhileServing)
+{
+    ServerHarness harness;
+    CompileClient client;
+    ASSERT_TRUE(client.connectUnix(harness.socket()));
+
+    const auto hello = client.hello("alice");
+    ASSERT_TRUE(hello.has_value());
+    EXPECT_EQ(hello->epochCounter, 0u);
+
+    const auto prepared = client.prepareServing(paramTemplate());
+    ASSERT_TRUE(prepared.has_value());
+    ASSERT_TRUE(client.prewarm(prepared->planId).has_value());
+    const auto before = client.serve(prepared->planId, {0.25, -1.5});
+    ASSERT_TRUE(before.has_value());
+    EXPECT_EQ(before->epochCounter, 0u);
+
+    const auto bumped = client.bumpEpoch(0x5eedULL);
+    ASSERT_TRUE(bumped.has_value());
+    EXPECT_EQ(bumped->newCounter, 1u);
+    EXPECT_EQ(bumped->modelHash, 0x5eedULL);
+    EXPECT_EQ(bumped->plansRekeyed, 1u);
+
+    // The plan id survives the bump, serves keep succeeding, and the
+    // reply now carries the re-keyed plan's epoch: every pulse behind
+    // it was minted under the new calibration.
+    const auto after = client.serve(prepared->planId, {0.25, -1.5});
+    ASSERT_TRUE(after.has_value());
+    EXPECT_EQ(after->epochCounter, 1u);
+
+    const MetricsSnapshot metrics = harness.server().metricsSnapshot();
+    const std::uint64_t* bumps =
+        findCounter(metrics, "qpc_epoch_bumps_total");
+    ASSERT_NE(bumps, nullptr);
+    EXPECT_EQ(*bumps, 1u);
+    const double* epoch_gauge =
+        findGauge(metrics, "qpc_calibration_epoch");
+    ASSERT_NE(epoch_gauge, nullptr);
+    EXPECT_EQ(*epoch_gauge, 1.0);
+
+    // The async re-prewarm records its recovery latency once it
+    // finishes. Wait for the sample rather than racing stop(): a
+    // stop() that lands first aborts the rewarm (bins just stay
+    // cold), which deliberately records nothing.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    for (;;) {
+        const MetricsSnapshot warm = harness.server().metricsSnapshot();
+        const HistogramSnapshot* recovery =
+            findHistogram(warm, "qpc_epoch_recovery_us");
+        ASSERT_NE(recovery, nullptr);
+        if (recovery->count >= 1) {
+            EXPECT_EQ(recovery->count, 1u);
+            break;
+        }
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "epoch rewarm never recorded its recovery latency";
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    harness.server().stop();
+}
+
+// ---------------------------------------------------------------------
+// Serving snapshots
+// ---------------------------------------------------------------------
+
+TEST(Snapshot, RoundTripsAndRejectsHostileBytes)
+{
+    ServingSnapshot snapshot;
+    snapshot.epoch = {3, 99};
+    snapshot.plans.push_back({"alice", paramTemplate()});
+    snapshot.plans.push_back({"bob", paramTemplate()});
+
+    const std::vector<std::uint8_t> bytes =
+        serializeServingSnapshot(snapshot);
+    const auto back = deserializeServingSnapshot(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->epoch, (CalibrationEpoch{3, 99}));
+    ASSERT_EQ(back->plans.size(), 2u);
+    EXPECT_EQ(back->plans[0].tenant, "alice");
+    EXPECT_EQ(back->plans[1].tenant, "bob");
+    EXPECT_EQ(back->plans[0].circuit.numParams(),
+              paramTemplate().numParams());
+
+    // Every proper prefix is malformed (string and circuit lengths
+    // pin the exact size), as is corrupted magic.
+    for (std::size_t len = 0; len < bytes.size(); len += 7) {
+        const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                               bytes.begin() + len);
+        EXPECT_FALSE(deserializeServingSnapshot(prefix).has_value())
+            << "prefix length " << len;
+    }
+    std::vector<std::uint8_t> magic = bytes;
+    magic[0] ^= 0xff;
+    EXPECT_FALSE(deserializeServingSnapshot(magic).has_value());
+    std::vector<std::uint8_t> version = bytes;
+    version[4] = 0x7f;
+    EXPECT_FALSE(deserializeServingSnapshot(version).has_value());
+
+    // File round-trip (atomic save + load).
+    TempDir dir("qpc_snapshot_file");
+    const std::string path = dir.path() + "/serving.qsnp";
+    ASSERT_TRUE(saveServingSnapshot(path, snapshot));
+    const auto loaded = loadServingSnapshot(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->plans.size(), 2u);
+    EXPECT_FALSE(loadServingSnapshot(dir.path() + "/absent.qsnp"));
+}
+
+TEST(Server, SnapshotRestoreBootsWarmReplica)
+{
+    TempDir dir("qpc_snapshot_replica");
+    const std::string tier = dir.path() + "/tier";
+    std::filesystem::create_directories(tier);
+    const auto replicaOptions = [&](const std::string& sock) {
+        CompileServerOptions options;
+        options.socketPath = dir.path() + "/" + sock;
+        options.service.numWorkers = 2;
+        options.service.cache.diskDir = tier;
+        options.service.quantization.enabled = true;
+        options.service.quantization.bins = 32;
+        return options;
+    };
+
+    // Replica A: live in epoch 5, prewarms one tenant's plan into the
+    // shared disk tier, snapshots, exits.
+    ServingSnapshot snapshot;
+    {
+        CompileServerOptions options = replicaOptions("a.sock");
+        options.service.epoch.counter = 5;
+        CompileServer a(std::move(options));
+        a.start();
+        CompileClient client;
+        ASSERT_TRUE(client.connectUnix(a.options().socketPath));
+        const auto hello = client.hello("alice");
+        ASSERT_TRUE(hello.has_value());
+        EXPECT_EQ(hello->epochCounter, 5u);
+        const auto prepared = client.prepareServing(paramTemplate());
+        ASSERT_TRUE(prepared.has_value());
+        ASSERT_TRUE(client.prewarm(prepared->planId).has_value());
+        snapshot = a.snapshotServing();
+        a.stop();
+    }
+    EXPECT_EQ(snapshot.epoch.counter, 5u);
+    ASSERT_EQ(snapshot.plans.size(), 1u);
+
+    // Replica B: cold process, same tier, boots from the snapshot.
+    // The restore adopts A's epoch before preparing, so every minted
+    // fingerprint resolves to a record A already wrote: the prewarm
+    // must be nearly all disk hits.
+    CompileServer b(replicaOptions("b.sock"));
+    const SnapshotRestoreReport report = b.restoreServing(snapshot);
+    EXPECT_EQ(report.plans, 1u);
+    EXPECT_GT(report.uniqueBlocks, 0u);
+    EXPECT_GE(report.hitRate(), 0.9);
+    EXPECT_EQ(b.service().epoch().counter, 5u);
+
+    // And it serves: the restored plan is a real tenant plan, warm.
+    b.start();
+    CompileClient client;
+    ASSERT_TRUE(client.connectUnix(b.options().socketPath));
+    const auto hello = client.hello("alice");
+    ASSERT_TRUE(hello.has_value());
+    EXPECT_EQ(hello->epochCounter, 5u);
+    const auto prepared = client.prepareServing(paramTemplate());
+    ASSERT_TRUE(prepared.has_value());
+    const auto served = client.serve(prepared->planId, {0.25, -1.5});
+    ASSERT_TRUE(served.has_value());
+    EXPECT_EQ(served->epochCounter, 5u);
+    EXPECT_GT(served->cacheHits, 0u); // Warm without any prewarm.
+    b.stop();
 }
 
 } // namespace
