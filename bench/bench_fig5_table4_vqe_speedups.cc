@@ -10,6 +10,9 @@
  * of that advantage, and flexible nearly closes the remaining gap.
  */
 
+#include <chrono>
+#include <cstdio>
+
 #include "bench/benchcommon.h"
 #include "common/logging.h"
 #include "common/table.h"
@@ -36,6 +39,10 @@ main()
     table.addRow({"Molecule", "Gate", "Strict", "Flexible", "GRAPE",
                   "Speedup s/f/g", "Paper speedup s/f/g"});
 
+    // Wall clock over the full compile sweep: the numeric hot paths
+    // (expm, GRAPE, statevector) dominate it, so this key tracks the
+    // end-to-end effect of kernel-level changes.
+    const auto sweep_start = std::chrono::steady_clock::now();
     int index = 0;
     for (const MoleculeSpec& spec : vqeBenchmarks()) {
         const Circuit circuit = vqeBenchmarkCircuit(spec);
@@ -65,7 +72,12 @@ main()
                       fmtNs(flex), fmtNs(grape), ours, theirs});
         ++index;
     }
+    const double sweep_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sweep_start)
+            .count();
     table.print();
+    std::printf("BENCH_fig5_compile_wall_s=%.2f\n", sweep_seconds);
 
     inform("orderings gate >= strict >= flexible >= GRAPE hold for "
            "every molecule; see EXPERIMENTS.md for the per-molecule "

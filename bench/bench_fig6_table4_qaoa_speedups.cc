@@ -10,6 +10,9 @@
  * depth.
  */
 
+#include <chrono>
+#include <cstdio>
+
 #include "bench/benchcommon.h"
 #include "common/cli.h"
 #include "common/logging.h"
@@ -46,6 +49,9 @@ main(int argc, char** argv)
         {"3reg", 6, 11}, {"erdos", 6, 12}, {"3reg", 8, 13},
         {"erdos", 8, 14}};
 
+    // Wall clock over the full sweep, as in bench_fig5: the key that
+    // tracks the end-to-end effect of numeric-kernel changes.
+    const auto sweep_start = std::chrono::steady_clock::now();
     for (int f = 0; f < 4; ++f) {
         const Graph graph = qaoaBenchmarkGraph(
             families[f].family, families[f].n, families[f].seed);
@@ -79,6 +85,10 @@ main(int argc, char** argv)
         }
         table.print();
     }
+    std::printf("BENCH_fig6_compile_wall_s=%.2f\n",
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - sweep_start)
+                    .count());
 
     inform("strict stays close to gate-based (QAOA's parametrized "
            "gates are too frequent), while flexible tracks full "

@@ -61,6 +61,11 @@ for fresh_json in "$FRESH"/bench_*.json; do
     # compile-server daemon the same way: serve p99 latency may not
     # grow past 1.5x (it is wall-clock, so it gets the widest band)
     # and cross-tenant dedup may not fall below 0.95x of baseline.
+    # BENCH_micro_*_speedup gates the SoA kernels layer: the
+    # dispatch-vs-scalar speedup ratio may not fall below 0.95x of
+    # baseline (ratios of same-binary timings are stable where raw
+    # ns/op are not), and a vanished micro key means a kernel was
+    # silently dropped from the bench.
     # (Explicit section markers rather than NR==FNR: that idiom
     # misattributes the second stream when the first is empty.)
     bench_diff=$(awk -F= '
@@ -91,6 +96,10 @@ for fresh_json in "$FRESH"/bench_*.json; do
                   $2 + 0 < (base[$1] + 0) * 0.95)
                   printf "   !! SERVER REGRESSION %s: %s -> %s\n", \
                       $1, base[$1], $2
+              if ($1 ~ /^BENCH_micro_.*_speedup$/ &&
+                  $2 + 0 < (base[$1] + 0) * 0.95)
+                  printf "   !! KERNEL REGRESSION %s: %s -> %s\n", \
+                      $1, base[$1], $2
           } }
         END { for (k in base) if (!(k in fresh)) {
                   printf "   BENCH %s: %s -> (removed)\n", k, base[k]
@@ -106,6 +115,11 @@ for fresh_json in "$FRESH"/bench_*.json; do
                   # instrumentation was silently dropped.
                   if (k ~ /^BENCH_serve_span_/)
                       printf "   !! SERVER REGRESSION %s: %s -> (removed)\n", \
+                          k, base[k]
+                  # A kernel disappearing from the micro bench means
+                  # its speedup is no longer being watched.
+                  if (k ~ /^BENCH_micro_/)
+                      printf "   !! KERNEL REGRESSION %s: %s -> (removed)\n", \
                           k, base[k]
               } }' \
         <(echo __SECTION__;

@@ -26,13 +26,12 @@ BENCHES=(
     bench_fig7_latency_reduction
     bench_service_scaling
     bench_server_throughput
-)
-
-# Built only when Google Benchmark is installed (see bench/CMakeLists);
-# skipped with a note rather than failing when absent.
-OPTIONAL_BENCHES=(
     bench_micro_kernels
 )
+
+# No optional benches at the moment (bench_micro_kernels used to need
+# Google Benchmark; it is now a plain always-built binary).
+OPTIONAL_BENCHES=()
 
 if ! command -v jq >/dev/null; then
     echo "run_all.sh: jq is required to emit JSON" >&2

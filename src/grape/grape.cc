@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "linalg/eig.h"
+#include "linalg/kernels.h"
 #include "pulse/evolve.h"
 
 namespace qpc {
@@ -109,19 +110,21 @@ evaluate(const GrapeWorkspace& ws, const std::vector<double>& x,
         const CMatrix h = sliceHamiltonian(ws.device, amps);
         if (grad) {
             eigs[k] = eigHermitian(h);
-            const CMatrix& v = eigs[k].vectors;
-            CMatrix phase(d, d);
+            std::vector<Complex> phases(d);
             for (int i = 0; i < d; ++i)
-                phase(i, i) = std::polar(1.0, -dt * eigs[k].values[i]);
-            props[k] = v * phase * v.dagger();
+                phases[i] = std::polar(1.0, -dt * eigs[k].values[i]);
+            props[k] = kernels::scaledDaggerSandwich(eigs[k].vectors,
+                                                     phases);
         } else {
             props[k] = slicePropagator(h, dt);
         }
         partials[k + 1] = props[k] * partials[k];
     }
 
-    const Complex overlap = (ws.effTarget.dagger() * partials[n_steps])
-                                .trace();
+    // tr(E^dag P) is the elementwise conjugated dot of E with P.
+    const Complex overlap = kernels::dotcInterleaved(
+        ws.effTarget.data(), partials[n_steps].data(),
+        static_cast<size_t>(d) * static_cast<size_t>(d));
     const double fidelity = std::norm(overlap) / (ws.qdim * ws.qdim);
     if (fidelity_out)
         *fidelity_out = fidelity;
@@ -183,13 +186,15 @@ evaluate(const GrapeWorkspace& ws, const std::vector<double>& x,
             }
         }
         const CMatrix s = v * nmat * v.dagger();
+        // tr(H_c S) = sum_ij H_c(i,j) S(j,i); transposing S once lets
+        // every control's trace run as a contiguous dot product.
+        const CMatrix st = s.transpose();
 
         for (int c = 0; c < n_ctrl; ++c) {
             const CMatrix& hc = ws.device.controls()[c].op;
-            Complex d_overlap{0.0, 0.0};
-            for (int i = 0; i < d; ++i)
-                for (int j = 0; j < d; ++j)
-                    d_overlap += hc(i, j) * s(j, i);
+            const Complex d_overlap = kernels::dotuInterleaved(
+                hc.data(), st.data(),
+                static_cast<size_t>(d) * static_cast<size_t>(d));
             const double d_fid =
                 2.0 * (o_conj * d_overlap).real() / (ws.qdim * ws.qdim);
 

@@ -1,9 +1,11 @@
 #include "linalg/expm.h"
 
 #include <cmath>
+#include <vector>
 
 #include "common/logging.h"
 #include "linalg/eig.h"
+#include "linalg/kernels.h"
 
 namespace qpc {
 
@@ -13,13 +15,10 @@ expmHermitian(const CMatrix& h, Complex factor)
     EigResult eig = eigHermitian(h);
     const int n = h.rows();
     // V diag(exp(factor * lambda)) V^dagger
-    CMatrix scaled = eig.vectors;
-    for (int col = 0; col < n; ++col) {
-        const Complex e = std::exp(factor * eig.values[col]);
-        for (int row = 0; row < n; ++row)
-            scaled(row, col) *= e;
-    }
-    return scaled * eig.vectors.dagger();
+    std::vector<Complex> factors(static_cast<size_t>(n));
+    for (int col = 0; col < n; ++col)
+        factors[col] = std::exp(factor * eig.values[col]);
+    return kernels::scaledDaggerSandwich(eig.vectors, factors);
 }
 
 CMatrix

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "linalg/kernels.h"
 
 namespace qpc {
 
@@ -110,26 +111,14 @@ multiplyInto(CMatrix& result, const CMatrix& a, const CMatrix& b)
     panicIf(&result == &a || &result == &b,
             "multiplyInto result must not alias an operand");
 
-    const int n = a.rows();
-    const int k = a.cols();
-    const int m = b.cols();
-    Complex* out = result.data();
-    const Complex* ad = a.data();
-    const Complex* bd = b.data();
-
-    std::fill(out, out + static_cast<size_t>(n) * m, Complex{0.0, 0.0});
-    // i-k-j loop order streams through b and result rows contiguously.
-    for (int i = 0; i < n; ++i) {
-        for (int kk = 0; kk < k; ++kk) {
-            const Complex aik = ad[i * k + kk];
-            if (aik == Complex{0.0, 0.0})
-                continue;
-            const Complex* brow = bd + static_cast<size_t>(kk) * m;
-            Complex* orow = out + static_cast<size_t>(i) * m;
-            for (int j = 0; j < m; ++j)
-                orow[j] += aik * brow[j];
-        }
+    // Large multiplies amortize the pack/unpack into the planar SoA
+    // kernel; small ones stay in the AoS reference loop, which also
+    // keeps its zero-skip advantage on sparse operands.
+    if (kernels::gemmWorthSoa(a.rows(), a.cols(), b.cols())) {
+        kernels::gemmInto(result, a, b);
+        return;
     }
+    kernels::gemmAosReference(result, a, b);
 }
 
 CMatrix
@@ -266,11 +255,9 @@ CMatrix::apply(const std::vector<Complex>& v) const
             "matrix-vector size mismatch");
     std::vector<Complex> out(rows_, Complex{0.0, 0.0});
     for (int r = 0; r < rows_; ++r) {
-        Complex acc = 0.0;
         const Complex* row = data_.data() + static_cast<size_t>(r) * cols_;
-        for (int c = 0; c < cols_; ++c)
-            acc += row[c] * v[c];
-        out[r] = acc;
+        out[r] = kernels::dotuInterleaved(row, v.data(),
+                                          static_cast<size_t>(cols_));
     }
     return out;
 }
@@ -323,10 +310,7 @@ Complex
 innerProduct(const std::vector<Complex>& a, const std::vector<Complex>& b)
 {
     panicIf(a.size() != b.size(), "vector size mismatch in innerProduct");
-    Complex acc = 0.0;
-    for (size_t i = 0; i < a.size(); ++i)
-        acc += std::conj(a[i]) * b[i];
-    return acc;
+    return kernels::dotcInterleaved(a.data(), b.data(), a.size());
 }
 
 double

@@ -11,9 +11,12 @@
 #ifndef QPC_OPT_ADAM_H
 #define QPC_OPT_ADAM_H
 
+#include <functional>
 #include <vector>
 
 namespace qpc {
+
+class ThreadPool;
 
 /** The hyperparameters tuned by flexible partial compilation. */
 struct AdamHyperParams
@@ -49,6 +52,46 @@ class AdamOptimizer
     std::vector<double> m_;
     std::vector<double> v_;
 };
+
+/** Knobs for the derivative-free Adam loop (adamMinimizeFd). */
+struct AdamFdOptions
+{
+    int maxIterations = 100;   ///< Adam steps.
+    double fdEpsilon = 1e-6;   ///< Central-difference probe offset.
+    /** Stop once the gradient infinity-norm falls below this
+     * (0 disables the check). */
+    double gradTolerance = 0.0;
+    AdamHyperParams hyper;
+    /**
+     * Optional worker pool: each iteration's 2N central-difference
+     * probes evaluate concurrently, with the gradient assembled in
+     * coordinate order — results are bit-identical to the serial run
+     * at any worker count. The objective must be thread-safe.
+     */
+    ThreadPool* evalPool = nullptr;
+};
+
+/** Outcome of an adamMinimizeFd run. */
+struct AdamFdResult
+{
+    std::vector<double> best;  ///< Final parameter vector.
+    double bestValue = 0.0;    ///< Objective at best.
+    int iterations = 0;        ///< Adam steps performed.
+    int evaluations = 0;       ///< Objective calls performed.
+    bool converged = false;    ///< Stopped on gradTolerance.
+};
+
+/**
+ * Minimize a black-box objective with Adam over central-difference
+ * gradients: per iteration the 2N probe points (x +/- eps * e_i) are
+ * independent, so they batch through the pool like Nelder-Mead's
+ * simplex vertices.
+ */
+AdamFdResult
+adamMinimizeFd(const std::function<double(const std::vector<double>&)>&
+                   objective,
+               const std::vector<double>& start,
+               const AdamFdOptions& options = {});
 
 } // namespace qpc
 

@@ -1,0 +1,49 @@
+#include "opt/batcheval.h"
+
+#include <condition_variable>
+#include <mutex>
+
+#include "runtime/threadpool.h"
+
+namespace qpc {
+
+void
+evaluateBatch(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::vector<const std::vector<double>*>& points,
+    double* results, ThreadPool* pool)
+{
+    const std::size_t count = points.size();
+    if (!pool || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            results[i] = objective(*points[i]);
+        return;
+    }
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t pending = count - 1;
+
+    for (std::size_t i = 1; i < count; ++i) {
+        const bool accepted = pool->submit([&, i] {
+            results[i] = objective(*points[i]);
+            std::lock_guard<std::mutex> lock(mu);
+            if (--pending == 0)
+                cv.notify_one();
+        });
+        if (!accepted) {
+            // Pool shutting down: evaluate inline, same slot.
+            results[i] = objective(*points[i]);
+            std::lock_guard<std::mutex> lock(mu);
+            if (--pending == 0)
+                cv.notify_one();
+        }
+    }
+    // The calling thread takes the head instead of idling.
+    results[0] = objective(*points[0]);
+
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return pending == 0; });
+}
+
+} // namespace qpc

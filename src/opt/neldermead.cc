@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "opt/batcheval.h"
 
 namespace qpc {
 
@@ -36,10 +37,16 @@ nelderMead(const std::function<double(const std::vector<double>&)>&
     for (int i = 0; i < n; ++i)
         simplex[i + 1][i] += options.initialStep;
 
+    // The n + 1 initial vertices are independent: evaluate as one
+    // batch (serial in index order without a pool).
     std::vector<double> values(n + 1);
-    for (int i = 0; i <= n; ++i) {
-        values[i] = objective(simplex[i]);
-        ++result.evaluations;
+    {
+        std::vector<const std::vector<double>*> points(n + 1);
+        for (int i = 0; i <= n; ++i)
+            points[i] = &simplex[i];
+        evaluateBatch(objective, points, values.data(),
+                      options.evalPool);
+        result.evaluations += n + 1;
     }
 
     std::vector<int> order(n + 1);
@@ -105,16 +112,36 @@ nelderMead(const std::function<double(const std::vector<double>&)>&
             options.onIteration(info);
         };
 
-        // Reflection.
+        // Reflection — and, with a pool, the expansion speculated
+        // alongside it: the expansion point depends only on the
+        // current simplex, not on f_reflected, so both evaluate
+        // concurrently and the serial acceptance logic below decides
+        // which (if either) is consumed.
         std::vector<double> reflected = blend(-options.reflection);
-        const double f_reflected = objective(reflected);
+        std::vector<double> expanded;
+        double f_reflected, f_expanded = 0.0;
+        bool have_expanded = false;
+        if (options.evalPool) {
+            expanded = blend(-options.reflection * options.expansion);
+            const std::vector<const std::vector<double>*> points = {
+                &reflected, &expanded};
+            double pair[2];
+            evaluateBatch(objective, points, pair, options.evalPool);
+            f_reflected = pair[0];
+            f_expanded = pair[1];
+            have_expanded = true;
+        } else {
+            f_reflected = objective(reflected);
+        }
         ++result.evaluations;
 
         if (f_reflected < values[best]) {
-            // Expansion.
-            std::vector<double> expanded =
-                blend(-options.reflection * options.expansion);
-            const double f_expanded = objective(expanded);
+            // Expansion (already in hand when speculated).
+            if (!have_expanded) {
+                expanded =
+                    blend(-options.reflection * options.expansion);
+                f_expanded = objective(expanded);
+            }
             ++result.evaluations;
             if (f_expanded < f_reflected) {
                 simplex[worst] = std::move(expanded);
@@ -128,6 +155,11 @@ nelderMead(const std::function<double(const std::vector<double>&)>&
                                 : 0.0);
             continue;
         }
+        // A speculated expansion the serial order would not have
+        // evaluated: counted separately so `evaluations` stays equal
+        // to the serial run's.
+        if (have_expanded)
+            ++result.speculativeEvaluations;
         if (f_reflected < values[second_worst]) {
             simplex[worst] = std::move(reflected);
             values[worst] = f_reflected;
@@ -154,10 +186,16 @@ nelderMead(const std::function<double(const std::vector<double>&)>&
             continue;
         }
 
-        // Shrink toward the best vertex.
+        // Shrink toward the best vertex: move every non-best vertex
+        // first, then evaluate the n new vertices as one batch (slot
+        // order keeps the values identical to the serial loop).
         std::vector<std::vector<double>> pre_shrink;
         if (options.onIteration)
             pre_shrink = simplex;
+        std::vector<const std::vector<double>*> shrunk;
+        std::vector<int> shrunk_idx;
+        shrunk.reserve(n);
+        shrunk_idx.reserve(n);
         for (int i = 0; i <= n; ++i) {
             if (i == best)
                 continue;
@@ -165,7 +203,14 @@ nelderMead(const std::function<double(const std::vector<double>&)>&
                 simplex[i][d] =
                     simplex[best][d] +
                     options.shrink * (simplex[i][d] - simplex[best][d]);
-            values[i] = objective(simplex[i]);
+            shrunk.push_back(&simplex[i]);
+            shrunk_idx.push_back(i);
+        }
+        std::vector<double> shrunk_values(shrunk.size());
+        evaluateBatch(objective, shrunk, shrunk_values.data(),
+                      options.evalPool);
+        for (std::size_t s = 0; s < shrunk_idx.size(); ++s) {
+            values[shrunk_idx[s]] = shrunk_values[s];
             ++result.evaluations;
         }
         if (options.onIteration) {

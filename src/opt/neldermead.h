@@ -17,6 +17,8 @@
 
 namespace qpc {
 
+class ThreadPool;
+
 /**
  * Progress of one completed simplex update, reported through
  * NelderMeadOptions::onIteration. The step norm and simplex diameter
@@ -51,8 +53,23 @@ struct NelderMeadOptions
     double contraction = 0.5;
     double shrink = 0.5;
     /** Called after every completed simplex update (movement metrics
-     * are only computed when set — the bare loop stays free). */
+     * are only computed when set — the bare loop stays free). Always
+     * fired from the calling thread, after the update commits, with
+     * the same iteration numbers whether evaluation is serial or
+     * pooled — refinement triggers hanging off this callback see one
+     * iteration stream regardless of worker count. */
     std::function<void(const NelderMeadIterationInfo&)> onIteration;
+    /**
+     * Optional worker pool for batched objective evaluation: the
+     * initial simplex and shrink vertices evaluate concurrently, and
+     * each iteration speculates the expansion point alongside the
+     * reflection. Results are reduced in slot order, so the optimizer
+     * trajectory — every vertex, value, iteration count, and
+     * onIteration report — is bit-identical to the serial run at any
+     * worker count. The objective must be thread-safe. Null keeps
+     * evaluation on the calling thread.
+     */
+    ThreadPool* evalPool = nullptr;
 };
 
 /** Outcome of a Nelder-Mead run. */
@@ -61,7 +78,13 @@ struct NelderMeadResult
     std::vector<double> best;     ///< Minimizing point found.
     double bestValue = 0.0;       ///< Objective at best.
     int iterations = 0;           ///< Simplex updates performed.
-    int evaluations = 0;          ///< Objective calls performed.
+    /** Objective calls a *serial* run would have made — the pooled
+     * run's accounting matches the serial run exactly. */
+    int evaluations = 0;
+    /** Speculative objective calls (expansion points evaluated
+     * alongside their reflection but then not needed). Always zero
+     * without an evalPool. */
+    int speculativeEvaluations = 0;
     bool converged = false;       ///< Stopped on fTolerance.
 };
 

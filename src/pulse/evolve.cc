@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "linalg/kernels.h"
 
 namespace qpc {
 
@@ -74,7 +75,11 @@ traceFidelity(const CMatrix& target, const CMatrix& realized)
     panicIf(target.rows() != realized.rows() ||
                 target.cols() != realized.cols(),
             "traceFidelity dimension mismatch");
-    const Complex overlap = (target.dagger() * realized).trace();
+    // tr(T^dag R) is the elementwise conjugated dot of T with R.
+    const Complex overlap = kernels::dotcInterleaved(
+        target.data(), realized.data(),
+        static_cast<size_t>(target.rows()) *
+            static_cast<size_t>(target.cols()));
     const double d = static_cast<double>(target.rows());
     return std::norm(overlap) / (d * d);
 }
@@ -94,7 +99,9 @@ subspaceFidelity(const DeviceModel& device, const CMatrix& target,
         for (int c = 0; c < qdim; ++c)
             block(r, c) = realized(comp[r], comp[c]);
 
-    const Complex overlap = (target.dagger() * block).trace();
+    const Complex overlap = kernels::dotcInterleaved(
+        target.data(), block.data(),
+        static_cast<size_t>(qdim) * static_cast<size_t>(qdim));
     const double d = static_cast<double>(qdim);
     return std::norm(overlap) / (d * d);
 }

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 
 #include "common/logging.h"
 #include "runtime/refinetrigger.h"
 #include "runtime/service.h"
+#include "runtime/threadpool.h"
 #include "sim/statevector.h"
 
 namespace qpc {
@@ -49,11 +51,18 @@ runQaoa(const Graph& graph, const QaoaRunOptions& options)
     }
     const bool quantized = service && plan.quantization().enabled;
 
+    // Shared-stat mutex for concurrent objective evaluation under
+    // optimizerThreads (see runVqe).
+    std::mutex stats_mu;
     int evaluations = 0;
     auto objective = [&](const std::vector<double>& theta) {
-        ++evaluations;
+        {
+            std::lock_guard<std::mutex> lock(stats_mu);
+            ++evaluations;
+        }
         if (service) {
             const ServedPulse served = service->serve(plan, theta);
+            std::lock_guard<std::mutex> lock(stats_mu);
             result.servedCacheHits += served.cacheHits;
             result.servedCacheMisses += served.cacheMisses;
             result.quantHits += served.quantHits;
@@ -81,6 +90,15 @@ runQaoa(const Graph& graph, const QaoaRunOptions& options)
     if (quantized && plan.quantization().adaptive)
         optimizer = withRefinementTrigger(std::move(optimizer),
                                           *service, plan, refinement);
+
+    // Run-owned evaluation pool (bit-identical results at any worker
+    // count; see runVqe).
+    std::unique_ptr<ThreadPool> eval_pool;
+    if (options.optimizerThreads > 0) {
+        eval_pool =
+            std::make_unique<ThreadPool>(options.optimizerThreads);
+        optimizer.evalPool = eval_pool.get();
+    }
 
     Rng rng(options.seed);
     const std::vector<double> start = rng.angles(2 * options.p);

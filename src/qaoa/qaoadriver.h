@@ -30,6 +30,12 @@ struct QaoaRunOptions
 {
     int p = 1;                        ///< QAOA depth.
     NelderMeadOptions optimizer;      ///< Classical-loop settings.
+    /**
+     * Workers for batched Nelder-Mead evaluation; 0 = serial. Results
+     * are bit-identical at any positive worker count (see
+     * VqeRunOptions::optimizerThreads for the serial caveat).
+     */
+    int optimizerThreads = 0;
     uint64_t seed = 0;                ///< Initial-parameter seed.
     /**
      * Optional compilation service: pre-compiles the QAOA template's

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "linalg/kernels.h"
 
 namespace qpc {
 
@@ -27,16 +28,9 @@ StateVector::applyMatrix1(const CMatrix& u, int qubit)
     panicIf(u.rows() != 2 || u.cols() != 2, "applyMatrix1 needs 2x2");
     panicIf(qubit < 0 || qubit >= numQubits_, "qubit out of range");
 
-    const int stride = 1 << (numQubits_ - 1 - qubit);
-    const int dim = static_cast<int>(amps_.size());
-    for (int base = 0; base < dim; ++base) {
-        if (base & stride)
-            continue;
-        const Complex a0 = amps_[base];
-        const Complex a1 = amps_[base | stride];
-        amps_[base] = u(0, 0) * a0 + u(0, 1) * a1;
-        amps_[base | stride] = u(1, 0) * a0 + u(1, 1) * a1;
-    }
+    const size_t stride = size_t{1} << (numQubits_ - 1 - qubit);
+    const Complex uflat[4] = {u(0, 0), u(0, 1), u(1, 0), u(1, 1)};
+    kernels::applyGate1(amps_.data(), amps_.size(), stride, uflat);
 }
 
 void
@@ -47,24 +41,13 @@ StateVector::applyMatrix2(const CMatrix& u, int q0, int q1)
     panicIf(q0 < 0 || q0 >= numQubits_ || q1 < 0 || q1 >= numQubits_,
             "qubit out of range");
 
-    const int s0 = 1 << (numQubits_ - 1 - q0);
-    const int s1 = 1 << (numQubits_ - 1 - q1);
-    const int dim = static_cast<int>(amps_.size());
-    for (int base = 0; base < dim; ++base) {
-        if ((base & s0) || (base & s1))
-            continue;
-        Complex in[4] = {amps_[base], amps_[base | s1], amps_[base | s0],
-                         amps_[base | s0 | s1]};
-        Complex out[4];
-        for (int r = 0; r < 4; ++r) {
-            out[r] = u(r, 0) * in[0] + u(r, 1) * in[1] + u(r, 2) * in[2] +
-                     u(r, 3) * in[3];
-        }
-        amps_[base] = out[0];
-        amps_[base | s1] = out[1];
-        amps_[base | s0] = out[2];
-        amps_[base | s0 | s1] = out[3];
-    }
+    const size_t s0 = size_t{1} << (numQubits_ - 1 - q0);
+    const size_t s1 = size_t{1} << (numQubits_ - 1 - q1);
+    Complex uflat[16];
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            uflat[4 * r + c] = u(r, c);
+    kernels::applyGate2(amps_.data(), amps_.size(), s0, s1, uflat);
 }
 
 void
@@ -113,10 +96,8 @@ Complex
 StateVector::overlap(const StateVector& other) const
 {
     panicIf(other.dim() != dim(), "overlap dimension mismatch");
-    Complex acc = 0.0;
-    for (size_t i = 0; i < amps_.size(); ++i)
-        acc += std::conj(amps_[i]) * other.amps_[i];
-    return acc;
+    return kernels::dotcInterleaved(amps_.data(), other.amps_.data(),
+                                    amps_.size());
 }
 
 CMatrix

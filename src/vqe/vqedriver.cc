@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <memory>
+#include <mutex>
 
 #include "common/logging.h"
 #include "common/rng.h"
 #include "partial/strict.h"
 #include "runtime/refinetrigger.h"
 #include "runtime/service.h"
+#include "runtime/threadpool.h"
 #include "sim/statevector.h"
 
 namespace qpc {
@@ -53,11 +55,19 @@ runVqe(const Circuit& ansatz, const PauliHamiltonian& hamiltonian,
     }
     const bool quantized = service && plan.quantization().enabled;
 
+    // With optimizerThreads the objective runs concurrently on pool
+    // workers; the stats it accumulates are the only shared state, so
+    // one mutex keeps them exact without serializing the evaluations.
+    std::mutex stats_mu;
     int evaluations = 0;
     auto objective = [&](const std::vector<double>& theta) {
-        ++evaluations;
+        {
+            std::lock_guard<std::mutex> lock(stats_mu);
+            ++evaluations;
+        }
         if (service) {
             const ServedPulse served = service->serve(plan, theta);
+            std::lock_guard<std::mutex> lock(stats_mu);
             result.servedCacheHits += served.cacheHits;
             result.servedCacheMisses += served.cacheMisses;
             result.quantHits += served.quantHits;
@@ -88,6 +98,15 @@ runVqe(const Circuit& ansatz, const PauliHamiltonian& hamiltonian,
     if (quantized && plan.quantization().adaptive)
         optimizer = withRefinementTrigger(std::move(optimizer),
                                           *service, plan, refinement);
+
+    // Run-owned evaluation pool: batches simplex evaluations without
+    // changing any result bit (slot-ordered reduction in nelderMead).
+    std::unique_ptr<ThreadPool> eval_pool;
+    if (options.optimizerThreads > 0) {
+        eval_pool =
+            std::make_unique<ThreadPool>(options.optimizerThreads);
+        optimizer.evalPool = eval_pool.get();
+    }
 
     Rng rng(options.seed);
     std::vector<double> start(ansatz.numParams());

@@ -25,6 +25,19 @@ namespace qpc {
 struct VqeRunOptions
 {
     NelderMeadOptions optimizer;
+    /**
+     * Workers for batched objective evaluation inside Nelder-Mead
+     * (initial simplex, speculative reflection/expansion, shrinks).
+     * 0 evaluates serially on the calling thread. Every positive
+     * count produces bit-identical results to every other — the batch
+     * layer reduces in slot order — so among pooled runs this is
+     * purely a wall-clock knob. Serial additionally skips the
+     * speculative expansion evaluation, which a side-effecting
+     * objective (e.g. adaptive-quantization visit counters) can
+     * observe; with a pure objective serial matches too.
+     * Overrides optimizer.evalPool with a run-owned pool.
+     */
+    int optimizerThreads = 0;
     uint64_t seed = 0;          ///< Initial-amplitude seed.
     double initialSpread = 0.1; ///< Scale of the random start point.
     /**

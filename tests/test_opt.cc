@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
+#include <vector>
 
 #include "opt/adam.h"
 #include "opt/neldermead.h"
+#include "runtime/threadpool.h"
 
 namespace {
 
@@ -148,6 +151,151 @@ TEST(Adam, HandlesSparseGradients)
         adam.step(x, grad);
     EXPECT_NEAR(x[0], 1.0, 1e-12);   // untouched coordinate
     EXPECT_LT(x[1], 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Parallel batch evaluation: bit-determinism across worker counts
+// ---------------------------------------------------------------------
+
+/** A deterministic, thread-safe, moderately nasty objective. */
+double
+ripplyBowl(const std::vector<double>& x)
+{
+    double s = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+        const double d = x[i] - 0.7 * static_cast<double>(i + 1);
+        s += d * d + 0.05 * std::sin(13.0 * x[i]);
+    }
+    return s;
+}
+
+/** Everything observable about one Nelder-Mead run, including the
+ * full onIteration stream the refinement triggers key off. */
+struct NmTrace
+{
+    NelderMeadResult result;
+    std::vector<std::tuple<int, double, double, double>> stream;
+};
+
+NmTrace
+runNmTrace(ThreadPool* pool)
+{
+    NmTrace trace;
+    NelderMeadOptions options;
+    options.maxIterations = 400;
+    options.evalPool = pool;
+    options.onIteration = [&](const NelderMeadIterationInfo& info) {
+        trace.stream.emplace_back(info.iteration, info.bestValue,
+                                  info.stepNorm, info.simplexDiameter);
+    };
+    trace.result =
+        nelderMead(ripplyBowl, {2.0, -1.5, 3.0, 0.5}, options);
+    return trace;
+}
+
+TEST(NelderMead, ParallelEvaluationBitIdenticalAcrossWorkerCounts)
+{
+    const NmTrace serial = runNmTrace(nullptr);
+    EXPECT_EQ(serial.result.speculativeEvaluations, 0);
+
+    for (int workers : {1, 2, 8}) {
+        ThreadPool pool(workers);
+        const NmTrace pooled = runNmTrace(&pool);
+
+        // Identical trajectory, bit for bit: best point, value,
+        // iteration and (serial-semantics) evaluation counts.
+        ASSERT_EQ(pooled.result.best.size(),
+                  serial.result.best.size());
+        for (size_t i = 0; i < serial.result.best.size(); ++i)
+            EXPECT_EQ(pooled.result.best[i], serial.result.best[i])
+                << workers << " workers, coord " << i;
+        EXPECT_EQ(pooled.result.bestValue, serial.result.bestValue);
+        EXPECT_EQ(pooled.result.iterations, serial.result.iterations);
+        EXPECT_EQ(pooled.result.evaluations,
+                  serial.result.evaluations);
+        EXPECT_EQ(pooled.result.converged, serial.result.converged);
+
+        // The onIteration stream — what refinetrigger's step-norm
+        // gate and cooldown see — is identical too, so adaptive-grid
+        // refinement fires at the same iterations at any worker
+        // count.
+        ASSERT_EQ(pooled.stream.size(), serial.stream.size())
+            << workers << " workers";
+        for (size_t i = 0; i < serial.stream.size(); ++i)
+            EXPECT_EQ(pooled.stream[i], serial.stream[i])
+                << workers << " workers, report " << i;
+    }
+}
+
+TEST(NelderMead, SpeculationIsAccountedSeparately)
+{
+    ThreadPool pool(2);
+    NelderMeadOptions options;
+    options.maxIterations = 200;
+    options.evalPool = &pool;
+    const NelderMeadResult pooled =
+        nelderMead(ripplyBowl, {2.0, -1.5}, options);
+    const NelderMeadResult serial =
+        nelderMead(ripplyBowl, {2.0, -1.5});
+
+    // `evaluations` reports what a serial run would have paid;
+    // discarded speculative expansions are tallied separately.
+    EXPECT_EQ(pooled.evaluations, serial.evaluations);
+    EXPECT_GT(pooled.speculativeEvaluations, 0);
+    EXPECT_EQ(serial.speculativeEvaluations, 0);
+}
+
+TEST(AdamFd, ConvergesOnQuadratic)
+{
+    AdamFdOptions options;
+    options.maxIterations = 400;
+    options.hyper.learningRate = 0.1;
+    const AdamFdResult r =
+        adamMinimizeFd(ripplyBowl, {3.0, 3.0, 3.0, 3.0}, options);
+    EXPECT_LT(r.bestValue, ripplyBowl({3.0, 3.0, 3.0, 3.0}));
+    EXPECT_EQ(r.iterations, 400);
+    // 2N probes per iteration plus the final evaluation.
+    EXPECT_EQ(r.evaluations, 400 * 8 + 1);
+}
+
+TEST(AdamFd, ParallelProbesBitIdenticalAcrossWorkerCounts)
+{
+    AdamFdOptions options;
+    options.maxIterations = 150;
+    options.hyper.learningRate = 0.05;
+    const AdamFdResult serial =
+        adamMinimizeFd(ripplyBowl, {1.0, -2.0, 0.5}, options);
+
+    for (int workers : {1, 2, 8}) {
+        ThreadPool pool(workers);
+        AdamFdOptions pooled_options = options;
+        pooled_options.evalPool = &pool;
+        const AdamFdResult pooled =
+            adamMinimizeFd(ripplyBowl, {1.0, -2.0, 0.5},
+                           pooled_options);
+        ASSERT_EQ(pooled.best.size(), serial.best.size());
+        for (size_t i = 0; i < serial.best.size(); ++i)
+            EXPECT_EQ(pooled.best[i], serial.best[i])
+                << workers << " workers, coord " << i;
+        EXPECT_EQ(pooled.bestValue, serial.bestValue);
+        EXPECT_EQ(pooled.evaluations, serial.evaluations);
+        EXPECT_EQ(pooled.iterations, serial.iterations);
+    }
+}
+
+TEST(AdamFd, GradToleranceStopsEarly)
+{
+    AdamFdOptions options;
+    options.maxIterations = 5000;
+    options.gradTolerance = 1e-4;
+    options.hyper.learningRate = 0.1;
+    auto bowl = [](const std::vector<double>& x) {
+        return (x[0] - 2.0) * (x[0] - 2.0);
+    };
+    const AdamFdResult r = adamMinimizeFd(bowl, {5.0}, options);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(r.iterations, 5000);
+    EXPECT_NEAR(r.best[0], 2.0, 1e-3);
 }
 
 } // namespace

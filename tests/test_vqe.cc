@@ -150,4 +150,82 @@ TEST(VqeDriver, EnergyNeverBelowExactGround)
     EXPECT_GE(result.energy, result.exactGroundEnergy - 1e-9);
 }
 
+// Regression for the parallel-optimizer iteration semantics: the
+// refinetrigger's step-norm gate and cooldown key off the onIteration
+// stream, so adaptive-grid refinement must fire at the same
+// iterations — and produce the same grid, served angles, and energy —
+// no matter how many workers evaluate the simplex.
+TEST(VqeDriver, AdaptiveRefinementIdenticalAcrossOptimizerThreads)
+{
+    const MoleculeSpec& spec = moleculeByName("H2");
+    const Circuit ansatz = buildOptimizedUccsd(spec);
+    const PauliHamiltonian hamiltonian = h2Hamiltonian();
+
+    struct Run
+    {
+        VqeResult result;
+        std::vector<std::pair<int, double>> stream; ///< (iter, step).
+    };
+    auto run = [&](int optimizer_threads) {
+        Run out;
+        CompileServiceOptions service;
+        service.numWorkers = 2;
+        service.quantization.enabled = true;
+        service.quantization.adaptive = true;
+        service.quantization.bins = 32;
+        service.quantization.splitVisitThreshold = 4;
+
+        VqeRunOptions options;
+        options.optimizer.maxIterations = 150;
+        options.optimizer.onIteration =
+            [&](const NelderMeadIterationInfo& info) {
+                out.stream.emplace_back(info.iteration, info.stepNorm);
+            };
+        options.optimizerThreads = optimizer_threads;
+        options.serviceOptions = service;
+        out.result = runVqe(ansatz, hamiltonian, options);
+        return out;
+    };
+
+    // Baseline at one worker: pooled runs speculate the expansion
+    // point, and under quantized serving each speculative evaluation
+    // is a real serve that bumps adaptive visit counters — so the
+    // speculation-free serial run is a *different workload*, not a
+    // different schedule. What must be invariant is the worker count:
+    // 1, 2, and 8 workers make exactly the same objective calls and
+    // must land on exactly the same grid, iterations, and energy.
+    const Run serial = run(1);
+    // The coarse grid must actually have refined, or this proves
+    // nothing about trigger timing.
+    ASSERT_GT(serial.result.quantRefineRounds, 0);
+
+    for (int workers : {2, 8}) {
+        const Run pooled = run(workers);
+        // Same refinement activity...
+        EXPECT_EQ(pooled.result.quantRefineRounds,
+                  serial.result.quantRefineRounds)
+            << workers << " workers";
+        EXPECT_EQ(pooled.result.quantSplits, serial.result.quantSplits);
+        // ...the same iteration stream feeding the trigger gate...
+        ASSERT_EQ(pooled.stream.size(), serial.stream.size())
+            << workers << " workers";
+        for (size_t i = 0; i < serial.stream.size(); ++i) {
+            EXPECT_EQ(pooled.stream[i].first, serial.stream[i].first);
+            EXPECT_EQ(pooled.stream[i].second,
+                      serial.stream[i].second)
+                << workers << " workers, iteration " << i;
+        }
+        // ...and a bit-identical answer.
+        EXPECT_EQ(pooled.result.energy, serial.result.energy);
+        ASSERT_EQ(pooled.result.bestParams.size(),
+                  serial.result.bestParams.size());
+        for (size_t i = 0; i < serial.result.bestParams.size(); ++i)
+            EXPECT_EQ(pooled.result.bestParams[i],
+                      serial.result.bestParams[i]);
+        EXPECT_EQ(pooled.result.iterations, serial.result.iterations);
+        EXPECT_EQ(pooled.result.finalQuantErrorBound,
+                  serial.result.finalQuantErrorBound);
+    }
+}
+
 } // namespace
